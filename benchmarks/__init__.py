@@ -1,0 +1,10 @@
+"""Benchmark harness — one module per experiment in DESIGN.md Section 4.
+
+Two ways to run:
+
+* ``pytest benchmarks/ --benchmark-only`` — timed micro-benchmarks via
+  pytest-benchmark (each ``bench_*`` function).
+* ``python -m benchmarks.run_experiments`` — the full experiment harness:
+  regenerates every table/series recorded in EXPERIMENTS.md, printing the
+  same rows.
+"""

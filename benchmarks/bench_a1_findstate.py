@@ -1,0 +1,99 @@
+"""Ablation A1 — FINDSTATE interpolation strategy.
+
+DESIGN.md implements ``FINDSTATE`` with binary search over the strictly
+increasing transaction numbers (the "interpolation" the paper notes is
+possible).  The ablation compares it against the naive linear scan a
+direct reading of the semantics would produce, across history lengths.
+Expected shape: identical results everywhere; O(log n) vs O(n) probe
+cost, diverging visibly past ~1k states.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.relation import EMPTY_STATE, Relation, RelationType, find_state
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def linear_find_state(relation: Relation, txn: int):
+    """The naive O(n) reading of the paper's FINDSTATE definition."""
+    best = EMPTY_STATE
+    for state, state_txn in relation.rstate:
+        if state_txn <= txn:
+            best = state
+        else:
+            break
+    return best
+
+
+def build_relation(history: int) -> Relation:
+    states = [
+        (SnapshotState(KV, [[i]]), 2 * i + 1) for i in range(history)
+    ]
+    return Relation(RelationType.ROLLBACK, states)
+
+
+def verify_agreement(history: int = 500) -> int:
+    relation = build_relation(history)
+    probes = list(range(0, 2 * history + 3, 7))
+    for txn in probes:
+        assert find_state(relation, txn) == linear_find_state(
+            relation, txn
+        )
+    return len(probes)
+
+
+def probe_cost(histories=(100, 1000, 10_000)):
+    """Measured rows: (history, binary µs, linear µs)."""
+    rows = []
+    for history in histories:
+        relation = build_relation(history)
+        probes = [
+            (2 * history * k) // 10 for k in range(1, 10)
+        ]
+        start = time.perf_counter()
+        for txn in probes:
+            find_state(relation, txn)
+        binary_seconds = (time.perf_counter() - start) / len(probes)
+
+        start = time.perf_counter()
+        for txn in probes:
+            linear_find_state(relation, txn)
+        linear_seconds = (time.perf_counter() - start) / len(probes)
+        rows.append((history, binary_seconds, linear_seconds))
+    return rows
+
+
+def report() -> str:
+    lines = ["A1 — FINDSTATE: binary search vs linear scan (ablation)"]
+    probes = verify_agreement()
+    lines.append(
+        f"  correctness: {probes} probes agree between the two "
+        "implementations"
+    )
+    lines.append(f"  {'history':>8s} {'binary':>8s} {'linear':>9s}")
+    for history, binary_s, linear_s in probe_cost():
+        lines.append(
+            f"  {history:8d} {binary_s * 1e6:5.1f} µs "
+            f"{linear_s * 1e6:6.1f} µs"
+        )
+    return "\n".join(lines)
+
+
+def bench_findstate_binary_10k(benchmark):
+    relation = build_relation(10_000)
+    benchmark(find_state, relation, 9_999)
+
+
+def bench_findstate_linear_10k(benchmark):
+    relation = build_relation(10_000)
+    benchmark(linear_find_state, relation, 9_999)
+
+
+if __name__ == "__main__":
+    print(report())

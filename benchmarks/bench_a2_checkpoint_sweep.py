@@ -1,0 +1,79 @@
+"""Ablation A2 — the checkpoint-interval knob.
+
+Sweeps :class:`CheckpointDeltaBackend`'s interval across a fixed workload
+and reports the (stored atoms, worst-case probe latency) frontier:
+interval 1 degenerates to full-copy, large intervals degenerate to pure
+forward deltas.  The interesting output is the knee of the curve.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage import CheckpointDeltaBackend
+from repro.workloads import churn_stream, populate_backends
+
+HISTORY = 240
+CARDINALITY = 120
+CHURN = 0.08
+
+
+def sweep(intervals=(1, 2, 4, 8, 16, 32, 64, 240)):
+    """Measured rows: (interval, stored atoms, worst probe µs)."""
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=33
+    )
+    rows = []
+    for interval in intervals:
+        backend = CheckpointDeltaBackend(interval)
+        populate_backends([backend], states)
+        worst = 0.0
+        for txn in range(2, HISTORY + 2, HISTORY // 12):
+            start = time.perf_counter()
+            for _ in range(5):
+                backend.state_at("r", txn)
+            probe = (time.perf_counter() - start) / 5
+            worst = max(worst, probe)
+        rows.append((interval, backend.stored_atoms(), worst))
+    return rows
+
+
+def report() -> str:
+    lines = [
+        f"A2 — checkpoint interval sweep "
+        f"(history {HISTORY}, churn {CHURN})"
+    ]
+    lines.append(
+        f"  {'interval':>9s} {'stored atoms':>13s} {'worst probe':>12s}"
+    )
+    for interval, atoms, worst in sweep():
+        lines.append(
+            f"  {interval:9d} {atoms:13d} {worst * 1e6:9.0f} µs"
+        )
+    lines.append(
+        "  interval 1 ≈ full-copy space / flat reads; large intervals "
+        "≈ delta space / linear replay"
+    )
+    return "\n".join(lines)
+
+
+def bench_checkpoint_interval_4(benchmark):
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=33
+    )
+    backend = CheckpointDeltaBackend(4)
+    populate_backends([backend], states)
+    benchmark(backend.state_at, "r", HISTORY // 2)
+
+
+def bench_checkpoint_interval_64(benchmark):
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=33
+    )
+    backend = CheckpointDeltaBackend(64)
+    populate_backends([backend], states)
+    benchmark(backend.state_at, "r", HISTORY // 2)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,136 @@
+"""Ablation A3 — coalescing historical states.
+
+DESIGN.md keeps historical states *coalesced*: no two tuples share a
+value part.  The ablation compares against an uncoalesced representation
+(a bag of (value, period) fragments) under repeated unions:
+
+* correctness: uncoalesced states lose canonical equality — two
+  representations of the same information compare unequal — which breaks
+  every equivalence check in the reproduction;
+* space: fragments accumulate linearly with the number of unions, while
+  the coalesced state stays at one tuple per distinct value;
+* query cost: timeslices must scan every fragment.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.historical.operators import historical_union
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def fragment_stream(rounds: int, values: int = 20):
+    """Per round, one single-chronon fragment per value."""
+    for r in range(rounds):
+        yield [
+            HistoricalTuple(
+                [v], PeriodSet([(r * 2, r * 2 + 1)]), schema=KV
+            )
+            for v in range(values)
+        ]
+
+
+def run_coalesced(rounds: int, values: int = 20):
+    state = HistoricalState.empty(KV)
+    for fragments in fragment_stream(rounds, values):
+        state = historical_union(
+            state, HistoricalState(KV, fragments)
+        )
+    return state
+
+
+def run_uncoalesced(rounds: int, values: int = 20):
+    bag: list[HistoricalTuple] = []
+    for fragments in fragment_stream(rounds, values):
+        bag.extend(fragments)  # no merging: fragments pile up
+    return bag
+
+
+def uncoalesced_timeslice(bag, chronon: int):
+    return {
+        t.value for t in bag if t.valid_time.covers(chronon)
+    }
+
+
+def representation_sizes(rounds=(10, 50, 200)):
+    """Measured rows: (rounds, coalesced tuples, fragments)."""
+    rows = []
+    for r in rounds:
+        coalesced = run_coalesced(r)
+        bag = run_uncoalesced(r)
+        rows.append((r, len(coalesced), len(bag)))
+    return rows
+
+
+def canonical_equality_demo() -> bool:
+    """Two ways to state the same history compare equal only when
+    coalesced."""
+    a = HistoricalState.from_rows(KV, [([1], [(0, 10)])])
+    b = historical_union(
+        HistoricalState.from_rows(KV, [([1], [(0, 5)])]),
+        HistoricalState.from_rows(KV, [([1], [(5, 10)])]),
+    )
+    coalesced_equal = a == b
+    fragments = [
+        HistoricalTuple([1], PeriodSet([(0, 5)]), schema=KV),
+        HistoricalTuple([1], PeriodSet([(5, 10)]), schema=KV),
+    ]
+    single = [HistoricalTuple([1], PeriodSet([(0, 10)]), schema=KV)]
+    uncoalesced_equal = set(fragments) == set(single)
+    return coalesced_equal and not uncoalesced_equal
+
+
+def report() -> str:
+    lines = ["A3 — historical-state coalescing (ablation)"]
+    assert canonical_equality_demo()
+    lines.append(
+        "  correctness: value-equivalent fragments compare equal only "
+        "under coalescing (canonical form)"
+    )
+    lines.append(
+        f"  {'rounds':>7s} {'coalesced tuples':>17s} {'fragments':>10s}"
+    )
+    for rounds, coalesced, fragments in representation_sizes():
+        lines.append(f"  {rounds:7d} {coalesced:17d} {fragments:10d}")
+
+    state = run_coalesced(200)
+    bag = run_uncoalesced(200)
+    start = time.perf_counter()
+    for _ in range(50):
+        state.snapshot_at(199)
+    coalesced_slice = (time.perf_counter() - start) / 50
+    start = time.perf_counter()
+    for _ in range(50):
+        uncoalesced_timeslice(bag, 199)
+    fragment_slice = (time.perf_counter() - start) / 50
+    lines.append(
+        f"  timeslice at 200 rounds: coalesced "
+        f"{coalesced_slice * 1e6:.0f} µs vs fragments "
+        f"{fragment_slice * 1e6:.0f} µs"
+    )
+    return "\n".join(lines)
+
+
+def bench_union_coalesced_100(benchmark):
+    benchmark(run_coalesced, 100)
+
+
+def bench_timeslice_coalesced(benchmark):
+    state = run_coalesced(200)
+    benchmark(state.snapshot_at, 199)
+
+
+def bench_timeslice_fragments(benchmark):
+    bag = run_uncoalesced(200)
+    benchmark(uncoalesced_timeslice, bag, 199)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,133 @@
+"""E10 — concurrent transactions preserve the sequential semantics
+(paper Section 3.2).
+
+Correctness: for client counts 2..16 and several seeds, the committed
+database equals the serial replay of the committed transactions in commit
+order.  Performance: commit throughput and abort rate vs contention.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.concurrency import (
+    ClientScript,
+    InterleavedScheduler,
+    serial_execution,
+)
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, Union
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def appender(identifier: str, key: int):
+    def body(txn):
+        txn.stage(DefineRelation(identifier, "rollback"))
+        txn.stage(
+            ModifyState(
+                identifier,
+                Union(
+                    Rollback(identifier),
+                    Const(SnapshotState(KV, [[key]])),
+                ),
+            )
+        )
+
+    return body
+
+
+def make_clients(n_clients: int, txns_each: int, hot_fraction: float):
+    """`hot_fraction` of each client's transactions touch one shared
+    relation (contention); the rest touch a private one."""
+    clients = []
+    for ci in range(n_clients):
+        bodies = []
+        for bi in range(txns_each):
+            hot = (bi / max(1, txns_each)) < hot_fraction
+            identifier = "hot" if hot else f"private_{ci}"
+            bodies.append(appender(identifier, ci * 1000 + bi))
+        clients.append(ClientScript(f"c{ci}", bodies))
+    return clients
+
+
+def run_scenario(n_clients: int, hot_fraction: float, seed: int):
+    scheduler = InterleavedScheduler(
+        make_clients(n_clients, 6, hot_fraction),
+        seed=seed,
+        overlap=0.7,
+        max_retries=200,
+    )
+    start = time.perf_counter()
+    final = scheduler.run()
+    elapsed = time.perf_counter() - start
+    replay = serial_execution(scheduler.committed_scripts)
+    assert final == replay, "sequential semantics violated"
+    return (
+        scheduler.manager.commit_count,
+        scheduler.manager.abort_count,
+        elapsed,
+    )
+
+
+def contention_table(client_counts=(2, 4, 8, 16)):
+    """Measured rows: (clients, hot fraction, commits, aborts, tps)."""
+    rows = []
+    for n_clients in client_counts:
+        for hot_fraction in (0.0, 0.5, 1.0):
+            commits, aborts, elapsed = run_scenario(
+                n_clients, hot_fraction, seed=n_clients
+            )
+            rows.append(
+                (
+                    n_clients,
+                    hot_fraction,
+                    commits,
+                    aborts,
+                    commits / elapsed,
+                )
+            )
+    return rows
+
+
+def report() -> str:
+    lines = ["E10 — concurrency preserves sequential semantics"]
+    lines.append(
+        f"  {'clients':>8s} {'hot':>5s} {'commits':>8s} "
+        f"{'aborts':>7s} {'commits/s':>10s}"
+    )
+    for n_clients, hot, commits, aborts, tps in contention_table():
+        lines.append(
+            f"  {n_clients:8d} {hot:5.1f} {commits:8d} {aborts:7d} "
+            f"{tps:9.0f}"
+        )
+    lines.append(
+        "  every run verified equal to serial replay in commit order"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_low_contention_8_clients(benchmark):
+    def scenario():
+        return run_scenario(8, 0.0, seed=1)
+
+    commits, aborts, _ = benchmark(scenario)
+    assert aborts == 0
+
+
+def bench_high_contention_8_clients(benchmark):
+    def scenario():
+        return run_scenario(8, 1.0, seed=1)
+
+    commits, _, _ = benchmark(scenario)
+    assert commits == 8 * 6 + 0 or commits == 48
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,142 @@
+"""E2 — expression evaluation is side-effect-free (claim C1) and its
+cost scales with tree depth.
+
+Correctness: evaluating randomized expression trees (with rollback
+leaves) never changes the database value.  Performance: evaluation time
+as a function of expression depth.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Expression,
+    Project,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.sentences import run
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.workloads import churn_stream
+
+KV = Schema([Attribute("key", INTEGER), Attribute("a1", INTEGER)])
+
+
+def build_database(history: int = 20, cardinality: int = 50):
+    """A rollback relation with `history` recorded states."""
+    schema = Schema(
+        [Attribute("key", INTEGER), Attribute("a1", INTEGER)]
+    )
+    rng = random.Random(7)
+    commands = [DefineRelation("r", "rollback")]
+    for _ in range(history):
+        rows = [
+            [rng.randrange(1000), rng.randrange(100)]
+            for _ in range(cardinality)
+        ]
+        commands.append(
+            ModifyState("r", Const(SnapshotState(schema, rows)))
+        )
+    return run(commands)
+
+
+def random_expression(depth: int, rng: random.Random) -> Expression:
+    """A random expression tree of the given depth over ρ(r, ·) leaves."""
+    if depth == 0:
+        txn = rng.choice([2, 5, 10, None])
+        from repro.core.txn import NOW
+
+        return Rollback("r", NOW if txn is None else txn)
+    choice = rng.random()
+    if choice < 0.3:
+        return Union(
+            random_expression(depth - 1, rng),
+            random_expression(depth - 1, rng),
+        )
+    if choice < 0.5:
+        return Difference(
+            random_expression(depth - 1, rng),
+            random_expression(depth - 1, rng),
+        )
+    if choice < 0.8:
+        return Select(
+            random_expression(depth - 1, rng),
+            Comparison(attr("key"), ">", lit(rng.randrange(1000))),
+        )
+    return Project(random_expression(depth - 1, rng), ["key", "a1"])
+
+
+def verify_purity(trials: int = 40, depth: int = 6, seed: int = 3) -> int:
+    """Evaluate random trees and check the database is unchanged."""
+    database = build_database()
+    reference = database
+    rng = random.Random(seed)
+    for _ in range(trials):
+        expression = random_expression(rng.randrange(1, depth), rng)
+        expression.evaluate(database)
+        assert database == reference
+    return trials
+
+
+def eval_time_by_depth(depths=(1, 2, 4, 6, 8, 10)):
+    """Measured rows: (depth, mean seconds per evaluation)."""
+    database = build_database()
+    rng = random.Random(11)
+    rows = []
+    for depth in depths:
+        expressions = [
+            random_expression(depth, rng) for _ in range(8)
+        ]
+        start = time.perf_counter()
+        for expression in expressions:
+            expression.evaluate(database)
+        elapsed = (time.perf_counter() - start) / len(expressions)
+        rows.append((depth, elapsed))
+    return rows
+
+
+def report() -> str:
+    lines = ["E2 — expression evaluation (claim C1)"]
+    trials = verify_purity()
+    lines.append(
+        f"  correctness: {trials} random expression trees evaluated; "
+        "database value unchanged every time"
+    )
+    lines.append(f"  {'depth':>6s} {'per evaluation':>15s}")
+    for depth, seconds in eval_time_by_depth():
+        lines.append(f"  {depth:6d} {seconds * 1e3:12.3f} ms")
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_eval_depth_4(benchmark):
+    database = build_database()
+    expression = random_expression(4, random.Random(0))
+    benchmark(expression.evaluate, database)
+
+
+def bench_eval_depth_8(benchmark):
+    database = build_database()
+    expression = random_expression(8, random.Random(0))
+    benchmark(expression.evaluate, database)
+
+
+def bench_rollback_leaf(benchmark):
+    database = build_database(history=100)
+    expression = Rollback("r", 50)
+    benchmark(expression.evaluate, database)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,114 @@
+"""E3 — the strictly-increasing transaction-number invariant (claim C4)
+holds under long, adversarial command streams, and sentence execution
+scales linearly in stream length.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core.commands import Command, DefineRelation, ModifyState, sequence
+from repro.core.database import EMPTY_DATABASE, Database
+from repro.core.expressions import Const, Rollback, Union
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def random_commands(length: int, seed: int = 0) -> list[Command]:
+    """Random define/modify streams over a handful of identifiers,
+    including deliberate no-ops (redefinitions, modifies of unbound
+    names)."""
+    rng = random.Random(seed)
+    identifiers = [f"r{i}" for i in range(5)]
+    commands: list[Command] = []
+    for _ in range(length):
+        identifier = rng.choice(identifiers)
+        roll = rng.random()
+        if roll < 0.2:
+            rtype = rng.choice(["rollback", "snapshot"])
+            commands.append(DefineRelation(identifier, rtype))
+        else:
+            state = Const(
+                SnapshotState(KV, [[rng.randrange(50)]])
+            )
+            if roll < 0.6:
+                commands.append(ModifyState(identifier, state))
+            else:
+                commands.append(
+                    ModifyState(
+                        identifier, Union(Rollback(identifier), state)
+                    )
+                )
+    return commands
+
+
+def check_invariants(database: Database) -> tuple[int, int]:
+    """Returns (#relations checked, #state records checked); raises on
+    any violation."""
+    relations = 0
+    records = 0
+    for identifier in database.state:
+        relation = database.require(identifier)
+        txns = relation.transaction_numbers
+        assert list(txns) == sorted(set(txns)), identifier
+        assert all(
+            t <= database.transaction_number for t in txns
+        ), identifier
+        if not relation.rtype.keeps_history:
+            assert relation.history_length <= 1
+        relations += 1
+        records += len(txns)
+    return relations, records
+
+
+def run_stream(length: int, seed: int = 0) -> Database:
+    return sequence(random_commands(length, seed)).execute(
+        EMPTY_DATABASE
+    )
+
+
+def report() -> str:
+    lines = ["E3 — transaction-number invariant (claim C4)"]
+    total_records = 0
+    for seed in range(5):
+        database = run_stream(2000, seed)
+        relations, records = check_invariants(database)
+        total_records += records
+    lines.append(
+        "  correctness: 5 × 2000-command random streams; "
+        f"{total_records} state records all strictly increasing"
+    )
+    lines.append(f"  {'commands':>9s} {'total time':>11s} {'per command':>12s}")
+    for length in (100, 1000, 5000):
+        start = time.perf_counter()
+        database = run_stream(length, seed=9)
+        elapsed = time.perf_counter() - start
+        check_invariants(database)
+        lines.append(
+            f"  {length:9d} {elapsed * 1e3:8.1f} ms "
+            f"{elapsed / length * 1e6:9.1f} µs"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_stream_500(benchmark):
+    program = sequence(random_commands(500, seed=4))
+    database = benchmark(program.execute, EMPTY_DATABASE)
+    check_invariants(database)
+
+
+def bench_stream_2000(benchmark):
+    program = sequence(random_commands(2000, seed=4))
+    database = benchmark(program.execute, EMPTY_DATABASE)
+    check_invariants(database)
+
+
+if __name__ == "__main__":
+    print(report())

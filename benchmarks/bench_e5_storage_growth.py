@@ -1,0 +1,110 @@
+"""E5 — storage growth: the paper's "quite inefficient" claim, quantified.
+
+Stored atoms per backend as a function of history length and churn rate.
+Expected shape: full-copy grows as Θ(history × cardinality) regardless of
+churn; delta/timestamp designs grow as Θ(history × churn × cardinality);
+at churn → 1 the delta advantage vanishes.
+"""
+
+from __future__ import annotations
+
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+)
+from repro.workloads import churn_stream, populate_backends
+
+
+def backend_set():
+    return [
+        FullCopyBackend(),
+        DeltaBackend(),
+        ReverseDeltaBackend(),
+        CheckpointDeltaBackend(16),
+        TupleTimestampBackend(),
+    ]
+
+
+def growth_table(
+    histories=(25, 100, 400),
+    churns=(0.02, 0.2, 1.0),
+    cardinality=100,
+):
+    """Measured rows: (history, churn, backend name, stored atoms)."""
+    rows = []
+    for history in histories:
+        for churn in churns:
+            states = churn_stream(
+                history, cardinality=cardinality, churn=churn, seed=13
+            )
+            backends = backend_set()
+            populate_backends(backends, states)
+            for backend in backends:
+                rows.append(
+                    (history, churn, backend.name, backend.stored_atoms())
+                )
+    return rows
+
+
+def report() -> str:
+    lines = [
+        "E5 — storage growth vs history length and churn "
+        "(cardinality 100)"
+    ]
+    rows = growth_table()
+    backends = ["full-copy", "forward-delta", "reverse-delta",
+                "checkpoint-delta", "tuple-timestamp"]
+    header = f"  {'history':>7s} {'churn':>6s} " + " ".join(
+        f"{name:>17s}" for name in backends
+    )
+    lines.append(header)
+    by_key: dict[tuple, dict[str, int]] = {}
+    for history, churn, name, atoms in rows:
+        by_key.setdefault((history, churn), {})[name] = atoms
+    for (history, churn), cells in sorted(by_key.items()):
+        lines.append(
+            f"  {history:7d} {churn:6.2f} "
+            + " ".join(f"{cells[name]:17d}" for name in backends)
+        )
+    lines.append(
+        "  shape: full-copy ∝ history; deltas ∝ history × churn; "
+        "advantage vanishes at churn 1.0"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_install_full_copy(benchmark):
+    states = churn_stream(50, cardinality=100, churn=0.1, seed=2)
+
+    def install():
+        populate_backends([FullCopyBackend()], states)
+
+    benchmark(install)
+
+
+def bench_install_forward_delta(benchmark):
+    states = churn_stream(50, cardinality=100, churn=0.1, seed=2)
+
+    def install():
+        populate_backends([DeltaBackend()], states)
+
+    benchmark(install)
+
+
+def bench_install_tuple_timestamp(benchmark):
+    states = churn_stream(50, cardinality=100, churn=0.1, seed=2)
+
+    def install():
+        populate_backends([TupleTimestampBackend()], states)
+
+    benchmark(install)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,130 @@
+"""E6 — rollback latency ρ(R, k) vs rollback depth, per backend.
+
+Expected shape: full-copy is flat (binary search + pointer); forward
+deltas degrade as the probe moves *later* (longer replay from the base);
+reverse deltas degrade as the probe moves *earlier*; checkpoints bound
+the replay at the checkpoint interval; tuple timestamping is flat but
+pays a full scan everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+)
+from repro.workloads import churn_stream, populate_backends
+
+HISTORY = 300
+CARDINALITY = 100
+CHURN = 0.1
+
+
+def backend_set():
+    return [
+        FullCopyBackend(),
+        DeltaBackend(),
+        ReverseDeltaBackend(),
+        CheckpointDeltaBackend(16),
+        TupleTimestampBackend(),
+    ]
+
+
+def prepared_backends():
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=21
+    )
+    backends = backend_set()
+    populate_backends(backends, states)
+    return backends
+
+
+def latency_probe(backend, txn, repeat=15) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        backend.state_at("r", txn)
+    return (time.perf_counter() - start) / repeat
+
+
+def latency_table(depth_fractions=(0.02, 0.25, 0.5, 0.75, 1.0)):
+    """Measured rows: (backend name, probe txn, seconds)."""
+    backends = prepared_backends()
+    rows = []
+    for backend in backends:
+        for fraction in depth_fractions:
+            # fraction 1.0 = newest state; fraction ~0 = oldest state
+            txn = max(2, int(fraction * HISTORY))
+            rows.append((backend.name, txn, latency_probe(backend, txn)))
+    return rows
+
+
+def report() -> str:
+    lines = [
+        f"E6 — rollback latency vs probe depth "
+        f"(history {HISTORY}, churn {CHURN})"
+    ]
+    rows = latency_table()
+    by_backend: dict[str, list[tuple[int, float]]] = {}
+    for name, txn, seconds in rows:
+        by_backend.setdefault(name, []).append((txn, seconds))
+    probes = sorted({txn for _, txn, _ in rows})
+    lines.append(
+        f"  {'backend':18s} "
+        + " ".join(f"txn {txn:>4d}" for txn in probes)
+    )
+    for name, samples in by_backend.items():
+        cells = {txn: seconds for txn, seconds in samples}
+        lines.append(
+            f"  {name:18s} "
+            + " ".join(
+                f"{cells[txn] * 1e6:7.0f}µ" for txn in probes
+            )
+        )
+    lines.append(
+        "  shape: forward-delta rises with txn; reverse-delta falls "
+        "with txn; full-copy and checkpoint stay flat(ish)"
+    )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def _bench_backend(benchmark, backend_factory, txn):
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=21
+    )
+    backend = backend_factory()
+    populate_backends([backend], states)
+    result = benchmark(backend.state_at, "r", txn)
+    assert result is not None
+
+
+def bench_full_copy_deep_rollback(benchmark):
+    _bench_backend(benchmark, FullCopyBackend, 5)
+
+
+def bench_forward_delta_deep_rollback(benchmark):
+    # deep in delta terms = far from the base = recent txn
+    _bench_backend(benchmark, DeltaBackend, HISTORY)
+
+
+def bench_reverse_delta_deep_rollback(benchmark):
+    _bench_backend(benchmark, ReverseDeltaBackend, 5)
+
+
+def bench_checkpoint_deep_rollback(benchmark):
+    _bench_backend(benchmark, lambda: CheckpointDeltaBackend(16), 5)
+
+
+def bench_tuple_timestamp_rollback(benchmark):
+    _bench_backend(benchmark, TupleTimestampBackend, HISTORY // 2)
+
+
+if __name__ == "__main__":
+    print(report())

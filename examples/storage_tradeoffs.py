@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Choosing a physical representation for a rollback relation.
+
+The paper stores a full state per transaction — simple semantics, heavy
+storage.  This example pushes an identical synthetic update history
+through all five backends, verifies they are observation-equivalent, and
+prints the space/latency trade-offs so a user can pick a representation
+for their workload.
+
+Run:  python examples/storage_tradeoffs.py
+"""
+
+import time
+
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+    backends_agree,
+)
+from repro.workloads import churn_stream, populate_backends
+
+HISTORY = 200          # transactions
+CARDINALITY = 150      # tuples per state
+CHURN = 0.05           # fraction of tuples changed per transaction
+
+
+def time_probe(backend, txn, repeat=30) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        backend.state_at("r", txn)
+    return (time.perf_counter() - start) / repeat * 1e6  # µs
+
+
+def main() -> None:
+    print(
+        f"workload: {HISTORY} transactions, ~{CARDINALITY} tuples/state, "
+        f"{CHURN:.0%} churn"
+    )
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=7
+    )
+    backends = [
+        FullCopyBackend(),
+        DeltaBackend(),
+        ReverseDeltaBackend(),
+        CheckpointDeltaBackend(16),
+        TupleTimestampBackend(),
+    ]
+    populate_backends(backends, states)
+
+    probes = [("r", txn) for txn in range(1, HISTORY + 2, 9)]
+    backends_agree(backends, probes)
+    print(f"all {len(backends)} backends agree on {len(probes)} probes\n")
+
+    total_logical_atoms = sum(len(s) for s in states)
+    print(
+        f"logical content: {total_logical_atoms} tuple-versions across "
+        "the history\n"
+    )
+    header = (
+        f"{'backend':18s} {'stored atoms':>12s} {'vs full':>8s} "
+        f"{'read current':>13s} {'read oldest':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    full_atoms = backends[0].stored_atoms()
+    for backend in backends:
+        atoms = backend.stored_atoms()
+        current_us = time_probe(backend, HISTORY + 1)
+        oldest_us = time_probe(backend, 2)
+        print(
+            f"{backend.name:18s} {atoms:12d} {atoms / full_atoms:7.1%} "
+            f"{current_us:10.0f} µs {oldest_us:9.0f} µs"
+        )
+
+    print(
+        "\nreading: full-copy is O(1) everywhere; forward deltas pay to"
+        "\nread recent states, reverse deltas pay to read old ones;"
+        "\ncheckpoints bound the replay; tuple timestamping scans the"
+        "\nrelation's episodes regardless of depth."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""``python -m repro`` — the interactive REPL."""
+
+import sys
+
+from repro.lang.repl import run_repl
+
+if __name__ == "__main__":
+    run_repl(sys.stdin, sys.stdout)

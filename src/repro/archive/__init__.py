@@ -1,0 +1,28 @@
+"""Archival of rollback history — the paper's "migrate to tape".
+
+Section 3.1 of the paper: "(We assume that the database administrator
+will have additional facilities to migrate rollback relations to tape.)"
+This package supplies those facilities:
+
+* :func:`archive_before` — split a rollback/temporal relation's state
+  sequence at a cutoff transaction: older (state, txn) pairs move into an
+  :class:`ArchiveStore` segment (the "tape"), the live database keeps the
+  rest.  The split never loses information.
+* :class:`ArchiveStore` — an append-only store of archived segments with
+  its own ``FINDSTATE`` and a JSON representation (via
+  :mod:`repro.persistence` state codecs) for genuine offline storage.
+* :class:`TieredReader` — answers ``ρ(I, N)`` across the live database
+  and the archive transparently, so queries keep the paper's semantics
+  after migration (verified by tests: tiered reads ≡ reads against the
+  un-archived database at every transaction).
+"""
+
+from repro.archive.store import ArchiveStore, ArchivedSegment
+from repro.archive.migrate import archive_before, TieredReader
+
+__all__ = [
+    "ArchiveStore",
+    "ArchivedSegment",
+    "archive_before",
+    "TieredReader",
+]

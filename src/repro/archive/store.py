@@ -1,0 +1,149 @@
+"""The archive store: offline segments of (state, txn) pairs."""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Any, Optional
+
+from repro.errors import StorageError
+from repro.core.txn import TransactionNumber
+from repro.persistence.json_codec import _state_from_dict, _state_to_dict
+
+__all__ = ["ArchivedSegment", "ArchiveStore"]
+
+
+class ArchivedSegment:
+    """One archived run of a relation's state sequence.
+
+    Pairs are strictly increasing in transaction number, matching the
+    invariant of the live sequence they were cut from.
+    """
+
+    __slots__ = ("identifier", "pairs")
+
+    def __init__(
+        self,
+        identifier: str,
+        pairs: list[tuple[Any, TransactionNumber]],
+    ) -> None:
+        previous = -1
+        for _, txn in pairs:
+            if txn <= previous:
+                raise StorageError(
+                    "archived pairs must be strictly increasing in "
+                    f"transaction number; saw {txn} after {previous}"
+                )
+            previous = txn
+        self.identifier = identifier
+        self.pairs = list(pairs)
+
+    @property
+    def first_txn(self) -> TransactionNumber:
+        return self.pairs[0][1]
+
+    @property
+    def last_txn(self) -> TransactionNumber:
+        return self.pairs[-1][1]
+
+    def find_state(self, txn: TransactionNumber):
+        """FINDSTATE within this segment; None when txn precedes it."""
+        txns = [t for _, t in self.pairs]
+        index = bisect.bisect_right(txns, txn)
+        if index == 0:
+            return None
+        return self.pairs[index - 1][0]
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+
+class ArchiveStore:
+    """Archived segments per relation, with JSON (de)serialization."""
+
+    def __init__(self) -> None:
+        self._segments: dict[str, list[ArchivedSegment]] = {}
+
+    def add_segment(self, segment: ArchivedSegment) -> None:
+        """Append a segment; it must come strictly after any previously
+        archived segment of the same relation."""
+        if not segment.pairs:
+            raise StorageError("cannot archive an empty segment")
+        existing = self._segments.setdefault(segment.identifier, [])
+        if existing and segment.first_txn <= existing[-1].last_txn:
+            raise StorageError(
+                f"segment for {segment.identifier!r} overlaps the "
+                "previously archived history"
+            )
+        existing.append(segment)
+
+    def segments_of(self, identifier: str) -> tuple[ArchivedSegment, ...]:
+        """All archived segments of a relation, oldest first."""
+        return tuple(self._segments.get(identifier, ()))
+
+    def find_state(self, identifier: str, txn: TransactionNumber):
+        """FINDSTATE across the relation's archived segments; None when
+        nothing archived qualifies."""
+        best = None
+        for segment in self._segments.get(identifier, ()):
+            if segment.first_txn > txn:
+                break
+            hit = segment.find_state(txn)
+            if hit is not None:
+                best = hit
+        return best
+
+    def last_archived_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        """The newest archived transaction of a relation, or None."""
+        segments = self._segments.get(identifier)
+        if not segments:
+            return None
+        return segments[-1].last_txn
+
+    def stored_states(self) -> int:
+        """Total archived (state, txn) pairs across all relations."""
+        return sum(
+            len(segment)
+            for segments in self._segments.values()
+            for segment in segments
+        )
+
+    # -- offline representation -------------------------------------------------
+
+    def dumps(self) -> str:
+        """Serialize the whole archive to JSON."""
+        payload = {
+            "format": "repro-archive",
+            "version": 1,
+            "segments": [
+                {
+                    "identifier": segment.identifier,
+                    "pairs": [
+                        {"txn": txn, "state": _state_to_dict(state)}
+                        for state, txn in segment.pairs
+                    ],
+                }
+                for segments in self._segments.values()
+                for segment in segments
+            ],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def loads(cls, text: str) -> "ArchiveStore":
+        """Deserialize an archive previously produced by :meth:`dumps`."""
+        payload = json.loads(text)
+        if payload.get("format") != "repro-archive":
+            raise StorageError("payload is not a repro archive dump")
+        store = cls()
+        for entry in payload["segments"]:
+            pairs = [
+                (_state_from_dict(item["state"]), item["txn"])
+                for item in entry["pairs"]
+            ]
+            store.add_segment(
+                ArchivedSegment(entry["identifier"], pairs)
+            )
+        return store

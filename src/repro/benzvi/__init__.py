@@ -1,0 +1,34 @@
+"""Ben-Zvi's Time Relational Model — the comparison baseline.
+
+The paper's Section 5: "There has been one other attempt to incorporate
+both valid time and transaction time in an algebra [Ben-Zvi 1982].  Valid
+time and transaction time were supported through the addition of implicit
+time attributes to each tuple ...  The algebra was extended with the
+*Time-View* algebraic operator which takes a relation and two times as
+arguments and produces the subset of tuples in the relation valid at the
+first time (the valid time) as of the second time (the transaction time)."
+
+This package re-implements that design from the paper's description:
+
+* :class:`TRMRelation` — an append-only store of tuple *versions*, each
+  carrying implicit attributes (effective/valid interval, registration
+  start transaction, registration end transaction);
+* :func:`time_view` — the Time-View operator;
+* :func:`time_view_expression` — the *same query* phrased in the paper's
+  language (``δ`` over ``ρ̂``), which experiment E9 uses to demonstrate the
+  paper's claim that Time-View is a restricted special case of the more
+  general rollback-plus-historical-operator approach.
+"""
+
+from repro.benzvi.relation import TRMRelation, TupleVersion
+from repro.benzvi.timeview import time_view, time_view_expression
+from repro.benzvi.bridge import TemporalOperation, apply_operations
+
+__all__ = [
+    "TRMRelation",
+    "TupleVersion",
+    "time_view",
+    "time_view_expression",
+    "TemporalOperation",
+    "apply_operations",
+]

@@ -1,0 +1,123 @@
+"""Building a TRM relation and a temporal relation from one history.
+
+To compare Ben-Zvi's model with the paper's, both need to store the *same*
+history.  A :class:`TemporalOperation` stream is the common input: each
+operation (insert / delete / modify-effective of one fact) is applied to a
+:class:`TRMRelation` natively and to a temporal relation through a
+``modify_state`` command whose expression rebuilds the new historical
+state.  :func:`apply_operations` performs both and returns the pair;
+experiment E9 then probes ``time_view`` against
+``δ(ρ̂(...))`` + timeslice across the whole (valid time × transaction
+time) grid.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.database import Database
+from repro.core.expressions import Const
+from repro.core.relation import RelationType
+from repro.core.sentences import run
+from repro.historical.intervals import Interval
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.benzvi.relation import TRMRelation
+from repro.snapshot.schema import Schema
+from repro.snapshot.tuples import SnapshotTuple
+
+__all__ = ["OperationKind", "TemporalOperation", "apply_operations"]
+
+
+class OperationKind(enum.Enum):
+    """The update operations shared by both models."""
+
+    INSERT = "insert"
+    DELETE = "delete"
+    MODIFY = "modify"
+
+
+class TemporalOperation:
+    """One update to one fact.
+
+    * INSERT — start believing ``values`` hold during ``effective``;
+    * DELETE — stop believing anything about ``values``;
+    * MODIFY — change the believed effective interval of ``values``.
+    """
+
+    __slots__ = ("kind", "values", "effective")
+
+    def __init__(
+        self,
+        kind: OperationKind,
+        values: Sequence,
+        effective: Optional[Interval] = None,
+    ) -> None:
+        if kind is not OperationKind.DELETE and effective is None:
+            raise StorageError(f"{kind.value} requires an effective interval")
+        self.kind = kind
+        self.values = tuple(values)
+        self.effective = effective
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalOperation({self.kind.value}, {self.values!r}, "
+            f"{self.effective!r})"
+        )
+
+
+def apply_operations(
+    schema: Schema,
+    operations: Sequence[TemporalOperation],
+    identifier: str = "r",
+) -> tuple[TRMRelation, Database]:
+    """Apply the operation stream to both models.
+
+    Returns ``(trm_relation, database)`` where the database contains a
+    temporal relation named ``identifier`` whose state sequence records
+    the same history.  Transaction numbers align: operation ``i`` commits
+    at transaction ``i + 2`` in both models (transaction 1 is
+    ``define_relation``).
+    """
+    trm = TRMRelation(schema)
+    commands = [DefineRelation(identifier, RelationType.TEMPORAL)]
+
+    # The temporal relation's historical state after each operation,
+    # maintained as {value tuple -> period set}.
+    belief: dict[SnapshotTuple, PeriodSet] = {}
+
+    txn = 1  # define_relation commits at txn 1
+    for operation in operations:
+        txn += 1
+        value = SnapshotTuple(schema, list(operation.values))
+        if operation.kind is OperationKind.INSERT:
+            assert operation.effective is not None
+            trm.insert(list(operation.values), operation.effective, txn)
+            existing = belief.get(value, PeriodSet.empty())
+            belief[value] = existing.union(
+                PeriodSet([operation.effective])
+            )
+        elif operation.kind is OperationKind.DELETE:
+            trm.logical_delete(list(operation.values), txn)
+            belief.pop(value, None)
+        else:
+            assert operation.effective is not None
+            trm.modify_effective(
+                list(operation.values), operation.effective, txn
+            )
+            belief[value] = PeriodSet([operation.effective])
+        new_state = HistoricalState(
+            schema,
+            [
+                HistoricalTuple(v, periods)
+                for v, periods in belief.items()
+                if not periods.is_empty()
+            ],
+        )
+        commands.append(ModifyState(identifier, Const(new_state)))
+
+    return trm, run(commands)

@@ -1,0 +1,140 @@
+"""Tuple-versioned relations with implicit time attributes.
+
+A :class:`TupleVersion` carries Ben-Zvi's implicit attributes in simplified
+form:
+
+* ``value`` — the explicit attribute values;
+* ``effective`` — the valid-time interval during which the fact holds in
+  modeled reality (Ben-Zvi's effective-time start/end);
+* ``registered`` — the transaction number at which this version was stored
+  (registration start);
+* ``superseded`` — the transaction number at which this version stopped
+  being part of the current belief (registration end), or None while
+  current.
+
+A :class:`TRMRelation` is append-only: updates never destroy versions, they
+only close registration intervals — which is what makes rollback possible
+in this model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import StorageError
+from repro.historical.intervals import Interval
+from repro.snapshot.schema import Schema
+from repro.snapshot.tuples import SnapshotTuple
+
+__all__ = ["TupleVersion", "TRMRelation"]
+
+
+class TupleVersion:
+    """One version of one tuple, with implicit time attributes."""
+
+    __slots__ = ("value", "effective", "registered", "superseded")
+
+    def __init__(
+        self,
+        value: SnapshotTuple,
+        effective: Interval,
+        registered: int,
+        superseded: Optional[int] = None,
+    ) -> None:
+        self.value = value
+        self.effective = effective
+        self.registered = registered
+        self.superseded = superseded
+
+    @property
+    def is_current(self) -> bool:
+        """True while this version belongs to the current belief."""
+        return self.superseded is None
+
+    def registered_at(self, txn: int) -> bool:
+        """True iff this version was part of the belief as of ``txn``."""
+        return self.registered <= txn and (
+            self.superseded is None or txn < self.superseded
+        )
+
+    def __repr__(self) -> str:
+        end = "∞" if self.superseded is None else str(self.superseded)
+        return (
+            f"TupleVersion({self.value!r}, eff={self.effective!r}, "
+            f"reg=[{self.registered}, {end}))"
+        )
+
+
+class TRMRelation:
+    """An append-only time-relational store.
+
+    Update operations take the commit transaction number explicitly; the
+    caller (tests, benchmarks, the bridge) supplies monotonically
+    increasing numbers, mirroring the command semantics.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self._schema = schema
+        self._versions: list[TupleVersion] = []
+
+    @property
+    def schema(self) -> Schema:
+        """The schema of every version's explicit value part."""
+        return self._schema
+
+    @property
+    def versions(self) -> tuple[TupleVersion, ...]:
+        """Every stored version, in registration order."""
+        return tuple(self._versions)
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __iter__(self) -> Iterator[TupleVersion]:
+        return iter(self._versions)
+
+    # -- update operations ----------------------------------------------------
+
+    def insert(
+        self, values: Sequence, effective: Interval, txn: int
+    ) -> TupleVersion:
+        """Register a new tuple version at transaction ``txn``."""
+        value = SnapshotTuple(self._schema, values)
+        version = TupleVersion(value, effective, txn)
+        self._versions.append(version)
+        return version
+
+    def logical_delete(self, values: Sequence, txn: int) -> int:
+        """Close the registration of every current version with the given
+        explicit values; returns the number of versions closed."""
+        value = SnapshotTuple(self._schema, values)
+        closed = 0
+        for version in self._versions:
+            if version.is_current and version.value == value:
+                version.superseded = txn
+                closed += 1
+        if closed == 0:
+            raise StorageError(
+                f"logical_delete: no current version with values "
+                f"{tuple(values)!r}"
+            )
+        return closed
+
+    def modify_effective(
+        self, values: Sequence, new_effective: Interval, txn: int
+    ) -> TupleVersion:
+        """Supersede the current version(s) of a tuple with a new version
+        carrying a different effective interval (Ben-Zvi's 'terminate'
+        style command generalized)."""
+        self.logical_delete(values, txn)
+        return self.insert(values, new_effective, txn)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_versions(self) -> int:
+        """Number of physical version records."""
+        return len(self._versions)
+
+    def current_versions(self) -> list[TupleVersion]:
+        """The versions in the current belief."""
+        return [v for v in self._versions if v.is_current]

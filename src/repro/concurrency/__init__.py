@@ -1,0 +1,39 @@
+"""Commit-timestamp transaction management.
+
+The paper fixes the semantics of transaction time (Section 3.2): "a
+transaction's time-stamp as represented by its transaction number is the
+commit time for the transaction", modifications are logically sequential,
+and "implementations may also permit concurrent transactions, again as
+long as the semantics of sequential update with a monotonically increasing
+transaction time is preserved".
+
+This package provides that implementation layer:
+
+* :class:`Transaction` — a client-visible unit of work: reads against a
+  begin-time snapshot, staged commands, commit/abort;
+* :class:`TransactionManager` — optimistic timestamp-ordering validation
+  (backward validation against transactions that committed during this
+  transaction's lifetime) and atomic commit with a monotonically
+  increasing commit transaction number;
+* :class:`InterleavedScheduler` — a deterministic simulator that interleaves
+  many clients' transactions and checks the fundamental property: the
+  committed database equals the serial execution of the committed
+  transactions in commit order (experiment E10).
+"""
+
+from repro.concurrency.transactions import Transaction, TransactionStatus
+from repro.concurrency.manager import TransactionManager
+from repro.concurrency.serializer import (
+    ClientScript,
+    InterleavedScheduler,
+    serial_execution,
+)
+
+__all__ = [
+    "Transaction",
+    "TransactionStatus",
+    "TransactionManager",
+    "ClientScript",
+    "InterleavedScheduler",
+    "serial_execution",
+]

@@ -1,0 +1,140 @@
+"""The transaction manager: optimistic timestamp-ordering validation.
+
+Commit protocol (backward validation, in the style of the time-stamp
+concurrency-control work the paper cites):
+
+1. A transaction ``T`` reads against its begin-time snapshot.
+2. At commit, ``T`` is validated against every transaction that committed
+   after ``T`` began: if any of them wrote a relation ``T`` read, ``T``'s
+   reads may be stale and ``T`` aborts (:class:`ConcurrencyError`).
+3. A valid ``T``'s commands are applied atomically against the *current*
+   database, which assigns them the next commit transaction number(s) —
+   monotonically increasing, exactly the sequential-update semantics the
+   paper requires implementations to preserve.
+
+Note a subtlety the design exploits: although ``T`` *reads* its snapshot,
+its staged commands are re-executed against the current database at commit,
+so expressions like ``ρ(R, now) ∪ constant`` incorporate concurrent,
+non-conflicting writes to *other* relations correctly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ConcurrencyError
+from repro.core.commands import sequence
+from repro.core.database import EMPTY_DATABASE, Database
+from repro.concurrency.transactions import Transaction, TransactionStatus
+
+__all__ = ["TransactionManager"]
+
+
+class TransactionManager:
+    """Serializes concurrent transactions onto commit timestamps."""
+
+    def __init__(self, database: Optional[Database] = None) -> None:
+        self._database = database if database is not None else EMPTY_DATABASE
+        self._next_txn_id = 1
+        #: (commit database txn before, write set) of each committed
+        #: transaction, used for backward validation.
+        self._commit_log: list[tuple[int, frozenset[str]]] = []
+        self._aborts = 0
+        self._commits = 0
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def database(self) -> Database:
+        """The current committed database."""
+        return self._database
+
+    @property
+    def commit_count(self) -> int:
+        """Number of committed transactions."""
+        return self._commits
+
+    @property
+    def abort_count(self) -> int:
+        """Number of aborted transactions (validation failures)."""
+        return self._aborts
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start a transaction reading a snapshot of the current
+        database."""
+        transaction = Transaction(
+            txn_id=self._next_txn_id,
+            begin_txn=self._database.transaction_number,
+            snapshot=self._database,
+        )
+        self._next_txn_id += 1
+        return transaction
+
+    def commit(self, transaction: Transaction) -> Database:
+        """Validate and atomically apply the transaction.
+
+        Raises :class:`ConcurrencyError` (and marks the transaction
+        aborted) when validation fails.  Returns the new database.
+        """
+        if transaction.status is not TransactionStatus.ACTIVE:
+            raise ConcurrencyError(
+                f"transaction {transaction.txn_id} is "
+                f"{transaction.status.value}"
+            )
+        self._validate(transaction)
+        if transaction.commands:
+            command = sequence(transaction.commands)
+            new_database = command.execute(self._database)
+        else:
+            new_database = self._database
+        self._commit_log.append(
+            (self._database.transaction_number, transaction.write_set)
+        )
+        self._database = new_database
+        transaction.status = TransactionStatus.COMMITTED
+        transaction.commit_txn = new_database.transaction_number
+        self._commits += 1
+        return new_database
+
+    def abort(self, transaction: Transaction) -> None:
+        """Abort without touching the database."""
+        if transaction.status is TransactionStatus.ACTIVE:
+            transaction.status = TransactionStatus.ABORTED
+            self._aborts += 1
+
+    def run(
+        self, body: Callable[[Transaction], None], retries: int = 3
+    ) -> Database:
+        """Convenience: run ``body`` inside a transaction, retrying up to
+        ``retries`` times on validation failure."""
+        last_error: Optional[ConcurrencyError] = None
+        for _ in range(retries + 1):
+            transaction = self.begin()
+            body(transaction)
+            try:
+                return self.commit(transaction)
+            except ConcurrencyError as error:
+                last_error = error
+        raise ConcurrencyError(
+            f"transaction failed after {retries} retries: {last_error}"
+        )
+
+    # -- validation ----------------------------------------------------------------
+
+    def _validate(self, transaction: Transaction) -> None:
+        reads = transaction.read_set
+        if not reads:
+            return
+        for committed_at, writes in self._commit_log:
+            if committed_at < transaction.begin_txn:
+                continue  # committed before T began: T saw it
+            conflict = reads & writes
+            if conflict:
+                self.abort(transaction)
+                raise ConcurrencyError(
+                    f"transaction {transaction.txn_id} aborted: read "
+                    f"{sorted(conflict)} which a concurrent transaction "
+                    "wrote after this transaction began"
+                )

@@ -1,0 +1,92 @@
+"""Mapping transaction numbers to wall-clock time.
+
+The paper (Section 3.2) fixes transaction *numbers* as the time-stamps of
+the semantics, noting that "implementations may use some other time, such
+as the begin transaction time ... However, such implementations should
+preserve the semantics of commit transaction time as specified here."
+Users, though, ask "what did the database say last Tuesday?" — a
+wall-clock question.
+
+:class:`TransactionClock` is the bridge: it records the (strictly
+increasing) wall-clock commit instant of each transaction number, so an
+``AS OF <instant>`` query resolves to the largest transaction committed
+at or before that instant, and then the ordinary rollback operator takes
+over.  Instants are arbitrary comparable numbers (seconds, millis, a test
+counter) — the clock imposes no unit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.errors import RollbackError
+from repro.core.database import Database
+from repro.core.expressions import Rollback
+from repro.core.txn import TransactionNumber
+
+__all__ = ["TransactionClock"]
+
+
+class TransactionClock:
+    """An append-only log of (transaction number, commit instant) pairs.
+
+    Both components must be strictly increasing — transaction numbers by
+    the paper's semantics, instants because commit time advances.
+    """
+
+    def __init__(self) -> None:
+        self._txns: list[TransactionNumber] = []
+        self._instants: list = []
+
+    def record(self, txn: TransactionNumber, instant) -> None:
+        """Record that transaction ``txn`` committed at ``instant``."""
+        if self._txns and txn <= self._txns[-1]:
+            raise RollbackError(
+                f"transaction {txn} is not after the last recorded "
+                f"transaction {self._txns[-1]}"
+            )
+        if self._instants and not instant > self._instants[-1]:
+            raise RollbackError(
+                f"instant {instant!r} is not after the last recorded "
+                f"instant {self._instants[-1]!r}"
+            )
+        self._txns.append(txn)
+        self._instants.append(instant)
+
+    def __len__(self) -> int:
+        return len(self._txns)
+
+    # -- resolution ----------------------------------------------------------
+
+    def txn_as_of(self, instant) -> Optional[TransactionNumber]:
+        """The largest transaction committed at or before ``instant``,
+        or None when nothing had committed yet."""
+        index = bisect.bisect_right(self._instants, instant)
+        if index == 0:
+            return None
+        return self._txns[index - 1]
+
+    def instant_of(self, txn: TransactionNumber):
+        """The recorded commit instant of ``txn`` (exact match)."""
+        index = bisect.bisect_left(self._txns, txn)
+        if index == len(self._txns) or self._txns[index] != txn:
+            raise RollbackError(
+                f"transaction {txn} has no recorded commit instant"
+            )
+        return self._instants[index]
+
+    # -- the AS OF query -----------------------------------------------------------
+
+    def rollback_as_of(
+        self, database: Database, identifier: str, instant
+    ):
+        """``ρ(identifier, N)`` where ``N`` is the transaction current at
+        the wall-clock ``instant``.  Raises when the instant predates
+        every recorded commit."""
+        txn = self.txn_as_of(instant)
+        if txn is None:
+            raise RollbackError(
+                f"no transaction had committed at instant {instant!r}"
+            )
+        return Rollback(identifier, txn).evaluate(database)

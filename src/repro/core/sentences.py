@@ -1,0 +1,69 @@
+"""Sentences and the semantic function **P**.
+
+Section 3.6 of the paper:
+
+    ``P : SENTENCE → [DATABASE]``
+    ``P[[C]] ≜ C[[C]](EMPTY, 0)``
+
+A sentence is a non-empty sequence of commands evaluated against the empty
+database.  "This requirement is both necessary and sufficient ... to ensure
+that transaction-number components of the state sequence of each rollback
+relation in the database will be strictly increasing."  The content of a
+database is the cumulative result of all the transactions performed on it
+since creation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+from repro.errors import CommandError
+from repro.core.commands import Command, sequence
+from repro.core.database import EMPTY_DATABASE, Database
+
+__all__ = ["Sentence", "run"]
+
+
+class Sentence:
+    """A non-empty sequence of commands, the language's highest-level
+    construct."""
+
+    __slots__ = ("_commands",)
+
+    def __init__(self, commands: Union[Command, Iterable[Command]]) -> None:
+        if isinstance(commands, Command):
+            items: tuple[Command, ...] = (commands,)
+        else:
+            items = tuple(commands)
+        if not items:
+            raise CommandError("a sentence must contain at least one command")
+        self._commands = items
+
+    @property
+    def commands(self) -> tuple[Command, ...]:
+        """The constituent commands in execution order."""
+        return self._commands
+
+    def evaluate(self) -> Database:
+        """``P[[self]]`` — execute against ``(EMPTY, 0)``."""
+        return sequence(self._commands).execute(EMPTY_DATABASE)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sentence):
+            return NotImplemented
+        return self._commands == other._commands
+
+    def __hash__(self) -> int:
+        return hash(("Sentence", self._commands))
+
+    def __repr__(self) -> str:
+        return f"Sentence({len(self._commands)} commands)"
+
+
+def run(commands: Union[Command, Iterable[Command]]) -> Database:
+    """The semantic function **P** as a standalone entry point: build a
+    sentence from ``commands`` and evaluate it on the empty database."""
+    return Sentence(commands).evaluate()

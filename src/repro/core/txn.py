@@ -1,0 +1,84 @@
+"""Transaction numbers and the ``∞`` numeral.
+
+``TRANSACTION NUMBER ≜ {0, 1, ...}`` (Section 3.2 of the paper): a
+non-negative integer identifying the transaction that modified the database,
+interpreted as the transaction's commit-time time-stamp.  The syntactic
+domain ``NUMERAL`` additionally contains "the special symbol ∞", which the
+rollback operator uses to request the most recent state.  We realize ``∞``
+as the singleton :data:`NOW`, which compares greater than every transaction
+number.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.errors import RollbackError
+
+__all__ = ["TransactionNumber", "NOW", "Numeral", "as_transaction_number", "is_now"]
+
+TransactionNumber = int
+
+
+class _Now:
+    """Singleton denotation of the paper's ``∞`` numeral."""
+
+    _instance: "_Now | None" = None
+
+    def __new__(cls) -> "_Now":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+    def __gt__(self, other: Any) -> bool:
+        return other is not self
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return hash("repro.core.NOW")
+
+    def __repr__(self) -> str:
+        return "∞"
+
+    def __reduce__(self):
+        return (_Now, ())
+
+
+#: The denotation of the paper's ``∞``: "the time of the most recent
+#: transaction on the database".
+NOW = _Now()
+
+Numeral = Union[TransactionNumber, _Now]
+
+
+def is_now(numeral: Any) -> bool:
+    """True iff the numeral is the ``∞`` symbol."""
+    return numeral is NOW
+
+
+def as_transaction_number(value: Any) -> TransactionNumber:
+    """Validate a concrete (non-``∞``) transaction number.
+
+    This is the semantic function **N** of the paper, mapping the syntactic
+    domain NUMERAL (minus ``∞``) into TRANSACTION NUMBER.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RollbackError(
+            f"transaction number must be an integer, got {value!r}"
+        )
+    if value < 0:
+        raise RollbackError(
+            f"transaction number must be non-negative, got {value}"
+        )
+    return value

@@ -1,0 +1,114 @@
+"""Exception hierarchy for the repro library.
+
+The paper (Section 3.4) restricts the semantic function ``E`` to *valid*
+expressions and delegates the treatment of invalid expressions to a companion
+technical report.  This library makes the invalid cases explicit: every
+semantic violation raises a typed exception rooted at :class:`ReproError`, so
+callers can distinguish schema problems from rollback problems from language
+(syntax) problems.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "DomainError",
+    "PredicateError",
+    "UnknownRelationError",
+    "RelationTypeError",
+    "RollbackError",
+    "CommandError",
+    "ExpressionError",
+    "IntervalError",
+    "ParseError",
+    "LexError",
+    "TranslationError",
+    "StorageError",
+    "ConcurrencyError",
+    "EvolutionError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema violation: duplicate attributes, incompatible schemas for a
+    set operation, projection onto attributes a relation does not have, etc."""
+
+
+class DomainError(ReproError):
+    """A tuple value does not belong to the declared attribute domain."""
+
+
+class PredicateError(ReproError):
+    """A selection predicate (the ``F`` or ``G`` syntactic domain) references
+    an unknown attribute or compares incomparable values."""
+
+
+class UnknownRelationError(ReproError):
+    """An identifier is unbound in the database state (maps to the bottom
+    element in the paper's ``DATABASE STATE`` domain)."""
+
+
+class RelationTypeError(ReproError):
+    """An operation was applied to a relation of the wrong type, e.g. rolling
+    back a snapshot relation to a past transaction."""
+
+
+class RollbackError(ReproError):
+    """A rollback operation could not produce a state, e.g. the requested
+    transaction number predates the relation's first recorded state."""
+
+
+class CommandError(ReproError):
+    """A command is semantically invalid on the current database."""
+
+
+class ExpressionError(ReproError):
+    """An algebraic expression is ill-formed independent of any database."""
+
+
+class IntervalError(ReproError):
+    """A valid-time interval or period set is ill-formed (end before start,
+    overlapping components in a canonical period set, ...)."""
+
+
+class LexError(ReproError):
+    """The lexer encountered an invalid character sequence."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class ParseError(ReproError):
+    """The parser could not derive a sentence/command/expression."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class TranslationError(ReproError):
+    """A Quel-style update statement could not be translated to the algebra."""
+
+
+class StorageError(ReproError):
+    """A physical storage backend detected an inconsistency."""
+
+
+class ConcurrencyError(ReproError):
+    """The transaction manager rejected or aborted a transaction."""
+
+
+class EvolutionError(ReproError):
+    """A schema-evolution operation is invalid (e.g. redefining a live
+    relation with an incompatible scheme)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured with invalid parameters."""

@@ -1,0 +1,28 @@
+"""Scheme evolution — the extension the paper defers to TR87-003.
+
+Section 5 of the paper: "the scheme is associated solely with transaction
+time, since it defines how reality is modeled by the database ...  changes
+to the scheme are properly the province of transaction time.  Elsewhere we
+provide extensions to the language presented here to accommodate scheme
+evolution ...  We include a delete_relation command as part of those
+extensions."
+
+This package supplies those extensions over the core language:
+
+* a per-relation *scheme history* — a sequence of (scheme, alive flag)
+  versions indexed by transaction time, so ``scheme_at(I, txn)`` is a
+  rollback operation on the data dictionary itself;
+* ``delete_relation`` — snapshot/historical relations vanish; rollback/
+  temporal relations stop accepting updates and stop answering ``ρ(I,
+  now)``, but their *past* states remain rollback-accessible (transaction
+  time is never destroyed);
+* attribute-level scheme changes (``add_attribute``, ``drop_attribute``,
+  ``rename_attribute``) that convert the current state to the new scheme
+  in the same transaction, while past states keep the scheme they were
+  recorded under.
+"""
+
+from repro.evolution.schema_versions import SchemeVersion, SchemeHistory
+from repro.evolution.database import EvolvingDatabase
+
+__all__ = ["SchemeVersion", "SchemeHistory", "EvolvingDatabase"]

@@ -1,0 +1,295 @@
+"""An evolving database: core semantics plus a scheme catalog.
+
+:class:`EvolvingDatabase` layers scheme histories over the core
+denotational semantics.  The underlying :class:`~repro.core.database
+.Database` value evolves exactly as Sections 3 and 4 prescribe; the
+catalog adds the TR87-003 operations — ``delete_relation`` and attribute-
+level scheme changes — and enforces their transaction-time rules:
+
+* updating or reading the *current* state of a deleted relation is an
+  error, but rolling a deleted rollback/temporal relation back to a
+  transaction at which it was alive still works (the past is never
+  destroyed);
+* scheme changes convert the current state to the new scheme in the same
+  transaction; past states keep the scheme they were recorded under, and
+  ``scheme_at`` recovers it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Union as TypingUnion
+
+from repro.errors import EvolutionError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.database import EMPTY_DATABASE, Database
+from repro.core.expressions import Const, Expression, Rollback, is_empty_set
+from repro.core.relation import RelationType
+from repro.core.txn import NOW, Numeral, is_now
+from repro.evolution.schema_versions import SchemeHistory, SchemeVersion
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.attributes import Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+__all__ = ["EvolvingDatabase"]
+
+State = TypingUnion[SnapshotState, HistoricalState]
+
+
+class EvolvingDatabase:
+    """The core database plus the scheme-evolution extension."""
+
+    def __init__(self) -> None:
+        self._database: Database = EMPTY_DATABASE
+        self._catalog: dict[str, SchemeHistory] = {}
+
+    @property
+    def database(self) -> Database:
+        """The underlying core database value."""
+        return self._database
+
+    @property
+    def transaction_number(self) -> int:
+        """The current transaction number."""
+        return self._database.transaction_number
+
+    # -- the core commands, scheme-aware -----------------------------------------
+
+    def define_relation(
+        self,
+        identifier: str,
+        rtype: TypingUnion[RelationType, str],
+        schema: Schema,
+    ) -> None:
+        """``define_relation`` with a declared scheme.
+
+        Unlike the core command (a silent no-op on bound identifiers),
+        redefinition is an error here: the data dictionary must stay
+        unambiguous.
+        """
+        if isinstance(rtype, str):
+            rtype = RelationType.from_name(rtype)
+        if identifier in self._catalog:
+            raise EvolutionError(
+                f"relation {identifier!r} is already defined"
+            )
+        self._database = DefineRelation(identifier, rtype).execute(
+            self._database
+        )
+        self._catalog[identifier] = SchemeHistory(
+            SchemeVersion(
+                schema, rtype, True, self._database.transaction_number
+            )
+        )
+
+    def modify_state(
+        self, identifier: str, expression: Expression
+    ) -> None:
+        """``modify_state`` with scheme validation: the relation must be
+        alive and the new state must match its current scheme."""
+        history = self._require(identifier)
+        if not history.current.alive:
+            raise EvolutionError(
+                f"relation {identifier!r} was deleted at transaction "
+                f"{history.current.txn}; it cannot be modified"
+            )
+        new_state = expression.evaluate(self._database)
+        if not is_empty_set(new_state) and (
+            new_state.schema != history.current.schema
+        ):
+            raise EvolutionError(
+                f"new state schema {new_state.schema.names} does not "
+                f"match the current scheme "
+                f"{history.current.schema.names} of {identifier!r}"
+            )
+        self._database = ModifyState(identifier, expression).execute(
+            self._database
+        )
+
+    def delete_relation(self, identifier: str) -> None:
+        """``delete_relation`` (TR87-003).
+
+        Snapshot and historical relations are unbound outright — they
+        carry no transaction-time history to preserve.  Rollback and
+        temporal relations stay bound (their state sequences remain
+        rollback-accessible) but are marked dead in the catalog; the
+        deletion itself consumes a transaction number.
+        """
+        history = self._require(identifier)
+        if not history.current.alive:
+            raise EvolutionError(
+                f"relation {identifier!r} is already deleted"
+            )
+        next_txn = self._database.transaction_number + 1
+        if history.rtype.keeps_history:
+            self._database = Database(self._database.state, next_txn)
+        else:
+            self._database = Database(
+                self._database.state.unbind(identifier), next_txn
+            )
+        history.record(
+            SchemeVersion(
+                history.current.schema, history.rtype, False, next_txn
+            )
+        )
+
+    # -- reads -------------------------------------------------------------------
+
+    def rollback(self, identifier: str, numeral: Numeral = NOW):
+        """``ρ(I, N)`` with aliveness rules: the probe transaction must be
+        one at which the relation was alive (``now`` means the current
+        transaction)."""
+        history = self._require(identifier)
+        probe = (
+            self._database.transaction_number
+            if is_now(numeral)
+            else int(numeral)  # type: ignore[arg-type]
+        )
+        if not history.alive_at(probe):
+            raise EvolutionError(
+                f"relation {identifier!r} did not exist (or was deleted) "
+                f"at transaction {probe}"
+            )
+        return Rollback(identifier, numeral).evaluate(self._database)
+
+    def scheme_at(self, identifier: str, txn: int) -> Schema:
+        """The scheme under which the relation's state at ``txn`` was
+        recorded — a rollback operation on the data dictionary."""
+        version = self._require(identifier).version_at(txn)
+        if version is None:
+            raise EvolutionError(
+                f"relation {identifier!r} did not exist at transaction "
+                f"{txn}"
+            )
+        return version.schema
+
+    def current_scheme(self, identifier: str) -> Schema:
+        """The relation's current scheme."""
+        return self._require(identifier).current.schema
+
+    def is_alive(self, identifier: str) -> bool:
+        """True iff the relation exists and has not been deleted."""
+        history = self._catalog.get(identifier)
+        return history is not None and history.current.alive
+
+    # -- scheme changes ------------------------------------------------------------
+
+    def add_attribute(
+        self, identifier: str, attribute: Attribute, default: Any
+    ) -> None:
+        """Extend the scheme with a new attribute; existing tuples in the
+        current state take the ``default`` value."""
+        history = self._require_alive(identifier)
+        old_schema = history.current.schema
+        if attribute.name in old_schema:
+            raise EvolutionError(
+                f"relation {identifier!r} already has an attribute "
+                f"{attribute.name!r}"
+            )
+        new_schema = Schema(
+            list(old_schema.attributes) + [attribute]
+        )
+
+        def convert_row(values: tuple) -> list:
+            return list(values) + [default]
+
+        self._install_converted(identifier, history, new_schema, convert_row)
+
+    def drop_attribute(self, identifier: str, name: str) -> None:
+        """Remove an attribute from the scheme; the current state is
+        projected accordingly (dropping a key may merge tuples, per set
+        semantics)."""
+        history = self._require_alive(identifier)
+        old_schema = history.current.schema
+        if name not in old_schema:
+            raise EvolutionError(
+                f"relation {identifier!r} has no attribute {name!r}"
+            )
+        if old_schema.degree == 1:
+            raise EvolutionError(
+                "cannot drop the only attribute of a relation"
+            )
+        keep = [n for n in old_schema.names if n != name]
+        new_schema = old_schema.project(keep)
+        positions = [old_schema.position(n) for n in keep]
+
+        def convert_row(values: tuple) -> list:
+            return [values[i] for i in positions]
+
+        self._install_converted(identifier, history, new_schema, convert_row)
+
+    def rename_attribute(
+        self, identifier: str, old_name: str, new_name: str
+    ) -> None:
+        """Rename an attribute; values are untouched."""
+        history = self._require_alive(identifier)
+        new_schema = history.current.schema.rename({old_name: new_name})
+
+        def convert_row(values: tuple) -> list:
+            return list(values)
+
+        self._install_converted(identifier, history, new_schema, convert_row)
+
+    # -- internal -------------------------------------------------------------------
+
+    def _install_converted(
+        self,
+        identifier: str,
+        history: SchemeHistory,
+        new_schema: Schema,
+        convert_row,
+    ) -> None:
+        """Convert the current state to the new scheme and install both
+        the state and the scheme version in one transaction."""
+        current = Rollback(identifier, NOW).evaluate(self._database)
+        if is_empty_set(current):
+            if history.rtype.stores_valid_time:
+                new_state: State = HistoricalState.empty(new_schema)
+            else:
+                new_state = SnapshotState.empty(new_schema)
+        elif isinstance(current, HistoricalState):
+            new_state = HistoricalState(
+                new_schema,
+                [
+                    HistoricalTuple(
+                        convert_row(t.value.values),
+                        t.valid_time,
+                        schema=new_schema,
+                    )
+                    for t in current.tuples
+                ],
+            )
+        else:
+            new_state = SnapshotState(
+                new_schema,
+                [convert_row(t.values) for t in current.tuples],
+            )
+        self._database = ModifyState(
+            identifier, Const(new_state)
+        ).execute(self._database)
+        history.record(
+            SchemeVersion(
+                new_schema,
+                history.rtype,
+                True,
+                self._database.transaction_number,
+            )
+        )
+
+    def _require(self, identifier: str) -> SchemeHistory:
+        history = self._catalog.get(identifier)
+        if history is None:
+            raise EvolutionError(
+                f"relation {identifier!r} is not defined"
+            )
+        return history
+
+    def _require_alive(self, identifier: str) -> SchemeHistory:
+        history = self._require(identifier)
+        if not history.current.alive:
+            raise EvolutionError(
+                f"relation {identifier!r} was deleted and cannot be "
+                "changed"
+            )
+        return history

@@ -1,0 +1,93 @@
+"""Scheme histories: the data dictionary as a rollback relation.
+
+The scheme of a relation is itself transaction-time-varying information.  A
+:class:`SchemeHistory` records a strictly increasing sequence of
+:class:`SchemeVersion` entries; ``version_at(txn)`` interpolates exactly
+like ``FINDSTATE`` does over relation states.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.errors import EvolutionError
+from repro.core.relation import RelationType
+from repro.snapshot.schema import Schema
+
+__all__ = ["SchemeVersion", "SchemeHistory"]
+
+
+class SchemeVersion:
+    """One version of a relation's scheme."""
+
+    __slots__ = ("schema", "rtype", "alive", "txn")
+
+    def __init__(
+        self,
+        schema: Schema,
+        rtype: RelationType,
+        alive: bool,
+        txn: int,
+    ) -> None:
+        self.schema = schema
+        self.rtype = rtype
+        self.alive = alive
+        self.txn = txn
+
+    def __repr__(self) -> str:
+        status = "alive" if self.alive else "deleted"
+        return (
+            f"SchemeVersion({self.schema.names}, {self.rtype.value}, "
+            f"{status}, txn={self.txn})"
+        )
+
+
+class SchemeHistory:
+    """The transaction-time-indexed sequence of a relation's schemes."""
+
+    def __init__(self, first: SchemeVersion) -> None:
+        self._versions: list[SchemeVersion] = [first]
+
+    @property
+    def versions(self) -> tuple[SchemeVersion, ...]:
+        """All scheme versions, in transaction order."""
+        return tuple(self._versions)
+
+    @property
+    def current(self) -> SchemeVersion:
+        """The most recent scheme version."""
+        return self._versions[-1]
+
+    @property
+    def rtype(self) -> RelationType:
+        """The relation type (invariant across scheme versions)."""
+        return self._versions[0].rtype
+
+    def record(self, version: SchemeVersion) -> None:
+        """Append a new scheme version; transaction numbers must be
+        strictly increasing."""
+        if version.txn <= self._versions[-1].txn:
+            raise EvolutionError(
+                f"scheme version transaction {version.txn} is not after "
+                f"{self._versions[-1].txn}"
+            )
+        if version.rtype is not self.rtype:
+            raise EvolutionError(
+                "a relation's type cannot change across scheme versions"
+            )
+        self._versions.append(version)
+
+    def version_at(self, txn: int) -> Optional[SchemeVersion]:
+        """The scheme version current at ``txn`` (largest version
+        transaction ≤ ``txn``), or None before the relation existed."""
+        txns = [v.txn for v in self._versions]
+        index = bisect.bisect_right(txns, txn)
+        if index == 0:
+            return None
+        return self._versions[index - 1]
+
+    def alive_at(self, txn: int) -> bool:
+        """True iff the relation existed and was not deleted at ``txn``."""
+        version = self.version_at(txn)
+        return version is not None and version.alive

@@ -1,0 +1,101 @@
+"""An historical algebra supporting valid time.
+
+The paper (Section 4) extends its command language over *any* historical
+algebra; it illustrates with the algebra of McKenzie & Snodgrass TR87-008.
+This package implements such an algebra:
+
+* valid time is a discrete line of *chronons* (non-negative integers);
+* an historical tuple pairs an ordinary value tuple with a *period set* — a
+  canonical union of disjoint half-open intervals of chronons during which
+  the tuple's fact held in the modeled reality;
+* an :class:`HistoricalState` is a set of historical tuples over one schema,
+  kept *coalesced*: no two tuples share the same value part;
+* operators ``∪̂ −̂ ×̂ π̂ σ̂`` mirror their snapshot counterparts but combine
+  valid times (union of periods on ``∪̂``, difference of periods on ``−̂``,
+  intersection of periods on ``×̂``), and the new operator ``δ_{G,V}``
+  performs selection (``G``) and derivation (``V``) on the valid-time
+  component.
+
+The only property :mod:`repro.core` relies on is that every operator maps
+historical states to historical states — exactly the paper's requirement.
+"""
+
+from repro.historical.chronons import (
+    Chronon,
+    FOREVER,
+    BEGINNING,
+    as_chronon,
+)
+from repro.historical.intervals import Interval
+from repro.historical.periods import PeriodSet
+from repro.historical.tuples import HistoricalTuple
+from repro.historical.state import HistoricalState
+from repro.historical.temporal_exprs import (
+    TemporalExpression,
+    ValidTime,
+    TemporalConstant,
+    First,
+    Last,
+    Intersect,
+    Union as TemporalUnion,
+    Extend,
+    Shift,
+)
+from repro.historical.predicates import (
+    TemporalPredicate,
+    Precedes,
+    Overlaps,
+    Contains,
+    Meets,
+    Equals as TemporalEquals,
+    NonEmpty,
+    ValidAt,
+    TemporalAnd,
+    TemporalOr,
+    TemporalNot,
+)
+from repro.historical.operators import (
+    historical_union,
+    historical_difference,
+    historical_product,
+    historical_project,
+    historical_select,
+    historical_derive,
+)
+
+__all__ = [
+    "Chronon",
+    "FOREVER",
+    "BEGINNING",
+    "as_chronon",
+    "Interval",
+    "PeriodSet",
+    "HistoricalTuple",
+    "HistoricalState",
+    "TemporalExpression",
+    "ValidTime",
+    "TemporalConstant",
+    "First",
+    "Last",
+    "Intersect",
+    "TemporalUnion",
+    "Extend",
+    "Shift",
+    "TemporalPredicate",
+    "Precedes",
+    "Overlaps",
+    "Contains",
+    "Meets",
+    "TemporalEquals",
+    "NonEmpty",
+    "ValidAt",
+    "TemporalAnd",
+    "TemporalOr",
+    "TemporalNot",
+    "historical_union",
+    "historical_difference",
+    "historical_product",
+    "historical_project",
+    "historical_select",
+    "historical_derive",
+]

@@ -1,0 +1,82 @@
+"""The discrete valid-time line.
+
+Valid time is modeled as a discrete, totally ordered, countably infinite set
+of *chronons* — the standard temporal-database abstraction of indivisible
+time quanta.  We represent chronons as non-negative integers and provide a
+distinguished :data:`FOREVER` bound usable as the exclusive end of an
+interval that extends indefinitely.
+
+``FOREVER`` compares greater than every integer chronon and is only legal as
+an interval *end*, never as a start.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from repro.errors import IntervalError
+
+__all__ = ["Chronon", "FOREVER", "BEGINNING", "as_chronon"]
+
+Chronon = int
+
+#: The first chronon on the valid-time line.
+BEGINNING: Chronon = 0
+
+
+class _Forever:
+    """Singleton upper bound of the valid-time line (exclusive)."""
+
+    _instance: "_Forever | None" = None
+
+    def __new__(cls) -> "_Forever":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __le__(self, other: Any) -> bool:
+        return other is self
+
+    def __gt__(self, other: Any) -> bool:
+        return other is not self
+
+    def __ge__(self, other: Any) -> bool:
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return hash("repro.historical.FOREVER")
+
+    def __repr__(self) -> str:
+        return "FOREVER"
+
+    def __reduce__(self):
+        return (_Forever, ())
+
+
+#: The exclusive upper bound of the valid-time line.  An interval ending at
+#: ``FOREVER`` models a fact believed to hold indefinitely.
+FOREVER = _Forever()
+
+Bound = Union[Chronon, _Forever]
+
+
+def as_chronon(value: Any) -> Chronon:
+    """Validate and return a chronon (a non-negative integer)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise IntervalError(f"chronon must be an integer, got {value!r}")
+    if value < 0:
+        raise IntervalError(f"chronon must be non-negative, got {value}")
+    return value
+
+
+def as_bound(value: Any) -> Bound:
+    """Validate an interval end bound: a chronon or ``FOREVER``."""
+    if value is FOREVER:
+        return FOREVER
+    return as_chronon(value)

@@ -1,0 +1,193 @@
+"""Half-open valid-time intervals ``[start, end)``.
+
+An :class:`Interval` covers the chronons ``start, start+1, ..., end-1`` (or
+all chronons from ``start`` on, when ``end`` is :data:`FOREVER`).  Intervals
+are immutable, hashable and totally ordered by ``(start, end)``, which gives
+period sets a canonical form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import IntervalError
+from repro.historical.chronons import FOREVER, Bound, as_bound, as_chronon
+
+__all__ = ["Interval"]
+
+
+class Interval:
+    """A non-empty half-open interval of chronons.
+
+    >>> Interval(3, 7).chronons()
+    [3, 4, 5, 6]
+    >>> Interval(3, 7).overlaps(Interval(6, 10))
+    True
+    """
+
+    __slots__ = ("_start", "_end")
+
+    def __init__(self, start: int, end: Any) -> None:
+        start_c = as_chronon(start)
+        end_b: Bound = as_bound(end)
+        if end_b is not FOREVER and end_b <= start_c:
+            raise IntervalError(
+                f"interval [{start_c}, {end_b}) is empty or inverted"
+            )
+        self._start = start_c
+        self._end = end_b
+
+    @property
+    def start(self) -> int:
+        """The first chronon covered (inclusive)."""
+        return self._start
+
+    @property
+    def end(self) -> Bound:
+        """The first chronon *not* covered (exclusive); may be FOREVER."""
+        return self._end
+
+    @property
+    def is_unbounded(self) -> bool:
+        """True iff the interval extends to FOREVER."""
+        return self._end is FOREVER
+
+    def duration(self) -> Optional[int]:
+        """Number of chronons covered, or None when unbounded."""
+        if self.is_unbounded:
+            return None
+        return self._end - self._start  # type: ignore[operator]
+
+    # -- membership and relationships ---------------------------------------
+
+    def covers(self, chronon: int) -> bool:
+        """True iff the chronon lies inside the interval."""
+        c = as_chronon(chronon)
+        return self._start <= c and (self.is_unbounded or c < self._end)
+
+    def overlaps(self, other: "Interval") -> bool:
+        """True iff the two intervals share at least one chronon."""
+        starts_before_other_ends = (
+            other.is_unbounded or self._start < other._end
+        )
+        other_starts_before_self_ends = (
+            self.is_unbounded or other._start < self._end
+        )
+        return starts_before_other_ends and other_starts_before_self_ends
+
+    def meets(self, other: "Interval") -> bool:
+        """Allen's *meets*: this interval ends exactly where the other
+        starts (no gap, no overlap)."""
+        return not self.is_unbounded and self._end == other._start
+
+    def adjacent_or_overlapping(self, other: "Interval") -> bool:
+        """True iff the union of the two intervals is itself an interval."""
+        return (
+            self.overlaps(other)
+            or self.meets(other)
+            or other.meets(self)
+        )
+
+    def contains(self, other: "Interval") -> bool:
+        """True iff the other interval lies entirely within this one."""
+        start_ok = self._start <= other._start
+        if self.is_unbounded:
+            return start_ok
+        if other.is_unbounded:
+            return False
+        return start_ok and other._end <= self._end
+
+    def precedes(self, other: "Interval") -> bool:
+        """True iff every chronon of this interval is before every chronon
+        of the other (meeting counts as preceding)."""
+        return not self.is_unbounded and self._end <= other._start
+
+    # -- combination ---------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> Optional["Interval"]:
+        """The common sub-interval, or None when disjoint."""
+        if not self.overlaps(other):
+            return None
+        start = max(self._start, other._start)
+        if self.is_unbounded:
+            end: Bound = other._end
+        elif other.is_unbounded:
+            end = self._end
+        else:
+            end = min(self._end, other._end)  # type: ignore[type-var]
+        return Interval(start, end)
+
+    def merge(self, other: "Interval") -> "Interval":
+        """The single interval covering both operands; they must be
+        adjacent or overlapping."""
+        if not self.adjacent_or_overlapping(other):
+            raise IntervalError(
+                f"cannot merge disjoint intervals {self} and {other}"
+            )
+        start = min(self._start, other._start)
+        if self.is_unbounded or other.is_unbounded:
+            end: Bound = FOREVER
+        else:
+            end = max(self._end, other._end)  # type: ignore[type-var]
+        return Interval(start, end)
+
+    def subtract(self, other: "Interval") -> list["Interval"]:
+        """The (0, 1 or 2) intervals covering this interval's chronons not
+        covered by the other."""
+        if not self.overlaps(other):
+            return [self]
+        pieces: list[Interval] = []
+        if self._start < other._start:
+            pieces.append(Interval(self._start, other._start))
+        if not other.is_unbounded:
+            if self.is_unbounded:
+                pieces.append(Interval(other._end, FOREVER))
+            elif other._end < self._end:
+                pieces.append(Interval(other._end, self._end))
+        return pieces
+
+    def shift(self, delta: int) -> "Interval":
+        """The interval displaced by ``delta`` chronons (may be negative,
+        but may not push the start below chronon 0)."""
+        new_start = self._start + delta
+        if new_start < 0:
+            raise IntervalError(
+                f"shifting {self} by {delta} moves start below 0"
+            )
+        new_end: Bound = (
+            FOREVER if self.is_unbounded else self._end + delta  # type: ignore[operator]
+        )
+        return Interval(new_start, new_end)
+
+    def chronons(self) -> list[int]:
+        """The covered chronons as a list; only legal on bounded intervals."""
+        if self.is_unbounded:
+            raise IntervalError("cannot enumerate an unbounded interval")
+        return list(range(self._start, self._end))  # type: ignore[arg-type]
+
+    def iter_chronons(self) -> Iterator[int]:
+        """Iterate the covered chronons; only legal on bounded intervals."""
+        return iter(self.chronons())
+
+    # -- ordering and equality ------------------------------------------------
+
+    def _key(self) -> tuple:
+        end_key = (1, 0) if self.is_unbounded else (0, self._end)
+        return (self._start, end_key)
+
+    def __lt__(self, other: "Interval") -> bool:
+        return self._key() < other._key()
+
+    def __le__(self, other: "Interval") -> bool:
+        return self._key() <= other._key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Interval):
+            return NotImplemented
+        return self._start == other._start and self._end == other._end
+
+    def __hash__(self) -> int:
+        return hash(("Interval", self._start, self._end))
+
+    def __repr__(self) -> str:
+        return f"[{self._start}, {self._end!r})"

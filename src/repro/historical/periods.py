@@ -1,0 +1,239 @@
+"""Canonical period sets.
+
+A :class:`PeriodSet` is a finite union of disjoint, non-adjacent, sorted
+half-open intervals — the canonical representation of an arbitrary set of
+chronons with finitely many "runs".  Period sets are the valid-time stamps
+of historical tuples; keeping them canonical makes historical-state equality
+(and therefore all the reproduction's equivalence checks) a structural
+comparison.
+
+The empty period set is allowed: a tuple whose valid time becomes empty is
+dropped from an historical state (see :mod:`repro.historical.state`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.errors import IntervalError
+from repro.historical.chronons import FOREVER
+from repro.historical.intervals import Interval
+
+__all__ = ["PeriodSet"]
+
+
+def _canonicalize(intervals: Iterable[Interval]) -> tuple[Interval, ...]:
+    """Sort intervals and merge overlapping/adjacent runs."""
+    ordered = sorted(intervals)
+    merged: list[Interval] = []
+    for interval in ordered:
+        if merged and merged[-1].adjacent_or_overlapping(interval):
+            merged[-1] = merged[-1].merge(interval)
+        else:
+            merged.append(interval)
+    return tuple(merged)
+
+
+class PeriodSet:
+    """An immutable, canonical set of valid-time intervals.
+
+    Constructors accept any iterable of :class:`Interval` or ``(start, end)``
+    pairs; overlapping and adjacent intervals are merged.
+
+    >>> PeriodSet([(1, 3), (3, 5), (8, 9)])
+    PeriodSet([1, 5) ∪ [8, 9))
+    """
+
+    __slots__ = ("_intervals", "_hash")
+
+    def __init__(self, intervals: Iterable[Any] = ()) -> None:
+        normalized = []
+        for item in intervals:
+            if isinstance(item, Interval):
+                normalized.append(item)
+            elif isinstance(item, Sequence) and len(item) == 2:
+                normalized.append(Interval(item[0], item[1]))
+            else:
+                raise IntervalError(
+                    f"cannot interpret {item!r} as a valid-time interval"
+                )
+        self._intervals = _canonicalize(normalized)
+        self._hash: int | None = None
+
+    @classmethod
+    def empty(cls) -> "PeriodSet":
+        """The empty period set."""
+        return cls(())
+
+    @classmethod
+    def from_chronon(cls, chronon: int) -> "PeriodSet":
+        """The period set covering exactly one chronon."""
+        return cls([Interval(chronon, chronon + 1)])
+
+    @classmethod
+    def always(cls) -> "PeriodSet":
+        """The period set covering the whole valid-time line."""
+        return cls([Interval(0, FOREVER)])
+
+    @classmethod
+    def _from_canonical(
+        cls, intervals: tuple[Interval, ...]
+    ) -> "PeriodSet":
+        ps = cls.__new__(cls)
+        ps._intervals = intervals
+        ps._hash = None
+        return ps
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def intervals(self) -> tuple[Interval, ...]:
+        """The component intervals, sorted and disjoint."""
+        return self._intervals
+
+    def is_empty(self) -> bool:
+        """True iff the period set covers no chronon."""
+        return not self._intervals
+
+    def is_unbounded(self) -> bool:
+        """True iff the period set extends to FOREVER."""
+        return bool(self._intervals) and self._intervals[-1].is_unbounded
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __iter__(self) -> Iterator[Interval]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def duration(self) -> Optional[int]:
+        """Total number of chronons covered, or None when unbounded."""
+        if self.is_unbounded():
+            return None
+        return sum(i.duration() for i in self._intervals)  # type: ignore[misc]
+
+    def first(self) -> int:
+        """The earliest covered chronon."""
+        if self.is_empty():
+            raise IntervalError("empty period set has no first chronon")
+        return self._intervals[0].start
+
+    def last(self) -> int:
+        """The latest covered chronon; only legal when bounded."""
+        if self.is_empty():
+            raise IntervalError("empty period set has no last chronon")
+        final = self._intervals[-1]
+        if final.is_unbounded:
+            raise IntervalError("unbounded period set has no last chronon")
+        return final.end - 1  # type: ignore[operator]
+
+    def covers(self, chronon: int) -> bool:
+        """True iff the chronon is covered by some component interval."""
+        return any(i.covers(chronon) for i in self._intervals)
+
+    def chronons(self) -> list[int]:
+        """All covered chronons; only legal when bounded."""
+        out: list[int] = []
+        for interval in self._intervals:
+            out.extend(interval.chronons())
+        return out
+
+    # -- algebra -------------------------------------------------------------
+
+    def union(self, other: "PeriodSet") -> "PeriodSet":
+        """Chronon-set union."""
+        return PeriodSet._from_canonical(
+            _canonicalize(self._intervals + other._intervals)
+        )
+
+    def intersect(self, other: "PeriodSet") -> "PeriodSet":
+        """Chronon-set intersection (merge-scan over sorted runs)."""
+        out: list[Interval] = []
+        i, j = 0, 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            piece = a[i].intersect(b[j])
+            if piece is not None:
+                out.append(piece)
+            # Advance whichever run ends first.
+            a_unbounded = a[i].is_unbounded
+            b_unbounded = b[j].is_unbounded
+            if a_unbounded:
+                j += 1
+            elif b_unbounded:
+                i += 1
+            elif a[i].end <= b[j].end:  # type: ignore[operator]
+                i += 1
+            else:
+                j += 1
+        return PeriodSet._from_canonical(tuple(out))
+
+    def difference(self, other: "PeriodSet") -> "PeriodSet":
+        """Chronon-set difference."""
+        remaining = list(self._intervals)
+        for cut in other._intervals:
+            next_remaining: list[Interval] = []
+            for piece in remaining:
+                next_remaining.extend(piece.subtract(cut))
+            remaining = next_remaining
+        return PeriodSet._from_canonical(_canonicalize(remaining))
+
+    def extend_to(self, chronon: int) -> "PeriodSet":
+        """The period set with its last run extended to cover through the
+        given chronon (used by derivation expressions)."""
+        if self.is_empty():
+            raise IntervalError("cannot extend an empty period set")
+        last = self._intervals[-1]
+        if last.is_unbounded or last.covers(chronon):
+            return self
+        if chronon < last.start:
+            raise IntervalError(
+                f"extend target {chronon} precedes final run {last}"
+            )
+        extended = Interval(last.start, chronon + 1)
+        return PeriodSet._from_canonical(
+            _canonicalize(self._intervals[:-1] + (extended,))
+        )
+
+    def shift(self, delta: int) -> "PeriodSet":
+        """Every component interval displaced by ``delta`` chronons."""
+        return PeriodSet._from_canonical(
+            tuple(i.shift(delta) for i in self._intervals)
+        )
+
+    def overlaps(self, other: "PeriodSet") -> bool:
+        """True iff the two period sets share at least one chronon."""
+        return not self.intersect(other).is_empty()
+
+    def contains_set(self, other: "PeriodSet") -> bool:
+        """True iff the other period set is a subset of this one."""
+        return other.difference(self).is_empty()
+
+    def precedes(self, other: "PeriodSet") -> bool:
+        """True iff every covered chronon is before every chronon of the
+        other; vacuously false when either side is empty."""
+        if self.is_empty() or other.is_empty():
+            return False
+        if self.is_unbounded():
+            return False
+        return self.last() < other.first()
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PeriodSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("PeriodSet", self._intervals))
+        return self._hash
+
+    def __repr__(self) -> str:
+        if not self._intervals:
+            return "PeriodSet(∅)"
+        inner = " ∪ ".join(repr(i) for i in self._intervals)
+        return f"PeriodSet({inner})"

@@ -1,0 +1,253 @@
+"""The temporal-predicate domain ``G``.
+
+Section 4 of the paper defines ``G`` as "boolean expressions of elements
+from the domain V, the relational operators, and the logical operators".  A
+:class:`TemporalPredicate` evaluates an historical tuple to a boolean by
+comparing the period sets its temporal sub-expressions denote, using the
+standard interval-algebra relationships (precedes, overlaps, contains,
+meets, equals) lifted to period sets, plus point membership
+(:class:`ValidAt`) and non-emptiness.
+"""
+
+from __future__ import annotations
+
+from repro.historical.temporal_exprs import TemporalExpression
+from repro.historical.tuples import HistoricalTuple
+
+__all__ = [
+    "TemporalPredicate",
+    "Precedes",
+    "Overlaps",
+    "Contains",
+    "Meets",
+    "Equals",
+    "NonEmpty",
+    "ValidAt",
+    "TemporalAnd",
+    "TemporalOr",
+    "TemporalNot",
+]
+
+
+class TemporalPredicate:
+    """Base class: a boolean function of an historical tuple's times."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, row: HistoricalTuple) -> bool:
+        return self.evaluate(row)
+
+    def __and__(self, other: "TemporalPredicate") -> "TemporalPredicate":
+        return TemporalAnd(self, other)
+
+    def __or__(self, other: "TemporalPredicate") -> "TemporalPredicate":
+        return TemporalOr(self, other)
+
+    def __invert__(self) -> "TemporalPredicate":
+        return TemporalNot(self)
+
+
+class _Binary(TemporalPredicate):
+    """Shared structure for binary temporal comparisons."""
+
+    __slots__ = ("left", "right")
+    _symbol = "?"
+
+    def __init__(
+        self, left: TemporalExpression, right: TemporalExpression
+    ) -> None:
+        self.left = left
+        self.right = right
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            type(self) is type(other)
+            and self.left == other.left  # type: ignore[attr-defined]
+            and self.right == other.right  # type: ignore[attr-defined]
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self._symbol} {self.right!r})"
+
+
+class Precedes(_Binary):
+    """Every chronon of the left expression is before every chronon of the
+    right.  False when either side is empty."""
+
+    _symbol = "precedes"
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.left.evaluate(row).precedes(self.right.evaluate(row))
+
+
+class Overlaps(_Binary):
+    """The two expressions share at least one chronon."""
+
+    _symbol = "overlaps"
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.left.evaluate(row).overlaps(self.right.evaluate(row))
+
+
+class Contains(_Binary):
+    """The left expression covers every chronon of the right."""
+
+    _symbol = "contains"
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.left.evaluate(row).contains_set(self.right.evaluate(row))
+
+
+class Meets(_Binary):
+    """The left expression's final run ends exactly where the right's first
+    run begins."""
+
+    _symbol = "meets"
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left.is_empty() or right.is_empty() or left.is_unbounded():
+            return False
+        return left.intervals[-1].meets(right.intervals[0])
+
+
+class Equals(_Binary):
+    """The two expressions denote the same period set."""
+
+    _symbol = "="
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.left.evaluate(row) == self.right.evaluate(row)
+
+
+class NonEmpty(TemporalPredicate):
+    """The expression denotes a non-empty period set."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: TemporalExpression) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return not self.operand.evaluate(row).is_empty()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, NonEmpty) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("NonEmpty", self.operand))
+
+    def __repr__(self) -> str:
+        return f"nonempty({self.operand!r})"
+
+
+class ValidAt(TemporalPredicate):
+    """The expression's period set covers the given chronon."""
+
+    __slots__ = ("operand", "chronon")
+
+    def __init__(self, operand: TemporalExpression, chronon: int) -> None:
+        self.operand = operand
+        self.chronon = chronon
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.operand.evaluate(row).covers(self.chronon)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ValidAt)
+            and self.operand == other.operand
+            and self.chronon == other.chronon
+        )
+
+    def __hash__(self) -> int:
+        return hash(("ValidAt", self.operand, self.chronon))
+
+    def __repr__(self) -> str:
+        return f"valid_at({self.operand!r}, {self.chronon})"
+
+
+class TemporalAnd(TemporalPredicate):
+    """Conjunction of temporal predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: TemporalPredicate, right: TemporalPredicate
+    ) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TemporalAnd)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TemporalAnd", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} and {self.right!r})"
+
+
+class TemporalOr(TemporalPredicate):
+    """Disjunction of temporal predicates."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: TemporalPredicate, right: TemporalPredicate
+    ) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TemporalOr)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TemporalOr", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} or {self.right!r})"
+
+
+class TemporalNot(TemporalPredicate):
+    """Negation of a temporal predicate."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: TemporalPredicate) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: HistoricalTuple) -> bool:
+        return not self.operand.evaluate(row)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TemporalNot) and self.operand == other.operand
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TemporalNot", self.operand))
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"

@@ -1,0 +1,272 @@
+"""The temporal-expression domain ``V``.
+
+Section 4 of the paper introduces a syntactic domain ``V`` of *temporal
+expressions* used by the historical derivation operator ``δ_{G,V}``.  A
+temporal expression, evaluated against an historical tuple, produces a
+period set.  ``δ`` then uses that period set as the tuple's new valid time
+(valid-time *projection*/derivation) while ``G`` (see
+:mod:`repro.historical.predicates`) filters tuples by their valid time
+(valid-time *selection*).
+
+The expressions provided here are the ones needed by the paper's examples,
+the Ben-Zvi comparison, and the benchmarks:
+
+* :class:`ValidTime` — the tuple's own valid time;
+* :class:`TemporalConstant` — a literal period set;
+* :class:`First` / :class:`Last` — the earliest/latest chronon of an
+  expression, as a single-chronon period set;
+* :class:`Intersect` / :class:`Union` — set combination;
+* :class:`Extend` — extend an expression's final run through another
+  expression's last chronon;
+* :class:`Shift` — displace by a constant number of chronons.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntervalError
+from repro.historical.periods import PeriodSet
+from repro.historical.tuples import HistoricalTuple
+
+__all__ = [
+    "TemporalExpression",
+    "ValidTime",
+    "TemporalConstant",
+    "First",
+    "Last",
+    "Intersect",
+    "Union",
+    "Extend",
+    "Shift",
+]
+
+
+class TemporalExpression:
+    """Base class: a function from an historical tuple to a period set."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        raise NotImplementedError
+
+    def __call__(self, row: HistoricalTuple) -> PeriodSet:
+        return self.evaluate(row)
+
+
+class ValidTime(TemporalExpression):
+    """The tuple's own valid-time period set."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        return row.valid_time
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ValidTime)
+
+    def __hash__(self) -> int:
+        return hash("ValidTime")
+
+    def __repr__(self) -> str:
+        return "valid"
+
+
+class TemporalConstant(TemporalExpression):
+    """A literal period set, independent of the tuple."""
+
+    __slots__ = ("periods",)
+
+    def __init__(self, periods: PeriodSet) -> None:
+        if not isinstance(periods, PeriodSet):
+            periods = PeriodSet(periods)
+        self.periods = periods
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        return self.periods
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TemporalConstant)
+            and self.periods == other.periods
+        )
+
+    def __hash__(self) -> int:
+        return hash(("TemporalConstant", self.periods))
+
+    def __repr__(self) -> str:
+        return repr(self.periods)
+
+
+class First(TemporalExpression):
+    """The single-chronon period set at the operand's earliest chronon."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: TemporalExpression) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        inner = self.operand.evaluate(row)
+        if inner.is_empty():
+            return PeriodSet.empty()
+        return PeriodSet.from_chronon(inner.first())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, First) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("First", self.operand))
+
+    def __repr__(self) -> str:
+        return f"first({self.operand!r})"
+
+
+class Last(TemporalExpression):
+    """The single-chronon period set at the operand's latest chronon.
+    Empty when the operand is empty or unbounded."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: TemporalExpression) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        inner = self.operand.evaluate(row)
+        if inner.is_empty() or inner.is_unbounded():
+            return PeriodSet.empty()
+        return PeriodSet.from_chronon(inner.last())
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Last) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("Last", self.operand))
+
+    def __repr__(self) -> str:
+        return f"last({self.operand!r})"
+
+
+class Intersect(TemporalExpression):
+    """Period-set intersection of two expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: TemporalExpression, right: TemporalExpression
+    ) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        return self.left.evaluate(row).intersect(self.right.evaluate(row))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Intersect)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Intersect", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∩ {self.right!r})"
+
+
+class Union(TemporalExpression):
+    """Period-set union of two expressions."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: TemporalExpression, right: TemporalExpression
+    ) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        return self.left.evaluate(row).union(self.right.evaluate(row))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Union)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Union", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} ∪ {self.right!r})"
+
+
+class Extend(TemporalExpression):
+    """Extend the left expression's final run through the last chronon of
+    the right expression.  Empty when either operand is empty; when the
+    right operand is unbounded, the result's final run is unbounded."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(
+        self, left: TemporalExpression, right: TemporalExpression
+    ) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        base = self.left.evaluate(row)
+        target = self.right.evaluate(row)
+        if base.is_empty() or target.is_empty():
+            return PeriodSet.empty()
+        if target.is_unbounded():
+            from repro.historical.chronons import FOREVER
+            from repro.historical.intervals import Interval
+
+            final = base.intervals[-1]
+            return base.union(
+                PeriodSet([Interval(final.start, FOREVER)])
+            )
+        try:
+            return base.extend_to(target.last())
+        except IntervalError:
+            return base
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Extend)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Extend", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"extend({self.left!r}, {self.right!r})"
+
+
+class Shift(TemporalExpression):
+    """The operand displaced by a constant number of chronons."""
+
+    __slots__ = ("operand", "delta")
+
+    def __init__(self, operand: TemporalExpression, delta: int) -> None:
+        self.operand = operand
+        self.delta = delta
+
+    def evaluate(self, row: HistoricalTuple) -> PeriodSet:
+        return self.operand.evaluate(row).shift(self.delta)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Shift)
+            and self.operand == other.operand
+            and self.delta == other.delta
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Shift", self.operand, self.delta))
+
+    def __repr__(self) -> str:
+        return f"shift({self.operand!r}, {self.delta})"

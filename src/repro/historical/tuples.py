@@ -1,0 +1,124 @@
+"""Historical tuples: a value part plus a valid-time part.
+
+An :class:`HistoricalTuple` records *when in modeled reality* a fact held:
+it pairs a :class:`~repro.snapshot.tuples.SnapshotTuple` (the value part)
+with a :class:`~repro.historical.periods.PeriodSet` (the valid-time part).
+This is the attribute-value-timestamped design of the McKenzie & Snodgrass
+historical algebra at tuple granularity, which suffices for the paper's
+Section 4: the command layer never inspects the inside of an historical
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence, Union
+
+from repro.errors import IntervalError, SchemaError
+from repro.historical.periods import PeriodSet
+from repro.snapshot.schema import Schema
+from repro.snapshot.tuples import SnapshotTuple
+
+__all__ = ["HistoricalTuple"]
+
+
+class HistoricalTuple:
+    """An immutable (value tuple, valid-time period set) pair.
+
+    The period set must be non-empty: a fact that held at no time is not a
+    fact.  States drop tuples whose valid time becomes empty.
+    """
+
+    __slots__ = ("_value", "_valid_time", "_hash")
+
+    def __init__(
+        self,
+        value: Union[SnapshotTuple, Sequence[Any], Mapping[str, Any]],
+        valid_time: PeriodSet,
+        schema: Schema | None = None,
+    ) -> None:
+        if isinstance(value, SnapshotTuple):
+            snapshot_value = value
+        else:
+            if schema is None:
+                raise SchemaError(
+                    "raw values require an explicit schema for an "
+                    "historical tuple"
+                )
+            snapshot_value = SnapshotTuple(schema, value)
+        if not isinstance(valid_time, PeriodSet):
+            valid_time = PeriodSet(valid_time)
+        if valid_time.is_empty():
+            raise IntervalError(
+                "an historical tuple requires a non-empty valid time"
+            )
+        self._value = snapshot_value
+        self._valid_time = valid_time
+        self._hash: int | None = None
+
+    @property
+    def value(self) -> SnapshotTuple:
+        """The ordinary (explicit-attribute) part of the tuple."""
+        return self._value
+
+    @property
+    def valid_time(self) -> PeriodSet:
+        """The chronons during which the fact held in modeled reality."""
+        return self._valid_time
+
+    @property
+    def schema(self) -> Schema:
+        """The schema of the value part."""
+        return self._value.schema
+
+    def __getitem__(self, key: Union[int, str]) -> Any:
+        return self._value[key]
+
+    def as_dict(self) -> dict[str, Any]:
+        """Name -> value mapping of the value part."""
+        return self._value.as_dict()
+
+    # -- derivation ----------------------------------------------------------
+
+    def with_valid_time(self, valid_time: PeriodSet) -> "HistoricalTuple":
+        """The same value part with a different (non-empty) valid time."""
+        return HistoricalTuple(self._value, valid_time)
+
+    def restricted_to(self, window: PeriodSet) -> "HistoricalTuple | None":
+        """The tuple with valid time intersected with ``window``, or None
+        when the intersection is empty."""
+        clipped = self._valid_time.intersect(window)
+        if clipped.is_empty():
+            return None
+        return HistoricalTuple(self._value, clipped)
+
+    def project(self, names: Sequence[str]) -> "HistoricalTuple":
+        """Project the value part; the valid time is unchanged."""
+        return HistoricalTuple(self._value.project(names), self._valid_time)
+
+    def concat(self, other: "HistoricalTuple") -> "HistoricalTuple | None":
+        """Historical product of two tuples: value parts concatenate, valid
+        times intersect.  None when the valid times are disjoint."""
+        shared = self._valid_time.intersect(other._valid_time)
+        if shared.is_empty():
+            return None
+        return HistoricalTuple(self._value.concat(other._value), shared)
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HistoricalTuple):
+            return NotImplemented
+        return (
+            self._value == other._value
+            and self._valid_time == other._valid_time
+        )
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                ("HistoricalTuple", self._value, self._valid_time)
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"{self._value!r}@{self._valid_time!r}"

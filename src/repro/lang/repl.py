@@ -1,0 +1,179 @@
+"""An interactive read-eval-print loop over the language.
+
+Input lines accumulate until they form a complete statement terminated by
+``;``.  A statement is either a command (executed, changing the session's
+database) or a bare expression (evaluated and rendered as a table).  Meta
+commands start with a dot:
+
+* ``.relations`` — list defined relations with type, history length, txn;
+* ``.txn`` — show the current transaction number;
+* ``.save <path>`` / ``.load <path>`` — persist/restore via JSON;
+* ``.help`` — summary; ``.quit`` — leave.
+
+The loop is written against explicit input/output streams so it is unit-
+testable; ``python -m repro`` wires it to stdin/stdout.
+"""
+
+from __future__ import annotations
+
+from typing import IO
+
+from repro.errors import ReproError
+from repro.core.expressions import is_empty_set
+from repro.lang.parser import Parser
+from repro.lang.lexer import tokenize
+from repro.lang.session import Session, format_state
+from repro.lang.tokens import TokenType
+
+__all__ = ["Repl", "run_repl"]
+
+_BANNER = (
+    "repro — McKenzie & Snodgrass (1987) transaction-time algebra\n"
+    'commands end with ";"; bare expressions are evaluated; .help for help\n'
+)
+
+_HELP = """statements:
+  define_relation(<name>, snapshot|rollback|historical|temporal);
+  modify_state(<name>, <expression>);
+  <expression>;                    -- evaluate and print
+
+expressions:
+  state (a: string, b: integer) { ("x", 1), ... }
+  rollback(<name>, <txn>|now)
+  E union E | E minus E | E times E
+  project [a, b] (E) | select [a = 1 and b < 2] (E)
+  derive [<temporal predicate> ; <temporal expression>] (E)
+
+meta:
+  .relations  .txn  .save <path>  .load <path>  .help  .quit
+"""
+
+
+class Repl:
+    """A line-oriented interpreter over one :class:`Session`."""
+
+    def __init__(self, out: IO[str]) -> None:
+        self.session = Session()
+        self._out = out
+        self._buffer: list[str] = []
+
+    # -- driving -----------------------------------------------------------
+
+    def feed(self, line: str) -> bool:
+        """Process one input line; returns False when the REPL should
+        exit."""
+        stripped = line.strip()
+        if not self._buffer and stripped.startswith("."):
+            return self._meta(stripped)
+        if not stripped:
+            return True
+        self._buffer.append(line)
+        if stripped.endswith(";"):
+            source = "\n".join(self._buffer)
+            self._buffer = []
+            self._run(source.rstrip().rstrip(";"))
+        return True
+
+    def _print(self, text: str = "") -> None:
+        self._out.write(text + "\n")
+
+    # -- statement handling -------------------------------------------------
+
+    def _run(self, source: str) -> None:
+        try:
+            if self._looks_like_command(source):
+                self.session.execute(source)
+                self._print(
+                    f"ok (txn {self.session.transaction_number})"
+                )
+            else:
+                result = self.session.query(source)
+                if is_empty_set(result):
+                    self._print("∅ (no recorded state)")
+                else:
+                    self._print(format_state(result))
+        except ReproError as error:
+            self._print(f"error: {error}")
+
+    @staticmethod
+    def _looks_like_command(source: str) -> bool:
+        head = source.lstrip()
+        return head.startswith("define_relation") or head.startswith(
+            "modify_state"
+        )
+
+    # -- meta commands -----------------------------------------------------------
+
+    def _meta(self, line: str) -> bool:
+        parts = line.split(None, 1)
+        name = parts[0]
+        argument = parts[1].strip() if len(parts) > 1 else ""
+        if name == ".quit":
+            return False
+        if name == ".help":
+            self._print(_HELP)
+            return True
+        if name == ".txn":
+            self._print(str(self.session.transaction_number))
+            return True
+        if name == ".relations":
+            database = self.session.database
+            if not len(database.state):
+                self._print("(no relations)")
+            for identifier in database.state:
+                relation = database.require(identifier)
+                self._print(
+                    f"  {identifier}: {relation.rtype.value}, "
+                    f"{relation.history_length} states at txns "
+                    f"{list(relation.transaction_numbers)}"
+                )
+            return True
+        if name == ".save":
+            return self._save(argument)
+        if name == ".load":
+            return self._load(argument)
+        self._print(f"unknown meta command {name!r}; try .help")
+        return True
+
+    def _save(self, path: str) -> bool:
+        if not path:
+            self._print("usage: .save <path>")
+            return True
+        from repro.persistence import dumps
+
+        try:
+            with open(path, "w") as fp:
+                fp.write(dumps(self.session.database, indent=2))
+            self._print(f"saved to {path}")
+        except OSError as error:
+            self._print(f"error: {error}")
+        return True
+
+    def _load(self, path: str) -> bool:
+        if not path:
+            self._print("usage: .load <path>")
+            return True
+        from repro.persistence import loads
+
+        try:
+            with open(path) as fp:
+                database = loads(fp.read())
+        except (OSError, ReproError, ValueError) as error:
+            self._print(f"error: {error}")
+            return True
+        # replace the session's database wholesale
+        self.session._database = database
+        self.session._history.append(database)
+        self._print(
+            f"loaded {path} (txn {database.transaction_number})"
+        )
+        return True
+
+
+def run_repl(stdin: IO[str], stdout: IO[str]) -> None:
+    """Run the REPL until EOF or ``.quit``."""
+    stdout.write(_BANNER)
+    repl = Repl(stdout)
+    for line in stdin:
+        if not repl.feed(line):
+            break

@@ -1,0 +1,217 @@
+"""Interactive sessions over the language.
+
+A :class:`Session` holds a current :class:`~repro.core.database.Database`
+and incrementally executes commands against it.  Because the paper's
+sequencing semantics is plain function composition
+(``C[[C1, C2]] d = C[[C2]](C[[C1]] d)``), executing commands one at a time
+against a session is observationally identical to evaluating the whole
+prefix as one sentence starting from the empty database — a property the
+test suite verifies.
+
+The session also offers :meth:`Session.query`, which parses and evaluates a
+side-effect-free expression (the "display the contents of a relation" use
+the paper mentions as a command example), and :meth:`Session.display`,
+which renders a relation's current state as an aligned text table.
+"""
+
+from __future__ import annotations
+
+from typing import Union as TypingUnion
+
+from repro.core.commands import Command
+from repro.core.database import EMPTY_DATABASE, Database
+from repro.core.expressions import Expression, Rollback
+from repro.core.txn import NOW
+from repro.historical.state import HistoricalState
+from repro.lang.parser import parse_command, parse_expression, parse_sentence
+from repro.snapshot.state import SnapshotState
+
+__all__ = ["Session"]
+
+State = TypingUnion[SnapshotState, HistoricalState]
+
+
+class Session:
+    """A mutable cursor over an immutable database value.
+
+    The session itself is the only stateful object; each executed command
+    replaces :attr:`database` with the new database value the command
+    semantics denotes.  All past database values remain valid (and the
+    session keeps the trail in :attr:`history` for inspection).
+    """
+
+    def __init__(self) -> None:
+        self._database: Database = EMPTY_DATABASE
+        self._history: list[Database] = [EMPTY_DATABASE]
+
+    @property
+    def database(self) -> Database:
+        """The current database value."""
+        return self._database
+
+    @property
+    def history(self) -> tuple[Database, ...]:
+        """Every database value the session has passed through, starting
+        with the empty database."""
+        return tuple(self._history)
+
+    @property
+    def transaction_number(self) -> int:
+        """The current database's transaction number."""
+        return self._database.transaction_number
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, source: str) -> Database:
+        """Parse and execute one or more ';'-separated commands; return the
+        resulting database."""
+        for command in parse_sentence(source):
+            self._apply(command)
+        return self._database
+
+    def execute_command(self, command: TypingUnion[str, Command]) -> Database:
+        """Execute a single command (source text or AST)."""
+        if isinstance(command, str):
+            command = parse_command(command)
+        return self._apply(command)
+
+    def _apply(self, command: Command) -> Database:
+        self._database = command.execute(self._database)
+        self._history.append(self._database)
+        return self._database
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, source: TypingUnion[str, Expression]) -> State:
+        """Parse and evaluate an expression against the current database.
+        Expressions are side-effect-free: the session's database is
+        unchanged."""
+        expression = (
+            parse_expression(source) if isinstance(source, str) else source
+        )
+        return expression.evaluate(self._database)
+
+    def current_state(self, identifier: str) -> State:
+        """The named relation's most recent state, via ``ρ(I, now)``."""
+        return Rollback(identifier, NOW).evaluate(self._database)
+
+    # -- Quel integration ---------------------------------------------------------
+
+    def catalog(self) -> dict:
+        """Schemas of every relation that currently has a state —
+        the data dictionary the Quel translators need."""
+        from repro.core.expressions import is_empty_set
+
+        schemas = {}
+        for identifier in self._database.state:
+            relation = self._database.require(identifier)
+            state = relation.current_state
+            if not is_empty_set(state):
+                schemas[identifier] = state.schema
+        return schemas
+
+    def quel(self, source: str):
+        """Execute a Quel-style statement against the session.
+
+        Update statements (``append``/``delete``/``replace``) change the
+        database and return the new :class:`Database`; ``retrieve``
+        returns the resulting state.  Temporal statements (``append ...
+        valid``, ``terminate ... at``) are tried when the snapshot-Quel
+        parser rejects the input.
+        """
+        from repro.errors import ParseError, TranslationError
+        from repro.quel.parser import parse_statement
+        from repro.quel.statements import Delete, Retrieve
+        from repro.quel.temporal import (
+            TemporalDelete,
+            TemporalQuelTranslator,
+            parse_temporal_statement,
+        )
+        from repro.quel.translate import QuelTranslator
+
+        catalog = self.catalog()
+        try:
+            statement = parse_statement(source)
+        except ParseError:
+            # not plain Quel; must be a temporal statement
+            # (append ... valid / terminate ... at)
+            temporal = parse_temporal_statement(source)
+            command = TemporalQuelTranslator(catalog).translate(temporal)
+            return self._apply(command)
+
+        if isinstance(statement, Retrieve):
+            expression = QuelTranslator(catalog).translate_retrieve(
+                statement
+            )
+            return expression.evaluate(self._database)
+
+        # dispatch updates on the target relation's kind
+        relation = self._database.lookup(statement.relation)
+        if relation is None:
+            raise TranslationError(
+                f"relation {statement.relation!r} is not defined"
+            )
+        if relation.rtype.stores_valid_time:
+            if isinstance(statement, Delete):
+                command = TemporalQuelTranslator(catalog).translate(
+                    TemporalDelete(statement.relation, statement.where)
+                )
+                return self._apply(command)
+            raise TranslationError(
+                f"relation {statement.relation!r} stores valid time; "
+                "use 'append ... valid <periods>' or "
+                "'terminate ... at <chronon>'"
+            )
+        command = QuelTranslator(catalog).translate(statement)
+        return self._apply(command)
+
+    def display(self, identifier: str, numeral=NOW) -> str:
+        """Render the named relation's state at the given transaction time
+        as an aligned text table."""
+        from repro.core.expressions import is_empty_set
+
+        state = Rollback(identifier, numeral).evaluate(self._database)
+        if is_empty_set(state):
+            return f"{identifier}\n(no recorded state)"
+        return format_state(state, title=identifier)
+
+
+def format_state(state: State, title: str = "") -> str:
+    """Render a snapshot or historical state as an aligned text table."""
+    if isinstance(state, HistoricalState):
+        headers = list(state.schema.names) + ["valid"]
+        rows = [
+            [str(v) for v in t.value.values] + [_format_periods(t)]
+            for t in state.tuples
+        ]
+    else:
+        headers = list(state.schema.names)
+        rows = [[str(v) for v in t.values] for t in state.tuples]
+    rows.sort()
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows), 1)
+        if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            " | ".join(v.ljust(w) for v, w in zip(row, widths))
+        )
+    if not rows:
+        lines.append("(empty)")
+    return "\n".join(lines)
+
+
+def _format_periods(historical_tuple) -> str:
+    return " + ".join(
+        f"[{i.start}, {i.end!r})"
+        for i in historical_tuple.valid_time.intervals
+    )

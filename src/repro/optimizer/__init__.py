@@ -1,0 +1,70 @@
+"""Algebraic optimization over the extended algebra.
+
+The paper's claim C2 (Section 2): "we preserve all the properties of the
+snapshot algebra (e.g., commutativity of select, distributivity of select
+over join), permitting the full application of previously developed
+algebraic optimizations."  This package makes that claim executable:
+
+* :mod:`repro.optimizer.schema_inference` — static schema computation for
+  expression trees (needed to decide rule applicability without
+  evaluating);
+* :mod:`repro.optimizer.rules` — the classical rewrite rules, each stated
+  with the law it implements;
+* :mod:`repro.optimizer.rewriter` — a fixpoint rewriter applying the rules
+  bottom-up;
+* :mod:`repro.optimizer.cost` — a simple cardinality-based cost model and
+  plan explainer;
+* :mod:`repro.optimizer.equivalence` — an evaluation-based equivalence
+  checker used by the tests and benchmark E4 to verify every rewrite.
+
+Because the rollback operator ``ρ`` is side-effect-free and opaque (a leaf
+of the expression tree), every law holds verbatim with ``ρ`` sub-
+expressions in place of base relations — which is exactly why the paper's
+extension "did not compromise any of the useful properties of the snapshot
+algebra".
+"""
+
+from repro.optimizer.schema_inference import infer_schema, Catalog
+from repro.optimizer.rules import (
+    Rule,
+    SplitConjunctiveSelect,
+    PushSelectBelowUnion,
+    PushSelectBelowDifference,
+    PushSelectBelowProduct,
+    MergeProjects,
+    PushProjectBelowUnion,
+    EliminateIdentityProject,
+    RewriteDeleteAsNegatedSelect,
+    DeduplicateUnion,
+    DEFAULT_RULES,
+    UPDATE_RULES,
+)
+from repro.optimizer.rewriter import Rewriter, optimize
+from repro.optimizer.update_rewrites import ALL_UPDATE_RULES, optimize_update
+from repro.optimizer.cost import estimate_cost, estimate_cardinality, explain
+from repro.optimizer.equivalence import expressions_equivalent
+
+__all__ = [
+    "infer_schema",
+    "Catalog",
+    "Rule",
+    "SplitConjunctiveSelect",
+    "PushSelectBelowUnion",
+    "PushSelectBelowDifference",
+    "PushSelectBelowProduct",
+    "MergeProjects",
+    "PushProjectBelowUnion",
+    "EliminateIdentityProject",
+    "RewriteDeleteAsNegatedSelect",
+    "DeduplicateUnion",
+    "DEFAULT_RULES",
+    "UPDATE_RULES",
+    "ALL_UPDATE_RULES",
+    "Rewriter",
+    "optimize",
+    "optimize_update",
+    "estimate_cost",
+    "estimate_cardinality",
+    "explain",
+    "expressions_equivalent",
+]

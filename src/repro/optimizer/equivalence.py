@@ -1,0 +1,48 @@
+"""Evaluation-based expression equivalence.
+
+Used by the test suite and benchmark E4 to verify that every rewrite is
+semantics-preserving: two expressions are judged equivalent on a database
+when they evaluate to equal states (including both denoting the untyped
+empty set ∅).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.database import Database
+from repro.core.expressions import Expression, is_empty_set
+
+__all__ = ["expressions_equivalent", "states_equal"]
+
+
+def states_equal(left: object, right: object) -> bool:
+    """Equality on evaluation results, treating the untyped ∅ as equal to
+    itself and to any typed *empty* state (∅ carries no schema, so its
+    information content matches any empty state's)."""
+    if is_empty_set(left) and is_empty_set(right):
+        return True
+    if is_empty_set(left):
+        return _is_typed_empty(right)
+    if is_empty_set(right):
+        return _is_typed_empty(left)
+    return left == right
+
+
+def _is_typed_empty(state: object) -> bool:
+    return hasattr(state, "is_empty") and state.is_empty()  # type: ignore[union-attr]
+
+
+def expressions_equivalent(
+    left: Expression,
+    right: Expression,
+    databases: Iterable[Database],
+) -> bool:
+    """True iff the two expressions evaluate to equal states on every
+    provided database."""
+    for database in databases:
+        if not states_equal(
+            left.evaluate(database), right.evaluate(database)
+        ):
+            return False
+    return True

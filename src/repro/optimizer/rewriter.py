@@ -1,0 +1,111 @@
+"""The fixpoint rewriter.
+
+Applies a rule set bottom-up over an expression tree until no rule fires,
+with a generous pass bound as a safety net (the default rule set is
+terminating: every rule strictly decreases a well-founded measure — the
+sizes of predicates above operators and the heights of projections).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.expressions import (
+    Derive,
+    Difference,
+    Expression,
+    Product,
+    Project,
+    Rename,
+    Select,
+    Union,
+)
+from repro.optimizer.rules import DEFAULT_RULES, Rule
+from repro.optimizer.schema_inference import Catalog
+
+__all__ = ["Rewriter", "optimize"]
+
+_MAX_PASSES = 100
+
+
+class Rewriter:
+    """Applies rules bottom-up to a fixpoint, recording a trace."""
+
+    def __init__(
+        self,
+        rules: Sequence[Rule] = DEFAULT_RULES,
+        catalog: Optional[Catalog] = None,
+    ) -> None:
+        self._rules = tuple(rules)
+        self._catalog = catalog or {}
+        #: (rule name, before repr, after repr) triples, for explainability.
+        self.trace: list[tuple[str, str, str]] = []
+
+    def rewrite(self, expression: Expression) -> Expression:
+        """Rewrite to a fixpoint of the rule set."""
+        self.trace = []
+        current = expression
+        for _ in range(_MAX_PASSES):
+            rewritten = self._rewrite_once(current)
+            if rewritten == current:
+                return current
+            current = rewritten
+        return current
+
+    def _rewrite_once(self, expression: Expression) -> Expression:
+        """One bottom-up pass: rewrite children first, then try each rule
+        at this node (first applicable rule wins)."""
+        rebuilt = self._rebuild(expression)
+        for rule in self._rules:
+            result = rule.apply(rebuilt, self._catalog)
+            if result is not None and result != rebuilt:
+                self.trace.append((rule.name, repr(rebuilt), repr(result)))
+                return result
+        return rebuilt
+
+    def _rebuild(self, expression: Expression) -> Expression:
+        """Rewrite the children, preserving this node."""
+        if isinstance(expression, Union):
+            return Union(
+                self._rewrite_once(expression.left),
+                self._rewrite_once(expression.right),
+            )
+        if isinstance(expression, Difference):
+            return Difference(
+                self._rewrite_once(expression.left),
+                self._rewrite_once(expression.right),
+            )
+        if isinstance(expression, Product):
+            return Product(
+                self._rewrite_once(expression.left),
+                self._rewrite_once(expression.right),
+            )
+        if isinstance(expression, Project):
+            return Project(
+                self._rewrite_once(expression.operand), expression.names
+            )
+        if isinstance(expression, Select):
+            return Select(
+                self._rewrite_once(expression.operand),
+                expression.predicate,
+            )
+        if isinstance(expression, Rename):
+            return Rename(
+                self._rewrite_once(expression.operand), expression.mapping
+            )
+        if isinstance(expression, Derive):
+            return Derive(
+                self._rewrite_once(expression.operand),
+                expression.predicate,
+                expression.expression,
+            )
+        return expression
+
+
+def optimize(
+    expression: Expression,
+    catalog: Optional[Catalog] = None,
+    rules: Sequence[Rule] = DEFAULT_RULES,
+) -> Expression:
+    """Rewrite ``expression`` with the given rules to a fixpoint."""
+    return Rewriter(rules, catalog).rewrite(expression)

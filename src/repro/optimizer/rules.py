@@ -1,0 +1,269 @@
+"""Rewrite rules — the snapshot algebra's laws, preserved by the extension.
+
+Each rule is a class with an :meth:`apply` method that returns the rewritten
+expression or None when the rule does not apply at this node.  Every rule
+implements a textbook identity (cited in its docstring); the test suite
+property-checks each identity by evaluating both sides on randomized
+databases *including rollback sub-expressions*, which is the reproduction
+of the paper's claim that the extension preserves the laws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.expressions import (
+    Difference,
+    Expression,
+    Product,
+    Project,
+    Select,
+    Union,
+)
+from repro.optimizer.schema_inference import Catalog, infer_schema
+from repro.snapshot.predicates import And
+
+__all__ = [
+    "Rule",
+    "SplitConjunctiveSelect",
+    "PushSelectBelowUnion",
+    "PushSelectBelowDifference",
+    "PushSelectBelowProduct",
+    "MergeProjects",
+    "PushProjectBelowUnion",
+    "EliminateIdentityProject",
+    "CombineSelects",
+    "DEFAULT_RULES",
+]
+
+
+class Rule:
+    """A local rewrite.  ``apply`` returns the rewritten node or None."""
+
+    #: Short name used by the rewriter's trace.
+    name = "rule"
+
+    def apply(
+        self, expression: Expression, catalog: Catalog
+    ) -> Optional[Expression]:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class SplitConjunctiveSelect(Rule):
+    """``σ_{F1 ∧ F2}(E) = σ_{F1}(σ_{F2}(E))`` — cascade of selections.
+
+    Splitting enables the halves to be pushed independently.
+    """
+
+    name = "split-conjunctive-select"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Select) and isinstance(
+            expression.predicate, And
+        ):
+            return Select(
+                Select(expression.operand, expression.predicate.right),
+                expression.predicate.left,
+            )
+        return None
+
+
+class CombineSelects(Rule):
+    """``σ_{F1}(σ_{F2}(E)) = σ_{F1 ∧ F2}(E)`` — the inverse cascade,
+    useful after pushdown to collapse adjacent selections."""
+
+    name = "combine-selects"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Select) and isinstance(
+            expression.operand, Select
+        ):
+            return Select(
+                expression.operand.operand,
+                And(expression.predicate, expression.operand.predicate),
+            )
+        return None
+
+
+class PushSelectBelowUnion(Rule):
+    """``σ_F(E1 ∪ E2) = σ_F(E1) ∪ σ_F(E2)`` — selection distributes
+    over union."""
+
+    name = "push-select-below-union"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Select) and isinstance(
+            expression.operand, Union
+        ):
+            union = expression.operand
+            return Union(
+                Select(union.left, expression.predicate),
+                Select(union.right, expression.predicate),
+            )
+        return None
+
+
+class PushSelectBelowDifference(Rule):
+    """``σ_F(E1 − E2) = σ_F(E1) − E2`` — selection needs to filter only
+    the left operand of a difference."""
+
+    name = "push-select-below-difference"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Select) and isinstance(
+            expression.operand, Difference
+        ):
+            diff = expression.operand
+            return Difference(
+                Select(diff.left, expression.predicate), diff.right
+            )
+        return None
+
+
+class PushSelectBelowProduct(Rule):
+    """``σ_F(E1 × E2) = σ_F(E1) × E2`` when ``F`` references only
+    attributes of ``E1`` (symmetrically for ``E2``) — the *distributivity
+    of select over join* the paper names explicitly (Section 2).
+
+    Requires schema inference to know which side owns the referenced
+    attributes; inapplicable (returns None) when the predicate spans both.
+    """
+
+    name = "push-select-below-product"
+
+    def apply(self, expression, catalog):
+        if not (
+            isinstance(expression, Select)
+            and isinstance(expression.operand, Product)
+        ):
+            return None
+        product = expression.operand
+        refs = expression.predicate.referenced_attributes()
+        left_names = set(infer_schema(product.left, catalog).names)
+        right_names = set(infer_schema(product.right, catalog).names)
+        if refs <= left_names:
+            return Product(
+                Select(product.left, expression.predicate), product.right
+            )
+        if refs <= right_names:
+            return Product(
+                product.left, Select(product.right, expression.predicate)
+            )
+        return None
+
+
+class MergeProjects(Rule):
+    """``π_X(π_Y(E)) = π_X(E)`` when ``X ⊆ Y`` — projection cascade."""
+
+    name = "merge-projects"
+
+    def apply(self, expression, catalog):
+        if (
+            isinstance(expression, Project)
+            and isinstance(expression.operand, Project)
+            and set(expression.names) <= set(expression.operand.names)
+        ):
+            return Project(expression.operand.operand, expression.names)
+        return None
+
+
+class PushProjectBelowUnion(Rule):
+    """``π_X(E1 ∪ E2) = π_X(E1) ∪ π_X(E2)`` — projection distributes
+    over union."""
+
+    name = "push-project-below-union"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Project) and isinstance(
+            expression.operand, Union
+        ):
+            union = expression.operand
+            return Union(
+                Project(union.left, expression.names),
+                Project(union.right, expression.names),
+            )
+        return None
+
+
+class EliminateIdentityProject(Rule):
+    """``π_X(E) = E`` when ``X`` is exactly ``E``'s schema in order."""
+
+    name = "eliminate-identity-project"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Project):
+            inner_schema = infer_schema(expression.operand, catalog)
+            if expression.names == inner_schema.names:
+                return expression.operand
+        return None
+
+
+#: The default rule set, ordered so that splits happen before pushes and
+#: cleanups come last.  ``CombineSelects`` is intentionally *not* in the
+#: default set (it is the inverse of ``SplitConjunctiveSelect`` and the
+#: pair would never reach a fixpoint); it is available for cost-directed
+#: use.
+DEFAULT_RULES: tuple[Rule, ...] = (
+    SplitConjunctiveSelect(),
+    PushSelectBelowUnion(),
+    PushSelectBelowDifference(),
+    PushSelectBelowProduct(),
+    MergeProjects(),
+    PushProjectBelowUnion(),
+    EliminateIdentityProject(),
+)
+
+
+class RewriteDeleteAsNegatedSelect(Rule):
+    """``E − σ_F(E) = σ_{¬F}(E)`` — the *delete rewrite*.
+
+    The Quel translator renders ``delete from R where F`` as
+    ``ρ(R, now) − σ_F(ρ(R, now))``, which evaluates ``ρ`` twice and
+    materializes both the doomed subset and the difference.  The rewrite
+    evaluates one negated selection instead — an example of the *update
+    optimizations* the paper says the algebraic treatment of update makes
+    possible (Section 1).
+
+    Sound for any sub-expression ``E`` because expressions are
+    side-effect-free (both occurrences denote the same state).
+    """
+
+    name = "rewrite-delete-as-negated-select"
+
+    def apply(self, expression, catalog):
+        from repro.snapshot.predicates import Not
+
+        if (
+            isinstance(expression, Difference)
+            and isinstance(expression.right, Select)
+            and expression.right.operand == expression.left
+        ):
+            return Select(
+                expression.left, Not(expression.right.predicate)
+            )
+        return None
+
+
+class DeduplicateUnion(Rule):
+    """``E ∪ E = E`` — idempotence of union (set semantics)."""
+
+    name = "deduplicate-union"
+
+    def apply(self, expression, catalog):
+        if (
+            isinstance(expression, Union)
+            and expression.left == expression.right
+        ):
+            return expression.left
+        return None
+
+
+#: Rules aimed at modify_state expressions (applied on top of the
+#: retrieval rules by :func:`repro.optimizer.update_rewrites.optimize_update`).
+UPDATE_RULES: tuple[Rule, ...] = (
+    RewriteDeleteAsNegatedSelect(),
+    DeduplicateUnion(),
+)

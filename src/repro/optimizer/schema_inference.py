@@ -1,0 +1,75 @@
+"""Static schema inference for expression trees.
+
+Rewrite rules such as "push a selection below a product" are applicable
+only when the predicate references attributes of one operand; deciding that
+requires knowing each sub-expression's schema *without evaluating it*.  A
+:class:`Catalog` supplies schemas for the ``ρ`` leaves (relation
+identifiers); everything else is computed structurally.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.errors import SchemaError
+from repro.core.expressions import (
+    Const,
+    Derive,
+    Difference,
+    Expression,
+    Product,
+    Project,
+    Rename,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.snapshot.schema import Schema
+
+__all__ = ["Catalog", "infer_schema"]
+
+Catalog = Mapping[str, Schema]
+
+
+def infer_schema(
+    expression: Expression, catalog: Optional[Catalog] = None
+) -> Schema:
+    """The schema the expression's result will have.
+
+    ``catalog`` maps relation identifiers (the ``ρ`` leaves) to schemas.
+    Raises :class:`SchemaError` when a leaf is unknown or an operator is
+    mis-typed (mirroring the run-time checks, but statically).
+    """
+    catalog = catalog or {}
+    if isinstance(expression, Const):
+        return expression.state.schema
+    if isinstance(expression, Rollback):
+        schema = catalog.get(expression.identifier)
+        if schema is None:
+            raise SchemaError(
+                f"catalog has no schema for relation "
+                f"{expression.identifier!r}"
+            )
+        return schema
+    if isinstance(expression, (Union, Difference)):
+        left = infer_schema(expression.left, catalog)
+        right = infer_schema(expression.right, catalog)
+        left.require_compatible(right, type(expression).__name__.lower())
+        return left
+    if isinstance(expression, Product):
+        left = infer_schema(expression.left, catalog)
+        right = infer_schema(expression.right, catalog)
+        return left.concat(right)
+    if isinstance(expression, Project):
+        inner = infer_schema(expression.operand, catalog)
+        return inner.project(expression.names)
+    if isinstance(expression, Select):
+        return infer_schema(expression.operand, catalog)
+    if isinstance(expression, Rename):
+        inner = infer_schema(expression.operand, catalog)
+        return inner.rename(expression.mapping)
+    if isinstance(expression, Derive):
+        return infer_schema(expression.operand, catalog)
+    raise SchemaError(
+        f"cannot infer a schema for expression {expression!r}"
+    )

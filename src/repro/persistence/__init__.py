@@ -1,0 +1,39 @@
+"""Durable serialization of databases to JSON.
+
+The paper defines the *information content* of a database formally; this
+package gives that content a durable, implementation-independent encoding
+so a rollback/temporal database can be saved, shipped and re-loaded.  The
+encoding is purely logical — it serializes the semantic ``DATABASE`` value
+(every relation's full state sequence), not any physical backend — so a
+database can be dumped from one backend and loaded into another.
+
+Round-trip guarantee (tested): ``loads(dumps(db)) == db``.
+
+Scope notes:
+
+* Attribute domains are encoded by *name*; the built-in domains
+  (``integer``, ``string``, ``number``, ``boolean``, ``any``,
+  ``user_defined_time``) round-trip exactly.  Custom domains load as
+  ``ANY`` with a warning entry in the payload, since a membership
+  predicate is not serializable.
+* Values must be JSON-representable (int, float, str, bool).  This covers
+  every domain the library ships.
+"""
+
+from repro.persistence.json_codec import (
+    dump,
+    dumps,
+    load,
+    loads,
+    database_to_dict,
+    database_from_dict,
+)
+
+__all__ = [
+    "dump",
+    "dumps",
+    "load",
+    "loads",
+    "database_to_dict",
+    "database_from_dict",
+]

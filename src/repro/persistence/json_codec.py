@@ -1,0 +1,198 @@
+"""JSON encoding/decoding of the semantic DATABASE value."""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO
+
+from repro.errors import StorageError
+from repro.core.database import Database, DatabaseState
+from repro.core.relation import Relation, RelationType
+from repro.historical.chronons import FOREVER
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.attributes import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NUMBER,
+    STRING,
+    USER_DEFINED_TIME,
+    Attribute,
+    Domain,
+)
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+__all__ = [
+    "FORMAT_VERSION",
+    "database_to_dict",
+    "database_from_dict",
+    "dumps",
+    "loads",
+    "dump",
+    "load",
+]
+
+FORMAT_VERSION = 1
+
+_BUILTIN_DOMAINS: dict[str, Domain] = {
+    d.name: d
+    for d in (ANY, BOOLEAN, INTEGER, NUMBER, STRING, USER_DEFINED_TIME)
+}
+
+
+# -- schemas -----------------------------------------------------------------
+
+
+def _schema_to_dict(schema: Schema) -> list[dict[str, str]]:
+    return [
+        {"name": a.name, "domain": a.domain.name}
+        for a in schema.attributes
+    ]
+
+
+def _schema_from_dict(payload: list[dict[str, str]]) -> Schema:
+    attributes = []
+    for entry in payload:
+        domain = _BUILTIN_DOMAINS.get(entry["domain"], ANY)
+        attributes.append(Attribute(entry["name"], domain))
+    return Schema(attributes)
+
+
+# -- states -------------------------------------------------------------------
+
+
+def _periods_to_list(periods: PeriodSet) -> list[list[Any]]:
+    return [
+        [i.start, None if i.is_unbounded else i.end]
+        for i in periods.intervals
+    ]
+
+
+def _periods_from_list(payload: list[list[Any]]) -> PeriodSet:
+    return PeriodSet(
+        [
+            (start, FOREVER if end is None else end)
+            for start, end in payload
+        ]
+    )
+
+
+def _state_to_dict(state) -> dict[str, Any]:
+    if isinstance(state, HistoricalState):
+        return {
+            "kind": "historical",
+            "schema": _schema_to_dict(state.schema),
+            "rows": sorted(
+                (
+                    [list(t.value.values), _periods_to_list(t.valid_time)]
+                    for t in state.tuples
+                ),
+                key=repr,
+            ),
+        }
+    if isinstance(state, SnapshotState):
+        return {
+            "kind": "snapshot",
+            "schema": _schema_to_dict(state.schema),
+            "rows": sorted(
+                (list(t.values) for t in state.tuples), key=repr
+            ),
+        }
+    raise StorageError(f"cannot serialize state {type(state).__name__}")
+
+
+def _state_from_dict(payload: dict[str, Any]):
+    schema = _schema_from_dict(payload["schema"])
+    if payload["kind"] == "historical":
+        tuples = [
+            HistoricalTuple(
+                values, _periods_from_list(periods), schema=schema
+            )
+            for values, periods in payload["rows"]
+        ]
+        return HistoricalState(schema, tuples)
+    if payload["kind"] == "snapshot":
+        return SnapshotState(schema, payload["rows"])
+    raise StorageError(f"unknown state kind {payload['kind']!r}")
+
+
+# -- relations and databases ------------------------------------------------------
+
+
+def _relation_to_dict(relation: Relation) -> dict[str, Any]:
+    return {
+        "type": relation.rtype.value,
+        "states": [
+            {"txn": txn, "state": _state_to_dict(state)}
+            for state, txn in relation.rstate
+        ],
+    }
+
+
+def _relation_from_dict(payload: dict[str, Any]) -> Relation:
+    rtype = RelationType.from_name(payload["type"])
+    states = [
+        (_state_from_dict(entry["state"]), entry["txn"])
+        for entry in payload["states"]
+    ]
+    return Relation(rtype, states)
+
+
+def database_to_dict(database: Database) -> dict[str, Any]:
+    """The semantic DATABASE value as a JSON-ready dictionary."""
+    return {
+        "format": "repro-database",
+        "version": FORMAT_VERSION,
+        "transaction_number": database.transaction_number,
+        "relations": {
+            identifier: _relation_to_dict(database.require(identifier))
+            for identifier in database.state
+        },
+    }
+
+
+def database_from_dict(payload: dict[str, Any]) -> Database:
+    """Rebuild a Database from :func:`database_to_dict` output."""
+    if payload.get("format") != "repro-database":
+        raise StorageError(
+            "payload is not a repro database dump "
+            f"(format={payload.get('format')!r})"
+        )
+    if payload.get("version") != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported dump version {payload.get('version')!r}; "
+            f"this library reads version {FORMAT_VERSION}"
+        )
+    bindings = {
+        identifier: _relation_from_dict(entry)
+        for identifier, entry in payload["relations"].items()
+    }
+    return Database(
+        DatabaseState(bindings), payload["transaction_number"]
+    )
+
+
+# -- convenience wrappers ----------------------------------------------------------
+
+
+def dumps(database: Database, indent: int | None = None) -> str:
+    """Serialize a database to a JSON string."""
+    return json.dumps(database_to_dict(database), indent=indent)
+
+
+def loads(text: str) -> Database:
+    """Deserialize a database from a JSON string."""
+    return database_from_dict(json.loads(text))
+
+
+def dump(database: Database, fp: IO[str], indent: int | None = None) -> None:
+    """Serialize a database to an open text file."""
+    json.dump(database_to_dict(database), fp, indent=indent)
+
+
+def load(fp: IO[str]) -> Database:
+    """Deserialize a database from an open text file."""
+    return database_from_dict(json.load(fp))

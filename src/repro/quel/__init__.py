@@ -1,0 +1,57 @@
+"""A Quel-style update calculus translated to the algebra.
+
+One of the paper's motivating benefits (Section 1): "The action of update
+is available in the algebra, allowing the algebra to be the executable form
+to which update operations in a calculus-based language (e.g., append,
+delete, replace in Quel) can be mapped."  This package realizes that
+mapping for a small Quel-flavored sub-language:
+
+* ``append to R (a = v, ...)``
+* ``delete from R [where F]``
+* ``replace R (a = v, ...) [where F]``
+* ``retrieve (a, ...) from R [where F] [as of N]``
+
+Each update statement translates to a single ``modify_state(R, E)``
+command, with ``E`` built exactly as Section 3.5 prescribes:
+
+* *append* — ``ρ(R, now) ∪ constant``
+* *delete* — ``ρ(R, now) − σ_F(ρ(R, now))``
+* *replace* — ``(ρ(R, now) − σ_F(ρ(R, now))) ∪ π_order(ρ_rename(π_keep(
+  σ_F(ρ(R, now))) × constant))`` — the changed tuples rebuilt with the new
+  constant values via product + rename + projection, all within the algebra.
+
+``retrieve`` translates to a side-effect-free expression (with ``as of``
+mapping to the rollback operator ``ρ``).
+"""
+
+from repro.quel.statements import (
+    Append,
+    Delete,
+    Replace,
+    Retrieve,
+    Statement,
+)
+from repro.quel.translate import QuelTranslator
+from repro.quel.parser import parse_statement
+from repro.quel.temporal import (
+    TemporalAppend,
+    TemporalDelete,
+    TemporalQuelTranslator,
+    Terminate,
+    parse_temporal_statement,
+)
+
+__all__ = [
+    "Statement",
+    "Append",
+    "Delete",
+    "Replace",
+    "Retrieve",
+    "QuelTranslator",
+    "parse_statement",
+    "TemporalAppend",
+    "TemporalDelete",
+    "Terminate",
+    "TemporalQuelTranslator",
+    "parse_temporal_statement",
+]

@@ -1,0 +1,137 @@
+"""A parser for the Quel-style statement surface syntax.
+
+Grammar::
+
+    statement := append | delete | replace | retrieve
+    append    := 'append' 'to' IDENT '(' assign (',' assign)* ')'
+    delete    := 'delete' 'from' IDENT ['where' predicate]
+    replace   := 'replace' IDENT '(' assign (',' assign)* ')'
+                 ['where' predicate]
+    retrieve  := 'retrieve' '(' IDENT (',' IDENT)* ')' 'from' IDENT
+                 ['where' predicate] ['when' INT] ['as' 'of' numeral]
+    assign    := IDENT '=' literal
+    numeral   := INT | 'now'
+
+The predicate sub-grammar is the same ``F`` domain as the main language;
+we reuse :class:`repro.lang.parser.Parser` for it, so comparisons,
+``and``/``or``/``not`` and parentheses all work in ``where`` clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ParseError
+from repro.core.txn import NOW
+from repro.lang.lexer import tokenize
+from repro.lang.parser import Parser
+from repro.lang.tokens import Token, TokenType
+from repro.quel.statements import (
+    Append,
+    Delete,
+    Replace,
+    Retrieve,
+    Statement,
+)
+
+__all__ = ["parse_statement"]
+
+# Words with meaning only inside Quel statements.  They lex as plain
+# identifiers, so the parser matches them by value.
+_QUEL_WORDS = {"append", "to", "delete", "from", "replace", "retrieve",
+               "where", "as", "of"}
+
+
+class _QuelParser(Parser):
+    """Extends the language parser with Quel-statement rules."""
+
+    def _ident_word(self, word: str) -> bool:
+        token = self._peek()
+        return token.type is TokenType.IDENT and token.value == word
+
+    def _expect_word(self, word: str) -> Token:
+        token = self._peek()
+        if not self._ident_word(word):
+            raise ParseError(
+                f"expected {word!r} but found {token.value!r} at "
+                f"position {token.position}",
+                token.position,
+            )
+        return self._advance()
+
+    def statement(self) -> Statement:
+        if self._ident_word("append"):
+            self._advance()
+            self._expect_word("to")
+            relation = self._expect(TokenType.IDENT).value
+            values = self._assignments()
+            return Append(relation, values)
+        if self._ident_word("delete"):
+            self._advance()
+            self._expect_word("from")
+            relation = self._expect(TokenType.IDENT).value
+            where = self._optional_where()
+            return Delete(relation, where)
+        if self._ident_word("replace"):
+            self._advance()
+            relation = self._expect(TokenType.IDENT).value
+            assignments = self._assignments()
+            where = self._optional_where()
+            return Replace(relation, assignments, where)
+        if self._ident_word("retrieve"):
+            self._advance()
+            self._expect(TokenType.LPAREN)
+            names = [self._expect(TokenType.IDENT).value]
+            while self._peek().type is TokenType.COMMA:
+                self._advance()
+                names.append(self._expect(TokenType.IDENT).value)
+            self._expect(TokenType.RPAREN)
+            self._expect_word("from")
+            relation = self._expect(TokenType.IDENT).value
+            where = self._optional_where()
+            when = None
+            if self._ident_word("when"):
+                self._advance()
+                when = self._expect(TokenType.INT).value
+            as_of: Any = NOW
+            if self._ident_word("as"):
+                self._advance()
+                self._expect_word("of")
+                as_of = self._numeral()
+            return Retrieve(names, relation, where, as_of, when)
+        token = self._peek()
+        raise ParseError(
+            f"expected a Quel statement but found {token.value!r} at "
+            f"position {token.position}",
+            token.position,
+        )
+
+    def _assignments(self) -> dict[str, Any]:
+        self._expect(TokenType.LPAREN)
+        values: dict[str, Any] = {}
+        name = self._expect(TokenType.IDENT).value
+        self._expect(TokenType.EQ)
+        values[name] = self._literal()
+        while self._peek().type is TokenType.COMMA:
+            self._advance()
+            name = self._expect(TokenType.IDENT).value
+            if name in values:
+                raise ParseError(f"attribute {name!r} assigned twice")
+            self._expect(TokenType.EQ)
+            values[name] = self._literal()
+        self._expect(TokenType.RPAREN)
+        return values
+
+    def _optional_where(self):
+        if self._ident_word("where"):
+            self._advance()
+            return self.predicate()
+        return None
+
+
+def parse_statement(source: str) -> Statement:
+    """Parse a single Quel-style statement."""
+    parser = _QuelParser(tokenize(source))
+    statement = parser.statement()
+    parser._expect(TokenType.EOF)
+    return statement

@@ -1,0 +1,119 @@
+"""ASTs for the Quel-style update sub-language."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from repro.errors import TranslationError
+from repro.core.txn import NOW, Numeral
+from repro.snapshot.predicates import Predicate
+
+__all__ = ["Statement", "Append", "Delete", "Replace", "Retrieve"]
+
+
+class Statement:
+    """Base class for Quel-style statements."""
+
+    __slots__ = ()
+
+
+class Append(Statement):
+    """``append to R (a1 = v1, ..., ak = vk)`` — add one tuple.
+
+    ``values`` maps every attribute of ``R``'s schema to a constant.
+    """
+
+    __slots__ = ("relation", "values")
+
+    def __init__(self, relation: str, values: Mapping[str, Any]) -> None:
+        if not values:
+            raise TranslationError("append requires at least one value")
+        self.relation = relation
+        self.values = dict(values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k} = {v!r}" for k, v in self.values.items())
+        return f"append to {self.relation} ({inner})"
+
+
+class Delete(Statement):
+    """``delete from R [where F]`` — remove the tuples satisfying ``F``
+    (all tuples when ``F`` is omitted)."""
+
+    __slots__ = ("relation", "where")
+
+    def __init__(
+        self, relation: str, where: Optional[Predicate] = None
+    ) -> None:
+        self.relation = relation
+        self.where = where
+
+    def __repr__(self) -> str:
+        suffix = f" where {self.where!r}" if self.where is not None else ""
+        return f"delete from {self.relation}{suffix}"
+
+
+class Replace(Statement):
+    """``replace R (a1 = v1, ...) [where F]`` — set the listed attributes
+    to the given constants on every tuple satisfying ``F``."""
+
+    __slots__ = ("relation", "assignments", "where")
+
+    def __init__(
+        self,
+        relation: str,
+        assignments: Mapping[str, Any],
+        where: Optional[Predicate] = None,
+    ) -> None:
+        if not assignments:
+            raise TranslationError(
+                "replace requires at least one assignment"
+            )
+        self.relation = relation
+        self.assignments = dict(assignments)
+        self.where = where
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{k} = {v!r}" for k, v in self.assignments.items()
+        )
+        suffix = f" where {self.where!r}" if self.where is not None else ""
+        return f"replace {self.relation} ({inner}){suffix}"
+
+
+class Retrieve(Statement):
+    """``retrieve (a1, ...) from R [where F] [when V] [as of N]`` — a query.
+
+    ``as_of`` defaults to ``now`` (the paper's ``∞``); an integer rolls the
+    relation back to that transaction first (transaction time).  ``when``
+    is the TQuel-flavored valid-time clause for historical/temporal
+    relations: keep only the facts valid at the given chronon.
+    """
+
+    __slots__ = ("relation", "names", "where", "as_of", "when")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        relation: str,
+        where: Optional[Predicate] = None,
+        as_of: Numeral = NOW,
+        when: Optional[int] = None,
+    ) -> None:
+        if not names:
+            raise TranslationError(
+                "retrieve requires at least one attribute"
+            )
+        self.names = tuple(names)
+        self.relation = relation
+        self.where = where
+        self.as_of = as_of
+        self.when = when
+
+    def __repr__(self) -> str:
+        where = f" where {self.where!r}" if self.where is not None else ""
+        when = f" when {self.when}" if self.when is not None else ""
+        return (
+            f"retrieve ({', '.join(self.names)}) from {self.relation}"
+            f"{where}{when} as of {self.as_of!r}"
+        )

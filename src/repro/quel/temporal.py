@@ -1,0 +1,285 @@
+"""Temporal update statements — the calculus over historical/temporal
+relations.
+
+The paper's Section 4 shows ``modify_state`` working unchanged over
+historical states; this module supplies the TQuel-flavored update
+statements that map onto it:
+
+* ``append to R (a = v, ...) valid [b, e)`` — start believing a fact
+  holds during the given valid-time periods;
+* ``delete from R [where F]`` — stop believing the matching facts
+  entirely (their whole valid time is retracted from the current state;
+  past states keep it, of course);
+* ``terminate R [where F] at c`` — the classic temporal operation
+  (Ben-Zvi had a ``terminate`` command too): clip the matching facts'
+  valid time to end at chronon ``c``.
+
+Each translates to one ``modify_state`` whose expression uses only
+algebraic operators over ``ρ̂(R, now)``:
+
+* append:    ``ρ̂ ∪̂ constant``
+* delete:    ``ρ̂ −̂ σ̂_F(ρ̂)``
+* terminate: ``(ρ̂ −̂ σ̂_F(ρ̂)) ∪̂ δ_{; valid ∩ [0, c)}(σ̂_F(ρ̂))``
+
+Concrete syntax is provided by :func:`parse_temporal_statement`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional
+
+from repro.errors import ParseError, TranslationError
+from repro.core.commands import ModifyState
+from repro.core.expressions import (
+    Const,
+    Derive,
+    Difference,
+    Expression,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.txn import NOW
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.temporal_exprs import (
+    Intersect,
+    TemporalConstant,
+    ValidTime,
+)
+from repro.historical.tuples import HistoricalTuple
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenType
+from repro.quel.parser import _QuelParser
+from repro.quel.statements import Statement
+from repro.snapshot.predicates import Predicate
+from repro.snapshot.schema import Schema
+
+__all__ = [
+    "TemporalAppend",
+    "TemporalDelete",
+    "Terminate",
+    "TemporalQuelTranslator",
+    "parse_temporal_statement",
+]
+
+
+class TemporalAppend(Statement):
+    """``append to R (a = v, ...) valid <periods>``."""
+
+    __slots__ = ("relation", "values", "valid")
+
+    def __init__(
+        self, relation: str, values: Mapping[str, Any], valid: PeriodSet
+    ) -> None:
+        if not values:
+            raise TranslationError("append requires at least one value")
+        if valid.is_empty():
+            raise TranslationError(
+                "a temporal append requires a non-empty valid time"
+            )
+        self.relation = relation
+        self.values = dict(values)
+        self.valid = valid
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k} = {v!r}" for k, v in self.values.items())
+        return f"append to {self.relation} ({inner}) valid {self.valid!r}"
+
+
+class TemporalDelete(Statement):
+    """``delete from R [where F]`` over a temporal relation — retract the
+    matching facts entirely."""
+
+    __slots__ = ("relation", "where")
+
+    def __init__(
+        self, relation: str, where: Optional[Predicate] = None
+    ) -> None:
+        self.relation = relation
+        self.where = where
+
+    def __repr__(self) -> str:
+        suffix = f" where {self.where!r}" if self.where is not None else ""
+        return f"delete from {self.relation}{suffix}"
+
+
+class Terminate(Statement):
+    """``terminate R [where F] at c`` — clip the matching facts' valid
+    time to end (exclusively) at chronon ``c``."""
+
+    __slots__ = ("relation", "where", "chronon")
+
+    def __init__(
+        self,
+        relation: str,
+        chronon: int,
+        where: Optional[Predicate] = None,
+    ) -> None:
+        if chronon < 0:
+            raise TranslationError(
+                f"terminate chronon must be ≥ 0, got {chronon}"
+            )
+        self.relation = relation
+        self.chronon = chronon
+        self.where = where
+
+    def __repr__(self) -> str:
+        suffix = f" where {self.where!r}" if self.where is not None else ""
+        return f"terminate {self.relation}{suffix} at {self.chronon}"
+
+
+class TemporalQuelTranslator:
+    """Translate temporal statements into the algebra.
+
+    Like :class:`~repro.quel.translate.QuelTranslator`, needs a catalog
+    mapping relation identifiers to schemas.
+    """
+
+    def __init__(self, catalog: Mapping[str, Schema]) -> None:
+        self._catalog = dict(catalog)
+
+    def schema_of(self, relation: str) -> Schema:
+        try:
+            return self._catalog[relation]
+        except KeyError:
+            raise TranslationError(
+                f"relation {relation!r} is not in the catalog; known "
+                f"relations: {sorted(self._catalog)}"
+            ) from None
+
+    def translate(self, statement: Statement) -> ModifyState:
+        """Translate a temporal update statement to ``modify_state``."""
+        if isinstance(statement, TemporalAppend):
+            return self._translate_append(statement)
+        if isinstance(statement, TemporalDelete):
+            return self._translate_delete(statement)
+        if isinstance(statement, Terminate):
+            return self._translate_terminate(statement)
+        raise TranslationError(
+            f"unknown temporal statement {statement!r}"
+        )
+
+    # -- translations ---------------------------------------------------------
+
+    def _translate_append(self, statement: TemporalAppend) -> ModifyState:
+        schema = self.schema_of(statement.relation)
+        missing = set(schema.names) - set(statement.values)
+        extra = set(statement.values) - set(schema.names)
+        if missing or extra:
+            raise TranslationError(
+                f"append to {statement.relation!r}: missing "
+                f"{sorted(missing)}, unknown {sorted(extra)}"
+            )
+        constant = Const(
+            HistoricalState(
+                schema,
+                [
+                    HistoricalTuple(
+                        statement.values, statement.valid, schema=schema
+                    )
+                ],
+            )
+        )
+        current = Rollback(statement.relation, NOW)
+        return ModifyState(statement.relation, Union(current, constant))
+
+    def _translate_delete(self, statement: TemporalDelete) -> ModifyState:
+        schema = self.schema_of(statement.relation)
+        current = Rollback(statement.relation, NOW)
+        if statement.where is None:
+            empty = Const(HistoricalState.empty(schema))
+            return ModifyState(statement.relation, empty)
+        doomed = Select(current, statement.where)
+        return ModifyState(
+            statement.relation, Difference(current, doomed)
+        )
+
+    def _translate_terminate(self, statement: Terminate) -> ModifyState:
+        current = Rollback(statement.relation, NOW)
+        matched: Expression = (
+            Select(current, statement.where)
+            if statement.where is not None
+            else current
+        )
+        untouched: Expression = (
+            Difference(current, Select(current, statement.where))
+            if statement.where is not None
+            else Const(
+                HistoricalState.empty(self.schema_of(statement.relation))
+            )
+        )
+        # Clip the matched facts: valid := valid ∩ [0, c).  Facts whose
+        # clipped valid time is empty disappear, per δ's semantics —
+        # terminating at or before a fact's start retracts it outright.
+        if statement.chronon == 0:
+            window = PeriodSet.empty()
+        else:
+            window = PeriodSet([(0, statement.chronon)])
+        clipped = Derive(
+            matched,
+            expression=Intersect(
+                ValidTime(), TemporalConstant(window)
+            ),
+        )
+        return ModifyState(
+            statement.relation, Union(untouched, clipped)
+        )
+
+
+# -- concrete syntax --------------------------------------------------------------
+
+
+class _TemporalQuelParser(_QuelParser):
+    """Adds the temporal statement rules to the Quel parser."""
+
+    def temporal_statement(self) -> Statement:
+        if self._ident_word("append"):
+            self._advance()
+            self._expect_word("to")
+            relation = self._expect(TokenType.IDENT).value
+            values = self._assignments()
+            self._expect_word("valid")
+            periods = self._periods()
+            return TemporalAppend(relation, values, periods)
+        if self._ident_word("delete"):
+            self._advance()
+            self._expect_word("from")
+            relation = self._expect(TokenType.IDENT).value
+            where = self._optional_where()
+            return TemporalDelete(relation, where)
+        if self._ident_word("terminate"):
+            self._advance()
+            relation = self._expect(TokenType.IDENT).value
+            where = self._optional_where()
+            self._expect_word("at")
+            chronon = self._expect(TokenType.INT).value
+            return Terminate(relation, chronon, where)
+        token = self._peek()
+        raise ParseError(
+            f"expected a temporal statement but found {token.value!r} "
+            f"at position {token.position}",
+            token.position,
+        )
+
+    def _expect_word(self, word: str):
+        # 'valid' lexes as a keyword (it is in the V domain); accept both.
+        token = self._peek()
+        if token.is_keyword(word):
+            return self._advance()
+        return super()._expect_word(word)
+
+
+def parse_temporal_statement(source: str) -> Statement:
+    """Parse a temporal update statement.
+
+    Syntax::
+
+        append to R (a = v, ...) valid [b, e) [+ [b2, e2) ...]
+        delete from R [where F]
+        terminate R [where F] at INT
+    """
+    parser = _TemporalQuelParser(tokenize(source))
+    statement = parser.temporal_statement()
+    parser._expect(TokenType.EOF)
+    return statement

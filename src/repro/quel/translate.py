@@ -1,0 +1,229 @@
+"""Translation of Quel-style statements into the algebra.
+
+The translator needs a *catalog* — a mapping from relation identifiers to
+their schemas — because ``append`` and ``replace`` must build constant
+states of the right shape at translation time (the paper's DBMS would read
+this from its data dictionary).
+
+Every update statement becomes one ``modify_state`` command whose
+expression uses only algebraic operators over ``ρ(R, now)``, following
+Section 3.5's recipe:
+
+* *append*: the new state "contains all of the tuples in [the] relation's
+  most recent state plus one or more tuples not in the relation's most
+  recent state" — ``ρ ∪ constant``.
+* *delete*: "a proper subset of the tuples in [the] relation's most recent
+  state" — ``ρ − σ_F(ρ)``.
+* *replace*: "differs from [the] relation's most recent state only in the
+  attribute values of one or more tuples" — the unmatched tuples are kept
+  (``ρ − σ_F(ρ)``), and the matched tuples are rebuilt with the new
+  constant values by ``π`` / ``×`` / rename, then unioned back in.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import TranslationError
+from repro.core.commands import ModifyState
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Expression,
+    Product,
+    Project,
+    Rename,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.txn import NOW
+from repro.quel.statements import (
+    Append,
+    Delete,
+    Replace,
+    Retrieve,
+    Statement,
+)
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+__all__ = ["QuelTranslator"]
+
+
+class QuelTranslator:
+    """Translate Quel-style statements into algebra commands/expressions.
+
+    >>> catalog = {'faculty': Schema(['name', 'rank'])}
+    >>> t = QuelTranslator(catalog)
+    >>> cmd = t.translate(Append('faculty',
+    ...                          {'name': 'merrie', 'rank': 'assistant'}))
+    """
+
+    def __init__(self, catalog: Mapping[str, Schema]) -> None:
+        self._catalog = dict(catalog)
+
+    def schema_of(self, relation: str) -> Schema:
+        """The cataloged schema of a relation."""
+        try:
+            return self._catalog[relation]
+        except KeyError:
+            raise TranslationError(
+                f"relation {relation!r} is not in the catalog; known "
+                f"relations: {sorted(self._catalog)}"
+            ) from None
+
+    # -- statement dispatch ------------------------------------------------
+
+    def translate(self, statement: Statement) -> ModifyState:
+        """Translate an *update* statement to a ``modify_state`` command."""
+        if isinstance(statement, Append):
+            return self._translate_append(statement)
+        if isinstance(statement, Delete):
+            return self._translate_delete(statement)
+        if isinstance(statement, Replace):
+            return self._translate_replace(statement)
+        if isinstance(statement, Retrieve):
+            raise TranslationError(
+                "retrieve is a query, not an update; use "
+                "translate_retrieve"
+            )
+        raise TranslationError(f"unknown statement {statement!r}")
+
+    def translate_retrieve(self, statement: Retrieve) -> Expression:
+        """Translate a ``retrieve`` statement to a side-effect-free
+        expression.
+
+        The ``as of`` clause maps to the rollback operator (transaction
+        time); the ``when`` clause maps to the valid-time operator
+        ``δ_{valid-at}`` (for historical/temporal relations).
+        """
+        expression: Expression = Rollback(
+            statement.relation, statement.as_of
+        )
+        if statement.when is not None:
+            from repro.core.expressions import Derive
+            from repro.historical.predicates import ValidAt
+            from repro.historical.temporal_exprs import ValidTime
+
+            expression = Derive(
+                expression,
+                predicate=ValidAt(ValidTime(), statement.when),
+            )
+        if statement.where is not None:
+            expression = Select(expression, statement.where)
+        schema = self.schema_of(statement.relation)
+        for name in statement.names:
+            if name not in schema:
+                raise TranslationError(
+                    f"retrieve names unknown attribute {name!r} of "
+                    f"{statement.relation!r}"
+                )
+        if tuple(statement.names) != schema.names:
+            expression = Project(expression, statement.names)
+        return expression
+
+    # -- update translations ---------------------------------------------------
+
+    def _translate_append(self, statement: Append) -> ModifyState:
+        schema = self.schema_of(statement.relation)
+        self._check_names(
+            statement.values, schema, statement.relation, exact=True
+        )
+        constant = Const(SnapshotState(schema, [statement.values]))
+        current = Rollback(statement.relation, NOW)
+        return ModifyState(statement.relation, Union(current, constant))
+
+    def _translate_delete(self, statement: Delete) -> ModifyState:
+        schema = self.schema_of(statement.relation)
+        current = Rollback(statement.relation, NOW)
+        if statement.where is None:
+            # Delete everything: the new state is the empty state.
+            empty = Const(SnapshotState.empty(schema))
+            return ModifyState(statement.relation, empty)
+        doomed = Select(current, statement.where)
+        return ModifyState(
+            statement.relation, Difference(current, doomed)
+        )
+
+    def _translate_replace(self, statement: Replace) -> ModifyState:
+        schema = self.schema_of(statement.relation)
+        self._check_names(
+            statement.assignments, schema, statement.relation, exact=False
+        )
+        current = Rollback(statement.relation, NOW)
+        matched: Expression = (
+            Select(current, statement.where)
+            if statement.where is not None
+            else current
+        )
+        untouched: Expression = (
+            Difference(current, Select(current, statement.where))
+            if statement.where is not None
+            else Const(SnapshotState.empty(schema))
+        )
+
+        # Rebuild the matched tuples with the assigned constants:
+        #   1. project away the assigned attributes;
+        #   2. cross with a one-tuple constant carrying the new values
+        #      (under temporary names to avoid collisions);
+        #   3. rename the temporaries back and restore schema order.
+        assigned = list(statement.assignments)
+        kept = [n for n in schema.names if n not in statement.assignments]
+        temp_names = {name: f"__new_{name}" for name in assigned}
+        const_schema = Schema(
+            [schema[name].renamed(temp_names[name]) for name in assigned]
+        )
+        const_values = [
+            [statement.assignments[name] for name in assigned]
+        ]
+        new_values = Const(SnapshotState(const_schema, const_values))
+
+        if kept:
+            rebuilt: Expression = Product(
+                Project(matched, kept), new_values
+            )
+        else:
+            # Every attribute is assigned: the replacement collapses to
+            # the constant tuple (if anything matched).  We keep the
+            # product form with a projection to the empty prefix being
+            # impossible, so special-case: matched non-empty => constant.
+            # π over zero attributes is not in the algebra; instead use
+            # the constant directly — replacing every attribute of every
+            # matched tuple yields exactly the constant tuple whenever a
+            # match exists.  Expressible as: σ is decidable only at run
+            # time, so we conservatively union the constant in; when
+            # nothing matched the constant still enters the state.  To
+            # stay faithful we reject this corner instead.
+            raise TranslationError(
+                "replace assigning every attribute is not expressible "
+                "without generalized projection; delete + append instead"
+            )
+        renamed = Rename(
+            rebuilt, {temp_names[name]: name for name in assigned}
+        )
+        reordered = Project(renamed, list(schema.names))
+        return ModifyState(
+            statement.relation, Union(untouched, reordered)
+        )
+
+    @staticmethod
+    def _check_names(
+        values: Mapping[str, object],
+        schema: Schema,
+        relation: str,
+        exact: bool,
+    ) -> None:
+        extra = set(values) - set(schema.names)
+        if extra:
+            raise TranslationError(
+                f"unknown attributes {sorted(extra)} for relation "
+                f"{relation!r} with schema {schema.names}"
+            )
+        if exact:
+            missing = set(schema.names) - set(values)
+            if missing:
+                raise TranslationError(
+                    f"append to {relation!r} must supply every attribute; "
+                    f"missing {sorted(missing)}"
+                )

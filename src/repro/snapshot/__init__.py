@@ -1,0 +1,93 @@
+"""The snapshot relational algebra (Codd 1970, Maier 1983).
+
+This package is the substrate the paper builds on: it provides snapshot
+states — finite sets of tuples over a relation schema — and the five
+primitive operators (union, difference, cartesian product, projection,
+selection) that "serve to define the snapshot algebra" (Section 3.1), plus
+the usual derived operators (intersection, joins, rename, division).
+
+The paper's new material lives in :mod:`repro.core`; nothing in this package
+knows about transaction time.
+"""
+
+from repro.snapshot.attributes import (
+    Attribute,
+    Domain,
+    BOOLEAN,
+    INTEGER,
+    NUMBER,
+    STRING,
+    USER_DEFINED_TIME,
+    ANY,
+)
+from repro.snapshot.schema import Schema
+from repro.snapshot.tuples import SnapshotTuple
+from repro.snapshot.state import SnapshotState
+from repro.snapshot.predicates import (
+    Predicate,
+    Comparison,
+    And,
+    Or,
+    Not,
+    TruePredicate,
+    FalsePredicate,
+    AttributeRef,
+    Literal,
+    attr,
+    lit,
+)
+from repro.snapshot.operators import (
+    union,
+    difference,
+    product,
+    project,
+    select,
+)
+from repro.snapshot.derived import (
+    intersection,
+    theta_join,
+    natural_join,
+    rename,
+    divide,
+    semijoin,
+    antijoin,
+)
+from repro.snapshot.aggregates import aggregate
+
+__all__ = [
+    "Attribute",
+    "Domain",
+    "BOOLEAN",
+    "INTEGER",
+    "NUMBER",
+    "STRING",
+    "USER_DEFINED_TIME",
+    "ANY",
+    "Schema",
+    "SnapshotTuple",
+    "SnapshotState",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+    "AttributeRef",
+    "Literal",
+    "attr",
+    "lit",
+    "union",
+    "difference",
+    "product",
+    "project",
+    "select",
+    "intersection",
+    "theta_join",
+    "natural_join",
+    "rename",
+    "divide",
+    "semijoin",
+    "antijoin",
+    "aggregate",
+]

@@ -1,0 +1,137 @@
+"""Grouping and aggregation over snapshot states.
+
+An *extension* beyond the paper's five primitives (aggregates entered the
+relational algebra with Klug 1982 and Quel/SQL practice; the paper's Quel
+mapping motivates having them available).  ``aggregate`` groups a state by
+zero or more attributes and computes named aggregate columns; the result
+is an ordinary snapshot state, so it composes with everything else —
+including the rollback operator, which is what enables
+"total salary per past transaction" style audit queries.
+
+Because states are sets, aggregation here has the textbook set semantics:
+duplicates have already collapsed before aggregation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import ANY, NUMBER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+__all__ = ["AGGREGATE_FUNCTIONS", "aggregate"]
+
+
+def _agg_count(values: list[Any]) -> int:
+    return len(values)
+
+
+def _agg_sum(values: list[Any]):
+    return sum(values)
+
+
+def _agg_avg(values: list[Any]) -> float:
+    return sum(values) / len(values)
+
+
+def _agg_min(values: list[Any]):
+    return min(values)
+
+
+def _agg_max(values: list[Any]):
+    return max(values)
+
+
+#: name -> (implementation, result domain, needs an input attribute)
+AGGREGATE_FUNCTIONS: dict[str, tuple[Callable, Any, bool]] = {
+    "count": (_agg_count, NUMBER, False),
+    "sum": (_agg_sum, NUMBER, True),
+    "avg": (_agg_avg, NUMBER, True),
+    "min": (_agg_min, ANY, True),
+    "max": (_agg_max, ANY, True),
+}
+
+
+def aggregate(
+    state: SnapshotState,
+    group_by: Sequence[str],
+    aggregations: Mapping[str, tuple[str, str | None]],
+) -> SnapshotState:
+    """Group ``state`` by the ``group_by`` attributes and compute the
+    named aggregates.
+
+    ``aggregations`` maps each output column name to a ``(function,
+    input attribute)`` pair; ``count`` takes ``None`` as its input.  With
+    an empty ``group_by`` the whole state is one group (and an empty
+    input state yields an empty result, following SQL's GROUP BY rather
+    than its scalar-aggregate convention).
+
+    >>> s = Schema(['dept', 'salary'])
+    >>> staff = SnapshotState(s, [['cs', 10], ['cs', 20], ['ee', 5]])
+    >>> out = aggregate(staff, ['dept'],
+    ...                 {'n': ('count', None), 'total': ('sum', 'salary')})
+    >>> sorted(out.sorted_rows())
+    [('cs', 2, 30), ('ee', 1, 5)]
+    """
+    if not aggregations:
+        raise SchemaError("aggregate requires at least one aggregation")
+    if len(set(group_by)) != len(group_by):
+        raise SchemaError(f"duplicate group-by attributes: {group_by}")
+
+    out_names = list(aggregations)
+    collisions = set(out_names) & set(group_by)
+    if collisions:
+        raise SchemaError(
+            f"aggregate output names collide with group-by attributes: "
+            f"{sorted(collisions)}"
+        )
+    if len(set(out_names)) != len(out_names):
+        raise SchemaError("duplicate aggregate output names")
+
+    # Validate functions and input attributes up front.
+    plans = []
+    for out_name, (function_name, input_name) in aggregations.items():
+        entry = AGGREGATE_FUNCTIONS.get(function_name)
+        if entry is None:
+            raise SchemaError(
+                f"unknown aggregate function {function_name!r}; "
+                f"available: {sorted(AGGREGATE_FUNCTIONS)}"
+            )
+        implementation, domain, needs_input = entry
+        if needs_input:
+            if input_name is None:
+                raise SchemaError(
+                    f"{function_name} requires an input attribute"
+                )
+            state.schema.position(input_name)  # raises if unknown
+        elif input_name is not None:
+            raise SchemaError(
+                f"{function_name} takes no input attribute"
+            )
+        plans.append((out_name, implementation, domain, input_name))
+
+    group_schema = state.schema.project(list(group_by)) if group_by else Schema([])
+    out_schema = Schema(
+        list(group_schema.attributes)
+        + [Attribute(out_name, domain) for out_name, _, domain, _ in plans]
+    )
+
+    groups: dict[tuple, list] = {}
+    for t in state.tuples:
+        key = tuple(t[name] for name in group_by)
+        groups.setdefault(key, []).append(t)
+
+    rows = []
+    for key, members in groups.items():
+        row = list(key)
+        for _, implementation, _, input_name in plans:
+            if input_name is None:
+                row.append(implementation(members))
+            else:
+                row.append(
+                    implementation([m[input_name] for m in members])
+                )
+        rows.append(row)
+    return SnapshotState(out_schema, rows)

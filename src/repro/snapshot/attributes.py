@@ -1,0 +1,173 @@
+"""Attributes and value domains.
+
+The paper assumes "a set of domains D = {D1, D2, ..., Dm}, where each domain
+Di is an arbitrary, non-empty, finite or countably infinite set" (Section
+3.2).  We model a :class:`Domain` as a named membership predicate over Python
+values, and an :class:`Attribute` as a (name, domain) pair.
+
+User-defined time (Section 1) "is simply another domain, such as integer or
+character string, provided by the DBMS"; we provide it as the
+:data:`USER_DEFINED_TIME` domain of non-negative integers so examples and
+tests can exercise all three kinds of time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import DomainError, SchemaError
+
+__all__ = [
+    "Domain",
+    "Attribute",
+    "BOOLEAN",
+    "INTEGER",
+    "NUMBER",
+    "STRING",
+    "USER_DEFINED_TIME",
+    "ANY",
+    "enumerated_domain",
+]
+
+
+class Domain:
+    """A named, possibly infinite set of values.
+
+    A domain is defined by a membership predicate.  Two domains are equal iff
+    they have the same name; the library's built-in domains are singletons, so
+    identity and name equality coincide for them.
+    """
+
+    __slots__ = ("_name", "_contains")
+
+    def __init__(self, name: str, contains: Callable[[Any], bool]) -> None:
+        if not name:
+            raise SchemaError("a domain must have a non-empty name")
+        self._name = name
+        self._contains = contains
+
+    @property
+    def name(self) -> str:
+        """The domain's name, e.g. ``'integer'``."""
+        return self._name
+
+    def __contains__(self, value: Any) -> bool:
+        return bool(self._contains(value))
+
+    def validate(self, value: Any) -> Any:
+        """Return ``value`` if it belongs to this domain, else raise
+        :class:`~repro.errors.DomainError`."""
+        if value not in self:
+            raise DomainError(
+                f"value {value!r} is not in domain {self._name!r}"
+            )
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Domain):
+            return NotImplemented
+        return self._name == other._name
+
+    def __hash__(self) -> int:
+        return hash(("Domain", self._name))
+
+    def __repr__(self) -> str:
+        return f"Domain({self._name!r})"
+
+
+def _is_integer(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+#: The two-element boolean domain.
+BOOLEAN = Domain("boolean", lambda v: isinstance(v, bool))
+
+#: The countably infinite domain of integers.
+INTEGER = Domain("integer", _is_integer)
+
+#: Integers and floats (no booleans).
+NUMBER = Domain("number", _is_number)
+
+#: Character strings over an arbitrary alphabet.
+STRING = Domain("string", lambda v: isinstance(v, str))
+
+#: User-defined time: an uninterpreted, totally ordered domain for which the
+#: DBMS supports input, output and comparison (Section 1 of the paper).  We
+#: represent its values as non-negative integers.
+USER_DEFINED_TIME = Domain(
+    "user_defined_time", lambda v: _is_integer(v) and v >= 0
+)
+
+#: The universal domain; accepts any hashable value.
+ANY = Domain("any", lambda v: _hashable(v))
+
+
+def _hashable(value: Any) -> bool:
+    try:
+        hash(value)
+    except TypeError:
+        return False
+    return True
+
+
+def enumerated_domain(name: str, values: Iterable[Any]) -> Domain:
+    """Build a finite domain from an explicit set of values.
+
+    >>> color = enumerated_domain('color', ['red', 'green', 'blue'])
+    >>> 'red' in color
+    True
+    >>> 'mauve' in color
+    False
+    """
+    frozen = frozenset(values)
+    if not frozen:
+        raise SchemaError(f"domain {name!r} must be non-empty")
+    return Domain(name, lambda v: v in frozen)
+
+
+class Attribute:
+    """A named column with an associated value domain.
+
+    Attributes are immutable and hashable; schemas are built from them.
+    """
+
+    __slots__ = ("_name", "_domain")
+
+    def __init__(self, name: str, domain: Domain = ANY) -> None:
+        if not name or not isinstance(name, str):
+            raise SchemaError(f"invalid attribute name: {name!r}")
+        if not isinstance(domain, Domain):
+            raise SchemaError(
+                f"attribute {name!r} requires a Domain, got {domain!r}"
+            )
+        self._name = name
+        self._domain = domain
+
+    @property
+    def name(self) -> str:
+        """The attribute's name."""
+        return self._name
+
+    @property
+    def domain(self) -> Domain:
+        """The attribute's value domain."""
+        return self._domain
+
+    def renamed(self, new_name: str) -> "Attribute":
+        """A copy of this attribute under a different name (same domain)."""
+        return Attribute(new_name, self._domain)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Attribute):
+            return NotImplemented
+        return self._name == other._name and self._domain == other._domain
+
+    def __hash__(self) -> int:
+        return hash(("Attribute", self._name, self._domain))
+
+    def __repr__(self) -> str:
+        return f"Attribute({self._name!r}, {self._domain.name!r})"

@@ -1,0 +1,173 @@
+"""Secondary indexes over snapshot states.
+
+States are immutable values, so an index is a pure derived structure that
+can be built once per state and consulted by any number of queries — the
+functional analogue of a conventional secondary index.  Provided:
+
+* :class:`HashIndex` — exact-match lookups on one attribute;
+* :class:`SortedIndex` — range lookups on one attribute;
+* :func:`select_eq` / :func:`select_range` — index-aware selections that
+  return ordinary snapshot states, equal to what ``σ`` would produce (the
+  tests check this, and ablation A4 measures the speedup);
+* :class:`IndexPool` — a memoizing cache keyed on (state, attribute), so
+  repeated queries against the same immutable state reuse indexes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Optional
+
+from repro.errors import SchemaError
+from repro.snapshot.state import SnapshotState
+from repro.snapshot.tuples import SnapshotTuple
+
+__all__ = [
+    "HashIndex",
+    "SortedIndex",
+    "IndexPool",
+    "select_eq",
+    "select_range",
+]
+
+
+class HashIndex:
+    """Exact-match index: attribute value -> tuples holding it."""
+
+    __slots__ = ("state", "attribute", "_buckets")
+
+    def __init__(self, state: SnapshotState, attribute: str) -> None:
+        state.schema.position(attribute)  # raises if unknown
+        buckets: dict[Hashable, list[SnapshotTuple]] = {}
+        for t in state.tuples:
+            buckets.setdefault(t[attribute], []).append(t)
+        self.state = state
+        self.attribute = attribute
+        self._buckets = buckets
+
+    def lookup(self, value: Any) -> frozenset[SnapshotTuple]:
+        """The tuples whose indexed attribute equals ``value``."""
+        return frozenset(self._buckets.get(value, ()))
+
+    def distinct_values(self) -> int:
+        """Number of distinct indexed values."""
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Order index: supports half-open range lookups ``[lo, hi)``."""
+
+    __slots__ = ("state", "attribute", "_keys", "_rows")
+
+    def __init__(self, state: SnapshotState, attribute: str) -> None:
+        state.schema.position(attribute)
+        try:
+            pairs = sorted(
+                ((t[attribute], t) for t in state.tuples),
+                key=lambda pair: pair[0],
+            )
+        except TypeError:
+            raise SchemaError(
+                f"attribute {attribute!r} holds incomparable values; "
+                "a sorted index requires a totally ordered attribute"
+            ) from None
+        self.state = state
+        self.attribute = attribute
+        self._keys = [key for key, _ in pairs]
+        self._rows = [row for _, row in pairs]
+
+    def range(
+        self, low: Optional[Any] = None, high: Optional[Any] = None
+    ) -> frozenset[SnapshotTuple]:
+        """Tuples with ``low <= value < high`` (either bound optional)."""
+        start = (
+            0 if low is None else bisect.bisect_left(self._keys, low)
+        )
+        stop = (
+            len(self._keys)
+            if high is None
+            else bisect.bisect_left(self._keys, high)
+        )
+        return frozenset(self._rows[start:stop])
+
+
+class IndexPool:
+    """Memoizes indexes per (state, attribute).
+
+    Because states are immutable and hashable, the cache key is the state
+    itself; re-querying the same historical version reuses its indexes.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self._hash_cache: dict[tuple, HashIndex] = {}
+        self._sorted_cache: dict[tuple, SortedIndex] = {}
+        self._max_entries = max_entries
+
+    def hash_index(
+        self, state: SnapshotState, attribute: str
+    ) -> HashIndex:
+        """A (possibly cached) hash index."""
+        key = (state, attribute)
+        index = self._hash_cache.get(key)
+        if index is None:
+            index = HashIndex(state, attribute)
+            self._evict_if_full(self._hash_cache)
+            self._hash_cache[key] = index
+        return index
+
+    def sorted_index(
+        self, state: SnapshotState, attribute: str
+    ) -> SortedIndex:
+        """A (possibly cached) sorted index."""
+        key = (state, attribute)
+        index = self._sorted_cache.get(key)
+        if index is None:
+            index = SortedIndex(state, attribute)
+            self._evict_if_full(self._sorted_cache)
+            self._sorted_cache[key] = index
+        return index
+
+    def _evict_if_full(self, cache: dict) -> None:
+        if len(cache) >= self._max_entries:
+            cache.pop(next(iter(cache)))
+
+    def cached_indexes(self) -> int:
+        """Total cached index structures (both kinds)."""
+        return len(self._hash_cache) + len(self._sorted_cache)
+
+
+def select_eq(
+    state: SnapshotState,
+    attribute: str,
+    value: Any,
+    pool: Optional[IndexPool] = None,
+) -> SnapshotState:
+    """``σ_{attribute = value}`` via a hash index.
+
+    Result-equal to the scan-based ``select`` (property-tested); O(1)
+    per lookup after the index is built.
+    """
+    index = (
+        pool.hash_index(state, attribute)
+        if pool is not None
+        else HashIndex(state, attribute)
+    )
+    return SnapshotState.from_tuples(state.schema, index.lookup(value))
+
+
+def select_range(
+    state: SnapshotState,
+    attribute: str,
+    low: Optional[Any] = None,
+    high: Optional[Any] = None,
+    pool: Optional[IndexPool] = None,
+) -> SnapshotState:
+    """``σ_{low <= attribute < high}`` via a sorted index."""
+    index = (
+        pool.sorted_index(state, attribute)
+        if pool is not None
+        else SortedIndex(state, attribute)
+    )
+    return SnapshotState.from_tuples(
+        state.schema, index.range(low, high)
+    )

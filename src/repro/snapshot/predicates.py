@@ -1,0 +1,439 @@
+"""The selection-predicate domain ``F``.
+
+The paper's syntactic domain ``F`` consists of "boolean expressions of
+elements from the domains IDENTIFIER and STRING, the relational operators,
+and the logical operators" (Section 3.1).  We realize ``F`` as a small AST of
+comparisons between attribute references and literals, closed under
+conjunction, disjunction and negation.
+
+Predicates are immutable values: they can be hashed, compared for structural
+equality, and composed with ``&``, ``|`` and ``~``.  They are shared by the
+snapshot selection operator, the historical selection operator, and the
+algebraic optimizer (which inspects ``referenced_attributes`` to decide
+whether a selection can be pushed below a product).
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping
+
+from repro.errors import PredicateError
+
+__all__ = [
+    "Term",
+    "AttributeRef",
+    "Literal",
+    "Predicate",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "FalsePredicate",
+    "attr",
+    "lit",
+    "COMPARATORS",
+    "compile_predicate",
+]
+
+#: Comparator name -> Python implementation.
+COMPARATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Term:
+    """A value-producing leaf of a predicate: an attribute reference or a
+    literal constant."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        raise NotImplementedError
+
+    def referenced_attributes(self) -> frozenset[str]:
+        raise NotImplementedError
+
+
+class AttributeRef(Term):
+    """A reference to an attribute of the tuple being tested."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise PredicateError("attribute reference needs a name")
+        self.name = name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        try:
+            return row[self.name]
+        except KeyError:
+            raise PredicateError(
+                f"predicate references unknown attribute {self.name!r}; "
+                f"tuple has {sorted(row)}"
+            ) from None
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def renamed(self, mapping: Mapping[str, str]) -> "AttributeRef":
+        return AttributeRef(mapping.get(self.name, self.name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AttributeRef) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash(("AttributeRef", self.name))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Literal(Term):
+    """A constant value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Literal) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.value))
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+def attr(name: str) -> AttributeRef:
+    """Shorthand constructor for an attribute reference."""
+    return AttributeRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)
+
+
+def _as_term(value: Any) -> Term:
+    return value if isinstance(value, Term) else Literal(value)
+
+
+class Predicate:
+    """Base class for boolean expressions over tuples."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        """Evaluate against a name -> value mapping."""
+        raise NotImplementedError
+
+    def referenced_attributes(self) -> frozenset[str]:
+        """All attribute names the predicate mentions.  The optimizer uses
+        this to decide where a selection may be pushed."""
+        raise NotImplementedError
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Predicate":
+        """The predicate with attribute references renamed."""
+        raise NotImplementedError
+
+    def __call__(self, row: Mapping[str, Any]) -> bool:
+        return self.evaluate(row)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+class Comparison(Predicate):
+    """``left <op> right`` where op is one of ``= != < <= > >=``."""
+
+    __slots__ = ("left", "op", "right")
+
+    def __init__(self, left: Any, op: str, right: Any) -> None:
+        if op not in COMPARATORS:
+            raise PredicateError(
+                f"unknown comparator {op!r}; expected one of "
+                f"{sorted(COMPARATORS)}"
+            )
+        self.left = _as_term(left)
+        self.op = op
+        self.right = _as_term(right)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left_value = self.left.evaluate(row)
+        right_value = self.right.evaluate(row)
+        try:
+            return COMPARATORS[self.op](left_value, right_value)
+        except TypeError:
+            raise PredicateError(
+                f"cannot compare {left_value!r} {self.op} {right_value!r}"
+            ) from None
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return (
+            self.left.referenced_attributes()
+            | self.right.referenced_attributes()
+        )
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Comparison":
+        left = (
+            self.left.renamed(mapping)
+            if isinstance(self.left, AttributeRef)
+            else self.left
+        )
+        right = (
+            self.right.renamed(mapping)
+            if isinstance(self.right, AttributeRef)
+            else self.right
+        )
+        return Comparison(left, self.op, right)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Comparison)
+            and self.left == other.left
+            and self.op == other.op
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Comparison", self.left, self.op, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+class And(Predicate):
+    """Logical conjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) and self.right.evaluate(row)
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return (
+            self.left.referenced_attributes()
+            | self.right.referenced_attributes()
+        )
+
+    def renamed(self, mapping: Mapping[str, str]) -> "And":
+        return And(self.left.renamed(mapping), self.right.renamed(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, And)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("And", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} and {self.right!r})"
+
+
+class Or(Predicate):
+    """Logical disjunction."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Predicate, right: Predicate) -> None:
+        self.left = left
+        self.right = right
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return self.left.evaluate(row) or self.right.evaluate(row)
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return (
+            self.left.referenced_attributes()
+            | self.right.referenced_attributes()
+        )
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Or":
+        return Or(self.left.renamed(mapping), self.right.renamed(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Or)
+            and self.left == other.left
+            and self.right == other.right
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.left, self.right))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} or {self.right!r})"
+
+
+class Not(Predicate):
+    """Logical negation."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Predicate) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not self.operand.evaluate(row)
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return self.operand.referenced_attributes()
+
+    def renamed(self, mapping: Mapping[str, str]) -> "Not":
+        return Not(self.operand.renamed(mapping))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Not) and self.operand == other.operand
+
+    def __hash__(self) -> int:
+        return hash(("Not", self.operand))
+
+    def __repr__(self) -> str:
+        return f"(not {self.operand!r})"
+
+
+class TruePredicate(Predicate):
+    """The predicate satisfied by every tuple."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return True
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def renamed(self, mapping: Mapping[str, str]) -> "TruePredicate":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TruePredicate)
+
+    def __hash__(self) -> int:
+        return hash("TruePredicate")
+
+    def __repr__(self) -> str:
+        return "true"
+
+
+class FalsePredicate(Predicate):
+    """The predicate satisfied by no tuple."""
+
+    __slots__ = ()
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return False
+
+    def referenced_attributes(self) -> frozenset[str]:
+        return frozenset()
+
+    def renamed(self, mapping: Mapping[str, str]) -> "FalsePredicate":
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FalsePredicate)
+
+    def __hash__(self) -> int:
+        return hash("FalsePredicate")
+
+    def __repr__(self) -> str:
+        return "false"
+
+
+# ---------------------------------------------------------------------------
+# Predicate compilation
+# ---------------------------------------------------------------------------
+#
+# ``Predicate.evaluate`` takes a name -> value mapping, which forces the
+# selection operators to build a dict per tuple.  ``compile_predicate``
+# specializes a predicate to one schema: attribute references become
+# positional lookups and the result is a closure over value tuples.  The
+# compiled form is observationally identical to ``evaluate`` (property-
+# tested), including raising PredicateError for unknown attributes (at
+# compile time) and incomparable values (at evaluation time).
+
+
+def _compile_term(term: Term, schema) -> Callable[[tuple], Any]:
+    if isinstance(term, AttributeRef):
+        try:
+            position = schema.position(term.name)
+        except Exception:
+            raise PredicateError(
+                f"predicate references unknown attribute {term.name!r}; "
+                f"schema has {schema.names}"
+            ) from None
+        return lambda values: values[position]
+    if isinstance(term, Literal):
+        constant = term.value
+        return lambda values: constant
+    raise PredicateError(f"cannot compile term {term!r}")
+
+
+def compile_predicate(
+    predicate: Predicate, schema
+) -> Callable[[tuple], bool]:
+    """Specialize ``predicate`` to ``schema``; returns a closure over
+    value tuples (in schema order)."""
+    if isinstance(predicate, TruePredicate):
+        return lambda values: True
+    if isinstance(predicate, FalsePredicate):
+        return lambda values: False
+    if isinstance(predicate, Comparison):
+        left = _compile_term(predicate.left, schema)
+        right = _compile_term(predicate.right, schema)
+        comparator = COMPARATORS[predicate.op]
+        op_name = predicate.op
+
+        def compare(values: tuple) -> bool:
+            left_value = left(values)
+            right_value = right(values)
+            try:
+                return comparator(left_value, right_value)
+            except TypeError:
+                raise PredicateError(
+                    f"cannot compare {left_value!r} {op_name} "
+                    f"{right_value!r}"
+                ) from None
+
+        return compare
+    if isinstance(predicate, And):
+        left_fn = compile_predicate(predicate.left, schema)
+        right_fn = compile_predicate(predicate.right, schema)
+        return lambda values: left_fn(values) and right_fn(values)
+    if isinstance(predicate, Or):
+        left_fn = compile_predicate(predicate.left, schema)
+        right_fn = compile_predicate(predicate.right, schema)
+        return lambda values: left_fn(values) or right_fn(values)
+    if isinstance(predicate, Not):
+        operand_fn = compile_predicate(predicate.operand, schema)
+        return lambda values: not operand_fn(values)
+    raise PredicateError(f"cannot compile predicate {predicate!r}")

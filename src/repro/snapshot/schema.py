@@ -1,0 +1,178 @@
+"""Relation schemas.
+
+A :class:`Schema` is an ordered sequence of distinctly named attributes.
+Maier's treatment (which the paper adopts for snapshot states) identifies a
+relation scheme with its attribute set; we additionally keep a stable order
+so cartesian products and pretty-printed output are deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence, Union
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import ANY, Attribute, Domain
+
+__all__ = ["Schema"]
+
+AttributeLike = Union[Attribute, str]
+
+
+def _as_attribute(item: AttributeLike) -> Attribute:
+    if isinstance(item, Attribute):
+        return item
+    if isinstance(item, str):
+        return Attribute(item, ANY)
+    raise SchemaError(f"cannot interpret {item!r} as an attribute")
+
+
+class Schema:
+    """An ordered collection of distinctly named attributes.
+
+    Schemas are immutable.  Attribute names must be unique within a schema;
+    set-compatible operations (union, difference, intersection) require the
+    two operand schemas to be *compatible*: same names, same domains, in the
+    same order.
+
+    >>> s = Schema(['name', 'dept'])
+    >>> s.names
+    ('name', 'dept')
+    >>> 'name' in s
+    True
+    """
+
+    __slots__ = ("_attributes", "_index", "_hash")
+
+    def __init__(self, attributes: Iterable[AttributeLike]) -> None:
+        attrs = tuple(_as_attribute(a) for a in attributes)
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise SchemaError(
+                    f"duplicate attribute name {attribute.name!r} in schema"
+                )
+            index[attribute.name] = position
+        self._attributes = attrs
+        self._index = index
+        self._hash: int | None = None
+
+    # -- basic access -----------------------------------------------------
+
+    @property
+    def attributes(self) -> tuple[Attribute, ...]:
+        """The attributes, in schema order."""
+        return self._attributes
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """The attribute names, in schema order."""
+        return tuple(a.name for a in self._attributes)
+
+    @property
+    def degree(self) -> int:
+        """The number of attributes (the relation's arity)."""
+        return len(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: Union[int, str]) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        if isinstance(key, str):
+            try:
+                return self._attributes[self._index[key]]
+            except KeyError:
+                raise SchemaError(
+                    f"schema has no attribute named {key!r}; "
+                    f"attributes are {self.names}"
+                ) from None
+        raise SchemaError(f"invalid schema key: {key!r}")
+
+    def position(self, name: str) -> int:
+        """The 0-based position of the attribute with the given name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"schema has no attribute named {name!r}; "
+                f"attributes are {self.names}"
+            ) from None
+
+    def domain_of(self, name: str) -> Domain:
+        """The value domain of the named attribute."""
+        return self[name].domain
+
+    # -- compatibility and construction -----------------------------------
+
+    def is_compatible_with(self, other: "Schema") -> bool:
+        """True iff the two schemas are union-compatible (same attributes in
+        the same order)."""
+        return self._attributes == other._attributes
+
+    def require_compatible(self, other: "Schema", operation: str) -> None:
+        """Raise :class:`SchemaError` unless the schemas are compatible."""
+        if not self.is_compatible_with(other):
+            raise SchemaError(
+                f"{operation} requires compatible schemas; "
+                f"got {self.names} and {other.names}"
+            )
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """The sub-schema consisting of the named attributes, in the order
+        given.  Raises :class:`SchemaError` on unknown or repeated names."""
+        return Schema([self[name] for name in names])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """The schema of a cartesian product: this schema's attributes
+        followed by ``other``'s.  Raises on name collisions (the caller is
+        expected to :meth:`rename` first, as in textbook treatments)."""
+        collisions = set(self.names) & set(other.names)
+        if collisions:
+            raise SchemaError(
+                "cartesian product with colliding attribute names "
+                f"{sorted(collisions)}; rename one operand first"
+            )
+        return Schema(self._attributes + other._attributes)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """A schema with attributes renamed per ``mapping`` (old -> new
+        names).  Unmentioned attributes keep their names."""
+        unknown = set(mapping) - set(self.names)
+        if unknown:
+            raise SchemaError(
+                f"rename refers to unknown attributes {sorted(unknown)}"
+            )
+        renamed = [
+            a.renamed(mapping.get(a.name, a.name)) for a in self._attributes
+        ]
+        return Schema(renamed)
+
+    def common_names(self, other: "Schema") -> tuple[str, ...]:
+        """Attribute names present in both schemas, in this schema's order."""
+        other_names = set(other.names)
+        return tuple(n for n in self.names if n in other_names)
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(("Schema", self._attributes))
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{a.name}:{a.domain.name}" for a in self._attributes
+        )
+        return f"Schema({inner})"

@@ -1,0 +1,138 @@
+"""Immutable snapshot tuples.
+
+A :class:`SnapshotTuple` binds each attribute of a schema to a value in that
+attribute's domain.  Tuples are immutable and hashable so that snapshot
+states can be genuine sets, matching the set-theoretic semantics of the
+snapshot algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence, Union
+
+from repro.errors import SchemaError
+from repro.snapshot.schema import Schema
+
+__all__ = ["SnapshotTuple"]
+
+
+class SnapshotTuple:
+    """A tuple over a schema.
+
+    Construction accepts either a sequence of values in schema order or a
+    mapping from attribute names to values.  Every value is validated against
+    its attribute's domain.
+
+    >>> s = Schema(['name', 'dept'])
+    >>> t = SnapshotTuple(s, ['merrie', 'physics'])
+    >>> t['dept']
+    'physics'
+    """
+
+    __slots__ = ("_schema", "_values", "_hash")
+
+    def __init__(
+        self,
+        schema: Schema,
+        values: Union[Sequence[Any], Mapping[str, Any]],
+    ) -> None:
+        if isinstance(values, Mapping):
+            missing = set(schema.names) - set(values)
+            extra = set(values) - set(schema.names)
+            if missing or extra:
+                raise SchemaError(
+                    f"tuple values do not match schema {schema.names}: "
+                    f"missing {sorted(missing)}, extra {sorted(extra)}"
+                )
+            ordered = tuple(values[name] for name in schema.names)
+        else:
+            ordered = tuple(values)
+            if len(ordered) != schema.degree:
+                raise SchemaError(
+                    f"tuple has {len(ordered)} values but schema "
+                    f"{schema.names} has degree {schema.degree}"
+                )
+        for attribute, value in zip(schema.attributes, ordered):
+            attribute.domain.validate(value)
+        self._schema = schema
+        self._values = ordered
+        self._hash: int | None = None
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this tuple is defined over."""
+        return self._schema
+
+    @property
+    def values(self) -> tuple[Any, ...]:
+        """The attribute values, in schema order."""
+        return self._values
+
+    def __getitem__(self, key: Union[int, str]) -> Any:
+        if isinstance(key, int):
+            return self._values[key]
+        return self._values[self._schema.position(key)]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def as_dict(self) -> dict[str, Any]:
+        """A name -> value dictionary view of the tuple."""
+        return dict(zip(self._schema.names, self._values))
+
+    # -- derivation --------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "SnapshotTuple":
+        """The sub-tuple over the named attributes, in the order given."""
+        sub_schema = self._schema.project(names)
+        return SnapshotTuple(sub_schema, [self[name] for name in names])
+
+    def concat(self, other: "SnapshotTuple") -> "SnapshotTuple":
+        """The concatenation of two tuples (for cartesian products)."""
+        joined = self._schema.concat(other._schema)
+        return SnapshotTuple(joined, self._values + other._values)
+
+    def with_schema(self, schema: Schema) -> "SnapshotTuple":
+        """The same values reinterpreted under another schema of equal
+        degree (used by rename)."""
+        return SnapshotTuple(schema, self._values)
+
+    def replace(self, **changes: Any) -> "SnapshotTuple":
+        """A copy of this tuple with the given attribute values changed.
+
+        >>> s = Schema(['name', 'dept'])
+        >>> SnapshotTuple(s, ['merrie', 'physics']).replace(dept='math')['dept']
+        'math'
+        """
+        data = self.as_dict()
+        unknown = set(changes) - set(data)
+        if unknown:
+            raise SchemaError(
+                f"replace refers to unknown attributes {sorted(unknown)}"
+            )
+        data.update(changes)
+        return SnapshotTuple(self._schema, data)
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SnapshotTuple):
+            return NotImplemented
+        return self._schema == other._schema and self._values == other._values
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(
+                ("SnapshotTuple", self._schema, self._values)
+            )
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}={value!r}"
+            for name, value in zip(self._schema.names, self._values)
+        )
+        return f"<{inner}>"

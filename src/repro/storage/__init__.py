@@ -1,0 +1,48 @@
+"""Physical storage backends for rollback and temporal relations.
+
+The paper deliberately gives relations "simple semantics at the expense of
+efficient direct implementation": a rollback relation stores a *complete*
+state per transaction.  "However, the semantics do not preclude more
+efficient implementations ... Verifying the correctness of such
+implementations would involve demonstrating the equivalence of their
+semantics with the simple semantics presented here" (Sections 2 and 5).
+
+This package provides that family of implementations plus the verification
+machinery:
+
+* :class:`FullCopyBackend` — the paper's simple semantics, literally;
+* :class:`DeltaBackend` — first state full, then forward deltas;
+* :class:`ReverseDeltaBackend` — current state full, backward deltas;
+* :class:`CheckpointDeltaBackend` — forward deltas with periodic full
+  checkpoints (tunable checkpoint interval);
+* :class:`TupleTimestampBackend` — each distinct tuple stored once and
+  stamped with the transaction-time intervals during which it was current
+  (the POSTGRES / Ben-Zvi physical design).
+
+All five expose the same :class:`StorageBackend` interface, and
+:func:`backends_agree` checks observation equivalence: identical
+``state_at`` results for every (relation, transaction) probe.  Experiment
+E7 runs this check over randomized update streams; E5 and E6 measure the
+space/time trade-offs the designs embody.
+"""
+
+from repro.storage.backend import StorageBackend, atoms_of, state_from_atoms
+from repro.storage.full_copy import FullCopyBackend
+from repro.storage.delta import DeltaBackend
+from repro.storage.reverse_delta import ReverseDeltaBackend
+from repro.storage.checkpoint import CheckpointDeltaBackend
+from repro.storage.tuple_timestamp import TupleTimestampBackend
+from repro.storage.versioned_db import VersionedDatabase, backends_agree
+
+__all__ = [
+    "StorageBackend",
+    "atoms_of",
+    "state_from_atoms",
+    "FullCopyBackend",
+    "DeltaBackend",
+    "ReverseDeltaBackend",
+    "CheckpointDeltaBackend",
+    "TupleTimestampBackend",
+    "VersionedDatabase",
+    "backends_agree",
+]

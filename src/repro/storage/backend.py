@@ -1,0 +1,133 @@
+"""The abstract storage-backend interface and shared state helpers.
+
+A backend stores, for each relation, the information needed to answer
+``state_at(identifier, txn)`` — the paper's ``FINDSTATE`` — for every
+transaction number.  The *logical* content is always the relation's state
+sequence; backends differ only in physical representation, and correctness
+means observation equivalence with :class:`FullCopyBackend` (which encodes
+the paper's semantics directly).
+
+States are handled generically through their *atoms*: a snapshot state's
+atoms are its tuples; an historical state's atoms are its coalesced
+(value, valid-time) tuples.  Because both state kinds are canonical sets of
+atoms over a schema, delta and timestamp representations work uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.errors import StorageError
+from repro.core.relation import RelationType
+from repro.core.txn import TransactionNumber
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.snapshot.tuples import SnapshotTuple
+
+__all__ = [
+    "State",
+    "Atom",
+    "StorageBackend",
+    "atoms_of",
+    "state_from_atoms",
+    "state_kind",
+]
+
+State = Union[SnapshotState, HistoricalState]
+Atom = Union[SnapshotTuple, HistoricalTuple]
+
+
+def atoms_of(state: State) -> frozenset:
+    """The canonical atom set of a state."""
+    return state.tuples
+
+
+def state_kind(state: State) -> str:
+    """``'snapshot'`` or ``'historical'``."""
+    return (
+        "historical" if isinstance(state, HistoricalState) else "snapshot"
+    )
+
+
+def state_from_atoms(
+    schema: Schema, kind: str, atoms: Iterable[Atom]
+) -> State:
+    """Rebuild a state of the given kind from an atom set."""
+    if kind == "historical":
+        return HistoricalState(schema, atoms)  # re-coalesces (idempotent)
+    return SnapshotState.from_tuples(schema, frozenset(atoms))
+
+
+class StorageBackend:
+    """Interface every physical representation implements.
+
+    The write path mirrors ``define_relation`` / ``modify_state``; the read
+    path mirrors ``FINDSTATE``.  ``txn`` arguments are the commit
+    transaction numbers assigned by the command semantics, so they arrive
+    strictly increasing per relation — backends may (and do) rely on that.
+    """
+
+    #: Human-readable backend name for benchmark output.
+    name = "abstract"
+
+    # -- write path -----------------------------------------------------------
+
+    def create(self, identifier: str, rtype: RelationType) -> None:
+        """Record a new, empty relation (``define_relation``)."""
+        raise NotImplementedError
+
+    def install(
+        self, identifier: str, state: State, txn: TransactionNumber
+    ) -> None:
+        """Record that ``state`` became current at ``txn``
+        (``modify_state``).  For non-history types the previous version is
+        discarded, matching replacement semantics."""
+        raise NotImplementedError
+
+    # -- read path ----------------------------------------------------------
+
+    def state_at(
+        self, identifier: str, txn: TransactionNumber
+    ) -> Optional[State]:
+        """The state current at ``txn`` (largest recorded transaction
+        ≤ ``txn``), or None when no state qualifies — the backend analogue
+        of ``FINDSTATE`` returning ∅."""
+        raise NotImplementedError
+
+    def type_of(self, identifier: str) -> RelationType:
+        """The relation's type."""
+        raise NotImplementedError
+
+    def identifiers(self) -> tuple[str, ...]:
+        """All relation identifiers, sorted."""
+        raise NotImplementedError
+
+    def transaction_numbers(
+        self, identifier: str
+    ) -> tuple[TransactionNumber, ...]:
+        """The strictly increasing transaction numbers at which states
+        were installed."""
+        raise NotImplementedError
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_atoms(self) -> int:
+        """Total atoms physically stored across all relations — the
+        space metric benchmarks E5 compares across backends."""
+        raise NotImplementedError
+
+    def stored_versions(self) -> int:
+        """Total physical version records (full states, deltas or stamped
+        intervals) across all relations."""
+        raise NotImplementedError
+
+    # -- shared validation -------------------------------------------------------
+
+    @staticmethod
+    def _check_unknown(identifier: str, known: Iterable[str]) -> None:
+        raise StorageError(
+            f"backend has no relation {identifier!r}; known: "
+            f"{sorted(known)}"
+        )

@@ -1,0 +1,151 @@
+"""The forward-delta backend.
+
+The first version of a relation is stored in full; every later version is
+stored as a *delta* — the atoms added and the atoms removed relative to the
+previous version.  Space is proportional to the total amount of *change*
+rather than the sum of state sizes, so slowly changing relations are cheap.
+The price is read cost: ``state_at`` replays deltas from the base state
+forward, O(history depth).
+
+Benchmarks E5/E6 quantify exactly this trade-off against the full-copy
+semantics; :mod:`repro.storage.checkpoint` bounds the replay with periodic
+checkpoints.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.core.relation import RelationType
+from repro.core.txn import TransactionNumber
+from repro.snapshot.schema import Schema
+from repro.storage.backend import (
+    State,
+    StorageBackend,
+    atoms_of,
+    state_from_atoms,
+    state_kind,
+)
+
+__all__ = ["DeltaBackend"]
+
+
+class _DeltaRelation:
+    __slots__ = (
+        "rtype",
+        "txns",
+        "base",
+        "deltas",
+        "schema",
+        "kind",
+        "latest_atoms",
+    )
+
+    def __init__(self, rtype: RelationType) -> None:
+        self.rtype = rtype
+        self.txns: list[TransactionNumber] = []
+        self.base: Optional[frozenset] = None
+        #: ``deltas[i]`` transforms version i-1 into version i.
+        self.deltas: list[tuple[frozenset, frozenset]] = []
+        self.schema: Optional[Schema] = None
+        self.kind: str = "snapshot"
+        #: Cached atoms of the most recent version (write-path helper;
+        #: does not count toward stored_atoms).
+        self.latest_atoms: frozenset = frozenset()
+
+
+class DeltaBackend(StorageBackend):
+    """Base state plus forward (added, removed) deltas."""
+
+    name = "forward-delta"
+
+    def __init__(self) -> None:
+        self._relations: dict[str, _DeltaRelation] = {}
+
+    # -- write path -----------------------------------------------------------
+
+    def create(self, identifier: str, rtype: RelationType) -> None:
+        if identifier in self._relations:
+            raise StorageError(f"relation {identifier!r} already exists")
+        self._relations[identifier] = _DeltaRelation(rtype)
+
+    def install(
+        self, identifier: str, state: State, txn: TransactionNumber
+    ) -> None:
+        relation = self._require(identifier)
+        if relation.txns and txn <= relation.txns[-1]:
+            raise StorageError(
+                f"non-increasing transaction number {txn} for "
+                f"{identifier!r}"
+            )
+        new_atoms = atoms_of(state)
+        if not relation.rtype.keeps_history:
+            # Replacement semantics: only the latest version matters.
+            relation.txns = [txn]
+            relation.base = new_atoms
+            relation.deltas = []
+        elif relation.base is None:
+            relation.txns.append(txn)
+            relation.base = new_atoms
+        else:
+            added = new_atoms - relation.latest_atoms
+            removed = relation.latest_atoms - new_atoms
+            relation.txns.append(txn)
+            relation.deltas.append((added, removed))
+        relation.latest_atoms = new_atoms
+        relation.schema = state.schema
+        relation.kind = state_kind(state)
+
+    # -- read path ----------------------------------------------------------
+
+    def state_at(
+        self, identifier: str, txn: TransactionNumber
+    ) -> Optional[State]:
+        relation = self._require(identifier)
+        index = bisect.bisect_right(relation.txns, txn)
+        if index == 0 or relation.base is None:
+            return None
+        atoms = set(relation.base)
+        for added, removed in relation.deltas[: index - 1]:
+            atoms -= removed
+            atoms |= added
+        assert relation.schema is not None
+        return state_from_atoms(relation.schema, relation.kind, atoms)
+
+    def type_of(self, identifier: str) -> RelationType:
+        return self._require(identifier).rtype
+
+    def identifiers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def transaction_numbers(
+        self, identifier: str
+    ) -> tuple[TransactionNumber, ...]:
+        return tuple(self._require(identifier).txns)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_atoms(self) -> int:
+        total = 0
+        for relation in self._relations.values():
+            if relation.base is not None:
+                total += len(relation.base)
+            for added, removed in relation.deltas:
+                total += len(added) + len(removed)
+        return total
+
+    def stored_versions(self) -> int:
+        return sum(
+            (1 if relation.base is not None else 0) + len(relation.deltas)
+            for relation in self._relations.values()
+        )
+
+    # -- internal -----------------------------------------------------------------
+
+    def _require(self, identifier: str) -> _DeltaRelation:
+        relation = self._relations.get(identifier)
+        if relation is None:
+            self._check_unknown(identifier, self._relations)
+        return relation  # type: ignore[return-value]

@@ -1,0 +1,107 @@
+"""The full-copy backend: the paper's simple semantics, literally.
+
+Every ``modify_state`` stores a complete copy of the new state.  Reads are
+a binary search plus a pointer dereference — the fastest possible rollback
+— but space grows with the *sum of state sizes* over the history, which is
+the inefficiency the paper acknowledges ("The language would be quite
+inefficient, in terms of storage space ..., if mapped directly into an
+implementation").  This backend doubles as the *oracle* against which the
+optimized backends are verified.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.core.relation import RelationType
+from repro.core.txn import TransactionNumber
+from repro.storage.backend import State, StorageBackend
+
+__all__ = ["FullCopyBackend"]
+
+
+class _FullCopyRelation:
+    __slots__ = ("rtype", "txns", "states")
+
+    def __init__(self, rtype: RelationType) -> None:
+        self.rtype = rtype
+        self.txns: list[TransactionNumber] = []
+        self.states: list[State] = []
+
+
+class FullCopyBackend(StorageBackend):
+    """Complete state per version — the paper's ``RELATION`` domain."""
+
+    name = "full-copy"
+
+    def __init__(self) -> None:
+        self._relations: dict[str, _FullCopyRelation] = {}
+
+    # -- write path -----------------------------------------------------------
+
+    def create(self, identifier: str, rtype: RelationType) -> None:
+        if identifier in self._relations:
+            raise StorageError(f"relation {identifier!r} already exists")
+        self._relations[identifier] = _FullCopyRelation(rtype)
+
+    def install(
+        self, identifier: str, state: State, txn: TransactionNumber
+    ) -> None:
+        relation = self._require(identifier)
+        if relation.txns and txn <= relation.txns[-1]:
+            raise StorageError(
+                f"non-increasing transaction number {txn} for "
+                f"{identifier!r} (last was {relation.txns[-1]})"
+            )
+        if relation.rtype.keeps_history:
+            relation.txns.append(txn)
+            relation.states.append(state)
+        else:
+            relation.txns = [txn]
+            relation.states = [state]
+
+    # -- read path ----------------------------------------------------------
+
+    def state_at(
+        self, identifier: str, txn: TransactionNumber
+    ) -> Optional[State]:
+        relation = self._require(identifier)
+        index = bisect.bisect_right(relation.txns, txn)
+        if index == 0:
+            return None
+        return relation.states[index - 1]
+
+    def type_of(self, identifier: str) -> RelationType:
+        return self._require(identifier).rtype
+
+    def identifiers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def transaction_numbers(
+        self, identifier: str
+    ) -> tuple[TransactionNumber, ...]:
+        return tuple(self._require(identifier).txns)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_atoms(self) -> int:
+        return sum(
+            len(state)
+            for relation in self._relations.values()
+            for state in relation.states
+        )
+
+    def stored_versions(self) -> int:
+        return sum(
+            len(relation.states) for relation in self._relations.values()
+        )
+
+    # -- internal -----------------------------------------------------------------
+
+    def _require(self, identifier: str) -> _FullCopyRelation:
+        relation = self._relations.get(identifier)
+        if relation is None:
+            self._check_unknown(identifier, self._relations)
+        return relation  # type: ignore[return-value]

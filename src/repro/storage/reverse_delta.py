@@ -1,0 +1,139 @@
+"""The backward-delta backend.
+
+The *current* state is stored in full; each older version is stored as a
+backward delta from its successor.  Reads of the current state are O(1) —
+the common case in a production rollback database — while rolling back k
+versions costs O(k) replay.  This is the classic "reverse delta" design of
+version-control systems (RCS), applied to relation states.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.core.relation import RelationType
+from repro.core.txn import TransactionNumber
+from repro.snapshot.schema import Schema
+from repro.storage.backend import (
+    State,
+    StorageBackend,
+    atoms_of,
+    state_from_atoms,
+    state_kind,
+)
+
+__all__ = ["ReverseDeltaBackend"]
+
+
+class _ReverseDeltaRelation:
+    __slots__ = ("rtype", "txns", "current", "undo", "schema", "kind")
+
+    def __init__(self, rtype: RelationType) -> None:
+        self.rtype = rtype
+        self.txns: list[TransactionNumber] = []
+        self.current: Optional[frozenset] = None
+        #: ``undo[i]`` = (re_added, re_removed) transforming version i+1
+        #: back into version i; len(undo) == len(txns) - 1.
+        self.undo: list[tuple[frozenset, frozenset]] = []
+        self.schema: Optional[Schema] = None
+        self.kind: str = "snapshot"
+
+
+class ReverseDeltaBackend(StorageBackend):
+    """Current state in full plus backward deltas to older versions."""
+
+    name = "reverse-delta"
+
+    def __init__(self) -> None:
+        self._relations: dict[str, _ReverseDeltaRelation] = {}
+
+    # -- write path -----------------------------------------------------------
+
+    def create(self, identifier: str, rtype: RelationType) -> None:
+        if identifier in self._relations:
+            raise StorageError(f"relation {identifier!r} already exists")
+        self._relations[identifier] = _ReverseDeltaRelation(rtype)
+
+    def install(
+        self, identifier: str, state: State, txn: TransactionNumber
+    ) -> None:
+        relation = self._require(identifier)
+        if relation.txns and txn <= relation.txns[-1]:
+            raise StorageError(
+                f"non-increasing transaction number {txn} for "
+                f"{identifier!r}"
+            )
+        new_atoms = atoms_of(state)
+        if not relation.rtype.keeps_history:
+            relation.txns = [txn]
+            relation.undo = []
+        elif relation.current is None:
+            relation.txns.append(txn)
+        else:
+            # To get the *previous* version back from the new one:
+            # re-add what the update removed, re-remove what it added.
+            re_added = relation.current - new_atoms
+            re_removed = new_atoms - relation.current
+            relation.undo.append((re_added, re_removed))
+            relation.txns.append(txn)
+        relation.current = new_atoms
+        relation.schema = state.schema
+        relation.kind = state_kind(state)
+
+    # -- read path ----------------------------------------------------------
+
+    def state_at(
+        self, identifier: str, txn: TransactionNumber
+    ) -> Optional[State]:
+        relation = self._require(identifier)
+        index = bisect.bisect_right(relation.txns, txn)
+        if index == 0 or relation.current is None:
+            return None
+        atoms = set(relation.current)
+        # Walk backward from the newest version to version index-1.
+        for re_added, re_removed in reversed(
+            relation.undo[index - 1 :]
+        ):
+            atoms -= re_removed
+            atoms |= re_added
+        assert relation.schema is not None
+        return state_from_atoms(relation.schema, relation.kind, atoms)
+
+    def type_of(self, identifier: str) -> RelationType:
+        return self._require(identifier).rtype
+
+    def identifiers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def transaction_numbers(
+        self, identifier: str
+    ) -> tuple[TransactionNumber, ...]:
+        return tuple(self._require(identifier).txns)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_atoms(self) -> int:
+        total = 0
+        for relation in self._relations.values():
+            if relation.current is not None:
+                total += len(relation.current)
+            for re_added, re_removed in relation.undo:
+                total += len(re_added) + len(re_removed)
+        return total
+
+    def stored_versions(self) -> int:
+        return sum(
+            (1 if relation.current is not None else 0)
+            + len(relation.undo)
+            for relation in self._relations.values()
+        )
+
+    # -- internal -----------------------------------------------------------------
+
+    def _require(self, identifier: str) -> _ReverseDeltaRelation:
+        relation = self._relations.get(identifier)
+        if relation is None:
+            self._check_unknown(identifier, self._relations)
+        return relation  # type: ignore[return-value]

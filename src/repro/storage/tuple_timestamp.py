@@ -1,0 +1,146 @@
+"""The tuple-timestamp backend.
+
+Each distinct atom (tuple, or coalesced historical tuple) is stored *once*,
+stamped with the transaction-time intervals ``[start_txn, stop_txn)``
+during which it belonged to the current state.  This is the physical design
+of POSTGRES's "no-overwrite" storage and of Ben-Zvi's Time Relational Model
+(both cited by the paper), and it is the representation under which the
+Time-View operator is natural: ``state_at`` selects atoms whose stamp
+covers the probe transaction.
+
+Space is proportional to the number of distinct (atom, tenure) episodes —
+the amount of change — and reads cost a scan of the relation's stored atoms
+regardless of rollback depth (O(distinct atoms), not O(history)).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.core.relation import RelationType
+from repro.core.txn import TransactionNumber
+from repro.snapshot.schema import Schema
+from repro.storage.backend import (
+    Atom,
+    State,
+    StorageBackend,
+    atoms_of,
+    state_from_atoms,
+    state_kind,
+)
+
+__all__ = ["TupleTimestampBackend"]
+
+#: Stop stamp of an atom still in the current state.
+_OPEN = None
+
+
+class _StampedRelation:
+    __slots__ = ("rtype", "txns", "episodes", "open_index", "schema", "kind")
+
+    def __init__(self, rtype: RelationType) -> None:
+        self.rtype = rtype
+        self.txns: list[TransactionNumber] = []
+        #: (atom, start_txn, stop_txn | None) episodes, append-only.
+        self.episodes: list[tuple[Atom, TransactionNumber, Optional[int]]] = []
+        #: atom -> index of its currently open episode.
+        self.open_index: dict[Atom, int] = {}
+        self.schema: Optional[Schema] = None
+        self.kind: str = "snapshot"
+
+
+class TupleTimestampBackend(StorageBackend):
+    """Distinct atoms stamped with transaction-time tenure intervals."""
+
+    name = "tuple-timestamp"
+
+    def __init__(self) -> None:
+        self._relations: dict[str, _StampedRelation] = {}
+
+    # -- write path -----------------------------------------------------------
+
+    def create(self, identifier: str, rtype: RelationType) -> None:
+        if identifier in self._relations:
+            raise StorageError(f"relation {identifier!r} already exists")
+        self._relations[identifier] = _StampedRelation(rtype)
+
+    def install(
+        self, identifier: str, state: State, txn: TransactionNumber
+    ) -> None:
+        relation = self._require(identifier)
+        if relation.txns and txn <= relation.txns[-1]:
+            raise StorageError(
+                f"non-increasing transaction number {txn} for "
+                f"{identifier!r}"
+            )
+        new_atoms = atoms_of(state)
+        if not relation.rtype.keeps_history:
+            relation.episodes = [(atom, txn, _OPEN) for atom in new_atoms]
+            relation.open_index = {
+                atom: i for i, (atom, _, _) in enumerate(relation.episodes)
+            }
+            relation.txns = [txn]
+        else:
+            current = set(relation.open_index)
+            # Close episodes of departing atoms at this transaction.
+            for atom in current - new_atoms:
+                index = relation.open_index.pop(atom)
+                stored_atom, start, _ = relation.episodes[index]
+                relation.episodes[index] = (stored_atom, start, txn)
+            # Open episodes for arriving atoms.
+            for atom in new_atoms - current:
+                relation.open_index[atom] = len(relation.episodes)
+                relation.episodes.append((atom, txn, _OPEN))
+            relation.txns.append(txn)
+        relation.schema = state.schema
+        relation.kind = state_kind(state)
+
+    # -- read path ----------------------------------------------------------
+
+    def state_at(
+        self, identifier: str, txn: TransactionNumber
+    ) -> Optional[State]:
+        relation = self._require(identifier)
+        index = bisect.bisect_right(relation.txns, txn)
+        if index == 0:
+            return None
+        atoms = [
+            atom
+            for atom, start, stop in relation.episodes
+            if start <= txn and (stop is _OPEN or txn < stop)
+        ]
+        assert relation.schema is not None
+        return state_from_atoms(relation.schema, relation.kind, atoms)
+
+    def type_of(self, identifier: str) -> RelationType:
+        return self._require(identifier).rtype
+
+    def identifiers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._relations))
+
+    def transaction_numbers(
+        self, identifier: str
+    ) -> tuple[TransactionNumber, ...]:
+        return tuple(self._require(identifier).txns)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_atoms(self) -> int:
+        return sum(
+            len(relation.episodes)
+            for relation in self._relations.values()
+        )
+
+    def stored_versions(self) -> int:
+        # Each episode is one physical record.
+        return self.stored_atoms()
+
+    # -- internal -----------------------------------------------------------------
+
+    def _require(self, identifier: str) -> _StampedRelation:
+        relation = self._relations.get(identifier)
+        if relation is None:
+            self._check_unknown(identifier, self._relations)
+        return relation  # type: ignore[return-value]

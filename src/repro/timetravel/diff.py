@@ -1,0 +1,54 @@
+"""Diffing a relation across transaction time."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import RelationTypeError
+from repro.core.database import Database
+from repro.core.relation import EMPTY_STATE
+from repro.core.txn import TransactionNumber
+
+__all__ = ["diff_states", "state_history"]
+
+
+def _atoms_at(database: Database, identifier: str, txn) -> frozenset:
+    state = database.require(identifier).find_state(txn)
+    if state is EMPTY_STATE:
+        return frozenset()
+    return state.tuples
+
+
+def diff_states(
+    database: Database,
+    identifier: str,
+    from_txn: TransactionNumber,
+    to_txn: TransactionNumber,
+) -> tuple[frozenset, frozenset]:
+    """``(added, removed)`` between the relation's states at two
+    transactions.
+
+    Atoms are snapshot tuples for rollback relations and coalesced
+    (value, valid-time) tuples for temporal relations — so for temporal
+    relations a fact whose valid time merely *changed* shows up as one
+    removal plus one addition, which is the honest audit answer.
+    """
+    relation = database.require(identifier)
+    if not relation.rtype.keeps_history:
+        raise RelationTypeError(
+            f"{identifier!r} is a {relation.rtype.value} relation; "
+            "diffing across transactions needs retained history"
+        )
+    before = _atoms_at(database, identifier, from_txn)
+    after = _atoms_at(database, identifier, to_txn)
+    return (after - before, before - after)
+
+
+def state_history(
+    database: Database, identifier: str
+) -> Iterator[tuple[TransactionNumber, object]]:
+    """Iterate the relation's recorded ``(transaction, state)`` pairs in
+    transaction order."""
+    relation = database.require(identifier)
+    for state, txn in relation.rstate:
+        yield txn, state

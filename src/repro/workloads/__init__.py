@@ -1,0 +1,41 @@
+"""Synthetic workload generation for the benchmark harness.
+
+The paper has no evaluation workloads (it is a formal paper), so the
+benchmarks run on parameterized synthetic histories (DESIGN.md Section 3,
+substitution rule).  Everything is seeded and deterministic:
+
+* :mod:`repro.workloads.generators` — random snapshot and historical
+  states over configurable schemas;
+* :mod:`repro.workloads.streams` — *update streams*: sequences of states
+  for one relation with a controlled churn rate (the fraction of tuples
+  that change per transaction), the main knob of experiments E5–E7;
+* :mod:`repro.workloads.histories` — assembled histories: command lists
+  for the core semantics, pre-populated backends, and
+  :class:`~repro.benzvi.bridge.TemporalOperation` streams for the Ben-Zvi
+  comparison.
+"""
+
+from repro.workloads.generators import (
+    StateGenerator,
+    default_schema,
+    random_historical_state,
+    random_snapshot_state,
+)
+from repro.workloads.streams import UpdateStream, churn_stream
+from repro.workloads.histories import (
+    command_history,
+    populate_backends,
+    random_operation_stream,
+)
+
+__all__ = [
+    "StateGenerator",
+    "default_schema",
+    "random_snapshot_state",
+    "random_historical_state",
+    "UpdateStream",
+    "churn_stream",
+    "command_history",
+    "populate_backends",
+    "random_operation_stream",
+]

@@ -1,0 +1,123 @@
+"""Random state generators (seeded, deterministic)."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import WorkloadError
+from repro.historical.chronons import FOREVER
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+__all__ = [
+    "default_schema",
+    "StateGenerator",
+    "random_snapshot_state",
+    "random_historical_state",
+]
+
+
+def default_schema(width: int = 3) -> Schema:
+    """A simple ``(key: integer, a1: string, a2: string, ...)`` schema."""
+    if width < 1:
+        raise WorkloadError(f"schema width must be ≥ 1, got {width}")
+    attributes = [Attribute("key", INTEGER)]
+    attributes += [
+        Attribute(f"a{i}", STRING) for i in range(1, width)
+    ]
+    return Schema(attributes)
+
+
+class StateGenerator:
+    """Seeded generator of snapshot and historical states.
+
+    ``key_space`` bounds the key attribute's values, so churned streams
+    revisit keys (producing genuine replaces, not only inserts).
+    """
+
+    _WORDS = (
+        "alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+        "golf", "hotel", "india", "juliet", "kilo", "lima",
+    )
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        seed: int = 0,
+        key_space: int = 10_000,
+        horizon: int = 1_000,
+    ) -> None:
+        self.schema = schema if schema is not None else default_schema()
+        self._rng = random.Random(seed)
+        self.key_space = key_space
+        #: The latest chronon used for bounded valid-time intervals.
+        self.horizon = horizon
+
+    # -- rows ---------------------------------------------------------------
+
+    def random_row(self) -> list:
+        """One random row matching the schema."""
+        row: list = []
+        for attribute in self.schema.attributes:
+            if attribute.name == "key":
+                row.append(self._rng.randrange(self.key_space))
+            elif attribute.domain == INTEGER:
+                row.append(self._rng.randrange(1_000_000))
+            else:
+                row.append(
+                    f"{self._rng.choice(self._WORDS)}-"
+                    f"{self._rng.randrange(10_000)}"
+                )
+        return row
+
+    def random_periods(self, max_runs: int = 3) -> PeriodSet:
+        """A random non-empty period set with up to ``max_runs`` runs."""
+        runs = []
+        cursor = self._rng.randrange(self.horizon // 2)
+        for _ in range(self._rng.randint(1, max_runs)):
+            start = cursor + self._rng.randrange(1, 20)
+            length = self._rng.randrange(1, 50)
+            runs.append((start, start + length))
+            cursor = start + length
+        if self._rng.random() < 0.15:
+            runs.append((cursor + self._rng.randrange(1, 20), FOREVER))
+        return PeriodSet(runs)
+
+    # -- states --------------------------------------------------------------
+
+    def snapshot_state(self, cardinality: int) -> SnapshotState:
+        """A random snapshot state with (up to) the given cardinality —
+        duplicate random rows collapse under set semantics."""
+        return SnapshotState(
+            self.schema, [self.random_row() for _ in range(cardinality)]
+        )
+
+    def historical_state(self, cardinality: int) -> HistoricalState:
+        """A random historical state with (up to) the given number of
+        distinct facts."""
+        tuples = [
+            HistoricalTuple(
+                self.random_row(), self.random_periods(), schema=self.schema
+            )
+            for _ in range(cardinality)
+        ]
+        return HistoricalState(self.schema, tuples)
+
+
+def random_snapshot_state(
+    cardinality: int, seed: int = 0, schema: Optional[Schema] = None
+) -> SnapshotState:
+    """One-shot convenience wrapper over :class:`StateGenerator`."""
+    return StateGenerator(schema, seed).snapshot_state(cardinality)
+
+
+def random_historical_state(
+    cardinality: int, seed: int = 0, schema: Optional[Schema] = None
+) -> HistoricalState:
+    """One-shot convenience wrapper over :class:`StateGenerator`."""
+    return StateGenerator(schema, seed).historical_state(cardinality)

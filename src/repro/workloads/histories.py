@@ -1,0 +1,107 @@
+"""Assembled histories for the benchmark harness."""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.core.commands import Command, DefineRelation, ModifyState
+from repro.core.expressions import Const
+from repro.core.relation import RelationType
+from repro.benzvi.bridge import OperationKind, TemporalOperation
+from repro.historical.intervals import Interval
+from repro.storage.backend import State, StorageBackend
+from repro.storage.versioned_db import VersionedDatabase
+from repro.workloads.streams import UpdateStream
+
+__all__ = [
+    "command_history",
+    "populate_backends",
+    "random_operation_stream",
+]
+
+
+def command_history(
+    stream: UpdateStream,
+    identifier: str = "r",
+    rtype: Optional[RelationType] = None,
+) -> list[Command]:
+    """``define_relation`` followed by one ``modify_state`` per stream
+    state — the command list whose sentence builds the history under the
+    core semantics."""
+    if rtype is None:
+        rtype = (
+            RelationType.TEMPORAL
+            if stream.historical
+            else RelationType.ROLLBACK
+        )
+    commands: list[Command] = [DefineRelation(identifier, rtype)]
+    commands += [
+        ModifyState(identifier, Const(state)) for state in stream.states()
+    ]
+    return commands
+
+
+def populate_backends(
+    backends: Sequence[StorageBackend],
+    states: Sequence[State],
+    identifier: str = "r",
+    rtype: RelationType = RelationType.ROLLBACK,
+) -> list[VersionedDatabase]:
+    """Install the same state sequence into every backend; returns the
+    wrapping :class:`VersionedDatabase` objects (one per backend)."""
+    databases = [VersionedDatabase(backend) for backend in backends]
+    for database in databases:
+        database.define(identifier, rtype)
+    for state in states:
+        for database in databases:
+            database.set_state(identifier, state)
+    return databases
+
+
+def random_operation_stream(
+    length: int,
+    fact_space: int = 50,
+    horizon: int = 500,
+    seed: int = 0,
+) -> list[TemporalOperation]:
+    """A seeded stream of insert/delete/modify operations over single-
+    attribute facts, for the Ben-Zvi comparison (E9).
+
+    Facts are integers in ``range(fact_space)``; an operation only deletes
+    or modifies facts that are currently believed, so the stream is always
+    applicable.
+    """
+    rng = random.Random(seed)
+    alive: set[int] = set()
+    operations: list[TemporalOperation] = []
+
+    def random_interval() -> Interval:
+        start = rng.randrange(horizon - 1)
+        end = start + rng.randrange(1, max(2, horizon - start))
+        return Interval(start, end)
+
+    for _ in range(length):
+        roll = rng.random()
+        if alive and roll < 0.2:
+            fact = rng.choice(sorted(alive))
+            operations.append(
+                TemporalOperation(OperationKind.DELETE, (fact,))
+            )
+            alive.discard(fact)
+        elif alive and roll < 0.45:
+            fact = rng.choice(sorted(alive))
+            operations.append(
+                TemporalOperation(
+                    OperationKind.MODIFY, (fact,), random_interval()
+                )
+            )
+        else:
+            fact = rng.randrange(fact_space)
+            operations.append(
+                TemporalOperation(
+                    OperationKind.INSERT, (fact,), random_interval()
+                )
+            )
+            alive.add(fact)
+    return operations

@@ -1,0 +1,116 @@
+"""Update streams: per-transaction state sequences with controlled churn.
+
+The central workload of experiments E5–E7: a relation starts at a given
+cardinality, then each transaction replaces a ``churn`` fraction of its
+tuples (half removed, half replaced by fresh tuples, plus optional net
+growth).  ``churn`` near 0 models a slowly changing dimension — the case
+where the paper's full-copy semantics is most wasteful; ``churn`` near 1
+models full rewrites — the case where deltas degenerate to full copies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional, Union
+
+from repro.errors import WorkloadError
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.state import SnapshotState
+from repro.workloads.generators import StateGenerator
+
+__all__ = ["UpdateStream", "churn_stream"]
+
+State = Union[SnapshotState, HistoricalState]
+
+
+class UpdateStream:
+    """A seeded, replayable sequence of states for one relation."""
+
+    def __init__(
+        self,
+        length: int,
+        cardinality: int = 100,
+        churn: float = 0.1,
+        growth: int = 0,
+        historical: bool = False,
+        seed: int = 0,
+        generator: Optional[StateGenerator] = None,
+    ) -> None:
+        if length < 1:
+            raise WorkloadError(f"stream length must be ≥ 1, got {length}")
+        if not 0.0 <= churn <= 1.0:
+            raise WorkloadError(f"churn must be in [0, 1], got {churn}")
+        if cardinality < 1:
+            raise WorkloadError(
+                f"cardinality must be ≥ 1, got {cardinality}"
+            )
+        self.length = length
+        self.cardinality = cardinality
+        self.churn = churn
+        self.growth = growth
+        self.historical = historical
+        self.seed = seed
+        self._generator = (
+            generator
+            if generator is not None
+            else StateGenerator(seed=seed)
+        )
+
+    @property
+    def schema(self):
+        """The schema every state in the stream shares."""
+        return self._generator.schema
+
+    def states(self) -> Iterator[State]:
+        """Yield the stream's states in transaction order."""
+        rng = random.Random(self.seed ^ 0x5EED)
+        gen = self._generator
+        if self.historical:
+            current = list(gen.historical_state(self.cardinality).tuples)
+        else:
+            current = list(gen.snapshot_state(self.cardinality).tuples)
+
+        for step in range(self.length):
+            if step > 0:
+                changes = max(1, int(len(current) * self.churn))
+                removals = min(changes // 2, max(0, len(current) - 1))
+                for _ in range(removals):
+                    current.pop(rng.randrange(len(current)))
+                additions = changes - removals + self.growth
+                for _ in range(additions):
+                    current.append(self._fresh_atom(gen))
+            yield self._as_state(current)
+
+    def _fresh_atom(self, gen: StateGenerator):
+        if self.historical:
+            return HistoricalTuple(
+                gen.random_row(), gen.random_periods(), schema=gen.schema
+            )
+        from repro.snapshot.tuples import SnapshotTuple
+
+        return SnapshotTuple(gen.schema, gen.random_row())
+
+    def _as_state(self, atoms) -> State:
+        if self.historical:
+            return HistoricalState(self._generator.schema, atoms)
+        return SnapshotState(self._generator.schema, list(atoms))
+
+
+def churn_stream(
+    length: int,
+    cardinality: int = 100,
+    churn: float = 0.1,
+    seed: int = 0,
+    historical: bool = False,
+) -> list[State]:
+    """Materialize an :class:`UpdateStream` as a list of states."""
+    return list(
+        UpdateStream(
+            length,
+            cardinality=cardinality,
+            churn=churn,
+            historical=historical,
+            seed=seed,
+        ).states()
+    )

@@ -1,0 +1,161 @@
+"""Tests for rollback-history archival (the paper's 'migrate to tape')."""
+
+import pytest
+
+from repro.errors import RelationTypeError, StorageError
+from repro.archive import (
+    ArchivedSegment,
+    ArchiveStore,
+    TieredReader,
+    archive_before,
+)
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, is_empty_set
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def kv(*keys):
+    return SnapshotState(KV, [[k] for k in keys])
+
+
+@pytest.fixture
+def database():
+    """r holds 6 states at transactions 2..7."""
+    commands = [DefineRelation("r", "rollback")]
+    commands += [
+        ModifyState("r", Const(kv(*range(i + 1)))) for i in range(6)
+    ]
+    return run(commands)
+
+
+class TestArchiveBefore:
+    def test_splits_history(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        assert live.require("r").transaction_numbers == (5, 6, 7)
+        assert store.stored_states() == 3
+        assert store.last_archived_txn("r") == 4
+
+    def test_transaction_number_untouched(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        assert (
+            live.transaction_number == database.transaction_number
+        )
+
+    def test_original_database_untouched(self, database):
+        store = ArchiveStore()
+        archive_before(database, "r", 5, store)
+        assert database.require("r").history_length == 6
+
+    def test_nothing_to_archive_rejected(self, database):
+        with pytest.raises(StorageError, match="nothing to archive"):
+            archive_before(database, "r", 2, ArchiveStore())
+
+    def test_whole_history_rejected(self, database):
+        with pytest.raises(StorageError, match="entire history"):
+            archive_before(database, "r", 100, ArchiveStore())
+
+    def test_snapshot_relation_rejected(self):
+        db = run(
+            [
+                DefineRelation("s", "snapshot"),
+                ModifyState("s", Const(kv(1))),
+            ]
+        )
+        with pytest.raises(RelationTypeError):
+            archive_before(db, "s", 2, ArchiveStore())
+
+    def test_incremental_archiving(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 4, store)
+        live = archive_before(live, "r", 6, store)
+        assert live.require("r").transaction_numbers == (6, 7)
+        assert store.stored_states() == 4
+
+    def test_overlapping_segment_rejected(self, database):
+        store = ArchiveStore()
+        archive_before(database, "r", 5, store)
+        # archiving the same early span again from the original database
+        with pytest.raises(StorageError, match="overlaps"):
+            archive_before(database, "r", 4, store)
+
+
+class TestTieredReader:
+    def test_reads_are_equivalent_everywhere(self, database):
+        """The central correctness property: tiered reads equal reads
+        against the un-archived database at every transaction."""
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        reader = TieredReader(live, store)
+        original = database.require("r")
+        for txn in range(0, 10):
+            before = original.find_state(txn)
+            after = reader.rollback("r", txn)
+            assert before == after
+
+    def test_now_reads_live(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        reader = TieredReader(live, store)
+        assert reader.rollback("r", NOW) == Rollback("r", NOW).evaluate(
+            database
+        )
+
+    def test_prehistory_is_empty_set(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        reader = TieredReader(live, store)
+        assert is_empty_set(reader.rollback("r", 0))
+
+    def test_history_length_counts_both_tiers(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        reader = TieredReader(live, store)
+        assert reader.history_length("r") == 6
+
+
+class TestArchiveStoreSerialization:
+    def test_round_trip(self, database):
+        store = ArchiveStore()
+        live = archive_before(database, "r", 5, store)
+        restored = ArchiveStore.loads(store.dumps())
+        reader = TieredReader(live, restored)
+        original = database.require("r")
+        for txn in range(0, 10):
+            assert reader.rollback("r", txn) == original.find_state(txn)
+
+    def test_historical_states_round_trip(self):
+        from repro.historical.state import HistoricalState
+
+        h = Schema(["who"])
+        states = [
+            HistoricalState.from_rows(h, [(["ann"], [(0, 5 + i)])])
+            for i in range(4)
+        ]
+        commands = [DefineRelation("t", "temporal")]
+        commands += [ModifyState("t", Const(s)) for s in states]
+        database = run(commands)
+        store = ArchiveStore()
+        live = archive_before(database, "t", 4, store)
+        restored = ArchiveStore.loads(store.dumps())
+        reader = TieredReader(live, restored)
+        assert reader.rollback("t", 2) == states[0]
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(StorageError):
+            ArchiveStore.loads('{"format": "nope"}')
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(StorageError):
+            ArchiveStore().add_segment(ArchivedSegment("r", []))
+
+    def test_non_increasing_pairs_rejected(self):
+        with pytest.raises(StorageError):
+            ArchivedSegment("r", [(kv(1), 5), (kv(2), 5)])

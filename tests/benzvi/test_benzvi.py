@@ -1,0 +1,151 @@
+"""Tests for the Ben-Zvi baseline and the paper's claim C7: Time-View is
+the composition of rollback and valid-time selection."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.benzvi.bridge import (
+    OperationKind,
+    TemporalOperation,
+    apply_operations,
+)
+from repro.benzvi.relation import TRMRelation
+from repro.benzvi.timeview import time_view, time_view_expression
+from repro.core.expressions import is_empty_set
+from repro.historical.intervals import Interval
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.workloads.histories import random_operation_stream
+
+K = Schema([Attribute("k", INTEGER)])
+
+
+class TestTRMRelation:
+    def test_insert_registers_version(self):
+        r = TRMRelation(K)
+        v = r.insert([1], Interval(0, 10), txn=1)
+        assert v.is_current
+        assert v.registered == 1
+        assert len(r) == 1
+
+    def test_logical_delete_closes_registration(self):
+        r = TRMRelation(K)
+        r.insert([1], Interval(0, 10), txn=1)
+        closed = r.logical_delete([1], txn=3)
+        assert closed == 1
+        (v,) = r.versions
+        assert not v.is_current
+        assert v.superseded == 3
+        # the version record itself is never destroyed
+        assert r.stored_versions() == 1
+
+    def test_delete_missing_raises(self):
+        r = TRMRelation(K)
+        with pytest.raises(StorageError):
+            r.logical_delete([1], txn=1)
+
+    def test_modify_effective_supersedes(self):
+        r = TRMRelation(K)
+        r.insert([1], Interval(0, 10), txn=1)
+        r.modify_effective([1], Interval(5, 20), txn=2)
+        assert r.stored_versions() == 2
+        assert len(r.current_versions()) == 1
+        assert r.current_versions()[0].effective == Interval(5, 20)
+
+    def test_registered_at(self):
+        r = TRMRelation(K)
+        v = r.insert([1], Interval(0, 10), txn=2)
+        r.logical_delete([1], txn=5)
+        assert not v.registered_at(1)
+        assert v.registered_at(2)
+        assert v.registered_at(4)
+        assert not v.registered_at(5)
+
+
+class TestTimeView:
+    @pytest.fixture
+    def relation(self):
+        r = TRMRelation(K)
+        r.insert([1], Interval(0, 10), txn=1)   # believed from txn 1
+        r.insert([2], Interval(5, 15), txn=2)   # believed from txn 2
+        r.logical_delete([1], txn=3)            # belief in 1 retracted
+        return r
+
+    def test_rolls_back_and_slices(self, relation):
+        # as of txn 2 both facts are believed; valid time 7 covers both
+        assert time_view(relation, 7, 2) == SnapshotState(K, [[1], [2]])
+
+    def test_transaction_time_dimension(self, relation):
+        # as of txn 3 the belief in fact 1 is retracted
+        assert time_view(relation, 7, 3) == SnapshotState(K, [[2]])
+
+    def test_valid_time_dimension(self, relation):
+        # valid time 2 precedes fact 2's effective interval
+        assert time_view(relation, 2, 2) == SnapshotState(K, [[1]])
+
+    def test_before_everything(self, relation):
+        assert time_view(relation, 7, 0).is_empty()
+
+
+class TestEquivalenceWithPaperLanguage:
+    """C7: time_view(R, tv, tt) == timeslice_tv(δ_validat(ρ̂(R, tt)))."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_full_grid(self, seed):
+        operations = random_operation_stream(
+            30, fact_space=8, horizon=60, seed=seed
+        )
+        trm, db = apply_operations(K, operations)
+        for txn_time in range(0, db.transaction_number + 2):
+            for valid_time in range(0, 60, 7):
+                benzvi = time_view(trm, valid_time, txn_time)
+                expression = time_view_expression(
+                    "r", valid_time, txn_time
+                )
+                historical = expression.evaluate(db)
+                if is_empty_set(historical):
+                    ours = SnapshotState.empty(K)
+                else:
+                    ours = historical.snapshot_at(valid_time)
+                assert benzvi == ours, (
+                    f"mismatch at tt={txn_time} tv={valid_time}"
+                )
+
+    def test_ours_is_strictly_more_general(self):
+        """The paper's expression returns full valid-time information;
+        Time-View's output has already lost it."""
+        operations = [
+            TemporalOperation(
+                OperationKind.INSERT, (1,), Interval(0, 50)
+            )
+        ]
+        trm, db = apply_operations(K, operations)
+        historical = time_view_expression("r", 10, 2).evaluate(db)
+        (t,) = historical.tuples
+        # the historical result still knows the full period ...
+        assert t.valid_time.covers(49)
+        # ... while Time-View returns only the membership bit
+        assert time_view(trm, 10, 2) == SnapshotState(K, [[1]])
+
+
+class TestBridge:
+    def test_operation_validation(self):
+        with pytest.raises(StorageError):
+            TemporalOperation(OperationKind.INSERT, (1,))  # no interval
+
+    def test_aligned_transaction_numbers(self):
+        operations = [
+            TemporalOperation(OperationKind.INSERT, (1,), Interval(0, 9)),
+            TemporalOperation(OperationKind.INSERT, (2,), Interval(3, 7)),
+        ]
+        trm, db = apply_operations(K, operations)
+        assert db.transaction_number == 3  # define + 2 ops
+        assert [v.registered for v in trm.versions] == [2, 3]
+
+    def test_stream_generator_is_applicable(self):
+        # the seeded generator never deletes/modifies absent facts
+        operations = random_operation_stream(100, seed=7)
+        trm, db = apply_operations(Schema([Attribute("k", INTEGER)]),
+                                   operations)
+        assert db.transaction_number == len(operations) + 1

@@ -1,0 +1,179 @@
+"""Tests for the transaction manager: snapshot reads, optimistic
+validation, atomic commit, monotone commit timestamps."""
+
+import pytest
+
+from repro.errors import ConcurrencyError
+from repro.concurrency.manager import TransactionManager
+from repro.concurrency.transactions import Transaction, TransactionStatus
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.txn import NOW
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def kv(*keys):
+    return SnapshotState(KV, [[k] for k in keys])
+
+
+def append(identifier, key):
+    return ModifyState(
+        identifier, Union(Rollback(identifier), Const(kv(key)))
+    )
+
+
+@pytest.fixture
+def manager():
+    m = TransactionManager()
+    t = m.begin()
+    t.stage(DefineRelation("r", "rollback"))
+    t.stage(ModifyState("r", Const(kv(0))))
+    m.commit(t)
+    return m
+
+
+class TestBasicLifecycle:
+    def test_commit_applies_atomically(self, manager):
+        t = manager.begin()
+        t.stage(append("r", 1))
+        t.stage(append("r", 2))
+        db = manager.commit(t)
+        assert Rollback("r", NOW).evaluate(db) == kv(0, 1, 2)
+        assert t.status is TransactionStatus.COMMITTED
+
+    def test_commit_timestamps_monotone(self, manager):
+        stamps = []
+        for key in range(1, 4):
+            t = manager.begin()
+            t.stage(append("r", key))
+            manager.commit(t)
+            stamps.append(t.commit_txn)
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_nothing_visible_before_commit(self, manager):
+        before = manager.database
+        t = manager.begin()
+        t.stage(append("r", 99))
+        assert manager.database == before
+        manager.abort(t)
+        assert manager.database == before
+
+    def test_abort_then_use_rejected(self, manager):
+        t = manager.begin()
+        manager.abort(t)
+        with pytest.raises(ConcurrencyError):
+            t.stage(append("r", 1))
+        with pytest.raises(ConcurrencyError):
+            manager.commit(t)
+
+    def test_double_commit_rejected(self, manager):
+        t = manager.begin()
+        t.stage(append("r", 1))
+        manager.commit(t)
+        with pytest.raises(ConcurrencyError):
+            manager.commit(t)
+
+    def test_empty_transaction_commits(self, manager):
+        before = manager.database
+        t = manager.begin()
+        manager.commit(t)
+        assert manager.database == before
+
+
+class TestSnapshotReads:
+    def test_read_sees_begin_snapshot(self, manager):
+        reader = manager.begin()
+        writer = manager.begin()
+        writer.stage(append("r", 42))
+        manager.commit(writer)
+        # the reader still sees the database as of its begin
+        assert reader.read(Rollback("r", NOW)) == kv(0)
+
+    def test_read_records_read_set(self, manager):
+        t = manager.begin()
+        t.read(Rollback("r", NOW))
+        assert "r" in t.read_set
+
+    def test_staged_expressions_count_as_reads(self, manager):
+        t = manager.begin()
+        t.stage(append("r", 1))  # expression contains ρ(r, now)
+        assert "r" in t.read_set
+        assert "r" in t.write_set
+
+
+class TestValidation:
+    def test_read_write_conflict_aborts(self, manager):
+        reader_writer = manager.begin()
+        reader_writer.read(Rollback("r", NOW))
+        reader_writer.stage(DefineRelation("other", "rollback"))
+
+        interferer = manager.begin()
+        interferer.stage(append("r", 7))
+        manager.commit(interferer)
+
+        with pytest.raises(ConcurrencyError, match="aborted"):
+            manager.commit(reader_writer)
+        assert reader_writer.status is TransactionStatus.ABORTED
+        assert manager.abort_count == 1
+
+    def test_disjoint_relations_do_not_conflict(self, manager):
+        t1 = manager.begin()
+        t1.stage(DefineRelation("a", "rollback"))
+        t1.stage(ModifyState("a", Const(kv(1))))
+
+        t2 = manager.begin()
+        t2.stage(DefineRelation("b", "rollback"))
+        t2.stage(ModifyState("b", Const(kv(2))))
+
+        manager.commit(t1)
+        manager.commit(t2)  # no conflict: t2 never read or wrote 'a'
+        assert manager.commit_count == 3  # setup + two
+
+    def test_blind_write_after_concurrent_write_is_allowed(self, manager):
+        # t reads nothing; a concurrent writer touching the same relation
+        # does not invalidate it (no stale read exists).
+        t = manager.begin()
+        t.stage(ModifyState("r", Const(kv(5))))
+        # constant expression: no rollback leaf, empty read set? The
+        # staged ModifyState reads nothing, so the write is blind.
+        assert t.read_set == frozenset()
+
+        interferer = manager.begin()
+        interferer.stage(append("r", 7))
+        manager.commit(interferer)
+
+        db = manager.commit(t)
+        assert Rollback("r", NOW).evaluate(db) == kv(5)
+
+    def test_run_retries_until_success(self, manager):
+        calls = []
+
+        def body(t: Transaction) -> None:
+            calls.append(1)
+            t.read(Rollback("r", NOW))
+            t.stage(append("r", 10 + len(calls)))
+            if len(calls) == 1:
+                # interfere mid-transaction on the first attempt
+                other = manager.begin()
+                other.stage(append("r", 99))
+                manager.commit(other)
+
+        manager.run(body)
+        assert len(calls) == 2  # first attempt aborted, second committed
+        assert manager.abort_count == 1
+
+    def test_run_gives_up_after_retries(self, manager):
+        def body(t: Transaction) -> None:
+            t.read(Rollback("r", NOW))
+            t.stage(append("r", 1))
+            other = manager.begin()
+            other.stage(append("r", 99))
+            manager.commit(other)
+
+        with pytest.raises(ConcurrencyError, match="retries"):
+            manager.run(body, retries=2)

@@ -1,0 +1,127 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const
+from repro.core.sentences import run
+from repro.historical.chronons import FOREVER
+from repro.historical.intervals import Interval
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def faculty_schema() -> Schema:
+    """The example schema used throughout the paper-flavored tests."""
+    return Schema(
+        [Attribute("name", STRING), Attribute("rank", STRING)]
+    )
+
+
+@pytest.fixture
+def kv_schema() -> Schema:
+    """A small integer key/value schema."""
+    return Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+@pytest.fixture
+def faculty_states(faculty_schema):
+    """Three successive snapshot states of the faculty relation."""
+    s1 = SnapshotState(faculty_schema, [["merrie", "assistant"]])
+    s2 = SnapshotState(
+        faculty_schema,
+        [["merrie", "assistant"], ["tom", "full"]],
+    )
+    s3 = SnapshotState(
+        faculty_schema,
+        [["merrie", "associate"], ["tom", "full"]],
+    )
+    return [s1, s2, s3]
+
+
+@pytest.fixture
+def rollback_db(faculty_schema, faculty_states):
+    """A database with one rollback relation holding three states
+    (at transactions 2, 3, 4; define_relation commits at 1)."""
+    commands = [DefineRelation("faculty", "rollback")]
+    commands += [
+        ModifyState("faculty", Const(state)) for state in faculty_states
+    ]
+    return run(commands)
+
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+#: Small integer chronons for interval endpoints.
+chronons = st.integers(min_value=0, max_value=60)
+
+
+@st.composite
+def intervals(draw) -> Interval:
+    """Random bounded or unbounded half-open intervals."""
+    start = draw(st.integers(min_value=0, max_value=50))
+    if draw(st.booleans()):
+        length = draw(st.integers(min_value=1, max_value=30))
+        return Interval(start, start + length)
+    return Interval(start, FOREVER)
+
+
+@st.composite
+def period_sets(draw, max_intervals: int = 4) -> PeriodSet:
+    """Random (possibly empty) period sets."""
+    pieces = draw(
+        st.lists(intervals(), min_size=0, max_size=max_intervals)
+    )
+    # At most one unbounded run survives canonicalization anyway.
+    return PeriodSet(pieces)
+
+
+@st.composite
+def nonempty_period_sets(draw, max_intervals: int = 4) -> PeriodSet:
+    pieces = draw(
+        st.lists(intervals(), min_size=1, max_size=max_intervals)
+    )
+    return PeriodSet(pieces)
+
+
+#: Rows for the k/v schema.
+kv_rows = st.tuples(
+    st.integers(min_value=0, max_value=9),
+    st.integers(min_value=0, max_value=4),
+)
+
+
+@st.composite
+def kv_states(draw, max_rows: int = 8) -> SnapshotState:
+    """Random snapshot states over the k/v schema."""
+    schema = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+    rows = draw(st.lists(kv_rows, min_size=0, max_size=max_rows))
+    return SnapshotState(schema, [list(r) for r in rows])
+
+
+@st.composite
+def kv_historical_states(draw, max_rows: int = 6) -> HistoricalState:
+    """Random historical states over the k/v schema."""
+    schema = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+    rows = draw(st.lists(kv_rows, min_size=0, max_size=max_rows))
+    tuples = []
+    for row in rows:
+        periods = draw(nonempty_period_sets())
+        tuples.append(
+            HistoricalTuple(list(row), periods, schema=schema)
+        )
+    return HistoricalState(schema, tuples)

@@ -1,0 +1,100 @@
+"""Tests for the wall-clock transaction log (AS OF <instant>)."""
+
+import pytest
+
+from repro.errors import RollbackError
+from repro.core.clock import TransactionClock
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, is_empty_set
+from repro.core.sentences import run
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def kv(*keys):
+    return SnapshotState(KV, [[k] for k in keys])
+
+
+@pytest.fixture
+def db_and_clock():
+    """States at txns 2, 3, 4, committed at instants 100, 250, 400."""
+    db = run(
+        [
+            DefineRelation("r", "rollback"),     # txn 1
+            ModifyState("r", Const(kv(1))),      # txn 2
+            ModifyState("r", Const(kv(1, 2))),   # txn 3
+            ModifyState("r", Const(kv(3))),      # txn 4
+        ]
+    )
+    clock = TransactionClock()
+    clock.record(1, 50)
+    clock.record(2, 100)
+    clock.record(3, 250)
+    clock.record(4, 400)
+    return db, clock
+
+
+class TestRecording:
+    def test_non_increasing_txn_rejected(self):
+        clock = TransactionClock()
+        clock.record(3, 10)
+        with pytest.raises(RollbackError):
+            clock.record(3, 20)
+
+    def test_non_increasing_instant_rejected(self):
+        clock = TransactionClock()
+        clock.record(1, 10)
+        with pytest.raises(RollbackError):
+            clock.record(2, 10)
+
+    def test_len(self, db_and_clock):
+        _, clock = db_and_clock
+        assert len(clock) == 4
+
+
+class TestResolution:
+    def test_exact_instant(self, db_and_clock):
+        _, clock = db_and_clock
+        assert clock.txn_as_of(250) == 3
+
+    def test_between_instants(self, db_and_clock):
+        _, clock = db_and_clock
+        assert clock.txn_as_of(300) == 3
+        assert clock.txn_as_of(399) == 3
+        assert clock.txn_as_of(99) == 1
+
+    def test_after_everything(self, db_and_clock):
+        _, clock = db_and_clock
+        assert clock.txn_as_of(10**9) == 4
+
+    def test_before_everything(self, db_and_clock):
+        _, clock = db_and_clock
+        assert clock.txn_as_of(0) is None
+
+    def test_instant_of(self, db_and_clock):
+        _, clock = db_and_clock
+        assert clock.instant_of(3) == 250
+        with pytest.raises(RollbackError):
+            clock.instant_of(99)
+
+
+class TestAsOfQuery:
+    def test_rollback_as_of(self, db_and_clock):
+        db, clock = db_and_clock
+        assert clock.rollback_as_of(db, "r", 100) == kv(1)
+        assert clock.rollback_as_of(db, "r", 300) == kv(1, 2)
+        assert clock.rollback_as_of(db, "r", 10**9) == kv(3)
+
+    def test_instant_before_any_commit(self, db_and_clock):
+        db, clock = db_and_clock
+        with pytest.raises(RollbackError, match="no transaction"):
+            clock.rollback_as_of(db, "r", 1)
+
+    def test_instant_before_relation_had_state(self, db_and_clock):
+        db, clock = db_and_clock
+        # instant 60 resolves to txn 1, when r existed but had no state
+        result = clock.rollback_as_of(db, "r", 60)
+        assert is_empty_set(result)

@@ -1,0 +1,248 @@
+"""Tests for the semantic function C: define_relation, modify_state,
+sequencing — including the paper's exact no-op semantics and the
+append/delete/replace encodings (claim C3)."""
+
+import pytest
+
+from repro.errors import CommandError, RelationTypeError
+from repro.core.commands import (
+    DefineRelation,
+    ModifyState,
+    Sequence,
+    execute,
+    sequence,
+)
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.relation import RelationType
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.historical.state import HistoricalState
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+def const(*rows):
+    return Const(kv(*rows))
+
+
+class TestDefineRelation:
+    def test_binds_and_increments(self):
+        db = DefineRelation("r", "rollback").execute(EMPTY_DATABASE)
+        assert db.transaction_number == 1
+        relation = db.require("r")
+        assert relation.rtype is RelationType.ROLLBACK
+        assert relation.history_length == 0
+
+    def test_accepts_enum(self):
+        db = DefineRelation("r", RelationType.TEMPORAL).execute(
+            EMPTY_DATABASE
+        )
+        assert db.require("r").rtype is RelationType.TEMPORAL
+
+    def test_redefinition_is_noop(self):
+        db1 = DefineRelation("r", "rollback").execute(EMPTY_DATABASE)
+        db2 = DefineRelation("r", "snapshot").execute(db1)
+        # paper: "the command leaves the database unchanged"
+        assert db2 == db1
+        assert db2.require("r").rtype is RelationType.ROLLBACK
+
+    def test_strict_redefinition_raises(self):
+        db1 = DefineRelation("r", "rollback").execute(EMPTY_DATABASE)
+        with pytest.raises(CommandError):
+            DefineRelation("r", "rollback", strict=True).execute(db1)
+
+    def test_invalid_identifier(self):
+        with pytest.raises(CommandError):
+            DefineRelation("", "rollback")
+
+
+class TestModifyState:
+    def test_rollback_appends(self):
+        db = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", const((1, 1))),
+                ModifyState("r", const((2, 2))),
+            ]
+        )
+        relation = db.require("r")
+        assert relation.history_length == 2
+        assert relation.transaction_numbers == (2, 3)
+
+    def test_snapshot_replaces(self):
+        db = run(
+            [
+                DefineRelation("s", "snapshot"),
+                ModifyState("s", const((1, 1))),
+                ModifyState("s", const((2, 2))),
+            ]
+        )
+        relation = db.require("s")
+        assert relation.history_length == 1
+        assert relation.current_state == kv((2, 2))
+        # the single element carries the latest transaction number
+        assert relation.transaction_numbers == (3,)
+
+    def test_unbound_identifier_is_noop(self):
+        db = ModifyState("ghost", const((1, 1))).execute(EMPTY_DATABASE)
+        assert db == EMPTY_DATABASE
+
+    def test_strict_unbound_raises(self):
+        with pytest.raises(CommandError):
+            ModifyState("ghost", const((1, 1)), strict=True).execute(
+                EMPTY_DATABASE
+            )
+
+    def test_expression_sees_pre_change_database(self):
+        # modify_state evaluates E against the database *before* the
+        # change: ρ(r, now) inside the expression yields the old state.
+        db = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", const((1, 1))),
+                ModifyState(
+                    "r", Union(Rollback("r", NOW), const((2, 2)))
+                ),
+            ]
+        )
+        assert Rollback("r", NOW).evaluate(db) == kv((1, 1), (2, 2))
+
+    def test_state_kind_mismatch_rejected(self):
+        historical = Const(
+            HistoricalState.from_rows(KV, [([1, 2], [(0, 5)])])
+        )
+        db = run([DefineRelation("r", "rollback")])
+        with pytest.raises(RelationTypeError):
+            ModifyState("r", historical).execute(db)
+        db2 = run([DefineRelation("t", "temporal")])
+        with pytest.raises(RelationTypeError):
+            ModifyState("t", const((1, 1))).execute(db2)
+
+    def test_empty_set_without_prior_state_rejected(self):
+        db = run([DefineRelation("r", "rollback")])
+        with pytest.raises(CommandError, match="untyped empty set"):
+            ModifyState(
+                "r", Difference(Rollback("r"), Rollback("r"))
+            ).execute(db)
+
+    def test_empty_set_with_prior_state_borrows_schema(self):
+        db = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", const((1, 1))),
+                ModifyState(
+                    "r", Difference(Rollback("r"), Rollback("r"))
+                ),
+            ]
+        )
+        current = Rollback("r", NOW).evaluate(db)
+        assert current.is_empty()
+        assert current.schema == KV
+
+    def test_non_expression_rejected(self):
+        with pytest.raises(CommandError):
+            ModifyState("r", kv((1, 1)))  # type: ignore[arg-type]
+
+
+class TestUpdateEncodings:
+    """Claim C3: append, delete and replace are all modify_state with a
+    suitable expression (Section 3.5)."""
+
+    @pytest.fixture
+    def db(self):
+        return run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", const((1, 10), (2, 20))),
+            ]
+        )
+
+    def test_append(self, db):
+        db = ModifyState(
+            "r", Union(Rollback("r", NOW), const((3, 30)))
+        ).execute(db)
+        assert Rollback("r", NOW).evaluate(db) == kv(
+            (1, 10), (2, 20), (3, 30)
+        )
+
+    def test_delete(self, db):
+        doomed = Select(
+            Rollback("r", NOW), Comparison(attr("k"), "=", lit(1))
+        )
+        db = ModifyState(
+            "r", Difference(Rollback("r", NOW), doomed)
+        ).execute(db)
+        assert Rollback("r", NOW).evaluate(db) == kv((2, 20))
+
+    def test_replace(self, db):
+        matched = Select(
+            Rollback("r", NOW), Comparison(attr("k"), "=", lit(2))
+        )
+        replacement = const((2, 99))
+        db = ModifyState(
+            "r",
+            Union(
+                Difference(Rollback("r", NOW), matched), replacement
+            ),
+        ).execute(db)
+        assert Rollback("r", NOW).evaluate(db) == kv((1, 10), (2, 99))
+
+    def test_history_preserved_through_updates(self, db):
+        before = Rollback("r", NOW).evaluate(db)
+        db = ModifyState(
+            "r", Union(Rollback("r", NOW), const((3, 30)))
+        ).execute(db)
+        # the pre-update state is still reachable at its old txn
+        assert Rollback("r", 2).evaluate(db) == before
+
+
+class TestSequencing:
+    def test_order(self):
+        program = Sequence(
+            DefineRelation("r", "rollback"),
+            ModifyState("r", const((1, 1))),
+        )
+        db = program.execute(EMPTY_DATABASE)
+        assert db.transaction_number == 2
+        assert Rollback("r", NOW).evaluate(db) == kv((1, 1))
+
+    def test_sequence_helper_folds(self):
+        program = sequence(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", const((1, 1))),
+                ModifyState("r", const((2, 2))),
+            ]
+        )
+        db = program.execute(EMPTY_DATABASE)
+        assert db.require("r").history_length == 2
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(CommandError):
+            sequence([])
+
+    def test_execute_helper(self):
+        db = execute(DefineRelation("r", "rollback"), EMPTY_DATABASE)
+        assert db.transaction_number == 1
+
+    def test_then_sugar(self):
+        program = DefineRelation("r", "rollback").then(
+            ModifyState("r", const((1, 1)))
+        )
+        assert isinstance(program, Sequence)
+        assert program.execute(EMPTY_DATABASE).transaction_number == 2

@@ -1,0 +1,83 @@
+"""Tests for database states and databases."""
+
+import pytest
+
+from repro.errors import UnknownRelationError
+from repro.core.database import EMPTY_DATABASE, Database, DatabaseState
+from repro.core.relation import Relation, RelationType
+
+
+@pytest.fixture
+def relation():
+    return Relation(RelationType.ROLLBACK, ())
+
+
+class TestDatabaseState:
+    def test_empty_maps_everything_to_bottom(self):
+        state = DatabaseState()
+        assert state.lookup("anything") is None
+        assert not state.is_bound("anything")
+
+    def test_bind_is_functional_update(self, relation):
+        state = DatabaseState()
+        bound = state.bind("r", relation)
+        assert bound.lookup("r") is relation
+        assert state.lookup("r") is None  # original untouched
+
+    def test_require(self, relation):
+        state = DatabaseState().bind("r", relation)
+        assert state.require("r") is relation
+        with pytest.raises(UnknownRelationError):
+            state.require("s")
+
+    def test_unbind(self, relation):
+        state = DatabaseState().bind("r", relation)
+        assert state.unbind("r").lookup("r") is None
+        assert state.lookup("r") is relation
+
+    def test_identifiers_sorted(self, relation):
+        state = (
+            DatabaseState()
+            .bind("zebra", relation)
+            .bind("alpha", relation)
+        )
+        assert state.identifiers == ("alpha", "zebra")
+        assert list(state) == ["alpha", "zebra"]
+
+    def test_len_and_contains(self, relation):
+        state = DatabaseState().bind("r", relation)
+        assert len(state) == 1
+        assert "r" in state
+
+    def test_equality(self, relation):
+        a = DatabaseState().bind("r", relation)
+        b = DatabaseState({"r": relation})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestDatabase:
+    def test_empty_database(self):
+        assert EMPTY_DATABASE.transaction_number == 0
+        assert len(EMPTY_DATABASE.state) == 0
+
+    def test_with_binding(self, relation):
+        db = EMPTY_DATABASE.with_binding("r", relation, 1)
+        assert db.transaction_number == 1
+        assert db.lookup("r") is relation
+        assert EMPTY_DATABASE.lookup("r") is None
+
+    def test_negative_txn_rejected(self):
+        with pytest.raises(UnknownRelationError):
+            Database(DatabaseState(), -1)
+
+    def test_equality_includes_txn(self, relation):
+        a = EMPTY_DATABASE.with_binding("r", relation, 1)
+        b = EMPTY_DATABASE.with_binding("r", relation, 2)
+        assert a != b
+
+    def test_require_delegates(self, relation):
+        db = EMPTY_DATABASE.with_binding("r", relation, 1)
+        assert db.require("r") is relation
+        with pytest.raises(UnknownRelationError):
+            db.require("missing")

@@ -1,0 +1,125 @@
+"""Tests for the memoized (common-subexpression) evaluator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import (
+    Const,
+    Derive,
+    Difference,
+    Product,
+    Project,
+    Rename,
+    Rollback,
+    Select,
+    Union,
+    evaluate,
+    evaluate_memoized,
+    is_empty_set,
+)
+from repro.core.sentences import run
+from repro.historical.predicates import ValidAt
+from repro.historical.state import HistoricalState
+from repro.historical.temporal_exprs import ValidTime
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+@pytest.fixture
+def db():
+    return run(
+        [
+            DefineRelation("r", "rollback"),
+            ModifyState("r", Const(kv((1, 10), (2, 20), (3, 30)))),
+            DefineRelation("empty", "rollback"),
+        ]
+    )
+
+
+class TestAgreement:
+    def test_delete_shape(self, db):
+        source = Select(
+            Rollback("r"), Comparison(attr("v"), ">=", lit(10))
+        )
+        doomed = Select(source, Comparison(attr("k"), "=", lit(2)))
+        query = Difference(source, doomed)
+        assert evaluate_memoized(query, db) == evaluate(query, db)
+
+    def test_empty_set_paths(self, db):
+        query = Union(Rollback("empty"), Rollback("r"))
+        assert evaluate_memoized(query, db) == evaluate(query, db)
+        only_empty = Project(Rollback("empty"), ["k"])
+        assert is_empty_set(evaluate_memoized(only_empty, db))
+
+    def test_historical_paths(self):
+        h = HistoricalState.from_rows(KV, [([1, 2], [(0, 9)])])
+        database = run(
+            [
+                DefineRelation("t", "temporal"),
+                ModifyState("t", Const(h)),
+            ]
+        )
+        query = Derive(
+            Union(Rollback("t"), Rollback("t")),
+            predicate=ValidAt(ValidTime(), 3),
+        )
+        assert evaluate_memoized(query, database) == evaluate(
+            query, database
+        )
+
+    def test_rename_and_product(self, db):
+        doubled = Product(
+            Rollback("r"), Rename(Rollback("r"), {"k": "k2", "v": "v2"})
+        )
+        assert evaluate_memoized(doubled, db) == evaluate(doubled, db)
+
+    @settings(max_examples=40)
+    @given(kv_states(), kv_states())
+    def test_random_trees_agree(self, a, b):
+        e = Difference(
+            Union(Const(a), Const(b)),
+            Select(
+                Union(Const(a), Const(b)),
+                Comparison(attr("k"), ">", lit(4)),
+            ),
+        )
+        assert evaluate_memoized(e, EMPTY_DATABASE) == evaluate(
+            e, EMPTY_DATABASE
+        )
+
+
+class TestSharing:
+    def test_shared_subtree_evaluated_once(self, db):
+        """A counting wrapper shows the shared subtree evaluates once
+        under memoization and twice under plain evaluation."""
+        calls = []
+
+        class CountingConst(Const):
+            def evaluate(self, database):
+                calls.append(1)
+                return super().evaluate(database)
+
+        shared = CountingConst(kv((1, 10), (2, 20)))
+        query = Difference(
+            shared, Select(shared, Comparison(attr("k"), "=", lit(1)))
+        )
+        evaluate(query, db)
+        plain_calls = len(calls)
+        calls.clear()
+        evaluate_memoized(query, db)
+        memo_calls = len(calls)
+        assert plain_calls == 2
+        assert memo_calls == 1

@@ -1,0 +1,127 @@
+"""Tests for the semantic function P and the strictly-increasing
+transaction-number invariant (claim C4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommandError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.sentences import Sentence, run
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER)])
+
+
+def const(*keys):
+    return Const(SnapshotState(KV, [[k] for k in keys]))
+
+
+class TestSentence:
+    def test_starts_from_empty_database(self):
+        db = Sentence([DefineRelation("r", "rollback")]).evaluate()
+        assert db.transaction_number == 1
+
+    def test_single_command_accepted(self):
+        db = Sentence(DefineRelation("r", "rollback")).evaluate()
+        assert db.require("r") is not None
+
+    def test_empty_sentence_rejected(self):
+        with pytest.raises(CommandError):
+            Sentence([])
+
+    def test_run_helper(self):
+        db = run([DefineRelation("r", "rollback")])
+        assert db.transaction_number == 1
+
+    def test_equality(self):
+        a = Sentence([DefineRelation("r", "rollback")])
+        b = Sentence([DefineRelation("r", "rollback")])
+        assert a == b
+        assert len(a) == 1
+
+
+class TestIncreasingInvariant:
+    """Claim C4: transaction numbers in every rollback relation's state
+    sequence are strictly increasing, for arbitrary command sequences."""
+
+    def _random_commands(self, seed: int, length: int):
+        rng = random.Random(seed)
+        identifiers = ["r1", "r2", "r3"]
+        commands = []
+        for _ in range(length):
+            identifier = rng.choice(identifiers)
+            roll = rng.random()
+            if roll < 0.25:
+                # may be a redefinition no-op
+                commands.append(DefineRelation(identifier, "rollback"))
+            elif roll < 0.9:
+                # may be a modify on an unbound identifier (no-op)
+                commands.append(
+                    ModifyState(identifier, const(rng.randrange(5)))
+                )
+            else:
+                commands.append(
+                    ModifyState(
+                        identifier,
+                        Union(
+                            Rollback(identifier),
+                            const(rng.randrange(5)),
+                        ),
+                    )
+                )
+        return commands
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_invariant_under_random_streams(self, seed):
+        db = run(self._random_commands(seed, 60))
+        seen_txns = []
+        for identifier in db.state:
+            relation = db.require(identifier)
+            txns = relation.transaction_numbers
+            assert list(txns) == sorted(set(txns))
+            seen_txns.extend(txns)
+        # all state txns are bounded by the database txn
+        assert all(t <= db.transaction_number for t in seen_txns)
+
+    def test_noops_do_not_advance_transaction_number(self):
+        db1 = run([DefineRelation("r", "rollback")])
+        # redefinition: no change, including the txn counter
+        db2 = DefineRelation("r", "snapshot").execute(db1)
+        assert db2.transaction_number == db1.transaction_number
+        # modify of unbound identifier: no change
+        db3 = ModifyState("ghost", const(1)).execute(db1)
+        assert db3.transaction_number == db1.transaction_number
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_prefix_property(self, seed):
+        """Executing a sentence is the same as executing any prefix and
+        then the suffix — the compositionality of C."""
+        commands = self._random_commands(seed, 20)
+        full = run(commands)
+        split = seed % (len(commands) - 1) + 1
+        prefix_db = run(commands[:split])
+        resumed = prefix_db
+        for command in commands[split:]:
+            resumed = command.execute(resumed)
+        assert resumed == full
+
+
+class TestScale:
+    def test_long_sentences_do_not_overflow_recursion(self):
+        """The balanced Sequence tree keeps execution depth logarithmic;
+        a 5000-command sentence must run without RecursionError."""
+        commands = [DefineRelation("r", "rollback")]
+        commands += [
+            ModifyState("r", const(i % 10)) for i in range(5000)
+        ]
+        db = run(commands)
+        assert db.transaction_number == 5001
+        assert db.require("r").history_length == 5000

@@ -1,0 +1,203 @@
+"""Tests for the scheme-evolution extension (TR87-003)."""
+
+import pytest
+
+from repro.errors import EvolutionError
+from repro.core.expressions import Const, Rollback, Union
+from repro.evolution import EvolvingDatabase, SchemeHistory, SchemeVersion
+from repro.core.relation import RelationType
+from repro.historical.state import HistoricalState
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+EMP = Schema([Attribute("name", STRING)])
+
+
+def emp_state(schema, *rows):
+    return SnapshotState(schema, [list(r) for r in rows])
+
+
+@pytest.fixture
+def db():
+    ev = EvolvingDatabase()
+    ev.define_relation("emp", "rollback", EMP)
+    ev.modify_state("emp", Const(emp_state(EMP, ["ann"], ["bob"])))
+    return ev
+
+
+class TestSchemeHistory:
+    def test_version_at_interpolates(self):
+        history = SchemeHistory(
+            SchemeVersion(EMP, RelationType.ROLLBACK, True, 2)
+        )
+        wider = Schema([Attribute("name", STRING), Attribute("dept", STRING)])
+        history.record(
+            SchemeVersion(wider, RelationType.ROLLBACK, True, 5)
+        )
+        assert history.version_at(1) is None
+        assert history.version_at(2).schema == EMP
+        assert history.version_at(4).schema == EMP
+        assert history.version_at(5).schema == wider
+        assert history.version_at(99).schema == wider
+
+    def test_non_increasing_rejected(self):
+        history = SchemeHistory(
+            SchemeVersion(EMP, RelationType.ROLLBACK, True, 2)
+        )
+        with pytest.raises(EvolutionError):
+            history.record(
+                SchemeVersion(EMP, RelationType.ROLLBACK, True, 2)
+            )
+
+    def test_type_change_rejected(self):
+        history = SchemeHistory(
+            SchemeVersion(EMP, RelationType.ROLLBACK, True, 2)
+        )
+        with pytest.raises(EvolutionError):
+            history.record(
+                SchemeVersion(EMP, RelationType.SNAPSHOT, True, 3)
+            )
+
+
+class TestDefineAndModify:
+    def test_redefinition_is_an_error(self, db):
+        with pytest.raises(EvolutionError, match="already defined"):
+            db.define_relation("emp", "rollback", EMP)
+
+    def test_modify_validates_schema(self, db):
+        wrong = SnapshotState(Schema(["x"]), [["q"]])
+        with pytest.raises(EvolutionError, match="does not match"):
+            db.modify_state("emp", Const(wrong))
+
+    def test_modify_unknown_relation(self, db):
+        with pytest.raises(EvolutionError, match="not defined"):
+            db.modify_state("ghost", Const(emp_state(EMP, ["x"])))
+
+    def test_rollback_reads(self, db):
+        assert db.rollback("emp").sorted_rows() == [("ann",), ("bob",)]
+
+
+class TestDeleteRelation:
+    def test_snapshot_relation_vanishes(self):
+        ev = EvolvingDatabase()
+        ev.define_relation("s", "snapshot", EMP)
+        ev.modify_state("s", Const(emp_state(EMP, ["x"])))
+        ev.delete_relation("s")
+        assert not ev.is_alive("s")
+        # the underlying binding is gone entirely
+        assert ev.database.lookup("s") is None
+
+    def test_rollback_relation_keeps_history(self, db):
+        txn_before_delete = db.transaction_number
+        db.delete_relation("emp")
+        assert not db.is_alive("emp")
+        # past states remain rollback-accessible
+        past = db.rollback("emp", txn_before_delete)
+        assert past.sorted_rows() == [("ann",), ("bob",)]
+
+    def test_deleted_relation_rejects_current_reads(self, db):
+        db.delete_relation("emp")
+        with pytest.raises(EvolutionError):
+            db.rollback("emp")
+
+    def test_deleted_relation_rejects_updates(self, db):
+        db.delete_relation("emp")
+        with pytest.raises(EvolutionError):
+            db.modify_state("emp", Const(emp_state(EMP, ["zed"])))
+
+    def test_double_delete_rejected(self, db):
+        db.delete_relation("emp")
+        with pytest.raises(EvolutionError, match="already deleted"):
+            db.delete_relation("emp")
+
+    def test_delete_consumes_a_transaction(self, db):
+        before = db.transaction_number
+        db.delete_relation("emp")
+        assert db.transaction_number == before + 1
+
+
+class TestSchemeChanges:
+    def test_add_attribute_with_default(self, db):
+        db.add_attribute("emp", Attribute("dept", STRING), "unknown")
+        assert db.current_scheme("emp").names == ("name", "dept")
+        assert db.rollback("emp").sorted_rows() == [
+            ("ann", "unknown"),
+            ("bob", "unknown"),
+        ]
+
+    def test_add_duplicate_attribute_rejected(self, db):
+        with pytest.raises(EvolutionError):
+            db.add_attribute("emp", Attribute("name", STRING), "")
+
+    def test_past_states_keep_old_scheme(self, db):
+        txn_before = db.transaction_number
+        db.add_attribute("emp", Attribute("dept", STRING), "unknown")
+        # dictionary rollback
+        assert db.scheme_at("emp", txn_before).names == ("name",)
+        # data rollback matches the old scheme
+        past = db.rollback("emp", txn_before)
+        assert past.schema.names == ("name",)
+
+    def test_drop_attribute(self, db):
+        db.add_attribute("emp", Attribute("dept", STRING), "cs")
+        db.drop_attribute("emp", "dept")
+        assert db.current_scheme("emp").names == ("name",)
+        assert db.rollback("emp").sorted_rows() == [("ann",), ("bob",)]
+
+    def test_drop_merges_under_set_semantics(self):
+        ev = EvolvingDatabase()
+        wide = Schema(
+            [Attribute("name", STRING), Attribute("dept", STRING)]
+        )
+        ev.define_relation("emp", "rollback", wide)
+        ev.modify_state(
+            "emp",
+            Const(emp_state(wide, ["ann", "cs"], ["ann", "math"])),
+        )
+        ev.drop_attribute("emp", "dept")
+        assert ev.rollback("emp").sorted_rows() == [("ann",)]
+
+    def test_drop_unknown_rejected(self, db):
+        with pytest.raises(EvolutionError):
+            db.drop_attribute("emp", "ghost")
+
+    def test_drop_last_attribute_rejected(self, db):
+        with pytest.raises(EvolutionError):
+            db.drop_attribute("emp", "name")
+
+    def test_rename_attribute(self, db):
+        db.rename_attribute("emp", "name", "who")
+        assert db.current_scheme("emp").names == ("who",)
+        assert db.rollback("emp").sorted_rows() == [("ann",), ("bob",)]
+
+    def test_scheme_change_on_deleted_rejected(self, db):
+        db.delete_relation("emp")
+        with pytest.raises(EvolutionError):
+            db.add_attribute("emp", Attribute("x", STRING), "")
+
+    def test_updates_continue_under_new_scheme(self, db):
+        db.add_attribute("emp", Attribute("dept", STRING), "cs")
+        wider = db.current_scheme("emp")
+        db.modify_state(
+            "emp",
+            Union(
+                Rollback("emp"),
+                Const(emp_state(wider, ["cat", "math"])),
+            ),
+        )
+        assert len(db.rollback("emp")) == 3
+
+    def test_historical_relation_scheme_change(self):
+        ev = EvolvingDatabase()
+        k = Schema([Attribute("k", INTEGER)])
+        ev.define_relation("h", "temporal", k)
+        ev.modify_state(
+            "h",
+            Const(HistoricalState.from_rows(k, [([1], [(0, 5)])])),
+        )
+        ev.add_attribute("h", Attribute("tag", STRING), "none")
+        current = ev.rollback("h")
+        (t,) = current.tuples
+        assert t.value.values == (1, "none")
+        assert t.valid_time.covers(3)

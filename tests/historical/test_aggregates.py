@@ -1,0 +1,150 @@
+"""Tests for temporal aggregation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IntervalError, SchemaError
+from repro.historical.aggregates import (
+    aggregate_at,
+    aggregate_series,
+    duration_aggregate,
+)
+from repro.historical.chronons import FOREVER
+from repro.historical.state import HistoricalState
+from repro.snapshot.aggregates import aggregate as snapshot_aggregate
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+
+from tests.conftest import kv_historical_states
+
+PAY = Schema([Attribute("who", STRING), Attribute("salary", INTEGER)])
+
+
+@pytest.fixture
+def payroll():
+    return HistoricalState.from_rows(
+        PAY,
+        [
+            (["ann", 100], [(0, 10)]),
+            (["ann", 150], [(10, 15)]),
+            (["bob", 80], [(5, 15)]),
+        ],
+    )
+
+
+class TestInstantaneous:
+    def test_aggregate_at(self, payroll):
+        out = aggregate_at(
+            payroll, 7, [], {"n": ("count", None),
+                             "total": ("sum", "salary")}
+        )
+        # at chronon 7: ann@100 and bob@80
+        assert out.sorted_rows() == [(2, 180)]
+
+    def test_aggregate_at_gap(self, payroll):
+        out = aggregate_at(payroll, 20, [], {"n": ("count", None)})
+        assert out.is_empty()
+
+    def test_series(self, payroll):
+        series = aggregate_series(
+            payroll, [0, 7, 12], [], {"total": ("sum", "salary")}
+        )
+        totals = {
+            chronon: (state.sorted_rows()[0][0] if len(state) else 0)
+            for chronon, state in series
+        }
+        assert totals == {0: 100, 7: 180, 12: 230}
+
+
+class TestDurationWeighted:
+    def test_count_and_total_duration(self, payroll):
+        out = duration_aggregate(
+            payroll,
+            ["who"],
+            {"facts": ("count", None), "d": ("total_duration", None)},
+        )
+        rows = {row[0]: row[1:] for row in out.sorted_rows()}
+        assert rows["ann"] == (2, 15)  # 10 + 5 chronons
+        assert rows["bob"] == (1, 10)
+
+    def test_weighted_sum_and_avg(self, payroll):
+        out = duration_aggregate(
+            payroll,
+            ["who"],
+            {
+                "paid": ("weighted_sum", "salary"),
+                "rate": ("weighted_avg", "salary"),
+            },
+        )
+        rows = {row[0]: row[1:] for row in out.sorted_rows()}
+        # ann: 100×10 + 150×5 = 1750 over 15 chronons
+        assert rows["ann"] == (1750, 1750 / 15)
+        assert rows["bob"] == (800, 80.0)
+
+    def test_global_group(self, payroll):
+        out = duration_aggregate(
+            payroll, [], {"d": ("total_duration", None)}
+        )
+        assert out.sorted_rows() == [(25,)]
+
+    def test_unbounded_rejected(self):
+        forever = HistoricalState.from_rows(
+            PAY, [(["ann", 100], [(0, FOREVER)])]
+        )
+        with pytest.raises(IntervalError, match="FOREVER"):
+            duration_aggregate(
+                forever, [], {"d": ("total_duration", None)}
+            )
+
+    def test_validation(self, payroll):
+        with pytest.raises(SchemaError):
+            duration_aggregate(payroll, [], {})
+        with pytest.raises(SchemaError, match="unknown duration"):
+            duration_aggregate(payroll, [], {"m": ("median", "salary")})
+        with pytest.raises(SchemaError, match="requires an input"):
+            duration_aggregate(payroll, [], {"s": ("weighted_sum", None)})
+        with pytest.raises(SchemaError, match="no input"):
+            duration_aggregate(payroll, [], {"n": ("count", "salary")})
+        with pytest.raises(SchemaError, match="collide"):
+            duration_aggregate(
+                payroll, ["who"], {"who": ("count", None)}
+            )
+
+
+@settings(max_examples=40)
+@given(
+    kv_historical_states(),
+    st.integers(min_value=0, max_value=60),
+)
+def test_aggregate_at_equals_snapshot_aggregate_of_timeslice(
+    state, chronon
+):
+    sliced = state.snapshot_at(chronon)
+    if sliced.is_empty():
+        return
+    direct = aggregate_at(
+        state, chronon, ["k"], {"n": ("count", None)}
+    )
+    via_snapshot = snapshot_aggregate(
+        sliced, ["k"], {"n": ("count", None)}
+    )
+    assert direct == via_snapshot
+
+
+@settings(max_examples=40)
+@given(kv_historical_states())
+def test_total_duration_is_sum_of_tuple_durations(state):
+    bounded = HistoricalState(
+        state.schema,
+        [t for t in state.tuples if not t.valid_time.is_unbounded()],
+    )
+    if bounded.is_empty():
+        return
+    out = duration_aggregate(
+        bounded, [], {"d": ("total_duration", None)}
+    )
+    expected = sum(
+        t.valid_time.duration() for t in bounded.tuples
+    )
+    assert out.sorted_rows() == [(expected,)]

@@ -1,0 +1,137 @@
+"""Tests for derived historical operators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.historical.derived import (
+    historical_intersection,
+    historical_natural_join,
+    historical_theta_join,
+)
+from repro.historical.operators import (
+    historical_difference,
+    historical_product,
+    historical_rename,
+    historical_select,
+)
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.derived import natural_join as snap_natural_join
+from repro.snapshot.predicates import Comparison, attr
+from repro.snapshot.schema import Schema
+
+from tests.conftest import kv_historical_states
+
+EMP = Schema([Attribute("name", STRING), Attribute("dept", STRING)])
+DEPT = Schema([Attribute("dept", STRING), Attribute("floor", INTEGER)])
+
+
+def emp_state():
+    return HistoricalState.from_rows(
+        EMP,
+        [
+            (["ann", "cs"], [(0, 10)]),
+            (["bob", "ee"], [(5, 15)]),
+        ],
+    )
+
+
+def dept_state():
+    return HistoricalState.from_rows(
+        DEPT,
+        [
+            (["cs", 3], [(2, 20)]),
+            (["ee", 1], [(0, 6)]),
+        ],
+    )
+
+
+class TestIntersection:
+    def test_basic(self):
+        a = HistoricalState.from_rows(EMP, [(["ann", "cs"], [(0, 10)])])
+        b = HistoricalState.from_rows(EMP, [(["ann", "cs"], [(5, 20)])])
+        out = historical_intersection(a, b)
+        assert out == HistoricalState.from_rows(
+            EMP, [(["ann", "cs"], [(5, 10)])]
+        )
+
+    def test_disjoint_values_vanish(self):
+        a = HistoricalState.from_rows(EMP, [(["ann", "cs"], [(0, 10)])])
+        b = HistoricalState.from_rows(EMP, [(["bob", "ee"], [(0, 10)])])
+        assert historical_intersection(a, b).is_empty()
+
+    @settings(max_examples=40)
+    @given(kv_historical_states(), kv_historical_states())
+    def test_matches_double_difference(self, left, right):
+        # L ∩ R == L −̂ (L −̂ R)
+        assert historical_intersection(
+            left, right
+        ) == historical_difference(
+            left, historical_difference(left, right)
+        )
+
+
+class TestNaturalJoin:
+    def test_join_intersects_valid_times(self):
+        out = historical_natural_join(emp_state(), dept_state())
+        assert out.schema.names == ("name", "dept", "floor")
+        rows = {
+            t.value.values: t.valid_time for t in out.tuples
+        }
+        # ann@cs: [0,10) ∩ [2,20) = [2,10)
+        assert rows[("ann", "cs", 3)] == PeriodSet([(2, 10)])
+        # bob@ee: [5,15) ∩ [0,6) = [5,6)
+        assert rows[("bob", "ee", 1)] == PeriodSet([(5, 6)])
+
+    def test_never_concurrent_pairs_drop(self):
+        late_dept = HistoricalState.from_rows(
+            DEPT, [(["cs", 3], [(50, 60)])]
+        )
+        assert historical_natural_join(
+            emp_state(), late_dept
+        ).is_empty()
+
+    def test_no_common_attributes_is_product(self):
+        other = HistoricalState.from_rows(
+            Schema(["x"]), [(["q"], [(0, 100)])]
+        )
+        assert historical_natural_join(
+            emp_state(), other
+        ) == historical_product(emp_state(), other)
+
+    def test_identical_schema_is_intersection(self):
+        assert historical_natural_join(
+            emp_state(), emp_state()
+        ) == historical_intersection(emp_state(), emp_state())
+
+    @settings(max_examples=40)
+    @given(
+        kv_historical_states(),
+        kv_historical_states(),
+        st.integers(min_value=0, max_value=60),
+    )
+    def test_snapshot_reducible(self, left, right, chronon):
+        renamed = historical_rename(right, {"v": "w"})
+        sliced = historical_natural_join(left, renamed).snapshot_at(
+            chronon
+        )
+        from repro.snapshot.derived import rename as snap_rename
+
+        expected = snap_natural_join(
+            left.snapshot_at(chronon),
+            snap_rename(right.snapshot_at(chronon), {"v": "w"}),
+        )
+        assert sliced == expected
+
+
+class TestThetaJoin:
+    def test_matches_definition(self):
+        renamed = historical_rename(dept_state(), {"dept": "dname"})
+        predicate = Comparison(attr("dept"), "=", attr("dname"))
+        assert historical_theta_join(
+            emp_state(), renamed, predicate
+        ) == historical_select(
+            historical_product(emp_state(), renamed), predicate
+        )

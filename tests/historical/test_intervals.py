@@ -1,0 +1,179 @@
+"""Tests for chronons and half-open intervals."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import IntervalError
+from repro.historical.chronons import BEGINNING, FOREVER, as_chronon
+from repro.historical.intervals import Interval
+
+from tests.conftest import intervals
+
+
+class TestChronons:
+    def test_as_chronon_accepts_nonnegative(self):
+        assert as_chronon(0) == 0
+        assert as_chronon(17) == 17
+
+    def test_negative_rejected(self):
+        with pytest.raises(IntervalError):
+            as_chronon(-1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(IntervalError):
+            as_chronon(True)
+
+    def test_forever_is_greatest(self):
+        assert FOREVER > 10**12
+        assert not (FOREVER < 5)
+        assert FOREVER >= FOREVER
+        assert FOREVER == FOREVER
+
+    def test_forever_singleton(self):
+        from repro.historical.chronons import _Forever
+
+        assert _Forever() is FOREVER
+
+    def test_beginning(self):
+        assert BEGINNING == 0
+
+
+class TestConstruction:
+    def test_bounded(self):
+        i = Interval(3, 7)
+        assert i.start == 3
+        assert i.end == 7
+        assert i.duration() == 4
+
+    def test_unbounded(self):
+        i = Interval(3, FOREVER)
+        assert i.is_unbounded
+        assert i.duration() is None
+
+    def test_empty_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(3, 3)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(IntervalError):
+            Interval(7, 3)
+
+
+class TestRelationships:
+    def test_covers_half_open(self):
+        i = Interval(3, 7)
+        assert not i.covers(2)
+        assert i.covers(3)
+        assert i.covers(6)
+        assert not i.covers(7)
+
+    def test_unbounded_covers(self):
+        assert Interval(3, FOREVER).covers(10**9)
+
+    def test_overlaps(self):
+        assert Interval(3, 7).overlaps(Interval(6, 10))
+        assert not Interval(3, 7).overlaps(Interval(7, 10))
+
+    def test_meets(self):
+        assert Interval(3, 7).meets(Interval(7, 10))
+        assert not Interval(3, 7).meets(Interval(8, 10))
+
+    def test_contains(self):
+        assert Interval(3, 10).contains(Interval(4, 9))
+        assert not Interval(3, 10).contains(Interval(4, 11))
+        assert Interval(3, FOREVER).contains(Interval(4, FOREVER))
+        assert not Interval(3, 10).contains(Interval(4, FOREVER))
+
+    def test_precedes(self):
+        assert Interval(1, 3).precedes(Interval(3, 5))
+        assert not Interval(1, 4).precedes(Interval(3, 5))
+        assert not Interval(1, FOREVER).precedes(Interval(3, 5))
+
+
+class TestCombination:
+    def test_intersect(self):
+        assert Interval(3, 7).intersect(Interval(5, 10)) == Interval(5, 7)
+
+    def test_intersect_disjoint_is_none(self):
+        assert Interval(3, 5).intersect(Interval(5, 7)) is None
+
+    def test_intersect_with_unbounded(self):
+        assert Interval(3, FOREVER).intersect(
+            Interval(5, 10)
+        ) == Interval(5, 10)
+
+    def test_merge(self):
+        assert Interval(3, 7).merge(Interval(7, 10)) == Interval(3, 10)
+
+    def test_merge_disjoint_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(3, 5).merge(Interval(6, 8))
+
+    def test_subtract_middle_splits(self):
+        assert Interval(0, 10).subtract(Interval(3, 6)) == [
+            Interval(0, 3),
+            Interval(6, 10),
+        ]
+
+    def test_subtract_prefix(self):
+        assert Interval(0, 10).subtract(Interval(0, 4)) == [
+            Interval(4, 10)
+        ]
+
+    def test_subtract_everything(self):
+        assert Interval(3, 6).subtract(Interval(0, 10)) == []
+
+    def test_subtract_disjoint(self):
+        assert Interval(0, 3).subtract(Interval(5, 8)) == [Interval(0, 3)]
+
+    def test_subtract_bounded_from_unbounded(self):
+        assert Interval(0, FOREVER).subtract(Interval(3, 6)) == [
+            Interval(0, 3),
+            Interval(6, FOREVER),
+        ]
+
+    def test_shift(self):
+        assert Interval(3, 7).shift(2) == Interval(5, 9)
+        assert Interval(3, FOREVER).shift(-3) == Interval(0, FOREVER)
+
+    def test_shift_below_zero_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(3, 7).shift(-4)
+
+    def test_chronons(self):
+        assert Interval(3, 6).chronons() == [3, 4, 5]
+
+    def test_chronons_unbounded_raises(self):
+        with pytest.raises(IntervalError):
+            Interval(3, FOREVER).chronons()
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80)
+@given(intervals(), intervals())
+def test_overlap_symmetric(a, b):
+    assert a.overlaps(b) == b.overlaps(a)
+
+
+@settings(max_examples=80)
+@given(intervals(), intervals())
+def test_intersect_agrees_with_cover(a, b):
+    shared = a.intersect(b)
+    probe_points = {a.start, b.start, a.start + 1, b.start + 1}
+    for p in probe_points:
+        both = a.covers(p) and b.covers(p)
+        assert both == (shared is not None and shared.covers(p))
+
+
+@settings(max_examples=80)
+@given(intervals(), intervals())
+def test_subtract_agrees_with_cover(a, b):
+    pieces = a.subtract(b)
+    probes = {a.start, a.start + 5, b.start, b.start + 5, 0, 55}
+    for p in probes:
+        expected = a.covers(p) and not b.covers(p)
+        assert expected == any(piece.covers(p) for piece in pieces)

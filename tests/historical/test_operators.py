@@ -1,0 +1,224 @@
+"""Tests for the historical operators, including *snapshot reducibility*:
+timeslicing commutes with every operator, which is what makes the
+historical algebra a faithful generalization of the snapshot algebra."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.historical.operators import (
+    historical_derive,
+    historical_difference,
+    historical_product,
+    historical_project,
+    historical_rename,
+    historical_select,
+    historical_union,
+)
+from repro.historical.periods import PeriodSet
+from repro.historical.predicates import Overlaps, ValidAt
+from repro.historical.state import HistoricalState
+from repro.historical.temporal_exprs import (
+    Intersect,
+    TemporalConstant,
+    ValidTime,
+)
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.operators import (
+    difference as snap_difference,
+    product as snap_product,
+    project as snap_project,
+    select as snap_select,
+    union as snap_union,
+)
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+
+from tests.conftest import kv_historical_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def hs(*rows):
+    return HistoricalState.from_rows(KV, list(rows))
+
+
+class TestUnion:
+    def test_coalesces_value_equivalent(self):
+        left = hs(([1, 1], [(0, 5)]))
+        right = hs(([1, 1], [(5, 9)]), ([2, 2], [(0, 3)]))
+        result = historical_union(left, right)
+        assert result == hs(([1, 1], [(0, 9)]), ([2, 2], [(0, 3)]))
+
+
+class TestDifference:
+    def test_subtracts_valid_time(self):
+        left = hs(([1, 1], [(0, 10)]))
+        right = hs(([1, 1], [(3, 6)]))
+        assert historical_difference(left, right) == hs(
+            ([1, 1], [(0, 3), (6, 10)])
+        )
+
+    def test_total_removal_drops_tuple(self):
+        left = hs(([1, 1], [(3, 6)]))
+        right = hs(([1, 1], [(0, 10)]))
+        assert historical_difference(left, right).is_empty()
+
+    def test_unrelated_values_untouched(self):
+        left = hs(([1, 1], [(0, 5)]))
+        right = hs(([2, 2], [(0, 5)]))
+        assert historical_difference(left, right) == left
+
+
+class TestProduct:
+    def test_intersects_valid_times(self):
+        left = HistoricalState.from_rows(
+            Schema(["x"]), [([1], [(0, 10)])]
+        )
+        right = HistoricalState.from_rows(
+            Schema(["y"]), [([2], [(5, 20)])]
+        )
+        result = historical_product(left, right)
+        assert len(result) == 1
+        (t,) = result.tuples
+        assert t.valid_time == PeriodSet([(5, 10)])
+
+    def test_never_concurrent_pairs_vanish(self):
+        left = HistoricalState.from_rows(Schema(["x"]), [([1], [(0, 3)])])
+        right = HistoricalState.from_rows(
+            Schema(["y"]), [([2], [(5, 9)])]
+        )
+        assert historical_product(left, right).is_empty()
+
+
+class TestProjectSelectRename:
+    def test_project_coalesces(self):
+        state = hs(([1, 1], [(0, 5)]), ([1, 2], [(5, 9)]))
+        result = historical_project(state, ["k"])
+        assert result == HistoricalState.from_rows(
+            Schema([Attribute("k", INTEGER)]), [([1], [(0, 9)])]
+        )
+
+    def test_select_on_value_part(self):
+        state = hs(([1, 1], [(0, 5)]), ([2, 2], [(0, 5)]))
+        result = historical_select(
+            state, Comparison(attr("k"), "=", lit(2))
+        )
+        assert result == hs(([2, 2], [(0, 5)]))
+
+    def test_rename(self):
+        state = hs(([1, 1], [(0, 5)]))
+        renamed = historical_rename(state, {"k": "key"})
+        assert renamed.schema.names == ("key", "v")
+        assert len(renamed) == 1
+
+
+class TestDerive:
+    def test_identity_defaults(self):
+        state = hs(([1, 1], [(0, 5)]), ([2, 2], [(3, 9)]))
+        assert historical_derive(state) == state
+
+    def test_temporal_selection(self):
+        state = hs(([1, 1], [(0, 5)]), ([2, 2], [(6, 9)]))
+        result = historical_derive(
+            state, predicate=ValidAt(ValidTime(), 7)
+        )
+        assert result == hs(([2, 2], [(6, 9)]))
+
+    def test_valid_time_derivation(self):
+        state = hs(([1, 1], [(0, 10)]))
+        window = TemporalConstant(PeriodSet([(3, 6)]))
+        result = historical_derive(
+            state, expression=Intersect(ValidTime(), window)
+        )
+        assert result == hs(([1, 1], [(3, 6)]))
+
+    def test_empty_derived_time_drops_tuple(self):
+        state = hs(([1, 1], [(0, 3)]))
+        window = TemporalConstant(PeriodSet([(7, 9)]))
+        result = historical_derive(
+            state, expression=Intersect(ValidTime(), window)
+        )
+        assert result.is_empty()
+
+    def test_overlaps_predicate(self):
+        state = hs(([1, 1], [(0, 3)]), ([2, 2], [(5, 9)]))
+        window = TemporalConstant(PeriodSet([(4, 6)]))
+        result = historical_derive(
+            state, predicate=Overlaps(ValidTime(), window)
+        )
+        assert result == hs(([2, 2], [(5, 9)]))
+
+
+# ---------------------------------------------------------------------------
+# Snapshot reducibility: timeslice(op̂(states)) == op(timeslice(states)).
+# ---------------------------------------------------------------------------
+
+P = Comparison(attr("k"), ">", lit(4))
+probe_chronons = st.integers(min_value=0, max_value=60)
+
+
+@settings(max_examples=60)
+@given(kv_historical_states(), kv_historical_states(), probe_chronons)
+def test_union_snapshot_reducible(left, right, chronon):
+    sliced = historical_union(left, right).snapshot_at(chronon)
+    assert sliced == snap_union(
+        left.snapshot_at(chronon), right.snapshot_at(chronon)
+    )
+
+
+@settings(max_examples=60)
+@given(kv_historical_states(), kv_historical_states(), probe_chronons)
+def test_difference_snapshot_reducible(left, right, chronon):
+    sliced = historical_difference(left, right).snapshot_at(chronon)
+    assert sliced == snap_difference(
+        left.snapshot_at(chronon), right.snapshot_at(chronon)
+    )
+
+
+@settings(max_examples=60)
+@given(kv_historical_states(), probe_chronons)
+def test_select_snapshot_reducible(state, chronon):
+    sliced = historical_select(state, P).snapshot_at(chronon)
+    assert sliced == snap_select(state.snapshot_at(chronon), P)
+
+
+@settings(max_examples=60)
+@given(kv_historical_states(), probe_chronons)
+def test_project_snapshot_reducible(state, chronon):
+    sliced = historical_project(state, ["k"]).snapshot_at(chronon)
+    assert sliced == snap_project(state.snapshot_at(chronon), ["k"])
+
+
+@settings(max_examples=40)
+@given(kv_historical_states(), kv_historical_states(), probe_chronons)
+def test_product_snapshot_reducible(left, right, chronon):
+    renamed = historical_rename(right, {"k": "k2", "v": "v2"})
+    sliced = historical_product(left, renamed).snapshot_at(chronon)
+    from repro.snapshot.derived import rename as snap_rename
+
+    assert sliced == snap_product(
+        left.snapshot_at(chronon),
+        snap_rename(right.snapshot_at(chronon), {"k": "k2", "v": "v2"}),
+    )
+
+
+@settings(max_examples=60)
+@given(kv_historical_states(), kv_historical_states())
+def test_historical_union_commutative(left, right):
+    assert historical_union(left, right) == historical_union(right, left)
+
+
+@settings(max_examples=60)
+@given(kv_historical_states())
+def test_historical_union_idempotent(state):
+    assert historical_union(state, state) == state
+
+
+@settings(max_examples=60)
+@given(kv_historical_states(), kv_historical_states())
+def test_difference_then_union_restores_subset(left, right):
+    # (L − R) ∪ (L ∩-time R) == L, phrased via difference only:
+    removed = historical_difference(left, right)
+    kept = historical_difference(left, removed)
+    assert historical_union(removed, kept) == left

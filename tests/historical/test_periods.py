@@ -1,0 +1,171 @@
+"""Tests for canonical period sets, with set-semantics properties."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import IntervalError
+from repro.historical.chronons import FOREVER
+from repro.historical.intervals import Interval
+from repro.historical.periods import PeriodSet
+
+from tests.conftest import period_sets
+
+
+def covered(ps: PeriodSet, upto: int = 70) -> set[int]:
+    """The chronons < upto covered by a period set (reference model)."""
+    return {c for c in range(upto) if ps.covers(c)}
+
+
+class TestCanonicalization:
+    def test_adjacent_merge(self):
+        assert PeriodSet([(1, 3), (3, 5)]) == PeriodSet([(1, 5)])
+
+    def test_overlapping_merge(self):
+        assert PeriodSet([(1, 4), (2, 6)]) == PeriodSet([(1, 6)])
+
+    def test_disjoint_stay_separate(self):
+        ps = PeriodSet([(1, 3), (5, 7)])
+        assert len(ps.intervals) == 2
+
+    def test_order_independent(self):
+        assert PeriodSet([(5, 7), (1, 3)]) == PeriodSet([(1, 3), (5, 7)])
+
+    def test_unbounded_absorbs(self):
+        ps = PeriodSet([(1, 3), (2, FOREVER)])
+        assert ps == PeriodSet([(1, FOREVER)])
+
+    def test_interval_objects_accepted(self):
+        assert PeriodSet([Interval(1, 3)]) == PeriodSet([(1, 3)])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(IntervalError):
+            PeriodSet([42])  # type: ignore[list-item]
+
+
+class TestConstructorsAndAccess:
+    def test_empty(self):
+        ps = PeriodSet.empty()
+        assert ps.is_empty()
+        assert not ps
+
+    def test_from_chronon(self):
+        ps = PeriodSet.from_chronon(5)
+        assert ps.covers(5)
+        assert not ps.covers(4)
+        assert not ps.covers(6)
+
+    def test_always(self):
+        ps = PeriodSet.always()
+        assert ps.covers(0)
+        assert ps.covers(10**9)
+        assert ps.is_unbounded()
+
+    def test_first_last(self):
+        ps = PeriodSet([(3, 5), (8, 12)])
+        assert ps.first() == 3
+        assert ps.last() == 11
+
+    def test_first_of_empty_raises(self):
+        with pytest.raises(IntervalError):
+            PeriodSet.empty().first()
+
+    def test_last_of_unbounded_raises(self):
+        with pytest.raises(IntervalError):
+            PeriodSet([(3, FOREVER)]).last()
+
+    def test_duration(self):
+        assert PeriodSet([(3, 5), (8, 12)]).duration() == 6
+        assert PeriodSet([(3, FOREVER)]).duration() is None
+
+    def test_chronons(self):
+        assert PeriodSet([(1, 3), (5, 6)]).chronons() == [1, 2, 5]
+
+
+class TestAlgebra:
+    def test_union(self):
+        assert PeriodSet([(1, 3)]).union(PeriodSet([(2, 5)])) == PeriodSet(
+            [(1, 5)]
+        )
+
+    def test_intersect(self):
+        assert PeriodSet([(1, 5), (8, 12)]).intersect(
+            PeriodSet([(3, 10)])
+        ) == PeriodSet([(3, 5), (8, 10)])
+
+    def test_difference(self):
+        assert PeriodSet([(1, 10)]).difference(
+            PeriodSet([(3, 5)])
+        ) == PeriodSet([(1, 3), (5, 10)])
+
+    def test_extend_to(self):
+        assert PeriodSet([(1, 3)]).extend_to(6) == PeriodSet([(1, 7)])
+
+    def test_extend_noop_when_covered(self):
+        ps = PeriodSet([(1, 5)])
+        assert ps.extend_to(2) == ps
+
+    def test_shift(self):
+        assert PeriodSet([(1, 3), (5, 7)]).shift(2) == PeriodSet(
+            [(3, 5), (7, 9)]
+        )
+
+    def test_overlaps(self):
+        assert PeriodSet([(1, 3)]).overlaps(PeriodSet([(2, 5)]))
+        assert not PeriodSet([(1, 3)]).overlaps(PeriodSet([(3, 5)]))
+
+    def test_contains_set(self):
+        big = PeriodSet([(0, 10)])
+        assert big.contains_set(PeriodSet([(2, 4), (6, 8)]))
+        assert not PeriodSet([(2, 4)]).contains_set(big)
+        assert big.contains_set(PeriodSet.empty())
+
+    def test_precedes(self):
+        assert PeriodSet([(1, 3)]).precedes(PeriodSet([(5, 7)]))
+        assert not PeriodSet([(1, 6)]).precedes(PeriodSet([(5, 7)]))
+        assert not PeriodSet.empty().precedes(PeriodSet([(5, 7)]))
+
+
+# ---------------------------------------------------------------------------
+# Set-semantics properties: PeriodSet operations must agree with plain
+# chronon-set operations (the reference model).
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80)
+@given(period_sets(), period_sets())
+def test_union_matches_set_model(a, b):
+    assert covered(a.union(b)) == covered(a) | covered(b)
+
+
+@settings(max_examples=80)
+@given(period_sets(), period_sets())
+def test_intersect_matches_set_model(a, b):
+    assert covered(a.intersect(b)) == covered(a) & covered(b)
+
+
+@settings(max_examples=80)
+@given(period_sets(), period_sets())
+def test_difference_matches_set_model(a, b):
+    assert covered(a.difference(b)) == covered(a) - covered(b)
+
+
+@settings(max_examples=80)
+@given(period_sets())
+def test_canonical_form_is_disjoint_sorted_nonadjacent(ps):
+    runs = ps.intervals
+    for i in range(len(runs) - 1):
+        assert not runs[i].is_unbounded
+        assert runs[i].end < runs[i + 1].start  # gap, not just disjoint
+
+
+@settings(max_examples=80)
+@given(period_sets(), period_sets())
+def test_demorgan_style_identity(a, b):
+    # a − b == a − (a ∩ b)
+    assert a.difference(b) == a.difference(a.intersect(b))
+
+
+@settings(max_examples=80)
+@given(period_sets())
+def test_roundtrip_through_interval_list(ps):
+    assert PeriodSet(ps.intervals) == ps

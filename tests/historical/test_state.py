@@ -1,0 +1,135 @@
+"""Tests for historical tuples and states (coalescing, timeslices)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import IntervalError, SchemaError
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.snapshot.tuples import SnapshotTuple
+
+from tests.conftest import kv_historical_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+class TestHistoricalTuple:
+    def test_construction_with_schema(self):
+        t = HistoricalTuple([1, 2], PeriodSet([(0, 5)]), schema=KV)
+        assert t["k"] == 1
+        assert t.valid_time.covers(3)
+
+    def test_raw_values_without_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            HistoricalTuple([1, 2], PeriodSet([(0, 5)]))
+
+    def test_empty_valid_time_rejected(self):
+        with pytest.raises(IntervalError):
+            HistoricalTuple([1, 2], PeriodSet.empty(), schema=KV)
+
+    def test_restricted_to(self):
+        t = HistoricalTuple([1, 2], PeriodSet([(0, 10)]), schema=KV)
+        clipped = t.restricted_to(PeriodSet([(5, 20)]))
+        assert clipped is not None
+        assert clipped.valid_time == PeriodSet([(5, 10)])
+
+    def test_restricted_to_disjoint_is_none(self):
+        t = HistoricalTuple([1, 2], PeriodSet([(0, 5)]), schema=KV)
+        assert t.restricted_to(PeriodSet([(7, 9)])) is None
+
+    def test_concat_intersects_valid_times(self):
+        a = HistoricalTuple([1], PeriodSet([(0, 10)]), schema=Schema(["x"]))
+        b = HistoricalTuple([2], PeriodSet([(5, 20)]), schema=Schema(["y"]))
+        joined = a.concat(b)
+        assert joined is not None
+        assert joined.valid_time == PeriodSet([(5, 10)])
+        assert joined.value.values == (1, 2)
+
+    def test_concat_disjoint_is_none(self):
+        a = HistoricalTuple([1], PeriodSet([(0, 5)]), schema=Schema(["x"]))
+        b = HistoricalTuple([2], PeriodSet([(6, 9)]), schema=Schema(["y"]))
+        assert a.concat(b) is None
+
+
+class TestCoalescing:
+    def test_value_equivalent_tuples_merge(self):
+        state = HistoricalState.from_rows(
+            KV, [([1, 2], [(0, 5)]), ([1, 2], [(5, 9)])]
+        )
+        assert len(state) == 1
+        (t,) = state.tuples
+        assert t.valid_time == PeriodSet([(0, 9)])
+
+    def test_distinct_values_stay_apart(self):
+        state = HistoricalState.from_rows(
+            KV, [([1, 2], [(0, 5)]), ([3, 4], [(0, 5)])]
+        )
+        assert len(state) == 2
+
+    def test_schema_mismatch_rejected(self):
+        t = HistoricalTuple([1], PeriodSet([(0, 5)]), schema=Schema(["x"]))
+        with pytest.raises(SchemaError):
+            HistoricalState(KV, [t])
+
+    def test_equality_is_canonical(self):
+        a = HistoricalState.from_rows(
+            KV, [([1, 2], [(0, 3)]), ([1, 2], [(3, 7)])]
+        )
+        b = HistoricalState.from_rows(KV, [([1, 2], [(0, 7)])])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestTimeslice:
+    def test_snapshot_at(self):
+        state = HistoricalState.from_rows(
+            KV,
+            [([1, 1], [(0, 5)]), ([2, 2], [(3, 9)]), ([3, 3], [(7, 9)])],
+        )
+        snap = state.snapshot_at(4)
+        assert snap == SnapshotState(KV, [[1, 1], [2, 2]])
+
+    def test_snapshot_at_gap_is_empty(self):
+        state = HistoricalState.from_rows(KV, [([1, 1], [(0, 2), (5, 8)])])
+        assert state.snapshot_at(3).is_empty()
+
+    def test_window(self):
+        state = HistoricalState.from_rows(
+            KV, [([1, 1], [(0, 10)]), ([2, 2], [(20, 30)])]
+        )
+        windowed = state.window(PeriodSet([(5, 25)]))
+        assert windowed == HistoricalState.from_rows(
+            KV, [([1, 1], [(5, 10)]), ([2, 2], [(20, 25)])]
+        )
+
+    def test_value_parts(self):
+        state = HistoricalState.from_rows(
+            KV, [([1, 1], [(0, 5)]), ([2, 2], [(9, 12)])]
+        )
+        assert state.value_parts() == SnapshotState(
+            KV, [[1, 1], [2, 2]]
+        )
+
+    def test_valid_time_of(self):
+        state = HistoricalState.from_rows(KV, [([1, 1], [(0, 5)])])
+        present = SnapshotTuple(KV, [1, 1])
+        absent = SnapshotTuple(KV, [9, 9])
+        assert state.valid_time_of(present) == PeriodSet([(0, 5)])
+        assert state.valid_time_of(absent).is_empty()
+
+
+@settings(max_examples=60)
+@given(kv_historical_states())
+def test_coalesced_states_have_unique_value_parts(state):
+    values = [t.value for t in state.tuples]
+    assert len(values) == len(set(values))
+
+
+@settings(max_examples=60)
+@given(kv_historical_states())
+def test_every_tuple_has_nonempty_valid_time(state):
+    assert all(not t.valid_time.is_empty() for t in state.tuples)

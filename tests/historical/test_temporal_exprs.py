@@ -1,0 +1,169 @@
+"""Tests for the V (temporal expression) and G (temporal predicate)
+domains."""
+
+import pytest
+
+from repro.historical.chronons import FOREVER
+from repro.historical.periods import PeriodSet
+from repro.historical.predicates import (
+    Contains,
+    Equals,
+    Meets,
+    NonEmpty,
+    Overlaps,
+    Precedes,
+    TemporalAnd,
+    TemporalNot,
+    TemporalOr,
+    ValidAt,
+)
+from repro.historical.temporal_exprs import (
+    Extend,
+    First,
+    Intersect,
+    Last,
+    Shift,
+    TemporalConstant,
+    Union,
+    ValidTime,
+)
+from repro.historical.tuples import HistoricalTuple
+from repro.snapshot.schema import Schema
+
+SCHEMA = Schema(["x"])
+
+
+def row(periods) -> HistoricalTuple:
+    return HistoricalTuple([1], PeriodSet(periods), schema=SCHEMA)
+
+
+class TestExpressions:
+    def test_valid_time(self):
+        t = row([(3, 7)])
+        assert ValidTime().evaluate(t) == PeriodSet([(3, 7)])
+
+    def test_constant(self):
+        t = row([(3, 7)])
+        c = TemporalConstant(PeriodSet([(0, 2)]))
+        assert c.evaluate(t) == PeriodSet([(0, 2)])
+
+    def test_constant_coerces_raw_intervals(self):
+        c = TemporalConstant([(0, 2)])  # type: ignore[arg-type]
+        assert c.periods == PeriodSet([(0, 2)])
+
+    def test_first(self):
+        t = row([(3, 7), (10, 12)])
+        assert First(ValidTime()).evaluate(t) == PeriodSet.from_chronon(3)
+
+    def test_last(self):
+        t = row([(3, 7), (10, 12)])
+        assert Last(ValidTime()).evaluate(t) == PeriodSet.from_chronon(11)
+
+    def test_last_of_unbounded_is_empty(self):
+        t = row([(3, FOREVER)])
+        assert Last(ValidTime()).evaluate(t).is_empty()
+
+    def test_intersect_and_union(self):
+        t = row([(0, 10)])
+        window = TemporalConstant(PeriodSet([(5, 15)]))
+        assert Intersect(ValidTime(), window).evaluate(t) == PeriodSet(
+            [(5, 10)]
+        )
+        assert Union(ValidTime(), window).evaluate(t) == PeriodSet(
+            [(0, 15)]
+        )
+
+    def test_extend(self):
+        t = row([(0, 3)])
+        target = TemporalConstant(PeriodSet([(8, 10)]))
+        assert Extend(ValidTime(), target).evaluate(t) == PeriodSet(
+            [(0, 10)]
+        )
+
+    def test_extend_to_unbounded_target(self):
+        t = row([(0, 3)])
+        target = TemporalConstant(PeriodSet([(8, FOREVER)]))
+        assert Extend(ValidTime(), target).evaluate(t) == PeriodSet(
+            [(0, FOREVER)]
+        )
+
+    def test_extend_backwards_is_noop(self):
+        t = row([(5, 9)])
+        target = TemporalConstant(PeriodSet([(0, 2)]))
+        assert Extend(ValidTime(), target).evaluate(t) == PeriodSet(
+            [(5, 9)]
+        )
+
+    def test_shift(self):
+        t = row([(3, 7)])
+        assert Shift(ValidTime(), 2).evaluate(t) == PeriodSet([(5, 9)])
+
+    def test_nesting(self):
+        t = row([(3, 7), (10, 12)])
+        expr = Shift(First(ValidTime()), 1)
+        assert expr.evaluate(t) == PeriodSet.from_chronon(4)
+
+
+class TestPredicates:
+    def test_precedes(self):
+        t = row([(0, 3)])
+        later = TemporalConstant(PeriodSet([(5, 8)]))
+        assert Precedes(ValidTime(), later).evaluate(t)
+        assert not Precedes(later, ValidTime()).evaluate(t)
+
+    def test_overlaps(self):
+        t = row([(0, 5)])
+        window = TemporalConstant(PeriodSet([(4, 8)]))
+        assert Overlaps(ValidTime(), window).evaluate(t)
+
+    def test_contains(self):
+        t = row([(0, 10)])
+        inner = TemporalConstant(PeriodSet([(2, 4)]))
+        assert Contains(ValidTime(), inner).evaluate(t)
+        assert not Contains(inner, ValidTime()).evaluate(t)
+
+    def test_meets(self):
+        t = row([(0, 5)])
+        follows = TemporalConstant(PeriodSet([(5, 8)]))
+        assert Meets(ValidTime(), follows).evaluate(t)
+        assert not Meets(follows, ValidTime()).evaluate(t)
+
+    def test_equals(self):
+        t = row([(0, 5)])
+        same = TemporalConstant(PeriodSet([(0, 5)]))
+        assert Equals(ValidTime(), same).evaluate(t)
+
+    def test_nonempty(self):
+        t = row([(0, 5)])
+        gap = TemporalConstant(PeriodSet([(7, 9)]))
+        assert NonEmpty(ValidTime()).evaluate(t)
+        assert not NonEmpty(Intersect(ValidTime(), gap)).evaluate(t)
+
+    def test_valid_at(self):
+        t = row([(0, 5)])
+        assert ValidAt(ValidTime(), 3).evaluate(t)
+        assert not ValidAt(ValidTime(), 5).evaluate(t)
+
+    def test_connectives(self):
+        t = row([(0, 5)])
+        p = TemporalAnd(
+            ValidAt(ValidTime(), 3),
+            TemporalNot(ValidAt(ValidTime(), 9)),
+        )
+        assert p.evaluate(t)
+        q = TemporalOr(
+            ValidAt(ValidTime(), 9), ValidAt(ValidTime(), 3)
+        )
+        assert q.evaluate(t)
+
+    def test_sugar_operators(self):
+        t = row([(0, 5)])
+        p = ValidAt(ValidTime(), 3) & ~ValidAt(ValidTime(), 9)
+        assert p.evaluate(t)
+
+    def test_structural_equality(self):
+        a = Precedes(ValidTime(), First(ValidTime()))
+        b = Precedes(ValidTime(), First(ValidTime()))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Overlaps(ValidTime(), First(ValidTime()))

@@ -1,0 +1,76 @@
+"""Fuzz tests: arbitrary input must fail with a typed ReproError (or
+parse), never with an unrelated exception."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expression, parse_sentence
+from repro.quel.parser import parse_statement
+
+printable_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+    max_size=120,
+)
+
+# Text biased toward language-looking fragments to reach deeper parser
+# states than uniform noise would.
+fragments = st.lists(
+    st.sampled_from(
+        [
+            "define_relation", "modify_state", "rollback", "state",
+            "select", "project", "derive", "union", "minus", "times",
+            "(", ")", "[", "]", "{", "}", ",", ";", "now", "forever",
+            '"str"', "42", "-7", "=", "<=", "and", "or", "not", "@",
+            "+", "ident", "r1", ":", "integer", "valid", "periods",
+            "first", "append", "to", "retrieve", "from", "where",
+        ]
+    ),
+    max_size=25,
+).map(" ".join)
+
+
+@settings(max_examples=200)
+@given(printable_text)
+def test_lexer_total(text):
+    try:
+        tokenize(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=200)
+@given(fragments)
+def test_expression_parser_total(text):
+    try:
+        parse_expression(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=200)
+@given(fragments)
+def test_sentence_parser_total(text):
+    try:
+        parse_sentence(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=200)
+@given(fragments)
+def test_quel_parser_total(text):
+    try:
+        parse_statement(text)
+    except ReproError:
+        pass
+
+
+@settings(max_examples=100)
+@given(printable_text)
+def test_parser_total_on_noise(text):
+    try:
+        parse_sentence(text)
+    except ReproError:
+        pass

@@ -1,0 +1,111 @@
+"""Tests for the lexer."""
+
+import pytest
+
+from repro.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+
+def types(source):
+    return [t.type for t in tokenize(source)]
+
+
+def values(source):
+    return [t.value for t in tokenize(source)[:-1]]
+
+
+class TestBasics:
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+    def test_punctuation(self):
+        assert types("( ) [ ] { } , ; : @ +")[:-1] == [
+            TokenType.LPAREN,
+            TokenType.RPAREN,
+            TokenType.LBRACKET,
+            TokenType.RBRACKET,
+            TokenType.LBRACE,
+            TokenType.RBRACE,
+            TokenType.COMMA,
+            TokenType.SEMICOLON,
+            TokenType.COLON,
+            TokenType.AT,
+            TokenType.PLUS,
+        ]
+
+    def test_comparators(self):
+        assert values("= != < <= > >=") == [
+            "=",
+            "!=",
+            "<",
+            "<=",
+            ">",
+            ">=",
+        ]
+
+    def test_integers(self):
+        assert values("0 42 -7") == [0, 42, -7]
+
+    def test_keywords_vs_identifiers(self):
+        tokens = tokenize("rollback faculty union dept")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[1].type is TokenType.IDENT
+        assert tokens[2].type is TokenType.KEYWORD
+        assert tokens[3].type is TokenType.IDENT
+
+    def test_identifier_with_underscores_and_digits(self):
+        (token, _) = tokenize("my_rel_2")
+        assert token.type is TokenType.IDENT
+        assert token.value == "my_rel_2"
+
+
+class TestStrings:
+    def test_simple(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_escapes(self):
+        assert values(r'"a\"b\\c\nd\te"') == ['a"b\\c\nd\te']
+
+    def test_unterminated_raises(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_unknown_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestCommentsAndErrors:
+    def test_comments_skipped(self):
+        assert values("42 -- the answer\n7") == [42, 7]
+
+    def test_comment_at_eof(self):
+        assert values("42 -- no newline") == [42]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a $ b")
+
+    def test_bang_alone_rejected(self):
+        with pytest.raises(LexError):
+            tokenize("a ! b")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        (token, _) = tokenize("union")
+        assert token.is_keyword("union")
+        assert not token.is_keyword("minus")
+
+    def test_equality_ignores_position(self):
+        a = Token(TokenType.INT, 5, 0)
+        b = Token(TokenType.INT, 5, 10)
+        assert a == b

@@ -1,0 +1,225 @@
+"""Tests for the parser: every construct of the concrete syntax."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import (
+    Const,
+    Derive,
+    Difference,
+    Product,
+    Project,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.relation import RelationType
+from repro.core.txn import NOW
+from repro.historical.chronons import FOREVER
+from repro.historical.periods import PeriodSet
+from repro.historical.state import HistoricalState
+from repro.lang.parser import (
+    parse_command,
+    parse_expression,
+    parse_sentence,
+)
+from repro.snapshot.attributes import INTEGER, STRING
+from repro.snapshot.predicates import And, Comparison, Not, Or
+from repro.snapshot.state import SnapshotState
+
+
+class TestCommands:
+    def test_define_relation(self):
+        command = parse_command("define_relation(faculty, rollback)")
+        assert command == DefineRelation("faculty", RelationType.ROLLBACK)
+
+    @pytest.mark.parametrize(
+        "name,rtype",
+        [
+            ("snapshot", RelationType.SNAPSHOT),
+            ("rollback", RelationType.ROLLBACK),
+            ("historical", RelationType.HISTORICAL),
+            ("temporal", RelationType.TEMPORAL),
+        ],
+    )
+    def test_all_relation_types(self, name, rtype):
+        command = parse_command(f"define_relation(r, {name})")
+        assert command.rtype is rtype
+
+    def test_modify_state(self):
+        command = parse_command(
+            'modify_state(r, state (k: integer) { (1), (2) })'
+        )
+        assert isinstance(command, ModifyState)
+        assert command.identifier == "r"
+        assert isinstance(command.expression, Const)
+
+    def test_sentence_splits_on_semicolons(self):
+        commands = parse_sentence(
+            "define_relation(a, rollback); define_relation(b, snapshot);"
+        )
+        assert len(commands) == 2
+
+    def test_garbage_command_raises(self):
+        with pytest.raises(ParseError):
+            parse_command("explode(r)")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(ParseError):
+            parse_command("define_relation(r, bitemporal)")
+
+
+class TestConstants:
+    def test_snapshot_constant(self):
+        e = parse_expression(
+            'state (name: string, age: integer) { ("ann", 30), ("bob", 40) }'
+        )
+        assert isinstance(e, Const)
+        state = e.state
+        assert isinstance(state, SnapshotState)
+        assert state.schema.names == ("name", "age")
+        assert state.schema["name"].domain is STRING
+        assert state.schema["age"].domain is INTEGER
+        assert len(state) == 2
+
+    def test_empty_snapshot_constant(self):
+        e = parse_expression("state (k: integer) { }")
+        assert e.state.is_empty()
+
+    def test_default_domain_is_any(self):
+        e = parse_expression("state (k) { (1) }")
+        assert e.state.schema["k"].domain.name == "any"
+
+    def test_boolean_literals(self):
+        e = parse_expression("state (flag: boolean) { (true), (false) }")
+        assert len(e.state) == 2
+
+    def test_historical_constant_via_at(self):
+        e = parse_expression(
+            'state (k: integer) { (1) @ [0, 5) + [8, forever) }'
+        )
+        state = e.state
+        assert isinstance(state, HistoricalState)
+        (t,) = state.tuples
+        assert t.valid_time == PeriodSet([(0, 5), (8, FOREVER)])
+
+    def test_historical_keyword_forces_historical(self):
+        e = parse_expression("historical state (k: integer) { (1) }")
+        state = e.state
+        assert isinstance(state, HistoricalState)
+        (t,) = state.tuples
+        assert t.valid_time == PeriodSet.always()
+
+    def test_row_arity_checked(self):
+        with pytest.raises(ParseError, match="degree"):
+            parse_expression("state (k: integer, v: integer) { (1) }")
+
+    def test_unknown_domain_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("state (k: blob) { }")
+
+
+class TestOperators:
+    def test_union_minus_times_precedence(self):
+        # times binds tighter than minus binds tighter than union
+        e = parse_expression(
+            "state (a) { } union state (b) { } minus state (c) { } "
+            "times state (d) { }"
+        )
+        assert isinstance(e, Union)
+        assert isinstance(e.right, Difference)
+        assert isinstance(e.right.right, Product)
+
+    def test_parentheses_override(self):
+        e = parse_expression(
+            "(state (a) { } union state (b) { }) times state (c) { }"
+        )
+        assert isinstance(e, Product)
+        assert isinstance(e.left, Union)
+
+    def test_project(self):
+        e = parse_expression("project [a, b] (state (a, b, c) { })")
+        assert isinstance(e, Project)
+        assert e.names == ("a", "b")
+
+    def test_select_with_predicate(self):
+        e = parse_expression(
+            'select [a = 1 and not (b < 2 or c != "x")] (state (a, b, c) { })'
+        )
+        assert isinstance(e, Select)
+        assert isinstance(e.predicate, And)
+        assert isinstance(e.predicate.right, Not)
+        assert isinstance(e.predicate.right.operand, Or)
+
+    def test_rollback_with_integer(self):
+        e = parse_expression("rollback(faculty, 17)")
+        assert e == Rollback("faculty", 17)
+
+    def test_rollback_with_now(self):
+        e = parse_expression("rollback(faculty, now)")
+        assert e == Rollback("faculty", NOW)
+
+    def test_derive_full_form(self):
+        e = parse_expression(
+            "derive [valid overlaps periods [3, 9) ; "
+            "intersect(valid, periods [3, 9))] "
+            "(historical state (k) { (1) @ [0, 5) })"
+        )
+        assert isinstance(e, Derive)
+        assert e.predicate is not None
+        assert e.expression is not None
+
+    def test_derive_empty_parts(self):
+        e = parse_expression(
+            "derive [ ; ] (historical state (k) { (1) @ [0, 5) })"
+        )
+        assert e.predicate is None
+        assert e.expression is None
+
+    def test_derive_g_connectives(self):
+        e = parse_expression(
+            "derive [validat(valid, 3) and nonempty(first(valid)) ; ] "
+            "(historical state (k) { (1) @ [0, 5) })"
+        )
+        assert e.predicate is not None
+
+    def test_v_expression_forms(self):
+        e = parse_expression(
+            "derive [ ; union(shift(last(valid), 1), "
+            "extend(first(valid), valid))] "
+            "(historical state (k) { (1) @ [0, 5) })"
+        )
+        assert e.expression is not None
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("rollback(r, now) rollback(s, now)")
+
+    def test_comparator_required_in_predicate(self):
+        with pytest.raises(ParseError, match="comparator"):
+            parse_expression("select [a] (state (a) { })")
+
+
+class TestEndToEnd:
+    def test_paper_style_program(self):
+        commands = parse_sentence(
+            """
+            -- build a tiny rollback database
+            define_relation(faculty, rollback);
+            modify_state(faculty,
+                state (name: string, rank: string)
+                      { ("merrie", "assistant") });
+            modify_state(faculty,
+                rollback(faculty, now)
+                union state (name: string, rank: string)
+                      { ("tom", "full") })
+            """
+        )
+        from repro.core.sentences import run
+        from repro.core.expressions import Rollback as R
+
+        db = run(commands)
+        assert db.transaction_number == 3
+        assert len(R("faculty", NOW).evaluate(db)) == 2
+        assert len(R("faculty", 2).evaluate(db)) == 1

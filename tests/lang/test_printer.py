@@ -1,0 +1,150 @@
+"""Round-trip tests: parse(format(ast)) == ast."""
+
+import pytest
+
+from repro.core.expressions import (
+    Const,
+    Derive,
+    Difference,
+    Product,
+    Project,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.commands import DefineRelation, ModifyState, Sequence
+from repro.core.txn import NOW
+from repro.historical.chronons import FOREVER
+from repro.historical.periods import PeriodSet
+from repro.historical.predicates import Overlaps, ValidAt
+from repro.historical.state import HistoricalState
+from repro.historical.temporal_exprs import (
+    Extend,
+    First,
+    Intersect,
+    Last,
+    Shift,
+    TemporalConstant,
+    ValidTime,
+)
+from repro.lang.ast_printer import format_command, format_expression
+from repro.lang.parser import parse_command, parse_expression
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.predicates import (
+    And,
+    Comparison,
+    FalsePredicate,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    lit,
+)
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", STRING)])
+
+
+def snapshot_const(*rows):
+    return Const(SnapshotState(KV, [list(r) for r in rows]))
+
+
+def historical_const():
+    return Const(
+        HistoricalState.from_rows(
+            KV,
+            [
+                ([1, "a"], [(0, 5), (8, FOREVER)]),
+                ([2, "b"], [(3, 7)]),
+            ],
+        )
+    )
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    snapshot_const((1, "a"), (2, "b")),
+    historical_const(),
+    Union(snapshot_const((1, "a")), snapshot_const((2, "b"))),
+    Difference(snapshot_const((1, "a")), snapshot_const((2, "b"))),
+    Product(
+        snapshot_const((1, "a")),
+        Const(SnapshotState(Schema(["x"]), [["q"]])),
+    ),
+    Project(snapshot_const((1, "a")), ["k"]),
+    Select(
+        snapshot_const((1, "a")),
+        And(
+            Comparison(attr("k"), ">=", lit(1)),
+            Or(
+                Comparison(attr("v"), "=", lit("a")),
+                Not(Comparison(attr("v"), "!=", lit("b"))),
+            ),
+        ),
+    ),
+    Select(snapshot_const((1, "a")), TruePredicate()),
+    Select(snapshot_const((1, "a")), FalsePredicate()),
+    Rollback("faculty", NOW),
+    Rollback("faculty", 42),
+    Derive(
+        historical_const(),
+        predicate=Overlaps(
+            ValidTime(), TemporalConstant(PeriodSet([(3, 9)]))
+        ),
+        expression=Intersect(
+            ValidTime(), TemporalConstant(PeriodSet([(3, 9)]))
+        ),
+    ),
+    Derive(
+        historical_const(),
+        predicate=ValidAt(First(ValidTime()), 2),
+        expression=Shift(Last(ValidTime()), 3),
+    ),
+    Derive(
+        historical_const(),
+        expression=Extend(ValidTime(), TemporalConstant(PeriodSet([(9, 12)]))),
+    ),
+    Union(
+        Select(Rollback("r", 3), Comparison(attr("k"), "<", lit(9))),
+        Project(Rollback("r", NOW), ["k", "v"]),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "expression", ROUND_TRIP_EXPRESSIONS, ids=lambda e: repr(e)[:50]
+)
+def test_expression_round_trip(expression):
+    text = format_expression(expression)
+    assert parse_expression(text) == expression
+
+
+ROUND_TRIP_COMMANDS = [
+    DefineRelation("faculty", "rollback"),
+    DefineRelation("h", "temporal"),
+    ModifyState("faculty", snapshot_const((1, "a"))),
+    ModifyState(
+        "faculty", Union(Rollback("faculty", NOW), snapshot_const((2, "b")))
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "command", ROUND_TRIP_COMMANDS, ids=lambda c: repr(c)[:50]
+)
+def test_command_round_trip(command):
+    text = format_command(command)
+    assert parse_command(text) == command
+
+
+def test_sequence_formats_with_semicolon():
+    program = Sequence(
+        DefineRelation("r", "rollback"),
+        ModifyState("r", snapshot_const((1, "a"))),
+    )
+    text = format_command(program)
+    assert ";" in text
+    from repro.lang.parser import parse_sentence
+
+    commands = parse_sentence(text)
+    assert commands == [program.first, program.second]

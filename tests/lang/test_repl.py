@@ -1,0 +1,136 @@
+"""Tests for the REPL, driven through StringIO streams."""
+
+import io
+
+import pytest
+
+from repro.lang.repl import Repl, run_repl
+
+
+def drive(lines):
+    """Feed lines to a fresh Repl; return its full output."""
+    out = io.StringIO()
+    repl = Repl(out)
+    for line in lines:
+        alive = repl.feed(line)
+        if not alive:
+            break
+    return out.getvalue(), repl
+
+
+class TestStatements:
+    def test_command_then_query(self):
+        output, _ = drive(
+            [
+                "define_relation(r, rollback);",
+                'modify_state(r, state (k: integer) { (1), (2) });',
+                "rollback(r, now);",
+            ]
+        )
+        assert "ok (txn 1)" in output
+        assert "ok (txn 2)" in output
+        assert "1" in output and "2" in output
+
+    def test_multiline_statement(self):
+        output, _ = drive(
+            [
+                "define_relation(r, rollback);",
+                "modify_state(r,",
+                "  state (k: integer)",
+                "  { (7) });",
+                "rollback(r, now);",
+            ]
+        )
+        assert "7" in output
+
+    def test_error_reported_not_fatal(self):
+        output, repl = drive(
+            [
+                "select [oops] (nope);",
+                "define_relation(r, rollback);",
+            ]
+        )
+        assert "error:" in output
+        assert "ok (txn 1)" in output
+        assert repl.session.transaction_number == 1
+
+    def test_empty_set_result(self):
+        output, _ = drive(
+            [
+                "define_relation(r, rollback);",
+                "rollback(r, now);",
+            ]
+        )
+        assert "∅" in output
+
+    def test_blank_lines_ignored(self):
+        output, repl = drive(["", "   ", "define_relation(r, rollback);"])
+        assert repl.session.transaction_number == 1
+
+
+class TestMeta:
+    def test_txn_and_relations(self):
+        output, _ = drive(
+            [
+                "define_relation(a, rollback);",
+                "define_relation(b, temporal);",
+                ".txn",
+                ".relations",
+            ]
+        )
+        assert "\n2\n" in output
+        assert "a: rollback" in output
+        assert "b: temporal" in output
+
+    def test_relations_when_empty(self):
+        output, _ = drive([".relations"])
+        assert "(no relations)" in output
+
+    def test_help(self):
+        output, _ = drive([".help"])
+        assert "define_relation" in output
+        assert ".save" in output
+
+    def test_unknown_meta(self):
+        output, _ = drive([".frobnicate"])
+        assert "unknown meta command" in output
+
+    def test_quit_stops(self):
+        output, repl = drive(
+            [".quit", "define_relation(r, rollback);"]
+        )
+        assert repl.session.transaction_number == 0
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "db.json"
+        output, _ = drive(
+            [
+                "define_relation(r, rollback);",
+                'modify_state(r, state (k: integer) { (5) });',
+                f".save {path}",
+            ]
+        )
+        assert "saved" in output
+
+        output2, repl2 = drive([f".load {path}", "rollback(r, now);"])
+        assert "loaded" in output2
+        assert "5" in output2
+        assert repl2.session.transaction_number == 2
+
+    def test_save_without_path(self):
+        output, _ = drive([".save"])
+        assert "usage" in output
+
+    def test_load_missing_file(self, tmp_path):
+        output, _ = drive([f".load {tmp_path}/none.json"])
+        assert "error" in output
+
+
+class TestRunRepl:
+    def test_banner_and_eof(self):
+        stdin = io.StringIO("define_relation(r, rollback);\n")
+        stdout = io.StringIO()
+        run_repl(stdin, stdout)
+        text = stdout.getvalue()
+        assert "McKenzie" in text
+        assert "ok (txn 1)" in text

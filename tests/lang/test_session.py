@@ -1,0 +1,103 @@
+"""Tests for interactive sessions and the state formatter."""
+
+import pytest
+
+from repro.core.database import EMPTY_DATABASE
+from repro.lang.session import Session, format_state
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+PROGRAM = """
+define_relation(faculty, rollback);
+modify_state(faculty,
+    state (name: string, rank: string) { ("merrie", "assistant") });
+modify_state(faculty,
+    rollback(faculty, now)
+    union state (name: string, rank: string) { ("tom", "full") });
+"""
+
+
+class TestSession:
+    def test_execute_program(self):
+        session = Session()
+        session.execute(PROGRAM)
+        assert session.transaction_number == 3
+        assert len(session.current_state("faculty")) == 2
+
+    def test_incremental_equals_batch(self):
+        """Executing commands one at a time equals evaluating the whole
+        sentence — compositionality of C."""
+        batch = Session()
+        batch.execute(PROGRAM)
+
+        incremental = Session()
+        for line in [
+            "define_relation(faculty, rollback)",
+            'modify_state(faculty, state (name: string, rank: string)'
+            ' { ("merrie", "assistant") })',
+            'modify_state(faculty, rollback(faculty, now) union '
+            'state (name: string, rank: string) { ("tom", "full") })',
+        ]:
+            incremental.execute_command(line)
+        assert incremental.database == batch.database
+
+    def test_query_is_side_effect_free(self):
+        session = Session()
+        session.execute(PROGRAM)
+        before = session.database
+        session.query("project [name] (rollback(faculty, now))")
+        assert session.database == before
+
+    def test_query_result(self):
+        session = Session()
+        session.execute(PROGRAM)
+        result = session.query(
+            'select [rank = "full"] (rollback(faculty, now))'
+        )
+        assert result.sorted_rows() == [("tom", "full")]
+
+    def test_history_trail(self):
+        session = Session()
+        session.execute(PROGRAM)
+        assert session.history[0] == EMPTY_DATABASE
+        assert len(session.history) == 4  # empty + 3 commands
+        txns = [db.transaction_number for db in session.history]
+        assert txns == [0, 1, 2, 3]
+
+    def test_display_table(self):
+        session = Session()
+        session.execute(PROGRAM)
+        text = session.display("faculty")
+        assert "faculty" in text
+        assert "merrie" in text
+        assert "tom" in text
+
+    def test_display_past_state(self):
+        session = Session()
+        session.execute(PROGRAM)
+        text = session.display("faculty", 2)
+        assert "merrie" in text
+        assert "tom" not in text
+
+    def test_display_fresh_relation(self):
+        session = Session()
+        session.execute("define_relation(r, rollback)")
+        assert "no recorded state" in session.display("r")
+
+
+class TestFormatState:
+    def test_empty_state(self):
+        state = SnapshotState.empty(Schema(["a", "b"]))
+        text = format_state(state)
+        assert "(empty)" in text
+        assert "a" in text
+
+    def test_historical_state_shows_valid_column(self):
+        from repro.historical.state import HistoricalState
+
+        state = HistoricalState.from_rows(
+            Schema(["k"]), [(["x"], [(0, 5)])]
+        )
+        text = format_state(state)
+        assert "valid" in text
+        assert "[0, 5)" in text

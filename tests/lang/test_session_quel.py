@@ -1,0 +1,102 @@
+"""Tests for Session.quel: Quel statements executed interactively,
+dispatched by relation kind."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.historical.periods import PeriodSet
+from repro.lang.session import Session
+from repro.snapshot.tuples import SnapshotTuple
+
+
+@pytest.fixture
+def session():
+    s = Session()
+    s.execute(
+        """
+        define_relation(emp, rollback);
+        modify_state(emp,
+            state (name: string, salary: integer) { ("ann", 50) });
+        define_relation(chairs, temporal);
+        modify_state(chairs,
+            state (who: string) { ("ann") @ [0, 10) });
+        """
+    )
+    return s
+
+
+class TestSnapshotQuel:
+    def test_append(self, session):
+        session.quel('append to emp (name = "bob", salary = 70)')
+        assert len(session.current_state("emp")) == 2
+
+    def test_replace(self, session):
+        session.quel('replace emp (salary = 60) where name = "ann"')
+        assert session.current_state("emp").sorted_rows() == [
+            ("ann", 60)
+        ]
+
+    def test_delete(self, session):
+        session.quel("delete from emp where salary < 100")
+        assert session.current_state("emp").is_empty()
+
+    def test_retrieve(self, session):
+        session.quel('append to emp (name = "bob", salary = 70)')
+        result = session.quel(
+            "retrieve (name) from emp where salary > 60"
+        )
+        assert result.sorted_rows() == [("bob",)]
+
+    def test_retrieve_as_of(self, session):
+        session.quel('replace emp (salary = 99) where name = "ann"')
+        # txn 4 was the pre-replace database (setup used txns 1..4)
+        result = session.quel(
+            "retrieve (salary) from emp as of 2"
+        )
+        assert result.sorted_rows() == [(50,)]
+
+    def test_updates_advance_transaction(self, session):
+        before = session.transaction_number
+        session.quel('append to emp (name = "cat", salary = 10)')
+        assert session.transaction_number == before + 1
+
+
+class TestTemporalQuel:
+    def test_temporal_append(self, session):
+        session.quel('append to chairs (who = "bob") valid [5, 20)')
+        state = session.current_state("chairs")
+        assert state.valid_time_of(
+            SnapshotTuple(state.schema, ["bob"])
+        ) == PeriodSet([(5, 20)])
+
+    def test_terminate(self, session):
+        session.quel('terminate chairs where who = "ann" at 5')
+        state = session.current_state("chairs")
+        assert state.valid_time_of(
+            SnapshotTuple(state.schema, ["ann"])
+        ) == PeriodSet([(0, 5)])
+
+    def test_delete_dispatches_to_temporal(self, session):
+        session.quel('delete from chairs where who = "ann"')
+        assert session.current_state("chairs").is_empty()
+
+    def test_plain_append_on_temporal_rejected(self, session):
+        with pytest.raises(TranslationError, match="valid"):
+            session.quel('append to chairs (who = "bob")')
+
+    def test_retrieve_when(self, session):
+        result = session.quel(
+            "retrieve (who) from chairs when 5"
+        )
+        assert {t["who"] for t in result.tuples} == {"ann"}
+
+
+class TestDispatchErrors:
+    def test_unknown_relation(self, session):
+        with pytest.raises(TranslationError, match="not defined"):
+            session.quel('append to ghosts (who = "x", y = 1)')
+
+    def test_catalog_reflects_current_schemas(self, session):
+        catalog = session.catalog()
+        assert set(catalog) == {"emp", "chairs"}
+        assert catalog["emp"].names == ("name", "salary")

@@ -1,0 +1,213 @@
+"""Tests for the rewriter, schema inference and cost model."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SchemaError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import (
+    Const,
+    Derive,
+    Difference,
+    Product,
+    Project,
+    Rename,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.sentences import run
+from repro.optimizer.cost import estimate_cardinality, estimate_cost, explain
+from repro.optimizer.equivalence import (
+    expressions_equivalent,
+    states_equal,
+)
+from repro.optimizer.rewriter import Rewriter, optimize
+from repro.optimizer.schema_inference import infer_schema
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import And, Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+XY = Schema([Attribute("x", INTEGER), Attribute("y", INTEGER)])
+CATALOG = {"r": KV, "t": XY}
+
+
+def make_db(r_state, t_state):
+    return run(
+        [
+            DefineRelation("r", "rollback"),
+            ModifyState("r", Const(r_state)),
+            DefineRelation("t", "rollback"),
+            ModifyState("t", Const(t_state)),
+        ]
+    )
+
+
+class TestSchemaInference:
+    def test_const(self):
+        assert infer_schema(Const(SnapshotState(KV, []))) == KV
+
+    def test_rollback_uses_catalog(self):
+        assert infer_schema(Rollback("r"), CATALOG) == KV
+
+    def test_rollback_missing_from_catalog_raises(self):
+        with pytest.raises(SchemaError):
+            infer_schema(Rollback("ghost"), CATALOG)
+
+    def test_binary_operators(self):
+        assert infer_schema(
+            Union(Rollback("r"), Rollback("r")), CATALOG
+        ) == KV
+        product = Product(Rollback("r"), Rollback("t"))
+        assert infer_schema(product, CATALOG).names == (
+            "k",
+            "v",
+            "x",
+            "y",
+        )
+
+    def test_incompatible_union_raises(self):
+        with pytest.raises(SchemaError):
+            infer_schema(Union(Rollback("r"), Rollback("t")), CATALOG)
+
+    def test_project_select_rename_derive(self):
+        assert infer_schema(
+            Project(Rollback("r"), ["v"]), CATALOG
+        ).names == ("v",)
+        assert infer_schema(
+            Select(Rollback("r"), Comparison(attr("k"), "=", lit(1))),
+            CATALOG,
+        ) == KV
+        assert infer_schema(
+            Rename(Rollback("r"), {"k": "key"}), CATALOG
+        ).names == ("key", "v")
+        assert infer_schema(Derive(Rollback("r")), CATALOG) == KV
+
+
+class TestRewriter:
+    def test_reaches_fixpoint_and_traces(self):
+        query = Select(
+            Product(Rollback("r"), Rollback("t")),
+            And(
+                Comparison(attr("k"), "=", attr("x")),
+                Comparison(attr("y"), "=", lit(1)),
+            ),
+        )
+        rewriter = Rewriter(catalog=CATALOG)
+        optimized = rewriter.rewrite(query)
+        assert optimized != query
+        assert rewriter.trace  # at least one rule fired
+        # the cross-table half stays above; the single-table half is
+        # pushed onto the t side
+        assert isinstance(optimized, Select)
+        assert isinstance(optimized.operand, Product)
+        assert isinstance(optimized.operand.right, Select)
+
+    def test_idempotent(self):
+        query = Select(
+            Product(Rollback("r"), Rollback("t")),
+            Comparison(attr("y"), "=", lit(1)),
+        )
+        once = optimize(query, CATALOG)
+        twice = optimize(once, CATALOG)
+        assert once == twice
+
+    @settings(max_examples=30)
+    @given(kv_states())
+    def test_optimize_preserves_semantics(self, r_state):
+        t_state = SnapshotState(XY, [[1, 1], [2, 9], [3, 1]])
+        db = make_db(r_state, t_state)
+        query = Project(
+            Select(
+                Product(Rollback("r"), Rollback("t")),
+                And(
+                    Comparison(attr("k"), ">", lit(2)),
+                    Comparison(attr("y"), "=", lit(1)),
+                ),
+            ),
+            ["k", "x"],
+        )
+        optimized = optimize(query, CATALOG)
+        assert states_equal(query.evaluate(db), optimized.evaluate(db))
+
+    def test_optimize_reduces_estimated_cost(self):
+        stats = {"r": 1000, "t": 1000}
+        query = Select(
+            Product(Rollback("r"), Rollback("t")),
+            And(
+                Comparison(attr("k"), ">", lit(2)),
+                Comparison(attr("y"), "=", lit(1)),
+            ),
+        )
+        optimized = optimize(query, CATALOG)
+        assert estimate_cost(optimized, stats) < estimate_cost(
+            query, stats
+        )
+
+
+class TestCostModel:
+    def test_const_cardinality_is_exact(self):
+        state = SnapshotState(KV, [[1, 1], [2, 2]])
+        assert estimate_cardinality(Const(state)) == 2.0
+
+    def test_rollback_uses_stats(self):
+        assert estimate_cardinality(Rollback("r"), {"r": 500}) == 500.0
+
+    def test_product_multiplies(self):
+        e = Product(Rollback("r"), Rollback("t"))
+        assert estimate_cardinality(e, {"r": 10, "t": 20}) == 200.0
+
+    def test_union_adds_difference_keeps_left(self):
+        stats = {"r": 10, "t": 20}
+        assert (
+            estimate_cardinality(
+                Union(Rollback("r"), Rollback("r")), stats
+            )
+            == 20.0
+        )
+        assert (
+            estimate_cardinality(
+                Difference(Rollback("r"), Rollback("r")), stats
+            )
+            == 10.0
+        )
+
+    def test_cost_sums_node_cardinalities(self):
+        e = Union(Rollback("r"), Rollback("r"))
+        assert estimate_cost(e, {"r": 10}) == 40.0  # 20 + 10 + 10
+
+    def test_explain_renders_tree(self):
+        e = Select(
+            Union(Rollback("r"), Rollback("r")),
+            Comparison(attr("k"), "=", lit(1)),
+        )
+        text = explain(e, {"r": 10})
+        assert "Select" in text
+        assert "Union" in text
+        assert "Rollback[r" in text
+        assert text.count("\n") == 3
+
+
+class TestEquivalenceChecker:
+    @settings(max_examples=30)
+    @given(kv_states())
+    def test_equivalent_expressions_accepted(self, state):
+        db = make_db(state, SnapshotState(XY, []))
+        left = Select(Rollback("r"), Comparison(attr("k"), ">", lit(2)))
+        right = Difference(
+            Rollback("r"),
+            Select(Rollback("r"), Comparison(attr("k"), "<=", lit(2))),
+        )
+        assert expressions_equivalent(left, right, [db])
+
+    def test_inequivalent_expressions_rejected(self):
+        db = make_db(
+            SnapshotState(KV, [[1, 1]]), SnapshotState(XY, [])
+        )
+        left = Rollback("r")
+        right = Difference(Rollback("r"), Rollback("r"))
+        assert not expressions_equivalent(left, right, [db])

@@ -1,0 +1,191 @@
+"""Tests for individual rewrite rules: applicability + semantics
+preservation, evaluated on databases that include rollback leaves (this is
+the executable form of the paper's claim C2 — the laws survive the
+extension)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Product,
+    Project,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.sentences import run
+from repro.optimizer.equivalence import states_equal
+from repro.optimizer.rules import (
+    CombineSelects,
+    EliminateIdentityProject,
+    MergeProjects,
+    PushProjectBelowUnion,
+    PushSelectBelowDifference,
+    PushSelectBelowProduct,
+    PushSelectBelowUnion,
+    SplitConjunctiveSelect,
+)
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import And, Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+XY = Schema([Attribute("x", INTEGER), Attribute("y", INTEGER)])
+CATALOG = {"r": KV, "s": KV, "t": XY}
+
+PK = Comparison(attr("k"), ">", lit(4))
+PV = Comparison(attr("v"), "<", lit(3))
+PX = Comparison(attr("x"), "=", lit(1))
+P_CROSS = Comparison(attr("k"), "=", attr("x"))
+
+
+def make_db(r_state, s_state=None, t_state=None):
+    commands = [
+        DefineRelation("r", "rollback"),
+        ModifyState("r", Const(r_state)),
+    ]
+    if s_state is not None:
+        commands += [
+            DefineRelation("s", "rollback"),
+            ModifyState("s", Const(s_state)),
+        ]
+    if t_state is not None:
+        commands += [
+            DefineRelation("t", "rollback"),
+            ModifyState("t", Const(t_state)),
+        ]
+    return run(commands)
+
+
+def check_rule(rule, expression, database):
+    """The rule fires and the rewritten tree evaluates identically."""
+    rewritten = rule.apply(expression, CATALOG)
+    assert rewritten is not None, f"{rule.name} did not fire"
+    assert rewritten != expression
+    assert states_equal(
+        expression.evaluate(database), rewritten.evaluate(database)
+    )
+    return rewritten
+
+
+class TestSplitAndCombine:
+    @settings(max_examples=40)
+    @given(kv_states())
+    def test_split_conjunctive_select(self, state):
+        db = make_db(state)
+        expression = Select(Rollback("r"), And(PK, PV))
+        rewritten = check_rule(SplitConjunctiveSelect(), expression, db)
+        assert isinstance(rewritten, Select)
+        assert isinstance(rewritten.operand, Select)
+
+    @settings(max_examples=40)
+    @given(kv_states())
+    def test_combine_selects(self, state):
+        db = make_db(state)
+        expression = Select(Select(Rollback("r"), PV), PK)
+        rewritten = check_rule(CombineSelects(), expression, db)
+        assert isinstance(rewritten.predicate, And)
+
+    def test_split_needs_conjunction(self):
+        assert (
+            SplitConjunctiveSelect().apply(
+                Select(Rollback("r"), PK), CATALOG
+            )
+            is None
+        )
+
+
+class TestSelectPushdown:
+    @settings(max_examples=40)
+    @given(kv_states(), kv_states())
+    def test_push_below_union(self, r_state, s_state):
+        db = make_db(r_state, s_state)
+        expression = Select(Union(Rollback("r"), Rollback("s")), PK)
+        rewritten = check_rule(PushSelectBelowUnion(), expression, db)
+        assert isinstance(rewritten, Union)
+
+    @settings(max_examples=40)
+    @given(kv_states(), kv_states())
+    def test_push_below_difference(self, r_state, s_state):
+        db = make_db(r_state, s_state)
+        expression = Select(
+            Difference(Rollback("r"), Rollback("s")), PK
+        )
+        rewritten = check_rule(
+            PushSelectBelowDifference(), expression, db
+        )
+        assert isinstance(rewritten, Difference)
+        assert isinstance(rewritten.left, Select)
+
+    @settings(max_examples=30)
+    @given(kv_states())
+    def test_push_below_product_left(self, r_state):
+        t_state = SnapshotState(XY, [[1, 1], [2, 2]])
+        db = make_db(r_state, t_state=t_state)
+        expression = Select(Product(Rollback("r"), Rollback("t")), PK)
+        rewritten = check_rule(PushSelectBelowProduct(), expression, db)
+        assert isinstance(rewritten, Product)
+        assert isinstance(rewritten.left, Select)
+
+    @settings(max_examples=30)
+    @given(kv_states())
+    def test_push_below_product_right(self, r_state):
+        t_state = SnapshotState(XY, [[1, 1], [2, 2]])
+        db = make_db(r_state, t_state=t_state)
+        expression = Select(Product(Rollback("r"), Rollback("t")), PX)
+        rewritten = check_rule(PushSelectBelowProduct(), expression, db)
+        assert isinstance(rewritten.right, Select)
+
+    def test_cross_predicate_not_pushed(self):
+        expression = Select(
+            Product(Rollback("r"), Rollback("t")), P_CROSS
+        )
+        assert (
+            PushSelectBelowProduct().apply(expression, CATALOG) is None
+        )
+
+
+class TestProjectionRules:
+    @settings(max_examples=40)
+    @given(kv_states())
+    def test_merge_projects(self, state):
+        db = make_db(state)
+        expression = Project(Project(Rollback("r"), ["k", "v"]), ["k"])
+        rewritten = check_rule(MergeProjects(), expression, db)
+        assert isinstance(rewritten, Project)
+        assert rewritten.operand == Rollback("r")
+
+    def test_merge_requires_subset(self):
+        expression = Project(Project(Rollback("r"), ["k"]), ["v"])
+        assert MergeProjects().apply(expression, CATALOG) is None
+
+    @settings(max_examples=40)
+    @given(kv_states(), kv_states())
+    def test_push_project_below_union(self, r_state, s_state):
+        db = make_db(r_state, s_state)
+        expression = Project(Union(Rollback("r"), Rollback("s")), ["k"])
+        rewritten = check_rule(PushProjectBelowUnion(), expression, db)
+        assert isinstance(rewritten, Union)
+
+    @settings(max_examples=40)
+    @given(kv_states())
+    def test_eliminate_identity_project(self, state):
+        db = make_db(state)
+        expression = Project(Rollback("r"), ["k", "v"])
+        rewritten = check_rule(
+            EliminateIdentityProject(), expression, db
+        )
+        assert rewritten == Rollback("r")
+
+    def test_reordering_projection_is_not_identity(self):
+        expression = Project(Rollback("r"), ["v", "k"])
+        assert (
+            EliminateIdentityProject().apply(expression, CATALOG)
+            is None
+        )

@@ -1,0 +1,138 @@
+"""Tests for update optimization (the paper's Section 1 benefit)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.commands import DefineRelation, ModifyState, Sequence
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.optimizer import (
+    ALL_UPDATE_RULES,
+    DeduplicateUnion,
+    RewriteDeleteAsNegatedSelect,
+    optimize_update,
+)
+from repro.quel import QuelTranslator, parse_statement
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, Not, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+CATALOG = {"r": KV}
+P = Comparison(attr("k"), ">", lit(4))
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+class TestDeleteRewrite:
+    def test_fires_on_delete_shape(self):
+        delete = Difference(Rollback("r"), Select(Rollback("r"), P))
+        rewritten = RewriteDeleteAsNegatedSelect().apply(
+            delete, CATALOG
+        )
+        assert rewritten == Select(Rollback("r"), Not(P))
+
+    def test_requires_matching_operands(self):
+        mismatched = Difference(
+            Rollback("r"), Select(Rollback("s"), P)
+        )
+        assert (
+            RewriteDeleteAsNegatedSelect().apply(mismatched, CATALOG)
+            is None
+        )
+
+    @settings(max_examples=40)
+    @given(kv_states())
+    def test_semantics_preserved(self, state):
+        db = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", Const(state)),
+            ]
+        )
+        delete = Difference(Rollback("r"), Select(Rollback("r"), P))
+        rewritten = RewriteDeleteAsNegatedSelect().apply(
+            delete, CATALOG
+        )
+        from repro.optimizer.equivalence import states_equal
+
+        assert states_equal(delete.evaluate(db), rewritten.evaluate(db))
+
+
+class TestDeduplicateUnion:
+    def test_fires(self):
+        doubled = Union(Rollback("r"), Rollback("r"))
+        assert DeduplicateUnion().apply(doubled, CATALOG) == Rollback(
+            "r"
+        )
+
+    def test_distinct_operands_left_alone(self):
+        assert (
+            DeduplicateUnion().apply(
+                Union(Rollback("r"), Rollback("s")), CATALOG
+            )
+            is None
+        )
+
+
+class TestOptimizeUpdate:
+    def test_quel_delete_gets_rewritten(self):
+        translator = QuelTranslator({"r": KV})
+        command = translator.translate(
+            parse_statement("delete from r where k > 4")
+        )
+        optimized = optimize_update(command, CATALOG)
+        assert isinstance(optimized, ModifyState)
+        assert isinstance(optimized.expression, Select)
+        assert isinstance(optimized.expression.predicate, Not)
+
+    def test_define_relation_passes_through(self):
+        command = DefineRelation("r", "rollback")
+        assert optimize_update(command, CATALOG) is command
+
+    def test_sequence_rewritten_componentwise(self):
+        translator = QuelTranslator({"r": KV})
+        delete = translator.translate(
+            parse_statement("delete from r where k > 4")
+        )
+        program = Sequence(DefineRelation("r", "rollback"), delete)
+        optimized = optimize_update(program, CATALOG)
+        assert isinstance(optimized, Sequence)
+        assert isinstance(optimized.second.expression, Select)
+
+    @settings(max_examples=30)
+    @given(kv_states(), kv_states())
+    def test_optimized_program_builds_identical_database(self, s1, s2):
+        translator = QuelTranslator({"r": KV})
+        commands = [
+            DefineRelation("r", "rollback"),
+            ModifyState("r", Const(s1)),
+            ModifyState("r", Union(Rollback("r"), Const(s2))),
+            translator.translate(
+                parse_statement("delete from r where k > 4")
+            ),
+            ModifyState(
+                "r", Union(Rollback("r"), Rollback("r"))
+            ),  # dedup target
+        ]
+        plain = run(commands)
+        optimized = run(
+            [optimize_update(c, CATALOG) for c in commands]
+        )
+        assert plain == optimized
+
+    def test_unchanged_command_returned_as_is(self):
+        command = ModifyState("r", Const(kv((1, 1))))
+        assert optimize_update(command, CATALOG) is command

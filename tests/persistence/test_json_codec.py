@@ -1,0 +1,165 @@
+"""Round-trip tests for the JSON persistence layer."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import StorageError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import Const, Rollback
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.historical.state import HistoricalState
+from repro.persistence import (
+    database_from_dict,
+    database_to_dict,
+    dump,
+    dumps,
+    load,
+    loads,
+)
+from repro.snapshot.attributes import (
+    BOOLEAN,
+    INTEGER,
+    NUMBER,
+    STRING,
+    USER_DEFINED_TIME,
+    Attribute,
+    enumerated_domain,
+)
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_historical_states, kv_states
+
+FULL = Schema(
+    [
+        Attribute("i", INTEGER),
+        Attribute("s", STRING),
+        Attribute("n", NUMBER),
+        Attribute("b", BOOLEAN),
+        Attribute("t", USER_DEFINED_TIME),
+    ]
+)
+
+
+def full_db():
+    state1 = SnapshotState(FULL, [[1, "a", 1.5, True, 0]])
+    state2 = SnapshotState(
+        FULL, [[1, "a", 1.5, True, 0], [2, "b", -2.5, False, 7]]
+    )
+    historical = HistoricalState.from_rows(
+        Schema(["who"]),
+        [(["ann"], [(0, 5), (9, None or 12)]), (["bob"], [(3, 8)])],
+    )
+    from repro.historical.chronons import FOREVER
+
+    historical2 = HistoricalState.from_rows(
+        Schema(["who"]), [(["ann"], [(0, FOREVER)])]
+    )
+    return run(
+        [
+            DefineRelation("r", "rollback"),
+            ModifyState("r", Const(state1)),
+            ModifyState("r", Const(state2)),
+            DefineRelation("t", "temporal"),
+            ModifyState("t", Const(historical)),
+            ModifyState("t", Const(historical2)),
+            DefineRelation("s", "snapshot"),
+            ModifyState("s", Const(state1)),
+        ]
+    )
+
+
+class TestRoundTrip:
+    def test_full_database(self):
+        database = full_db()
+        assert loads(dumps(database)) == database
+
+    def test_empty_database(self):
+        assert loads(dumps(EMPTY_DATABASE)) == EMPTY_DATABASE
+
+    def test_relation_with_no_states(self):
+        database = run([DefineRelation("r", "rollback")])
+        assert loads(dumps(database)) == database
+
+    def test_unbounded_periods_round_trip(self):
+        database = full_db()
+        restored = loads(dumps(database))
+        current = Rollback("t", NOW).evaluate(restored)
+        (t,) = current.tuples
+        assert t.valid_time.is_unbounded()
+
+    def test_file_interface(self, tmp_path):
+        database = full_db()
+        path = tmp_path / "db.json"
+        with open(path, "w") as fp:
+            dump(database, fp, indent=2)
+        with open(path) as fp:
+            assert load(fp) == database
+
+    def test_pretty_and_compact_agree(self):
+        database = full_db()
+        assert loads(dumps(database, indent=2)) == loads(dumps(database))
+
+    def test_queries_work_after_reload(self):
+        database = loads(dumps(full_db()))
+        assert len(Rollback("r", 2).evaluate(database)) == 1
+        assert len(Rollback("r", NOW).evaluate(database)) == 2
+
+    @settings(max_examples=25)
+    @given(kv_states())
+    def test_random_snapshot_states(self, state):
+        database = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", Const(state)),
+            ]
+        )
+        assert loads(dumps(database)) == database
+
+    @settings(max_examples=25)
+    @given(kv_historical_states())
+    def test_random_historical_states(self, state):
+        database = run(
+            [
+                DefineRelation("t", "temporal"),
+                ModifyState("t", Const(state)),
+            ]
+        )
+        assert loads(dumps(database)) == database
+
+
+class TestErrors:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(StorageError, match="format"):
+            database_from_dict({"format": "something-else"})
+
+    def test_wrong_version_rejected(self):
+        payload = database_to_dict(EMPTY_DATABASE)
+        payload["version"] = 999
+        with pytest.raises(StorageError, match="version"):
+            database_from_dict(payload)
+
+    def test_custom_domain_degrades_to_any(self):
+        custom = enumerated_domain("color", ["red", "blue"])
+        schema = Schema([Attribute("c", custom)])
+        database = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState(
+                    "r", Const(SnapshotState(schema, [["red"]]))
+                ),
+            ]
+        )
+        restored = loads(dumps(database))
+        restored_schema = (
+            restored.require("r").current_state.schema
+        )
+        assert restored_schema["c"].domain.name == "any"
+        # values survive even though the domain name degraded
+        assert restored.require("r").current_state.sorted_rows() == [
+            ("red",)
+        ]

@@ -1,0 +1,305 @@
+"""Tests for the Quel-style update calculus: parsing, translation, and
+end-to-end execution against the algebra."""
+
+import pytest
+
+from repro.errors import ParseError, TranslationError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Project, Rollback, Select, Union
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.quel.parser import parse_statement
+from repro.quel.statements import Append, Delete, Replace, Retrieve
+from repro.quel.translate import QuelTranslator
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+
+FACULTY = Schema(
+    [
+        Attribute("name", STRING),
+        Attribute("rank", STRING),
+        Attribute("salary", INTEGER),
+    ]
+)
+
+
+@pytest.fixture
+def translator():
+    return QuelTranslator({"faculty": FACULTY})
+
+
+def build_db(translator, sources):
+    commands = [DefineRelation("faculty", "rollback")]
+    for source in sources:
+        commands.append(translator.translate(parse_statement(source)))
+    return run(commands)
+
+
+class TestParsing:
+    def test_append(self):
+        statement = parse_statement(
+            'append to faculty (name = "ann", rank = "assistant", salary = 50)'
+        )
+        assert isinstance(statement, Append)
+        assert statement.relation == "faculty"
+        assert statement.values["salary"] == 50
+
+    def test_delete_with_where(self):
+        statement = parse_statement(
+            'delete from faculty where salary > 80'
+        )
+        assert isinstance(statement, Delete)
+        assert statement.where is not None
+
+    def test_delete_without_where(self):
+        statement = parse_statement("delete from faculty")
+        assert statement.where is None
+
+    def test_replace(self):
+        statement = parse_statement(
+            'replace faculty (rank = "full") where name = "ann"'
+        )
+        assert isinstance(statement, Replace)
+        assert statement.assignments == {"rank": "full"}
+
+    def test_retrieve_with_as_of(self):
+        statement = parse_statement(
+            'retrieve (name, rank) from faculty where salary >= 50 as of 3'
+        )
+        assert isinstance(statement, Retrieve)
+        assert statement.names == ("name", "rank")
+        assert statement.as_of == 3
+
+    def test_retrieve_defaults_to_now(self):
+        statement = parse_statement("retrieve (name) from faculty")
+        assert statement.as_of is NOW
+
+    def test_double_assignment_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement('append to r (a = 1, a = 2)')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("upsert into r (a = 1)")
+
+
+class TestTranslation:
+    def test_append_shape(self, translator):
+        command = translator.translate(
+            parse_statement(
+                'append to faculty (name = "ann", rank = "asst", salary = 1)'
+            )
+        )
+        assert isinstance(command, ModifyState)
+        assert isinstance(command.expression, Union)
+        assert command.expression.left == Rollback("faculty", NOW)
+
+    def test_append_requires_all_attributes(self, translator):
+        with pytest.raises(TranslationError, match="missing"):
+            translator.translate(
+                parse_statement('append to faculty (name = "ann")')
+            )
+
+    def test_append_unknown_attribute_rejected(self, translator):
+        with pytest.raises(TranslationError, match="unknown"):
+            translator.translate(
+                Append("faculty", {"name": "x", "rank": "y",
+                                   "salary": 1, "ghost": 2})
+            )
+
+    def test_unknown_relation_rejected(self, translator):
+        with pytest.raises(TranslationError, match="catalog"):
+            translator.translate(
+                parse_statement("delete from students")
+            )
+
+    def test_retrieve_is_expression_not_command(self, translator):
+        statement = parse_statement("retrieve (name) from faculty")
+        with pytest.raises(TranslationError):
+            translator.translate(statement)
+        expression = translator.translate_retrieve(statement)
+        assert isinstance(expression, Project)
+
+    def test_retrieve_all_columns_skips_projection(self, translator):
+        statement = parse_statement(
+            "retrieve (name, rank, salary) from faculty"
+        )
+        expression = translator.translate_retrieve(statement)
+        assert expression == Rollback("faculty", NOW)
+
+    def test_retrieve_unknown_attribute_rejected(self, translator):
+        with pytest.raises(TranslationError):
+            translator.translate_retrieve(
+                parse_statement("retrieve (ghost) from faculty")
+            )
+
+    def test_replace_all_attributes_rejected(self, translator):
+        with pytest.raises(TranslationError, match="every attribute"):
+            translator.translate(
+                parse_statement(
+                    'replace faculty (name = "x", rank = "y", salary = 0)'
+                )
+            )
+
+
+class TestEndToEnd:
+    def test_append_then_query(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                'append to faculty (name = "bob", rank = "full", salary = 90)',
+            ],
+        )
+        current = Rollback("faculty", NOW).evaluate(db)
+        assert len(current) == 2
+
+    def test_delete_where(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                'append to faculty (name = "bob", rank = "full", salary = 90)',
+                "delete from faculty where salary > 80",
+            ],
+        )
+        current = Rollback("faculty", NOW).evaluate(db)
+        assert current.sorted_rows() == [("ann", "asst", 50)]
+
+    def test_delete_all(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                "delete from faculty",
+            ],
+        )
+        assert Rollback("faculty", NOW).evaluate(db).is_empty()
+
+    def test_replace(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                'append to faculty (name = "bob", rank = "full", salary = 90)',
+                'replace faculty (rank = "assoc", salary = 65)'
+                ' where name = "ann"',
+            ],
+        )
+        current = Rollback("faculty", NOW).evaluate(db)
+        assert current.sorted_rows() == [
+            ("ann", "assoc", 65),
+            ("bob", "full", 90),
+        ]
+
+    def test_replace_without_where_hits_every_tuple(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                'append to faculty (name = "bob", rank = "full", salary = 90)',
+                'replace faculty (salary = 0)',
+            ],
+        )
+        current = Rollback("faculty", NOW).evaluate(db)
+        assert {row[2] for row in current.sorted_rows()} == {0}
+
+    def test_updates_preserve_history(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                'replace faculty (salary = 60) where name = "ann"',
+                "delete from faculty",
+            ],
+        )
+        # txns: define=1, append=2, replace=3, delete=4
+        assert Rollback("faculty", 2).evaluate(db).sorted_rows() == [
+            ("ann", "asst", 50)
+        ]
+        assert Rollback("faculty", 3).evaluate(db).sorted_rows() == [
+            ("ann", "asst", 60)
+        ]
+        assert Rollback("faculty", NOW).evaluate(db).is_empty()
+
+    def test_retrieve_as_of(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to faculty (name = "ann", rank = "asst", salary = 50)',
+                'replace faculty (rank = "assoc") where name = "ann"',
+            ],
+        )
+        old = translator.translate_retrieve(
+            parse_statement("retrieve (rank) from faculty as of 2")
+        )
+        assert old.evaluate(db).sorted_rows() == [("asst",)]
+        new = translator.translate_retrieve(
+            parse_statement("retrieve (rank) from faculty")
+        )
+        assert new.evaluate(db).sorted_rows() == [("assoc",)]
+
+
+class TestTemporalRetrieve:
+    """The TQuel-flavored `when` clause over temporal relations."""
+
+    @pytest.fixture
+    def temporal_db(self):
+        from repro.core.expressions import Const
+        from repro.historical.state import HistoricalState
+
+        k = Schema([Attribute("who", STRING)])
+        h1 = HistoricalState.from_rows(k, [(["ann"], [(0, 10)])])
+        h2 = HistoricalState.from_rows(
+            k, [(["ann"], [(0, 10)]), (["bob"], [(5, 20)])]
+        )
+        db = run(
+            [
+                DefineRelation("chairs", "temporal"),
+                ModifyState("chairs", Const(h1)),
+                ModifyState("chairs", Const(h2)),
+            ]
+        )
+        return db, QuelTranslator({"chairs": k})
+
+    def test_parse_when_clause(self):
+        statement = parse_statement(
+            "retrieve (who) from chairs when 7 as of 2"
+        )
+        assert statement.when == 7
+        assert statement.as_of == 2
+
+    def test_when_slices_valid_time(self, temporal_db):
+        db, translator = temporal_db
+        expression = translator.translate_retrieve(
+            parse_statement("retrieve (who) from chairs when 7")
+        )
+        state = expression.evaluate(db)
+        assert {t["who"] for t in state.tuples} == {"ann", "bob"}
+
+    def test_when_excludes_invalid_facts(self, temporal_db):
+        db, translator = temporal_db
+        expression = translator.translate_retrieve(
+            parse_statement("retrieve (who) from chairs when 15")
+        )
+        state = expression.evaluate(db)
+        assert {t["who"] for t in state.tuples} == {"bob"}
+
+    def test_when_combines_with_as_of(self, temporal_db):
+        db, translator = temporal_db
+        # as of txn 2 only ann was recorded
+        expression = translator.translate_retrieve(
+            parse_statement("retrieve (who) from chairs when 7 as of 2")
+        )
+        state = expression.evaluate(db)
+        assert {t["who"] for t in state.tuples} == {"ann"}
+
+    def test_when_combines_with_where(self, temporal_db):
+        db, translator = temporal_db
+        expression = translator.translate_retrieve(
+            parse_statement(
+                'retrieve (who) from chairs where who != "ann" when 7'
+            )
+        )
+        state = expression.evaluate(db)
+        assert {t["who"] for t in state.tuples} == {"bob"}

@@ -1,0 +1,224 @@
+"""Tests for temporal update statements (append/delete/terminate over
+temporal relations)."""
+
+import pytest
+
+from repro.errors import ParseError, TranslationError
+from repro.core.commands import DefineRelation
+from repro.core.expressions import Rollback
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.historical.chronons import FOREVER
+from repro.historical.periods import PeriodSet
+from repro.quel.temporal import (
+    TemporalAppend,
+    TemporalDelete,
+    TemporalQuelTranslator,
+    Terminate,
+    parse_temporal_statement,
+)
+from repro.snapshot.attributes import STRING, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.tuples import SnapshotTuple
+
+CHAIRS = Schema([Attribute("who", STRING)])
+
+
+@pytest.fixture
+def translator():
+    return TemporalQuelTranslator({"chairs": CHAIRS})
+
+
+def build_db(translator, sources):
+    commands = [DefineRelation("chairs", "temporal")]
+    for source in sources:
+        commands.append(
+            translator.translate(parse_temporal_statement(source))
+        )
+    return run(commands)
+
+
+def valid_time_of(db, who):
+    state = Rollback("chairs", NOW).evaluate(db)
+    return state.valid_time_of(SnapshotTuple(CHAIRS, [who]))
+
+
+class TestParsing:
+    def test_temporal_append(self):
+        statement = parse_temporal_statement(
+            'append to chairs (who = "ann") valid [0, 10) + [15, forever)'
+        )
+        assert isinstance(statement, TemporalAppend)
+        assert statement.valid == PeriodSet([(0, 10), (15, FOREVER)])
+
+    def test_delete(self):
+        statement = parse_temporal_statement(
+            'delete from chairs where who = "ann"'
+        )
+        assert isinstance(statement, TemporalDelete)
+
+    def test_terminate(self):
+        statement = parse_temporal_statement(
+            'terminate chairs where who = "ann" at 25'
+        )
+        assert isinstance(statement, Terminate)
+        assert statement.chronon == 25
+
+    def test_terminate_without_where(self):
+        statement = parse_temporal_statement("terminate chairs at 5")
+        assert statement.where is None
+
+    def test_append_requires_valid_clause(self):
+        with pytest.raises(ParseError):
+            parse_temporal_statement('append to chairs (who = "ann")')
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_temporal_statement("replace chairs (who = 1)")
+
+
+class TestTranslationValidation:
+    def test_unknown_relation(self, translator):
+        with pytest.raises(TranslationError, match="catalog"):
+            translator.translate(
+                TemporalAppend("ghosts", {"who": "x"}, PeriodSet([(0, 1)]))
+            )
+
+    def test_wrong_attributes(self, translator):
+        with pytest.raises(TranslationError, match="unknown"):
+            translator.translate(
+                TemporalAppend(
+                    "chairs",
+                    {"who": "x", "age": 3},
+                    PeriodSet([(0, 1)]),
+                )
+            )
+
+    def test_empty_valid_rejected(self):
+        with pytest.raises(TranslationError, match="non-empty"):
+            TemporalAppend("chairs", {"who": "x"}, PeriodSet.empty())
+
+    def test_negative_terminate_rejected(self):
+        with pytest.raises(TranslationError):
+            Terminate("chairs", -1)
+
+
+class TestEndToEnd:
+    def test_append_accumulates_valid_time(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 10)',
+                'append to chairs (who = "ann") valid [10, 20)',
+            ],
+        )
+        assert valid_time_of(db, "ann") == PeriodSet([(0, 20)])
+
+    def test_delete_retracts_entirely(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 10)',
+                'append to chairs (who = "bob") valid [5, 15)',
+                'delete from chairs where who = "ann"',
+            ],
+        )
+        assert valid_time_of(db, "ann").is_empty()
+        assert valid_time_of(db, "bob") == PeriodSet([(5, 15)])
+        # history retains the pre-delete belief
+        old = Rollback("chairs", 3).evaluate(db)
+        assert old.valid_time_of(
+            SnapshotTuple(CHAIRS, ["ann"])
+        ) == PeriodSet([(0, 10)])
+
+    def test_delete_all(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 10)',
+                "delete from chairs",
+            ],
+        )
+        assert Rollback("chairs", NOW).evaluate(db).is_empty()
+
+    def test_terminate_clips(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [10, forever)',
+                'terminate chairs where who = "ann" at 25',
+            ],
+        )
+        assert valid_time_of(db, "ann") == PeriodSet([(10, 25)])
+
+    def test_terminate_before_start_retracts(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [10, 20)',
+                'terminate chairs where who = "ann" at 10',
+            ],
+        )
+        assert valid_time_of(db, "ann").is_empty()
+
+    def test_terminate_at_zero(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 20)',
+                "terminate chairs at 0",
+            ],
+        )
+        assert Rollback("chairs", NOW).evaluate(db).is_empty()
+
+    def test_terminate_leaves_unmatched_untouched(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 30)',
+                'append to chairs (who = "bob") valid [0, 30)',
+                'terminate chairs where who = "ann" at 10',
+            ],
+        )
+        assert valid_time_of(db, "ann") == PeriodSet([(0, 10)])
+        assert valid_time_of(db, "bob") == PeriodSet([(0, 30)])
+
+    def test_terminate_multi_run_valid_time(self, translator):
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 5) + [8, 20)',
+                'terminate chairs where who = "ann" at 10',
+            ],
+        )
+        assert valid_time_of(db, "ann") == PeriodSet([(0, 5), (8, 10)])
+
+    def test_matches_benzvi_terminate_semantics(self, translator):
+        """terminate ≡ Ben-Zvi's modify-effective to a clipped interval,
+        as observed through Time-View at every probe."""
+        from repro.benzvi.relation import TRMRelation
+        from repro.benzvi.timeview import time_view
+        from repro.historical.intervals import Interval
+
+        # our model
+        db = build_db(
+            translator,
+            [
+                'append to chairs (who = "ann") valid [0, 30)',
+                'terminate chairs where who = "ann" at 12',
+            ],
+        )
+        # Ben-Zvi's model, same history
+        trm = TRMRelation(CHAIRS)
+        trm.insert(["ann"], Interval(0, 30), txn=2)
+        trm.modify_effective(["ann"], Interval(0, 12), txn=3)
+
+        for tt in (2, 3):
+            for tv in (0, 5, 12, 20):
+                ours = (
+                    Rollback("chairs", tt)
+                    .evaluate(db)
+                    .snapshot_at(tv)
+                )
+                theirs = time_view(trm, tv, tt)
+                assert ours == theirs, f"tt={tt} tv={tv}"

@@ -1,0 +1,145 @@
+"""Tests for grouping and aggregation."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SchemaError
+from repro.snapshot.aggregates import aggregate
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+STAFF = Schema(
+    [
+        Attribute("name", STRING),
+        Attribute("dept", STRING),
+        Attribute("salary", INTEGER),
+    ]
+)
+
+
+@pytest.fixture
+def staff():
+    return SnapshotState(
+        STAFF,
+        [
+            ["ann", "cs", 100],
+            ["bob", "cs", 60],
+            ["cat", "ee", 80],
+            ["dan", "ee", 40],
+            ["eve", "ee", 90],
+        ],
+    )
+
+
+class TestGrouping:
+    def test_group_by_with_count_and_sum(self, staff):
+        out = aggregate(
+            staff,
+            ["dept"],
+            {"n": ("count", None), "total": ("sum", "salary")},
+        )
+        assert out.schema.names == ("dept", "n", "total")
+        assert out.sorted_rows() == [("cs", 2, 160), ("ee", 3, 210)]
+
+    def test_min_max_avg(self, staff):
+        out = aggregate(
+            staff,
+            ["dept"],
+            {
+                "lo": ("min", "salary"),
+                "hi": ("max", "salary"),
+                "mean": ("avg", "salary"),
+            },
+        )
+        rows = {row[0]: row[1:] for row in out.sorted_rows()}
+        assert rows["cs"] == (60, 100, 80.0)
+        assert rows["ee"] == (40, 90, 70.0)
+
+    def test_global_aggregate(self, staff):
+        out = aggregate(staff, [], {"n": ("count", None)})
+        assert out.sorted_rows() == [(5,)]
+
+    def test_global_aggregate_on_empty_state(self):
+        out = aggregate(
+            SnapshotState.empty(STAFF), [], {"n": ("count", None)}
+        )
+        assert out.is_empty()  # GROUP BY semantics: no groups
+
+    def test_min_max_work_on_strings(self, staff):
+        out = aggregate(staff, [], {"first": ("min", "name")})
+        assert out.sorted_rows() == [("ann",)]
+
+    def test_composes_with_rollback(self):
+        from repro.core.commands import DefineRelation, ModifyState
+        from repro.core.expressions import Const, Rollback
+        from repro.core.sentences import run
+
+        s1 = SnapshotState(STAFF, [["ann", "cs", 100]])
+        s2 = SnapshotState(
+            STAFF, [["ann", "cs", 100], ["bob", "cs", 60]]
+        )
+        db = run(
+            [
+                DefineRelation("staff", "rollback"),
+                ModifyState("staff", Const(s1)),
+                ModifyState("staff", Const(s2)),
+            ]
+        )
+        totals = []
+        for txn in (2, 3):
+            state = Rollback("staff", txn).evaluate(db)
+            out = aggregate(state, [], {"total": ("sum", "salary")})
+            totals.append(out.sorted_rows()[0][0])
+        assert totals == [100, 160]
+
+
+class TestValidation:
+    def test_no_aggregations_rejected(self, staff):
+        with pytest.raises(SchemaError):
+            aggregate(staff, ["dept"], {})
+
+    def test_unknown_function_rejected(self, staff):
+        with pytest.raises(SchemaError, match="median"):
+            aggregate(staff, [], {"m": ("median", "salary")})
+
+    def test_unknown_input_attribute_rejected(self, staff):
+        with pytest.raises(SchemaError):
+            aggregate(staff, [], {"s": ("sum", "bonus")})
+
+    def test_sum_requires_input(self, staff):
+        with pytest.raises(SchemaError, match="requires an input"):
+            aggregate(staff, [], {"s": ("sum", None)})
+
+    def test_count_takes_no_input(self, staff):
+        with pytest.raises(SchemaError, match="no input"):
+            aggregate(staff, [], {"n": ("count", "salary")})
+
+    def test_output_collides_with_group_by(self, staff):
+        with pytest.raises(SchemaError, match="collide"):
+            aggregate(staff, ["dept"], {"dept": ("count", None)})
+
+    def test_duplicate_group_by_rejected(self, staff):
+        with pytest.raises(SchemaError):
+            aggregate(staff, ["dept", "dept"], {"n": ("count", None)})
+
+
+@settings(max_examples=40)
+@given(kv_states())
+def test_count_partition_property(state):
+    """Sum of per-group counts equals the state's cardinality."""
+    out = aggregate(state, ["k"], {"n": ("count", None)})
+    assert sum(row[1] for row in out.sorted_rows()) == len(state)
+
+
+@settings(max_examples=40)
+@given(kv_states())
+def test_group_keys_are_exactly_projection(state):
+    from repro.snapshot.operators import project
+
+    out = aggregate(state, ["k"], {"n": ("count", None)})
+    keys = {row[0] for row in out.sorted_rows()}
+    expected = {t["k"] for t in project(state, ["k"]).tuples}
+    assert keys == expected

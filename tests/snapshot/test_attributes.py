@@ -1,0 +1,120 @@
+"""Tests for domains and attributes."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.snapshot.attributes import (
+    ANY,
+    BOOLEAN,
+    INTEGER,
+    NUMBER,
+    STRING,
+    USER_DEFINED_TIME,
+    Attribute,
+    Domain,
+    enumerated_domain,
+)
+
+
+class TestBuiltinDomains:
+    def test_integer_accepts_ints(self):
+        assert 5 in INTEGER
+        assert -3 in INTEGER
+
+    def test_integer_rejects_bool(self):
+        # bool is a subclass of int in Python; the domain must not leak it.
+        assert True not in INTEGER
+
+    def test_integer_rejects_float(self):
+        assert 5.0 not in INTEGER
+
+    def test_number_accepts_int_and_float(self):
+        assert 5 in NUMBER
+        assert 5.5 in NUMBER
+
+    def test_number_rejects_bool(self):
+        assert False not in NUMBER
+
+    def test_string_accepts_str(self):
+        assert "hello" in STRING
+
+    def test_string_rejects_int(self):
+        assert 5 not in STRING
+
+    def test_boolean_accepts_only_bool(self):
+        assert True in BOOLEAN
+        assert 1 not in BOOLEAN
+
+    def test_user_defined_time_is_nonnegative_ints(self):
+        assert 0 in USER_DEFINED_TIME
+        assert 17 in USER_DEFINED_TIME
+        assert -1 not in USER_DEFINED_TIME
+        assert "3" not in USER_DEFINED_TIME
+
+    def test_any_accepts_hashables(self):
+        assert 5 in ANY
+        assert "x" in ANY
+        assert (1, 2) in ANY
+
+    def test_any_rejects_unhashables(self):
+        assert [1, 2] not in ANY
+
+    def test_validate_returns_value(self):
+        assert INTEGER.validate(7) == 7
+
+    def test_validate_raises_domain_error(self):
+        with pytest.raises(DomainError):
+            INTEGER.validate("seven")
+
+
+class TestDomainEquality:
+    def test_domains_equal_by_name(self):
+        assert Domain("d", lambda v: True) == Domain("d", lambda v: False)
+
+    def test_different_names_unequal(self):
+        assert INTEGER != STRING
+
+    def test_hashable(self):
+        assert len({INTEGER, STRING, INTEGER}) == 2
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Domain("", lambda v: True)
+
+
+class TestEnumeratedDomain:
+    def test_membership(self):
+        color = enumerated_domain("color", ["red", "green"])
+        assert "red" in color
+        assert "blue" not in color
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            enumerated_domain("void", [])
+
+
+class TestAttribute:
+    def test_construction(self):
+        a = Attribute("name", STRING)
+        assert a.name == "name"
+        assert a.domain is STRING
+
+    def test_default_domain_is_any(self):
+        assert Attribute("x").domain == ANY
+
+    def test_equality_includes_domain(self):
+        assert Attribute("x", INTEGER) != Attribute("x", STRING)
+        assert Attribute("x", INTEGER) == Attribute("x", INTEGER)
+
+    def test_renamed_keeps_domain(self):
+        renamed = Attribute("x", INTEGER).renamed("y")
+        assert renamed.name == "y"
+        assert renamed.domain is INTEGER
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+    def test_non_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", "integer")  # type: ignore[arg-type]

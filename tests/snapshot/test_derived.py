@@ -1,0 +1,175 @@
+"""Tests for derived operators, each checked against its primitive
+definition where practical."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.derived import (
+    antijoin,
+    divide,
+    intersection,
+    natural_join,
+    rename,
+    semijoin,
+    theta_join,
+)
+from repro.snapshot.operators import difference, product, project, select
+from repro.snapshot.predicates import Comparison, attr
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+EMP = Schema([Attribute("name", STRING), Attribute("dept", STRING)])
+DEPT = Schema([Attribute("dept", STRING), Attribute("floor", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+@pytest.fixture
+def emp():
+    return SnapshotState(
+        EMP, [["ann", "cs"], ["bob", "math"], ["cat", "cs"]]
+    )
+
+
+@pytest.fixture
+def dept():
+    return SnapshotState(DEPT, [["cs", 3], ["physics", 1]])
+
+
+class TestIntersection:
+    def test_basic(self):
+        assert intersection(kv((1, 1), (2, 2)), kv((2, 2), (3, 3))) == kv(
+            (2, 2)
+        )
+
+    @settings(max_examples=40)
+    @given(kv_states(), kv_states())
+    def test_matches_primitive_definition(self, left, right):
+        # R ∩ S = R − (R − S)
+        assert intersection(left, right) == difference(
+            left, difference(left, right)
+        )
+
+
+class TestRename:
+    def test_basic(self, emp):
+        renamed = rename(emp, {"name": "who"})
+        assert renamed.schema.names == ("who", "dept")
+        assert len(renamed) == 3
+
+    def test_enables_self_product(self, emp):
+        doubled = product(emp, rename(emp, {"name": "n2", "dept": "d2"}))
+        assert len(doubled) == 9
+
+
+class TestThetaJoin:
+    def test_matches_definition(self, emp, dept):
+        renamed_dept = rename(dept, {"dept": "dname"})
+        predicate = Comparison(attr("dept"), "=", attr("dname"))
+        assert theta_join(emp, renamed_dept, predicate) == select(
+            product(emp, renamed_dept), predicate
+        )
+
+
+class TestNaturalJoin:
+    def test_basic(self, emp, dept):
+        result = natural_join(emp, dept)
+        assert result.schema.names == ("name", "dept", "floor")
+        assert result.sorted_rows() == [
+            ("ann", "cs", 3),
+            ("cat", "cs", 3),
+        ]
+
+    def test_no_common_attributes_is_product(self, emp):
+        other = SnapshotState(Schema(["x"]), [["a"], ["b"]])
+        assert natural_join(emp, other) == product(emp, other)
+
+    def test_identical_schemas_is_intersection(self, emp):
+        other = SnapshotState(EMP, [["ann", "cs"], ["zed", "law"]])
+        assert natural_join(emp, other) == intersection(emp, other)
+
+    def test_join_is_commutative_up_to_columns(self, emp, dept):
+        left = natural_join(emp, dept)
+        right = natural_join(dept, emp)
+        common_order = ["name", "dept", "floor"]
+        assert project(left, common_order) == project(
+            right, common_order
+        )
+
+
+class TestSemijoinAntijoin:
+    def test_semijoin(self, emp, dept):
+        assert semijoin(emp, dept).sorted_rows() == [
+            ("ann", "cs"),
+            ("cat", "cs"),
+        ]
+
+    def test_antijoin(self, emp, dept):
+        assert antijoin(emp, dept).sorted_rows() == [("bob", "math")]
+
+    def test_semijoin_plus_antijoin_partition(self, emp, dept):
+        combined = semijoin(emp, dept).tuples | antijoin(emp, dept).tuples
+        assert combined == emp.tuples
+
+    def test_semijoin_no_common_nonempty_right(self, emp):
+        other = SnapshotState(Schema(["x"]), [["a"]])
+        assert semijoin(emp, other) == emp
+
+    def test_semijoin_no_common_empty_right(self, emp):
+        other = SnapshotState.empty(Schema(["x"]))
+        assert semijoin(emp, other).is_empty()
+
+
+class TestDivide:
+    def test_textbook_example(self):
+        enrolled = SnapshotState(
+            Schema(
+                [Attribute("student", STRING), Attribute("course", STRING)]
+            ),
+            [
+                ["ann", "db"],
+                ["ann", "os"],
+                ["bob", "db"],
+                ["cat", "db"],
+                ["cat", "os"],
+            ],
+        )
+        required = SnapshotState(
+            Schema([Attribute("course", STRING)]), [["db"], ["os"]]
+        )
+        assert divide(enrolled, required).sorted_rows() == [
+            ("ann",),
+            ("cat",),
+        ]
+
+    def test_divide_by_empty_divisor_instance(self):
+        # an empty divisor instance: everything qualifies vacuously
+        enrolled = SnapshotState(
+            Schema(
+                [Attribute("student", STRING), Attribute("course", STRING)]
+            ),
+            [["ann", "db"]],
+        )
+        required = SnapshotState.empty(
+            Schema([Attribute("course", STRING)])
+        )
+        assert divide(enrolled, required).sorted_rows() == [("ann",)]
+
+    def test_non_subset_schema_raises(self, emp, dept):
+        with pytest.raises(SchemaError):
+            divide(emp, dept)  # 'floor' not in emp
+
+    def test_zero_degree_divisor_raises(self, emp):
+        with pytest.raises(SchemaError):
+            divide(emp, SnapshotState.empty(Schema([])))
+
+    def test_equal_schema_raises(self, emp):
+        with pytest.raises(SchemaError):
+            divide(emp, emp)  # must be a *proper* subset

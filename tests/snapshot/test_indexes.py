@@ -1,0 +1,140 @@
+"""Tests for secondary indexes: result equality with σ, caching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import ANY, INTEGER, Attribute
+from repro.snapshot.indexes import (
+    HashIndex,
+    IndexPool,
+    SortedIndex,
+    select_eq,
+    select_range,
+)
+from repro.snapshot.operators import select
+from repro.snapshot.predicates import And, Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+@pytest.fixture
+def state():
+    return kv((1, 10), (2, 20), (3, 10), (4, 30), (5, 10))
+
+
+class TestHashIndex:
+    def test_lookup(self, state):
+        index = HashIndex(state, "v")
+        assert {t["k"] for t in index.lookup(10)} == {1, 3, 5}
+        assert index.lookup(99) == frozenset()
+
+    def test_distinct_values(self, state):
+        assert HashIndex(state, "v").distinct_values() == 3
+
+    def test_unknown_attribute_rejected(self, state):
+        with pytest.raises(SchemaError):
+            HashIndex(state, "ghost")
+
+
+class TestSortedIndex:
+    def test_range(self, state):
+        index = SortedIndex(state, "k")
+        assert {t["k"] for t in index.range(2, 5)} == {2, 3, 4}
+
+    def test_open_bounds(self, state):
+        index = SortedIndex(state, "k")
+        assert {t["k"] for t in index.range(None, 3)} == {1, 2}
+        assert {t["k"] for t in index.range(4, None)} == {4, 5}
+        assert len(index.range()) == 5
+
+    def test_incomparable_values_rejected(self):
+        schema = Schema([Attribute("x", ANY)])
+        mixed = SnapshotState(schema, [[1], ["a"]])
+        with pytest.raises(SchemaError, match="incomparable"):
+            SortedIndex(mixed, "x")
+
+
+class TestIndexAwareSelect:
+    def test_select_eq_matches_sigma(self, state):
+        via_index = select_eq(state, "v", 10)
+        via_scan = select(state, Comparison(attr("v"), "=", lit(10)))
+        assert via_index == via_scan
+
+    def test_select_range_matches_sigma(self, state):
+        via_index = select_range(state, "k", 2, 5)
+        via_scan = select(
+            state,
+            And(
+                Comparison(attr("k"), ">=", lit(2)),
+                Comparison(attr("k"), "<", lit(5)),
+            ),
+        )
+        assert via_index == via_scan
+
+    @settings(max_examples=60)
+    @given(kv_states(), st.integers(min_value=0, max_value=9))
+    def test_select_eq_property(self, state, value):
+        assert select_eq(state, "k", value) == select(
+            state, Comparison(attr("k"), "=", lit(value))
+        )
+
+    @settings(max_examples=60)
+    @given(
+        kv_states(),
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+    )
+    def test_select_range_property(self, state, low, high):
+        assert select_range(state, "k", low, high) == select(
+            state,
+            And(
+                Comparison(attr("k"), ">=", lit(low)),
+                Comparison(attr("k"), "<", lit(high)),
+            ),
+        )
+
+
+class TestIndexPool:
+    def test_caches_by_state_and_attribute(self, state):
+        pool = IndexPool()
+        first = pool.hash_index(state, "v")
+        second = pool.hash_index(state, "v")
+        assert first is second
+        assert pool.cached_indexes() == 1
+
+    def test_distinct_attributes_get_distinct_indexes(self, state):
+        pool = IndexPool()
+        pool.hash_index(state, "v")
+        pool.hash_index(state, "k")
+        assert pool.cached_indexes() == 2
+
+    def test_value_equal_state_hits_cache(self, state):
+        # a structurally equal state is the same cache key
+        twin = kv((1, 10), (2, 20), (3, 10), (4, 30), (5, 10))
+        pool = IndexPool()
+        first = pool.hash_index(state, "v")
+        second = pool.hash_index(twin, "v")
+        assert first is second
+
+    def test_eviction_bounds_memory(self, state):
+        pool = IndexPool(max_entries=2)
+        for value in range(5):
+            extra = kv((value, value))
+            pool.hash_index(extra, "k")
+        assert pool.cached_indexes() <= 2
+
+    def test_select_helpers_accept_pool(self, state):
+        pool = IndexPool()
+        select_eq(state, "v", 10, pool=pool)
+        select_range(state, "k", 1, 3, pool=pool)
+        assert pool.cached_indexes() == 2

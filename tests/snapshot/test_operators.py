@@ -1,0 +1,181 @@
+"""Tests for the five primitive snapshot operators, including the
+algebraic laws (hypothesis) whose preservation the paper claims."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.operators import (
+    difference,
+    product,
+    project,
+    select,
+    union,
+)
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+from tests.conftest import kv_states
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+class TestUnion:
+    def test_basic(self):
+        assert union(kv((1, 1)), kv((2, 2))) == kv((1, 1), (2, 2))
+
+    def test_duplicates_collapse(self):
+        assert union(kv((1, 1)), kv((1, 1))) == kv((1, 1))
+
+    def test_incompatible_schemas_raise(self):
+        other = SnapshotState(Schema(["x"]), [["a"]])
+        with pytest.raises(SchemaError):
+            union(kv((1, 1)), other)
+
+    def test_with_empty(self):
+        assert union(kv((1, 1)), SnapshotState.empty(KV)) == kv((1, 1))
+
+
+class TestDifference:
+    def test_basic(self):
+        assert difference(kv((1, 1), (2, 2)), kv((1, 1))) == kv((2, 2))
+
+    def test_disjoint(self):
+        assert difference(kv((1, 1)), kv((2, 2))) == kv((1, 1))
+
+    def test_self_difference_is_empty(self):
+        state = kv((1, 1), (2, 2))
+        assert difference(state, state).is_empty()
+
+
+class TestProduct:
+    def test_cardinality_multiplies(self):
+        left = kv((1, 1), (2, 2))
+        right = SnapshotState(Schema(["x"]), [["a"], ["b"], ["c"]])
+        assert len(product(left, right)) == 6
+
+    def test_schema_concatenates(self):
+        right = SnapshotState(Schema(["x"]), [["a"]])
+        result = product(kv((1, 1)), right)
+        assert result.schema.names == ("k", "v", "x")
+
+    def test_name_collision_raises(self):
+        with pytest.raises(SchemaError):
+            product(kv((1, 1)), kv((2, 2)))
+
+    def test_empty_annihilates(self):
+        right = SnapshotState.empty(Schema(["x"]))
+        assert product(kv((1, 1)), right).is_empty()
+
+
+class TestProject:
+    def test_basic(self):
+        result = project(kv((1, 10), (2, 10)), ["v"])
+        assert result.sorted_rows() == [(10,)]
+
+    def test_reorders(self):
+        result = project(kv((1, 10)), ["v", "k"])
+        assert result.schema.names == ("v", "k")
+        assert result.sorted_rows() == [(10, 1)]
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(SchemaError):
+            project(kv((1, 10)), ["k", "k"])
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(SchemaError):
+            project(kv((1, 10)), ["z"])
+
+
+class TestSelect:
+    def test_basic(self):
+        result = select(
+            kv((1, 10), (2, 20)), Comparison(attr("v"), ">", lit(15))
+        )
+        assert result.sorted_rows() == [(2, 20)]
+
+    def test_empty_result_keeps_schema(self):
+        result = select(
+            kv((1, 10)), Comparison(attr("v"), ">", lit(100))
+        )
+        assert result.is_empty()
+        assert result.schema == KV
+
+
+# ---------------------------------------------------------------------------
+# Algebraic laws (paper claim C2), property-based.
+# ---------------------------------------------------------------------------
+
+P1 = Comparison(attr("k"), ">", lit(4))
+P2 = Comparison(attr("v"), "<", lit(3))
+
+
+@settings(max_examples=60)
+@given(kv_states())
+def test_select_commutes(state):
+    assert select(select(state, P1), P2) == select(select(state, P2), P1)
+
+
+@settings(max_examples=60)
+@given(kv_states(), kv_states())
+def test_select_distributes_over_union(left, right):
+    assert select(union(left, right), P1) == union(
+        select(left, P1), select(right, P1)
+    )
+
+
+@settings(max_examples=60)
+@given(kv_states(), kv_states())
+def test_select_distributes_over_difference(left, right):
+    assert select(difference(left, right), P1) == difference(
+        select(left, P1), select(right, P1)
+    )
+
+
+@settings(max_examples=60)
+@given(kv_states(), kv_states())
+def test_union_commutative(left, right):
+    assert union(left, right) == union(right, left)
+
+
+@settings(max_examples=60)
+@given(kv_states(), kv_states(), kv_states())
+def test_union_associative(a, b, c):
+    assert union(union(a, b), c) == union(a, union(b, c))
+
+
+@settings(max_examples=60)
+@given(kv_states())
+def test_union_idempotent(state):
+    assert union(state, state) == state
+
+
+@settings(max_examples=60)
+@given(kv_states(), kv_states())
+def test_project_distributes_over_union(left, right):
+    assert project(union(left, right), ["k"]) == union(
+        project(left, ["k"]), project(right, ["k"])
+    )
+
+
+@settings(max_examples=60)
+@given(kv_states())
+def test_project_cascade(state):
+    assert project(project(state, ["k", "v"]), ["k"]) == project(
+        state, ["k"]
+    )
+
+
+@settings(max_examples=40)
+@given(kv_states())
+def test_select_pushes_below_product(state):
+    other = SnapshotState(Schema(["x"]), [["a"], ["b"]])
+    assert select(product(state, other), P1) == product(
+        select(state, P1), other
+    )

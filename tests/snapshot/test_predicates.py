@@ -1,0 +1,208 @@
+"""Tests for the predicate domain F."""
+
+import pytest
+
+from repro.errors import PredicateError
+from repro.snapshot.predicates import (
+    And,
+    AttributeRef,
+    Comparison,
+    FalsePredicate,
+    Literal,
+    Not,
+    Or,
+    TruePredicate,
+    attr,
+    lit,
+)
+
+ROW = {"name": "ann", "salary": 90, "dept": "physics"}
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "op,expected",
+        [
+            ("=", False),
+            ("!=", True),
+            ("<", True),
+            ("<=", True),
+            (">", False),
+            (">=", False),
+        ],
+    )
+    def test_all_operators(self, op, expected):
+        predicate = Comparison(attr("salary"), op, lit(100))
+        assert predicate.evaluate(ROW) is expected
+
+    def test_attr_to_attr(self):
+        predicate = Comparison(attr("name"), "!=", attr("dept"))
+        assert predicate.evaluate(ROW)
+
+    def test_bare_values_become_literals(self):
+        predicate = Comparison(attr("salary"), "=", 90)
+        assert predicate.evaluate(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            Comparison(attr("a"), "~", lit(1))
+
+    def test_unknown_attribute_raises(self):
+        predicate = Comparison(attr("ghost"), "=", lit(1))
+        with pytest.raises(PredicateError, match="ghost"):
+            predicate.evaluate(ROW)
+
+    def test_incomparable_values_raise(self):
+        predicate = Comparison(attr("salary"), "<", lit("high"))
+        with pytest.raises(PredicateError):
+            predicate.evaluate(ROW)
+
+    def test_referenced_attributes(self):
+        predicate = Comparison(attr("a"), "=", attr("b"))
+        assert predicate.referenced_attributes() == {"a", "b"}
+
+    def test_renamed(self):
+        predicate = Comparison(attr("a"), "=", lit(1)).renamed({"a": "x"})
+        assert predicate.referenced_attributes() == {"x"}
+
+
+class TestConnectives:
+    def test_and(self):
+        p = And(
+            Comparison(attr("salary"), ">", lit(50)),
+            Comparison(attr("dept"), "=", lit("physics")),
+        )
+        assert p.evaluate(ROW)
+
+    def test_or_short_circuit_semantics(self):
+        p = Or(
+            Comparison(attr("salary"), ">", lit(50)),
+            Comparison(attr("ghost"), "=", lit(1)),
+        )
+        # left is true; the erroneous right side is never evaluated
+        assert p.evaluate(ROW)
+
+    def test_not(self):
+        p = Not(Comparison(attr("salary"), ">", lit(50)))
+        assert not p.evaluate(ROW)
+
+    def test_operator_sugar(self):
+        p = (
+            Comparison(attr("salary"), ">", lit(50))
+            & ~Comparison(attr("dept"), "=", lit("math"))
+        ) | FalsePredicate()
+        assert p.evaluate(ROW)
+
+    def test_true_false(self):
+        assert TruePredicate().evaluate(ROW)
+        assert not FalsePredicate().evaluate(ROW)
+
+    def test_referenced_attributes_union(self):
+        p = And(
+            Comparison(attr("a"), "=", lit(1)),
+            Or(
+                Comparison(attr("b"), "=", lit(2)),
+                Not(Comparison(attr("c"), "=", lit(3))),
+            ),
+        )
+        assert p.referenced_attributes() == {"a", "b", "c"}
+
+    def test_renamed_recurses(self):
+        p = And(
+            Comparison(attr("a"), "=", lit(1)),
+            Not(Comparison(attr("a"), ">", lit(0))),
+        ).renamed({"a": "z"})
+        assert p.referenced_attributes() == {"z"}
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        a = Comparison(attr("x"), "=", lit(1))
+        b = Comparison(AttributeRef("x"), "=", Literal(1))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_connective_equality(self):
+        a = And(TruePredicate(), FalsePredicate())
+        b = And(TruePredicate(), FalsePredicate())
+        assert a == b
+        assert a != Or(TruePredicate(), FalsePredicate())
+
+
+class TestCompiledPredicates:
+    """compile_predicate must agree with evaluate on every input."""
+
+    def _schema(self):
+        from repro.snapshot.schema import Schema
+
+        return Schema(["name", "salary", "dept"])
+
+    def test_agreement_on_row(self):
+        from repro.snapshot.predicates import compile_predicate
+
+        schema = self._schema()
+        values = ("ann", 90, "physics")
+        predicates = [
+            Comparison(attr("salary"), ">", lit(50)),
+            And(
+                Comparison(attr("dept"), "=", lit("physics")),
+                Not(Comparison(attr("name"), "=", lit("bob"))),
+            ),
+            Or(FalsePredicate(), TruePredicate()),
+            ~Comparison(attr("salary"), "<=", attr("salary")),
+        ]
+        for predicate in predicates:
+            compiled = compile_predicate(predicate, schema)
+            assert compiled(values) == predicate.evaluate(ROW)
+
+    def test_unknown_attribute_fails_at_compile_time(self):
+        from repro.snapshot.predicates import compile_predicate
+
+        with pytest.raises(PredicateError, match="ghost"):
+            compile_predicate(
+                Comparison(attr("ghost"), "=", lit(1)), self._schema()
+            )
+
+    def test_incomparable_values_fail_at_run_time(self):
+        from repro.snapshot.predicates import compile_predicate
+
+        compiled = compile_predicate(
+            Comparison(attr("salary"), "<", lit("high")), self._schema()
+        )
+        with pytest.raises(PredicateError, match="compare"):
+            compiled(("ann", 90, "physics"))
+
+
+def test_compiled_select_equals_dict_select_property():
+    """Property: σ via compiled predicates equals per-tuple dict
+    evaluation on random states and predicates."""
+    import random
+
+    from repro.snapshot.attributes import INTEGER, Attribute
+    from repro.snapshot.predicates import compile_predicate
+    from repro.snapshot.schema import Schema
+    from repro.snapshot.state import SnapshotState
+
+    rng = random.Random(5)
+    schema = Schema(
+        [Attribute("k", INTEGER), Attribute("v", INTEGER)]
+    )
+    for _ in range(50):
+        state = SnapshotState(
+            schema,
+            [
+                [rng.randrange(10), rng.randrange(5)]
+                for _ in range(rng.randrange(0, 12))
+            ],
+        )
+        predicate = And(
+            Comparison(attr("k"), rng.choice([">", "<", "=", "!="]),
+                       lit(rng.randrange(10))),
+            Or(
+                Comparison(attr("v"), ">=", lit(rng.randrange(5))),
+                Not(Comparison(attr("k"), "=", attr("v"))),
+            ),
+        )
+        compiled = compile_predicate(predicate, schema)
+        for t in state.tuples:
+            assert compiled(t.values) == predicate.evaluate(t.as_dict())

@@ -1,0 +1,125 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [Attribute("name", STRING), Attribute("salary", INTEGER)]
+    )
+
+
+class TestConstruction:
+    def test_from_strings(self):
+        s = Schema(["a", "b"])
+        assert s.names == ("a", "b")
+
+    def test_from_attributes(self, schema):
+        assert schema.degree == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_schema_allowed(self):
+        assert Schema([]).degree == 0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([42])  # type: ignore[list-item]
+
+
+class TestAccess:
+    def test_getitem_by_name(self, schema):
+        assert schema["salary"].domain is INTEGER
+
+    def test_getitem_by_position(self, schema):
+        assert schema[0].name == "name"
+
+    def test_unknown_name_raises(self, schema):
+        with pytest.raises(SchemaError, match="salaryy"):
+            schema["salaryy"]
+
+    def test_position(self, schema):
+        assert schema.position("salary") == 1
+
+    def test_contains(self, schema):
+        assert "name" in schema
+        assert "dept" not in schema
+
+    def test_iteration_in_order(self, schema):
+        assert [a.name for a in schema] == ["name", "salary"]
+
+    def test_domain_of(self, schema):
+        assert schema.domain_of("name") is STRING
+
+
+class TestCompatibility:
+    def test_same_attributes_compatible(self, schema):
+        other = Schema(
+            [Attribute("name", STRING), Attribute("salary", INTEGER)]
+        )
+        assert schema.is_compatible_with(other)
+
+    def test_order_matters(self, schema):
+        reordered = Schema(
+            [Attribute("salary", INTEGER), Attribute("name", STRING)]
+        )
+        assert not schema.is_compatible_with(reordered)
+
+    def test_domain_matters(self, schema):
+        retyped = Schema(
+            [Attribute("name", STRING), Attribute("salary", STRING)]
+        )
+        assert not schema.is_compatible_with(retyped)
+
+    def test_require_compatible_raises(self, schema):
+        with pytest.raises(SchemaError, match="union"):
+            schema.require_compatible(Schema(["x"]), "union")
+
+
+class TestDerivation:
+    def test_project_preserves_given_order(self, schema):
+        assert schema.project(["salary", "name"]).names == (
+            "salary",
+            "name",
+        )
+
+    def test_project_unknown_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.project(["nope"])
+
+    def test_concat(self, schema):
+        other = Schema(["dept"])
+        assert schema.concat(other).names == ("name", "salary", "dept")
+
+    def test_concat_collision_raises(self, schema):
+        with pytest.raises(SchemaError, match="name"):
+            schema.concat(Schema(["name"]))
+
+    def test_rename(self, schema):
+        renamed = schema.rename({"name": "employee"})
+        assert renamed.names == ("employee", "salary")
+        assert renamed["employee"].domain is STRING
+
+    def test_rename_unknown_raises(self, schema):
+        with pytest.raises(SchemaError):
+            schema.rename({"ghost": "spirit"})
+
+    def test_common_names(self, schema):
+        other = Schema(
+            [Attribute("salary", INTEGER), Attribute("dept", STRING)]
+        )
+        assert schema.common_names(other) == ("salary",)
+
+    def test_hash_and_equality(self, schema):
+        twin = Schema(
+            [Attribute("name", STRING), Attribute("salary", INTEGER)]
+        )
+        assert schema == twin
+        assert hash(schema) == hash(twin)

@@ -1,0 +1,80 @@
+"""Tests for SnapshotState itself (construction, convenience mutators)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.snapshot.tuples import SnapshotTuple
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+class TestConstruction:
+    def test_rows_collapse_to_set(self):
+        state = SnapshotState(KV, [[1, 1], [1, 1], [2, 2]])
+        assert len(state) == 2
+        assert state.cardinality == 2
+
+    def test_accepts_prebuilt_tuples(self):
+        t = SnapshotTuple(KV, [1, 1])
+        state = SnapshotState(KV, [t])
+        assert t in state
+
+    def test_prebuilt_tuple_schema_checked(self):
+        t = SnapshotTuple(Schema(["x"]), ["a"])
+        with pytest.raises(SchemaError):
+            SnapshotState(KV, [t])
+
+    def test_mappings_accepted(self):
+        state = SnapshotState(KV, [{"k": 1, "v": 2}])
+        assert state.sorted_rows() == [(1, 2)]
+
+    def test_empty(self):
+        state = SnapshotState.empty(KV)
+        assert state.is_empty()
+        assert not state
+        assert len(state) == 0
+
+
+class TestConvenienceMutators:
+    def test_with_tuple_returns_new_state(self):
+        state = SnapshotState(KV, [[1, 1]])
+        bigger = state.with_tuple([2, 2])
+        assert len(bigger) == 2
+        assert len(state) == 1
+
+    def test_with_tuple_idempotent_on_duplicate(self):
+        state = SnapshotState(KV, [[1, 1]])
+        assert state.with_tuple([1, 1]) == state
+
+    def test_with_tuple_schema_checked(self):
+        state = SnapshotState(KV, [[1, 1]])
+        wrong = SnapshotTuple(Schema(["x"]), ["a"])
+        with pytest.raises(SchemaError):
+            state.with_tuple(wrong)
+
+    def test_without_tuple(self):
+        state = SnapshotState(KV, [[1, 1], [2, 2]])
+        smaller = state.without_tuple([1, 1])
+        assert smaller.sorted_rows() == [(2, 2)]
+        # removing an absent tuple is a no-op
+        assert smaller.without_tuple([9, 9]) == smaller
+
+
+class TestViews:
+    def test_sorted_rows_deterministic(self):
+        a = SnapshotState(KV, [[2, 2], [1, 1]])
+        b = SnapshotState(KV, [[1, 1], [2, 2]])
+        assert a.sorted_rows() == b.sorted_rows()
+
+    def test_iteration_and_contains(self):
+        state = SnapshotState(KV, [[1, 1]])
+        (only,) = list(state)
+        assert only["k"] == 1
+        assert SnapshotTuple(KV, [1, 1]) in state
+
+    def test_repr_truncates(self):
+        big = SnapshotState(KV, [[i, i] for i in range(10)])
+        assert "..." in repr(big)

@@ -1,0 +1,105 @@
+"""Tests for snapshot tuples."""
+
+import pytest
+
+from repro.errors import DomainError, SchemaError
+from repro.snapshot.attributes import INTEGER, STRING, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.tuples import SnapshotTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [Attribute("name", STRING), Attribute("salary", INTEGER)]
+    )
+
+
+class TestConstruction:
+    def test_from_sequence(self, schema):
+        t = SnapshotTuple(schema, ["ann", 90])
+        assert t.values == ("ann", 90)
+
+    def test_from_mapping(self, schema):
+        t = SnapshotTuple(schema, {"salary": 90, "name": "ann"})
+        assert t.values == ("ann", 90)
+
+    def test_wrong_arity_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            SnapshotTuple(schema, ["ann"])
+
+    def test_mapping_missing_key_rejected(self, schema):
+        with pytest.raises(SchemaError, match="missing"):
+            SnapshotTuple(schema, {"name": "ann"})
+
+    def test_mapping_extra_key_rejected(self, schema):
+        with pytest.raises(SchemaError, match="extra"):
+            SnapshotTuple(
+                schema, {"name": "ann", "salary": 1, "x": 2}
+            )
+
+    def test_domain_violation_rejected(self, schema):
+        with pytest.raises(DomainError):
+            SnapshotTuple(schema, ["ann", "ninety"])
+
+
+class TestAccess:
+    def test_getitem_by_name(self, schema):
+        assert SnapshotTuple(schema, ["ann", 90])["salary"] == 90
+
+    def test_getitem_by_position(self, schema):
+        assert SnapshotTuple(schema, ["ann", 90])[0] == "ann"
+
+    def test_as_dict(self, schema):
+        t = SnapshotTuple(schema, ["ann", 90])
+        assert t.as_dict() == {"name": "ann", "salary": 90}
+
+    def test_len_and_iter(self, schema):
+        t = SnapshotTuple(schema, ["ann", 90])
+        assert len(t) == 2
+        assert list(t) == ["ann", 90]
+
+
+class TestDerivation:
+    def test_project(self, schema):
+        t = SnapshotTuple(schema, ["ann", 90]).project(["salary"])
+        assert t.values == (90,)
+        assert t.schema.names == ("salary",)
+
+    def test_concat(self, schema):
+        other = SnapshotTuple(Schema(["dept"]), ["physics"])
+        joined = SnapshotTuple(schema, ["ann", 90]).concat(other)
+        assert joined.values == ("ann", 90, "physics")
+
+    def test_replace(self, schema):
+        t = SnapshotTuple(schema, ["ann", 90]).replace(salary=95)
+        assert t["salary"] == 95
+        assert t["name"] == "ann"
+
+    def test_replace_unknown_raises(self, schema):
+        with pytest.raises(SchemaError):
+            SnapshotTuple(schema, ["ann", 90]).replace(dept="x")
+
+    def test_replace_checks_domain(self, schema):
+        with pytest.raises(DomainError):
+            SnapshotTuple(schema, ["ann", 90]).replace(salary="high")
+
+
+class TestEquality:
+    def test_equal_tuples(self, schema):
+        assert SnapshotTuple(schema, ["ann", 90]) == SnapshotTuple(
+            schema, ["ann", 90]
+        )
+
+    def test_hashable(self, schema):
+        a = SnapshotTuple(schema, ["ann", 90])
+        b = SnapshotTuple(schema, ["ann", 90])
+        assert len({a, b}) == 1
+
+    def test_schema_part_of_identity(self, schema):
+        other_schema = Schema(
+            [Attribute("alias", STRING), Attribute("salary", INTEGER)]
+        )
+        assert SnapshotTuple(schema, ["ann", 90]) != SnapshotTuple(
+            other_schema, ["ann", 90]
+        )

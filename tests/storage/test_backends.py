@@ -1,0 +1,211 @@
+"""Tests shared by every storage backend: the write/read contract and
+observation equivalence with the full-copy oracle (paper claim C6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.core.relation import RelationType
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+    backends_agree,
+)
+from repro.workloads import churn_stream
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+BACKEND_FACTORIES = [
+    FullCopyBackend,
+    DeltaBackend,
+    ReverseDeltaBackend,
+    lambda: CheckpointDeltaBackend(4),
+    TupleTimestampBackend,
+]
+BACKEND_IDS = [
+    "full-copy",
+    "forward-delta",
+    "reverse-delta",
+    "checkpoint-delta",
+    "tuple-timestamp",
+]
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+@pytest.fixture(params=BACKEND_FACTORIES, ids=BACKEND_IDS)
+def backend(request):
+    return request.param()
+
+
+class TestContract:
+    def test_create_and_type(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        assert backend.type_of("r") is RelationType.ROLLBACK
+        assert backend.identifiers() == ("r",)
+
+    def test_duplicate_create_rejected(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        with pytest.raises(StorageError):
+            backend.create("r", RelationType.ROLLBACK)
+
+    def test_unknown_relation_rejected(self, backend):
+        with pytest.raises(StorageError):
+            backend.state_at("ghost", 1)
+
+    def test_state_before_first_is_none(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        backend.install("r", kv((1, 1)), 5)
+        assert backend.state_at("r", 4) is None
+
+    def test_findstate_interpolation(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        backend.install("r", kv((1, 1)), 2)
+        backend.install("r", kv((2, 2)), 5)
+        backend.install("r", kv((3, 3)), 9)
+        assert backend.state_at("r", 2) == kv((1, 1))
+        assert backend.state_at("r", 4) == kv((1, 1))
+        assert backend.state_at("r", 5) == kv((2, 2))
+        assert backend.state_at("r", 8) == kv((2, 2))
+        assert backend.state_at("r", 100) == kv((3, 3))
+
+    def test_non_increasing_txn_rejected(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        backend.install("r", kv((1, 1)), 3)
+        with pytest.raises(StorageError):
+            backend.install("r", kv((2, 2)), 3)
+
+    def test_snapshot_type_keeps_only_latest(self, backend):
+        backend.create("s", RelationType.SNAPSHOT)
+        backend.install("s", kv((1, 1)), 1)
+        backend.install("s", kv((2, 2)), 2)
+        assert backend.state_at("s", 2) == kv((2, 2))
+        # the old version is gone (replacement semantics)
+        assert backend.state_at("s", 1) is None
+
+    def test_transaction_numbers(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        backend.install("r", kv((1, 1)), 2)
+        backend.install("r", kv((2, 2)), 7)
+        assert backend.transaction_numbers("r") == (2, 7)
+
+    def test_empty_state_round_trips(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        backend.install("r", kv((1, 1)), 1)
+        backend.install("r", SnapshotState.empty(KV), 2)
+        backend.install("r", kv((2, 2)), 3)
+        assert backend.state_at("r", 2) == SnapshotState.empty(KV)
+        assert backend.state_at("r", 3) == kv((2, 2))
+
+    def test_accounting_nonnegative(self, backend):
+        backend.create("r", RelationType.ROLLBACK)
+        backend.install("r", kv((1, 1), (2, 2)), 1)
+        assert backend.stored_atoms() >= 2
+        assert backend.stored_versions() >= 1
+
+
+class TestEquivalenceWithOracle:
+    """Every optimized backend must agree with FullCopyBackend on every
+    probe (claim C6's correctness criterion)."""
+
+    @pytest.mark.parametrize("churn", [0.05, 0.3, 0.9])
+    def test_snapshot_streams(self, churn):
+        states = churn_stream(40, cardinality=25, churn=churn, seed=11)
+        backends = [factory() for factory in BACKEND_FACTORIES]
+        for b in backends:
+            b.create("r", RelationType.ROLLBACK)
+        for txn, state in enumerate(states, start=1):
+            for b in backends:
+                b.install("r", state, txn)
+        probes = [("r", t) for t in range(0, len(states) + 3)]
+        assert backends_agree(backends, probes)
+
+    def test_historical_streams(self):
+        states = churn_stream(
+            25, cardinality=12, churn=0.3, seed=5, historical=True
+        )
+        backends = [factory() for factory in BACKEND_FACTORIES]
+        for b in backends:
+            b.create("t", RelationType.TEMPORAL)
+        for txn, state in enumerate(states, start=1):
+            for b in backends:
+                b.install("t", state, txn)
+        probes = [("t", t) for t in range(0, len(states) + 3)]
+        assert backends_agree(backends, probes)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_randomized_equivalence(self, seed, churn):
+        states = churn_stream(
+            15, cardinality=8, churn=churn, seed=seed
+        )
+        backends = [factory() for factory in BACKEND_FACTORIES]
+        for b in backends:
+            b.create("r", RelationType.ROLLBACK)
+        for txn, state in enumerate(states, start=1):
+            for b in backends:
+                b.install("r", state, txn)
+        probes = [("r", t) for t in range(0, len(states) + 2)]
+        assert backends_agree(backends, probes)
+
+    def test_disagreement_is_reported(self):
+        good = FullCopyBackend()
+        bad = FullCopyBackend()
+        for b in (good, bad):
+            b.create("r", RelationType.ROLLBACK)
+        good.install("r", kv((1, 1)), 1)
+        bad.install("r", kv((2, 2)), 1)
+        with pytest.raises(StorageError, match="disagree"):
+            backends_agree([good, bad], [("r", 1)])
+
+
+class TestSpaceCharacteristics:
+    """The qualitative storage claims E5 quantifies."""
+
+    def test_full_copy_grows_with_state_size_times_history(self):
+        states = churn_stream(30, cardinality=50, churn=0.02, seed=3)
+        full = FullCopyBackend()
+        delta = DeltaBackend()
+        for b in (full, delta):
+            b.create("r", RelationType.ROLLBACK)
+            for txn, state in enumerate(states, start=1):
+                b.install("r", state, txn)
+        # low churn: deltas are far smaller than full copies
+        assert delta.stored_atoms() < full.stored_atoms() / 5
+
+    def test_high_churn_erodes_delta_advantage(self):
+        states = churn_stream(10, cardinality=30, churn=1.0, seed=3)
+        full = FullCopyBackend()
+        delta = DeltaBackend()
+        for b in (full, delta):
+            b.create("r", RelationType.ROLLBACK)
+            for txn, state in enumerate(states, start=1):
+                b.install("r", state, txn)
+        # full rewrites: deltas store ~2 atoms per changed tuple
+        assert delta.stored_atoms() > full.stored_atoms() / 4
+
+    def test_checkpoint_interval_trades_space(self):
+        states = churn_stream(40, cardinality=40, churn=0.05, seed=3)
+        tight = CheckpointDeltaBackend(2)
+        loose = CheckpointDeltaBackend(20)
+        for b in (tight, loose):
+            b.create("r", RelationType.ROLLBACK)
+            for txn, state in enumerate(states, start=1):
+                b.install("r", state, txn)
+        assert tight.stored_atoms() > loose.stored_atoms()
+
+    def test_checkpoint_interval_validation(self):
+        with pytest.raises(StorageError):
+            CheckpointDeltaBackend(0)

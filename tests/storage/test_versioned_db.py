@@ -1,0 +1,146 @@
+"""Tests for VersionedDatabase: command semantics over physical
+backends, equivalence with the in-memory core semantics."""
+
+import pytest
+
+from repro.errors import CommandError, RelationTypeError, UnknownRelationError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Project,
+    Rollback,
+    Select,
+    Union,
+    is_empty_set,
+)
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.storage import (
+    DeltaBackend,
+    FullCopyBackend,
+    TupleTimestampBackend,
+    VersionedDatabase,
+)
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+COMMANDS = [
+    DefineRelation("r", "rollback"),
+    ModifyState("r", Const(kv((1, 10)))),
+    ModifyState("r", Union(Rollback("r"), Const(kv((2, 20))))),
+    ModifyState(
+        "r",
+        Difference(
+            Rollback("r"),
+            Select(Rollback("r"), Comparison(attr("k"), "=", lit(1))),
+        ),
+    ),
+]
+
+
+@pytest.fixture(
+    params=[FullCopyBackend, DeltaBackend, TupleTimestampBackend],
+    ids=["full-copy", "forward-delta", "tuple-timestamp"],
+)
+def vdb(request):
+    return VersionedDatabase(request.param())
+
+
+class TestCommandExecution:
+    def test_matches_core_semantics(self, vdb):
+        vdb.execute_all(COMMANDS)
+        core_db = run(COMMANDS)
+        assert vdb.transaction_number == core_db.transaction_number
+        for txn in range(0, core_db.transaction_number + 1):
+            core_relation = core_db.require("r")
+            core_state = core_relation.find_state(txn)
+            backend_state = vdb.state_at("r", txn)
+            if is_empty_set(core_state):
+                assert backend_state is None
+            else:
+                assert backend_state == core_state
+
+    def test_define_noop_on_bound(self, vdb):
+        vdb.execute(DefineRelation("r", "rollback"))
+        txn = vdb.transaction_number
+        vdb.execute(DefineRelation("r", "snapshot"))
+        assert vdb.transaction_number == txn
+
+    def test_modify_noop_on_unbound(self, vdb):
+        vdb.execute(ModifyState("ghost", Const(kv((1, 1)))))
+        assert vdb.transaction_number == 0
+
+    def test_sequence_commands(self, vdb):
+        from repro.core.commands import Sequence
+
+        vdb.execute(
+            Sequence(
+                DefineRelation("r", "rollback"),
+                ModifyState("r", Const(kv((1, 1)))),
+            )
+        )
+        assert vdb.transaction_number == 2
+
+    def test_evaluate_queries_backend(self, vdb):
+        vdb.execute_all(COMMANDS)
+        result = vdb.evaluate(
+            Project(Rollback("r", NOW), ["k"])
+        )
+        assert result.sorted_rows() == [(2,)]
+
+    def test_rollback_past_via_expression(self, vdb):
+        vdb.execute_all(COMMANDS)
+        assert vdb.evaluate(Rollback("r", 2)) == kv((1, 10))
+
+    def test_unknown_relation_in_expression(self, vdb):
+        with pytest.raises(UnknownRelationError):
+            vdb.evaluate(Rollback("ghost"))
+
+    def test_rollback_snapshot_relation_to_past_rejected(self, vdb):
+        vdb.define("s", "snapshot")
+        vdb.set_state("s", kv((1, 1)))
+        with pytest.raises(RelationTypeError):
+            vdb.evaluate(Rollback("s", 1))
+
+
+class TestDirectWritePath:
+    def test_define_and_set(self, vdb):
+        vdb.define("r", "rollback")
+        vdb.set_state("r", kv((1, 1)))
+        assert vdb.current("r") == kv((1, 1))
+
+    def test_kind_check(self, vdb):
+        from repro.historical.state import HistoricalState
+
+        vdb.define("r", "rollback")
+        with pytest.raises(RelationTypeError):
+            vdb.set_state("r", HistoricalState.empty(KV))
+
+    def test_empty_set_resolution(self, vdb):
+        vdb.define("r", "rollback")
+        vdb.set_state("r", kv((1, 1)))
+        vdb.execute(
+            ModifyState("r", Difference(Rollback("r"), Rollback("r")))
+        )
+        current = vdb.current("r")
+        assert current is not None and current.is_empty()
+        assert current.schema == KV
+
+    def test_empty_set_without_prior_state_rejected(self, vdb):
+        vdb.define("r", "rollback")
+        with pytest.raises(CommandError):
+            vdb.execute(
+                ModifyState(
+                    "r", Difference(Rollback("r"), Rollback("r"))
+                )
+            )

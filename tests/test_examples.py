@@ -1,0 +1,27 @@
+"""Every example must run to completion — examples are executable
+documentation and must not rot."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "example", EXAMPLES, ids=lambda path: path.name
+)
+def test_example_runs(example, capsys, monkeypatch):
+    # examples guard their body with `if __name__ == "__main__"`, so run
+    # them as __main__
+    monkeypatch.setattr(sys, "argv", [str(example)])
+    runpy.run_path(str(example), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{example.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 7

@@ -1,0 +1,139 @@
+"""Tests for workload generation: determinism, parameter validation, and
+structural properties of the generated streams."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.core.relation import RelationType
+from repro.core.sentences import run
+from repro.historical.state import HistoricalState
+from repro.snapshot.state import SnapshotState
+from repro.storage import DeltaBackend, FullCopyBackend, backends_agree
+from repro.workloads import (
+    StateGenerator,
+    UpdateStream,
+    churn_stream,
+    command_history,
+    default_schema,
+    populate_backends,
+    random_historical_state,
+    random_operation_stream,
+    random_snapshot_state,
+)
+
+
+class TestGenerators:
+    def test_default_schema(self):
+        schema = default_schema(3)
+        assert schema.names == ("key", "a1", "a2")
+
+    def test_default_schema_validation(self):
+        with pytest.raises(WorkloadError):
+            default_schema(0)
+
+    def test_deterministic_by_seed(self):
+        a = random_snapshot_state(20, seed=7)
+        b = random_snapshot_state(20, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_snapshot_state(20, seed=7)
+        b = random_snapshot_state(20, seed=8)
+        assert a != b
+
+    def test_historical_states_valid(self):
+        state = random_historical_state(15, seed=3)
+        assert isinstance(state, HistoricalState)
+        assert all(not t.valid_time.is_empty() for t in state.tuples)
+
+    def test_rows_match_schema_domains(self):
+        gen = StateGenerator(seed=1)
+        state = gen.snapshot_state(10)
+        for t in state.tuples:
+            assert isinstance(t["key"], int)
+            assert isinstance(t["a1"], str)
+
+
+class TestUpdateStream:
+    def test_length(self):
+        states = churn_stream(12, cardinality=10, churn=0.2, seed=0)
+        assert len(states) == 12
+
+    def test_replayable(self):
+        s1 = churn_stream(10, cardinality=10, churn=0.3, seed=4)
+        s2 = churn_stream(10, cardinality=10, churn=0.3, seed=4)
+        assert s1 == s2
+
+    def test_zero_churn_is_constant(self):
+        # churn 0 still forces one change per step (max(1, ...)), so use
+        # the states to check cardinality stability instead
+        states = churn_stream(10, cardinality=50, churn=0.0, seed=2)
+        sizes = [len(s) for s in states]
+        assert max(sizes) - min(sizes) <= 10
+
+    def test_consecutive_states_differ_by_churn(self):
+        states = churn_stream(10, cardinality=100, churn=0.2, seed=5)
+        for previous, current in zip(states, states[1:]):
+            changed = len(previous.tuples ^ current.tuples)
+            # ~20 tuples churned => at most ~40 atoms differ (plus noise
+            # from random collisions)
+            assert changed <= 50
+
+    def test_historical_mode(self):
+        states = churn_stream(
+            5, cardinality=8, churn=0.3, seed=1, historical=True
+        )
+        assert all(isinstance(s, HistoricalState) for s in states)
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            UpdateStream(0)
+        with pytest.raises(WorkloadError):
+            UpdateStream(5, churn=1.5)
+        with pytest.raises(WorkloadError):
+            UpdateStream(5, cardinality=0)
+
+    def test_growth(self):
+        states = list(
+            UpdateStream(
+                10, cardinality=10, churn=0.1, growth=5, seed=0
+            ).states()
+        )
+        assert len(states[-1]) > len(states[0])
+
+
+class TestHistories:
+    def test_command_history_builds_database(self):
+        stream = UpdateStream(8, cardinality=10, churn=0.2, seed=3)
+        commands = command_history(stream, "r")
+        db = run(commands)
+        assert db.transaction_number == 9
+        assert db.require("r").rtype is RelationType.ROLLBACK
+        assert db.require("r").history_length == 8
+
+    def test_command_history_temporal_for_historical_streams(self):
+        stream = UpdateStream(
+            4, cardinality=6, churn=0.2, seed=3, historical=True
+        )
+        commands = command_history(stream, "t")
+        db = run(commands)
+        assert db.require("t").rtype is RelationType.TEMPORAL
+
+    def test_populate_backends_aligns(self):
+        states = churn_stream(10, cardinality=10, churn=0.3, seed=9)
+        backends = [FullCopyBackend(), DeltaBackend()]
+        databases = populate_backends(backends, states)
+        assert all(
+            d.transaction_number == len(states) + 1 for d in databases
+        )
+        assert backends_agree(
+            backends, [("r", t) for t in range(0, 13)]
+        )
+
+    def test_operation_stream_deterministic(self):
+        a = random_operation_stream(30, seed=6)
+        b = random_operation_stream(30, seed=6)
+        assert [repr(x) for x in a] == [repr(y) for y in b]
+
+    def test_operation_stream_length(self):
+        assert len(random_operation_stream(25, seed=0)) == 25
