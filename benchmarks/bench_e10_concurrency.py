@@ -130,4 +130,7 @@ def bench_high_contention_8_clients(benchmark):
 
 
 if __name__ == "__main__":
-    print(report())
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e10_concurrency"):
+        print(report())

@@ -166,4 +166,7 @@ def bench_scripted_history_120(benchmark):
 
 
 if __name__ == "__main__":
-    print(report())
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e1_update_operations"):
+        print(report())

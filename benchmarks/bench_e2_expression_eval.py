@@ -139,4 +139,7 @@ def bench_rollback_leaf(benchmark):
 
 
 if __name__ == "__main__":
-    print(report())
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e2_expression_eval"):
+        print(report())

@@ -127,4 +127,7 @@ def bench_tuple_timestamp_rollback(benchmark):
 
 
 if __name__ == "__main__":
-    print(report())
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e6_rollback_latency"):
+        print(report())

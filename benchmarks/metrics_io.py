@@ -1,0 +1,88 @@
+"""Metrics JSON sidecars for the benchmark scripts.
+
+Every benchmark can emit a *sidecar* — a JSON file with the full metrics
+snapshot collected while the benchmark ran — so successive PRs have a
+perf trajectory to compare against instead of eyeballing stdout.
+
+Two ways to ask for one:
+
+* environment: ``REPRO_METRICS_JSON=1`` (default filename
+  ``<script>.metrics.json`` in the working directory),
+  ``REPRO_METRICS_JSON=/some/dir`` (that directory), or
+  ``REPRO_METRICS_JSON=/some/file.json`` (that exact file);
+* ``python -m benchmarks.run_experiments --metrics-json PATH`` for the
+  whole harness.
+
+With the variable unset (or set to ``0``/``false``/``no``/``off``) the
+context manager is inert and the benchmark runs with metrics disabled —
+the default, unobserved configuration.
+
+Sidecar format::
+
+    {
+      "script": "bench_e1_update_operations",
+      "unix_time": 1754000000.0,
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+ENV_VAR = "REPRO_METRICS_JSON"
+
+__all__ = ["ENV_VAR", "capture_metrics", "write_sidecar"]
+
+
+def _path_from_env(script: str) -> Optional[str]:
+    value = os.environ.get(ENV_VAR, "").strip()
+    if not value or value.lower() in ("0", "false", "no", "off"):
+        return None
+    if value.lower() in ("1", "true", "yes"):
+        return f"{script}.metrics.json"
+    if value.endswith(".json"):
+        return value
+    return os.path.join(value, f"{script}.metrics.json")
+
+
+def write_sidecar(path: str, script: str, registry) -> None:
+    """Write the registry snapshot as a JSON sidecar at ``path``."""
+    payload = {
+        "script": script,
+        "unix_time": time.time(),
+        "metrics": registry.snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+@contextmanager
+def capture_metrics(
+    script: str, path: Optional[str] = None
+) -> Iterator[object]:
+    """Enable metrics for the duration of a benchmark run and write the
+    sidecar on exit.
+
+    ``path`` overrides the environment; when neither is given, this is
+    a no-op (metrics stay disabled) and yields ``None``.
+    """
+    target = path if path is not None else _path_from_env(script)
+    if target is None:
+        yield None
+        return
+    from repro.obsv import registry as obsv_registry
+    from repro.obsv.registry import MetricsRegistry
+
+    registry = obsv_registry.enable(MetricsRegistry())
+    try:
+        yield registry
+    finally:
+        obsv_registry.disable()
+        write_sidecar(target, script, registry)
+        print(f"  [metrics sidecar written to {target}]")

@@ -4,6 +4,9 @@
 Usage:
     python -m benchmarks.run_experiments           # all experiments
     python -m benchmarks.run_experiments e5 e6     # a subset
+    python -m benchmarks.run_experiments --metrics-json out.json e1 e6 e10
+        # additionally collect observability metrics and write a JSON
+        # sidecar (see benchmarks.metrics_io for the format)
 """
 
 from __future__ import annotations
@@ -49,19 +52,32 @@ EXPERIMENTS = {
 
 
 def main(argv: list[str]) -> int:
-    selected = [name.lower() for name in argv] or list(EXPERIMENTS)
+    metrics_path = None
+    args = list(argv)
+    if "--metrics-json" in args:
+        index = args.index("--metrics-json")
+        try:
+            metrics_path = args[index + 1]
+        except IndexError:
+            print("--metrics-json requires a path argument")
+            return 2
+        del args[index : index + 2]
+    selected = [name.lower() for name in args] or list(EXPERIMENTS)
     unknown = [name for name in selected if name not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}; "
               f"available: {list(EXPERIMENTS)}")
         return 2
-    for name in selected:
-        module = EXPERIMENTS[name]
-        start = time.perf_counter()
-        print(module.report())
-        print(f"  [{name} completed in "
-              f"{time.perf_counter() - start:.1f} s]")
-        print()
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("run_experiments", path=metrics_path):
+        for name in selected:
+            module = EXPERIMENTS[name]
+            start = time.perf_counter()
+            print(module.report())
+            print(f"  [{name} completed in "
+                  f"{time.perf_counter() - start:.1f} s]")
+            print()
     return 0
 
 

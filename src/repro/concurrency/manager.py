@@ -26,6 +26,7 @@ from repro.errors import ConcurrencyError
 from repro.core.commands import sequence
 from repro.core.database import EMPTY_DATABASE, Database
 from repro.concurrency.transactions import Transaction, TransactionStatus
+from repro.obsv import registry as _obsv
 
 __all__ = ["TransactionManager"]
 
@@ -83,12 +84,15 @@ class TransactionManager:
                 f"transaction {transaction.txn_id} is "
                 f"{transaction.status.value}"
             )
-        self._validate(transaction)
-        if transaction.commands:
-            command = sequence(transaction.commands)
-            new_database = command.execute(self._database)
+        if _obsv.enabled():
+            registry = _obsv.get()
+            with registry.timer("concurrency.validate_seconds"):
+                self._validate(transaction)
+            with registry.timer("concurrency.commit_seconds"):
+                new_database = self._apply(transaction)
         else:
-            new_database = self._database
+            self._validate(transaction)
+            new_database = self._apply(transaction)
         self._commit_log.append(
             (self._database.transaction_number, transaction.write_set)
         )
@@ -96,6 +100,8 @@ class TransactionManager:
         transaction.status = TransactionStatus.COMMITTED
         transaction.commit_txn = new_database.transaction_number
         self._commits += 1
+        if _obsv.enabled():
+            _obsv.get().counter("concurrency.commits").inc()
         return new_database
 
     def abort(self, transaction: Transaction) -> None:
@@ -103,16 +109,29 @@ class TransactionManager:
         if transaction.status is TransactionStatus.ACTIVE:
             transaction.status = TransactionStatus.ABORTED
             self._aborts += 1
+            if _obsv.enabled():
+                _obsv.get().counter("concurrency.aborts").inc()
 
     def run(
         self, body: Callable[[Transaction], None], retries: int = 3
     ) -> Database:
         """Convenience: run ``body`` inside a transaction, retrying up to
-        ``retries`` times on validation failure."""
+        ``retries`` times on validation failure.
+
+        A raising ``body`` must not leak an ACTIVE transaction: the
+        transaction is aborted (counted in :attr:`abort_count`) and the
+        exception propagates.
+        """
         last_error: Optional[ConcurrencyError] = None
-        for _ in range(retries + 1):
+        for attempt in range(retries + 1):
+            if attempt and _obsv.enabled():
+                _obsv.get().counter("concurrency.retries").inc()
             transaction = self.begin()
-            body(transaction)
+            try:
+                body(transaction)
+            except BaseException:
+                self.abort(transaction)
+                raise
             try:
                 return self.commit(transaction)
             except ConcurrencyError as error:
@@ -120,6 +139,13 @@ class TransactionManager:
         raise ConcurrencyError(
             f"transaction failed after {retries} retries: {last_error}"
         )
+
+    def _apply(self, transaction: Transaction) -> Database:
+        """Re-execute the staged commands against the current database."""
+        if transaction.commands:
+            command = sequence(transaction.commands)
+            return command.execute(self._database)
+        return self._database
 
     # -- validation ----------------------------------------------------------------
 

@@ -67,6 +67,7 @@ __all__ = [
     "Rename",
     "Derive",
     "Rollback",
+    "apply_node",
     "evaluate",
     "evaluate_memoized",
 ]
@@ -85,6 +86,13 @@ def is_empty_set(value: Any) -> bool:
     """True iff ``value`` is the untyped empty set ∅ (as opposed to a
     typed empty state, which has a schema)."""
     return value is EMPTY_SET
+
+
+#: Observability slot: ``None`` until :func:`repro.obsv.registry.enable`
+#: installs an :class:`repro.obsv.hooks.ExpressionObserver`.  Kept as a
+#: plain module global so the disabled cost per node is one load and an
+#: ``is None`` branch; this module never imports :mod:`repro.obsv`.
+_OBSERVER = None
 
 
 def _require_state(value: Any, node: "Expression") -> State:
@@ -170,6 +178,8 @@ class Const(Expression):
         self.state = state
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         return self.state
 
     def __eq__(self, other: object) -> bool:
@@ -193,6 +203,8 @@ class Union(Expression):
         self.right = right
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         l = self.left.evaluate(database)
         r = self.right.evaluate(database)
         # ∅ is the identity of union (paper: FINDSTATE may denote ∅).
@@ -234,6 +246,8 @@ class Difference(Expression):
         self.right = right
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         l = self.left.evaluate(database)
         r = self.right.evaluate(database)
         # ∅ − E = ∅ and E − ∅ = E.
@@ -275,6 +289,8 @@ class Product(Expression):
         self.right = right
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         l = self.left.evaluate(database)
         r = self.right.evaluate(database)
         # ∅ annihilates a product.
@@ -314,6 +330,8 @@ class Project(Expression):
         self.names = tuple(names)
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         inner = self.operand.evaluate(database)
         if is_empty_set(inner):
             return EMPTY_SET
@@ -349,6 +367,8 @@ class Select(Expression):
         self.predicate = predicate
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         inner = self.operand.evaluate(database)
         if is_empty_set(inner):
             return EMPTY_SET
@@ -387,6 +407,8 @@ class Rename(Expression):
         self.mapping = dict(mapping)
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         inner = self.operand.evaluate(database)
         if is_empty_set(inner):
             return EMPTY_SET
@@ -434,6 +456,8 @@ class Derive(Expression):
         self.expression = expression
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
         inner = self.operand.evaluate(database)
         if is_empty_set(inner):
             return EMPTY_SET
@@ -494,6 +518,9 @@ class Rollback(Expression):
         self.numeral = numeral
 
     def evaluate(self, database: Database) -> State:
+        if _OBSERVER is not None:
+            _OBSERVER.node()
+            _OBSERVER.rollback()
         # ``relation`` is duck-typed: a core Relation or any view exposing
         # rtype and find_state (e.g. a storage-backend relation view).
         relation: Relation = database.require(self.identifier)
@@ -535,6 +562,109 @@ def evaluate(expression: Expression, database: Database) -> State:
     return expression.evaluate(database)
 
 
+#: Node types whose result is a pure function of their operand values —
+#: exactly the nodes :func:`apply_node` can compute from pre-evaluated
+#: children.  Leaves (``Const``, ``Rollback``) and unknown node types are
+#: evaluated through their own ``evaluate``.
+_COMPOSITE_NODES = (
+    Union,
+    Difference,
+    Product,
+    Project,
+    Select,
+    Rename,
+    Derive,
+)
+
+
+def apply_node(
+    node: Expression, operands: Sequence[Any], database: Database
+):
+    """Compute ``node``'s result from already-evaluated operand values.
+
+    ``operands`` must align with ``node.children()``.  For leaves (and
+    any node type outside :data:`_COMPOSITE_NODES`) the node's own
+    ``evaluate`` is used.  This is the single dispatch point shared by
+    :func:`evaluate_memoized` and the tracing evaluator in
+    :mod:`repro.obsv.trace`, so the three evaluation strategies cannot
+    drift apart semantically.
+    """
+    if isinstance(node, Union):
+        l, r = operands
+        if is_empty_set(l):
+            return r
+        if is_empty_set(r):
+            return l
+        l = _require_state(l, node)
+        r = _require_state(r, node)
+        _require_same_kind(l, r, "union")
+        return (
+            historical_union(l, r)
+            if isinstance(l, HistoricalState)
+            else snap_union(l, r)
+        )
+    if isinstance(node, Difference):
+        l, r = operands
+        if is_empty_set(l):
+            return EMPTY_SET
+        if is_empty_set(r):
+            return l
+        l = _require_state(l, node)
+        r = _require_state(r, node)
+        _require_same_kind(l, r, "difference")
+        return (
+            historical_difference(l, r)
+            if isinstance(l, HistoricalState)
+            else snap_difference(l, r)
+        )
+    if isinstance(node, Product):
+        l, r = operands
+        if is_empty_set(l) or is_empty_set(r):
+            return EMPTY_SET
+        l = _require_state(l, node)
+        r = _require_state(r, node)
+        _require_same_kind(l, r, "product")
+        return (
+            historical_product(l, r)
+            if isinstance(l, HistoricalState)
+            else snap_product(l, r)
+        )
+    if isinstance(node, Project):
+        (inner,) = operands
+        if is_empty_set(inner):
+            return EMPTY_SET
+        inner = _require_state(inner, node)
+        if isinstance(inner, HistoricalState):
+            return historical_project(inner, node.names)
+        return snap_project(inner, node.names)
+    if isinstance(node, Select):
+        (inner,) = operands
+        if is_empty_set(inner):
+            return EMPTY_SET
+        inner = _require_state(inner, node)
+        if isinstance(inner, HistoricalState):
+            return historical_select(inner, node.predicate)
+        return snap_select(inner, node.predicate)
+    if isinstance(node, Rename):
+        (inner,) = operands
+        if is_empty_set(inner):
+            return EMPTY_SET
+        inner = _require_state(inner, node)
+        if isinstance(inner, HistoricalState):
+            return historical_rename(inner, node.mapping)
+        return snap_rename(inner, node.mapping)
+    if isinstance(node, Derive):
+        (inner,) = operands
+        if is_empty_set(inner):
+            return EMPTY_SET
+        inner = _require_state(inner, node)
+        if not isinstance(inner, HistoricalState):
+            raise ExpressionError("δ applies only to historical states")
+        return historical_derive(inner, node.predicate, node.expression)
+    # leaves (Const, Rollback) and any future node types
+    return node.evaluate(database)
+
+
 def evaluate_memoized(expression: Expression, database: Database):
     """**E** with common-subexpression elimination.
 
@@ -552,89 +682,19 @@ def evaluate_memoized(expression: Expression, database: Database):
     def walk(node: Expression):
         cached = cache.get(node)
         if cached is not None or node in cache:
+            if _OBSERVER is not None:
+                _OBSERVER.memo_hit()
             return cached
-        if isinstance(node, Union):
-            l, r = walk(node.left), walk(node.right)
-            if is_empty_set(l):
-                result = r
-            elif is_empty_set(r):
-                result = l
-            else:
-                l = _require_state(l, node)
-                r = _require_state(r, node)
-                _require_same_kind(l, r, "union")
-                result = (
-                    historical_union(l, r)
-                    if isinstance(l, HistoricalState)
-                    else snap_union(l, r)
-                )
-        elif isinstance(node, Difference):
-            l, r = walk(node.left), walk(node.right)
-            if is_empty_set(l):
-                result = EMPTY_SET
-            elif is_empty_set(r):
-                result = l
-            else:
-                l = _require_state(l, node)
-                r = _require_state(r, node)
-                _require_same_kind(l, r, "difference")
-                result = (
-                    historical_difference(l, r)
-                    if isinstance(l, HistoricalState)
-                    else snap_difference(l, r)
-                )
-        elif isinstance(node, Product):
-            l, r = walk(node.left), walk(node.right)
-            if is_empty_set(l) or is_empty_set(r):
-                result = EMPTY_SET
-            else:
-                l = _require_state(l, node)
-                r = _require_state(r, node)
-                _require_same_kind(l, r, "product")
-                result = (
-                    historical_product(l, r)
-                    if isinstance(l, HistoricalState)
-                    else snap_product(l, r)
-                )
-        elif isinstance(node, Project):
-            inner = walk(node.operand)
-            if is_empty_set(inner):
-                result = EMPTY_SET
-            elif isinstance(inner, HistoricalState):
-                result = historical_project(inner, node.names)
-            else:
-                result = snap_project(inner, node.names)
-        elif isinstance(node, Select):
-            inner = walk(node.operand)
-            if is_empty_set(inner):
-                result = EMPTY_SET
-            elif isinstance(inner, HistoricalState):
-                result = historical_select(inner, node.predicate)
-            else:
-                result = snap_select(inner, node.predicate)
-        elif isinstance(node, Rename):
-            inner = walk(node.operand)
-            if is_empty_set(inner):
-                result = EMPTY_SET
-            elif isinstance(inner, HistoricalState):
-                result = historical_rename(inner, node.mapping)
-            else:
-                result = snap_rename(inner, node.mapping)
-        elif isinstance(node, Derive):
-            inner = walk(node.operand)
-            if is_empty_set(inner):
-                result = EMPTY_SET
-            else:
-                inner = _require_state(inner, node)
-                if not isinstance(inner, HistoricalState):
-                    raise ExpressionError(
-                        "δ applies only to historical states"
-                    )
-                result = historical_derive(
-                    inner, node.predicate, node.expression
-                )
+        if _OBSERVER is not None:
+            _OBSERVER.memo_miss()
+        if isinstance(node, _COMPOSITE_NODES):
+            operands = [walk(child) for child in node.children()]
+            if _OBSERVER is not None:
+                _OBSERVER.node()
+            result = apply_node(node, operands, database)
         else:
-            # leaves (Const, Rollback) and any future node types
+            # leaves and unknown node types count themselves (their
+            # ``evaluate`` fires the observer hook)
             result = node.evaluate(database)
         cache[node] = result
         return result

@@ -24,6 +24,7 @@ from repro.core.expressions import Expression, Rollback
 from repro.core.txn import NOW
 from repro.historical.state import HistoricalState
 from repro.lang.parser import parse_command, parse_expression, parse_sentence
+from repro.obsv import registry as _obsv
 from repro.snapshot.state import SnapshotState
 
 __all__ = ["Session"]
@@ -76,6 +77,8 @@ class Session:
         return self._apply(command)
 
     def _apply(self, command: Command) -> Database:
+        if _obsv.enabled():
+            _obsv.get().counter("lang.statements_executed").inc()
         self._database = command.execute(self._database)
         self._history.append(self._database)
         return self._database
@@ -86,6 +89,8 @@ class Session:
         """Parse and evaluate an expression against the current database.
         Expressions are side-effect-free: the session's database is
         unchanged."""
+        if _obsv.enabled():
+            _obsv.get().counter("lang.queries").inc()
         expression = (
             parse_expression(source) if isinstance(source, str) else source
         )
@@ -140,6 +145,8 @@ class Session:
             return self._apply(command)
 
         if isinstance(statement, Retrieve):
+            if _obsv.enabled():
+                _obsv.get().counter("lang.queries").inc()
             expression = QuelTranslator(catalog).translate_retrieve(
                 statement
             )

@@ -1,0 +1,65 @@
+"""Observer installation for the expression-evaluation hot path.
+
+Expression evaluation is the innermost loop of the whole stack — every
+``modify_state``, Quel statement and benchmark hits it — so it uses the
+cheapest possible disabled-state guard: a module-global observer slot in
+:mod:`repro.core.expressions` that is ``None`` until metrics are enabled.
+Each node's ``evaluate`` pays one global load and an ``is None`` test;
+when metrics are on, the installed :class:`ExpressionObserver` holds its
+counters directly so the enabled path is a bound-method call and an
+integer add, with no per-event name lookup.
+
+:func:`install` / :func:`uninstall` are called by
+:func:`repro.obsv.registry.enable` / ``disable``; they are not part of
+the public surface.
+"""
+
+from __future__ import annotations
+
+from repro.obsv.registry import MetricsRegistry
+
+__all__ = ["ExpressionObserver", "install", "uninstall"]
+
+
+class ExpressionObserver:
+    """Per-event callbacks the expression evaluator fires when metrics
+    are enabled.  Counters are resolved once, at installation."""
+
+    __slots__ = ("_nodes", "_rollbacks", "_memo_hits", "_memo_misses")
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._nodes = registry.counter("expr.nodes_evaluated")
+        self._rollbacks = registry.counter("expr.rollback_evaluations")
+        self._memo_hits = registry.counter("expr.memo_hits")
+        self._memo_misses = registry.counter("expr.memo_misses")
+
+    def node(self) -> None:
+        """An expression node was evaluated."""
+        self._nodes.inc()
+
+    def rollback(self) -> None:
+        """A ``ρ(I, N)`` leaf was evaluated — the fan-out of reads an
+        expression issues against relation histories."""
+        self._rollbacks.inc()
+
+    def memo_hit(self) -> None:
+        """``evaluate_memoized`` served a subtree from its cache."""
+        self._memo_hits.inc()
+
+    def memo_miss(self) -> None:
+        """``evaluate_memoized`` had to compute a subtree."""
+        self._memo_misses.inc()
+
+
+def install(registry: MetricsRegistry) -> None:
+    """Point the expression evaluator's observer slot at ``registry``."""
+    from repro.core import expressions
+
+    expressions._OBSERVER = ExpressionObserver(registry)
+
+
+def uninstall() -> None:
+    """Clear the observer slot (the disabled, zero-cost state)."""
+    from repro.core import expressions
+
+    expressions._OBSERVER = None

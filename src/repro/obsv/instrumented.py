@@ -1,0 +1,119 @@
+"""A transparent observability wrapper for any storage backend.
+
+:class:`InstrumentedBackend` wraps a :class:`~repro.storage.backend.
+StorageBackend` and records call counts, latencies and atom volumes for
+every interface method, without the backend knowing it is being watched.
+This is the non-invasive complement to the light-weight hooks the
+concrete backends carry internally (replay lengths, checkpoint hits):
+wrap any backend — including future or third-party ones — and it becomes
+observable with zero modification, and the equivalence checker
+``backends_agree`` still accepts it because the wrapper *is* a
+``StorageBackend`` answering identical ``state_at`` probes.
+
+Metrics are written under ``backend.<name>.*`` (the wrapper's view of
+the interface boundary), distinct from ``storage.<name>.*`` (the
+backends' internal hooks).  By default the wrapper records into the
+process-wide registry, so with metrics disabled it degrades to no-ops;
+pass an explicit registry to observe unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.relation import RelationType
+from repro.core.txn import TransactionNumber
+from repro.obsv import registry as _obsv
+from repro.obsv.registry import MetricsRegistry
+from repro.storage.backend import State, StorageBackend
+
+__all__ = ["InstrumentedBackend"]
+
+
+class InstrumentedBackend(StorageBackend):
+    """Delegates every ``StorageBackend`` operation to ``inner``,
+    recording per-operation counters and latency histograms."""
+
+    def __init__(
+        self,
+        inner: StorageBackend,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._inner = inner
+        self._registry = registry
+        self.name = f"instrumented({inner.name})"
+        self._prefix = f"backend.{inner.name}"
+
+    @property
+    def inner(self) -> StorageBackend:
+        """The wrapped backend."""
+        return self._inner
+
+    def _sink(self):
+        """The registry to record into: the explicit one, else the
+        process-wide registry (a no-op sink while metrics are off)."""
+        return self._registry if self._registry is not None else _obsv.get()
+
+    # -- write path -----------------------------------------------------------
+
+    def create(self, identifier: str, rtype: RelationType) -> None:
+        sink = self._sink()
+        sink.counter(f"{self._prefix}.create_calls").inc()
+        self._inner.create(identifier, rtype)
+
+    def install(
+        self, identifier: str, state: State, txn: TransactionNumber
+    ) -> None:
+        sink = self._sink()
+        sink.counter(f"{self._prefix}.install_calls").inc()
+        sink.counter(f"{self._prefix}.atoms_installed").inc(len(state))
+        with sink.timer(f"{self._prefix}.install_seconds"):
+            self._inner.install(identifier, state, txn)
+
+    # -- read path ----------------------------------------------------------
+
+    def state_at(
+        self, identifier: str, txn: TransactionNumber
+    ) -> Optional[State]:
+        sink = self._sink()
+        sink.counter(f"{self._prefix}.state_at_calls").inc()
+        with sink.timer(f"{self._prefix}.state_at_seconds"):
+            return self._inner.state_at(identifier, txn)
+
+    def type_of(self, identifier: str) -> RelationType:
+        return self._inner.type_of(identifier)
+
+    def identifiers(self) -> tuple[str, ...]:
+        return self._inner.identifiers()
+
+    def has(self, identifier: str) -> bool:
+        return self._inner.has(identifier)
+
+    def transaction_numbers(
+        self, identifier: str
+    ) -> tuple[TransactionNumber, ...]:
+        return self._inner.transaction_numbers(identifier)
+
+    # -- accounting ------------------------------------------------------------
+
+    def stored_atoms(self) -> int:
+        return self._inner.stored_atoms()
+
+    def stored_versions(self) -> int:
+        return self._inner.stored_versions()
+
+    def record_space(self) -> None:
+        """Write the inner backend's space accounting into gauges
+        (``stored_atoms`` / ``stored_versions``).  Explicit rather than
+        ambient: space accounting walks every relation, too costly for
+        the install path."""
+        sink = self._sink()
+        sink.gauge(f"{self._prefix}.stored_atoms").set(
+            self._inner.stored_atoms()
+        )
+        sink.gauge(f"{self._prefix}.stored_versions").set(
+            self._inner.stored_versions()
+        )
+
+    def __repr__(self) -> str:
+        return f"InstrumentedBackend({self._inner!r})"

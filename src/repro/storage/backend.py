@@ -20,6 +20,7 @@ from typing import Iterable, Optional, Union
 from repro.errors import StorageError
 from repro.core.relation import RelationType
 from repro.core.txn import TransactionNumber
+from repro.obsv import registry as _obsv
 from repro.historical.state import HistoricalState
 from repro.historical.tuples import HistoricalTuple
 from repro.snapshot.schema import Schema
@@ -104,6 +105,17 @@ class StorageBackend:
         """All relation identifiers, sorted."""
         raise NotImplementedError
 
+    def has(self, identifier: str) -> bool:
+        """Membership test for ``identifier``.
+
+        Concrete backends override this with an O(1) dictionary probe;
+        the default is provided so third-party backends that predate the
+        method keep working (at ``identifiers()`` cost).  The expression
+        evaluator's name-resolution path calls this once per ``ρ`` leaf,
+        which is why it must not materialize a sorted tuple.
+        """
+        return identifier in self.identifiers()
+
     def transaction_numbers(
         self, identifier: str
     ) -> tuple[TransactionNumber, ...]:
@@ -122,6 +134,42 @@ class StorageBackend:
         """Total physical version records (full states, deltas or stamped
         intervals) across all relations."""
         raise NotImplementedError
+
+    # -- shared observability -----------------------------------------------------
+
+    def _note_install(self, atoms: int) -> None:
+        """Record an ``install`` under ``storage.<name>.*`` (no-op while
+        metrics are disabled)."""
+        if _obsv.enabled():
+            registry = _obsv.get()
+            prefix = f"storage.{self.name}"
+            registry.counter(f"{prefix}.installs").inc()
+            registry.counter(f"{prefix}.atoms_installed").inc(atoms)
+
+    def _note_state_at(
+        self,
+        replay_length: Optional[int] = None,
+        checkpoint_hit: Optional[bool] = None,
+    ) -> None:
+        """Record a ``state_at`` probe under ``storage.<name>.*``.
+
+        ``replay_length`` is the number of physical version records the
+        backend processed to reconstruct the answer (deltas replayed,
+        undo records applied, or timestamp episodes scanned);
+        ``checkpoint_hit`` reports whether a checkpointed backend landed
+        exactly on a checkpoint (no replay needed).
+        """
+        if _obsv.enabled():
+            registry = _obsv.get()
+            prefix = f"storage.{self.name}"
+            registry.counter(f"{prefix}.state_at_calls").inc()
+            if replay_length is not None:
+                registry.histogram(f"{prefix}.replay_length").observe(
+                    replay_length
+                )
+            if checkpoint_hit is not None:
+                name = "checkpoint_hits" if checkpoint_hit else "checkpoint_misses"
+                registry.counter(f"{prefix}.{name}").inc()
 
     # -- shared validation -------------------------------------------------------
 

@@ -118,6 +118,7 @@ class CheckpointDeltaBackend(StorageBackend):
         relation.latest = new_atoms
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
 
@@ -127,6 +128,7 @@ class CheckpointDeltaBackend(StorageBackend):
         relation = self._require(identifier)
         index = bisect.bisect_right(relation.txns, txn)
         if index == 0:
+            self._note_state_at(replay_length=0)
             return None
         target = index - 1
         # Find the nearest checkpoint at or before the target version.
@@ -137,6 +139,10 @@ class CheckpointDeltaBackend(StorageBackend):
         for version in relation.versions[base_index + 1 : target + 1]:
             atoms -= version.removed
             atoms |= version.added
+        self._note_state_at(
+            replay_length=target - base_index,
+            checkpoint_hit=base_index == target,
+        )
         assert relation.schema is not None
         return state_from_atoms(relation.schema, relation.kind, atoms)
 
@@ -145,6 +151,9 @@ class CheckpointDeltaBackend(StorageBackend):
 
     def identifiers(self) -> tuple[str, ...]:
         return tuple(sorted(self._relations))
+
+    def has(self, identifier: str) -> bool:
+        return identifier in self._relations
 
     def transaction_numbers(
         self, identifier: str

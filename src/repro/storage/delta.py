@@ -97,6 +97,7 @@ class DeltaBackend(StorageBackend):
         relation.latest_atoms = new_atoms
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
 
@@ -106,11 +107,14 @@ class DeltaBackend(StorageBackend):
         relation = self._require(identifier)
         index = bisect.bisect_right(relation.txns, txn)
         if index == 0 or relation.base is None:
+            self._note_state_at(replay_length=0)
             return None
         atoms = set(relation.base)
-        for added, removed in relation.deltas[: index - 1]:
+        replay = relation.deltas[: index - 1]
+        for added, removed in replay:
             atoms -= removed
             atoms |= added
+        self._note_state_at(replay_length=len(replay))
         assert relation.schema is not None
         return state_from_atoms(relation.schema, relation.kind, atoms)
 
@@ -119,6 +123,9 @@ class DeltaBackend(StorageBackend):
 
     def identifiers(self) -> tuple[str, ...]:
         return tuple(sorted(self._relations))
+
+    def has(self, identifier: str) -> bool:
+        return identifier in self._relations
 
     def transaction_numbers(
         self, identifier: str

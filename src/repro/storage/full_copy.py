@@ -61,6 +61,7 @@ class FullCopyBackend(StorageBackend):
         else:
             relation.txns = [txn]
             relation.states = [state]
+        self._note_install(len(state))
 
     # -- read path ----------------------------------------------------------
 
@@ -68,6 +69,7 @@ class FullCopyBackend(StorageBackend):
         self, identifier: str, txn: TransactionNumber
     ) -> Optional[State]:
         relation = self._require(identifier)
+        self._note_state_at()
         index = bisect.bisect_right(relation.txns, txn)
         if index == 0:
             return None
@@ -78,6 +80,9 @@ class FullCopyBackend(StorageBackend):
 
     def identifiers(self) -> tuple[str, ...]:
         return tuple(sorted(self._relations))
+
+    def has(self, identifier: str) -> bool:
+        return identifier in self._relations
 
     def transaction_numbers(
         self, identifier: str

@@ -81,6 +81,7 @@ class ReverseDeltaBackend(StorageBackend):
         relation.current = new_atoms
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
 
@@ -90,14 +91,15 @@ class ReverseDeltaBackend(StorageBackend):
         relation = self._require(identifier)
         index = bisect.bisect_right(relation.txns, txn)
         if index == 0 or relation.current is None:
+            self._note_state_at(replay_length=0)
             return None
         atoms = set(relation.current)
         # Walk backward from the newest version to version index-1.
-        for re_added, re_removed in reversed(
-            relation.undo[index - 1 :]
-        ):
+        replay = relation.undo[index - 1 :]
+        for re_added, re_removed in reversed(replay):
             atoms -= re_removed
             atoms |= re_added
+        self._note_state_at(replay_length=len(replay))
         assert relation.schema is not None
         return state_from_atoms(relation.schema, relation.kind, atoms)
 
@@ -106,6 +108,9 @@ class ReverseDeltaBackend(StorageBackend):
 
     def identifiers(self) -> tuple[str, ...]:
         return tuple(sorted(self._relations))
+
+    def has(self, identifier: str) -> bool:
+        return identifier in self._relations
 
     def transaction_numbers(
         self, identifier: str

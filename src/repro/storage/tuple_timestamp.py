@@ -96,6 +96,7 @@ class TupleTimestampBackend(StorageBackend):
             relation.txns.append(txn)
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
 
@@ -105,12 +106,15 @@ class TupleTimestampBackend(StorageBackend):
         relation = self._require(identifier)
         index = bisect.bisect_right(relation.txns, txn)
         if index == 0:
+            self._note_state_at(replay_length=0)
             return None
         atoms = [
             atom
             for atom, start, stop in relation.episodes
             if start <= txn and (stop is _OPEN or txn < stop)
         ]
+        # A timestamp read "replays" nothing but scans every episode.
+        self._note_state_at(replay_length=len(relation.episodes))
         assert relation.schema is not None
         return state_from_atoms(relation.schema, relation.kind, atoms)
 
@@ -119,6 +123,9 @@ class TupleTimestampBackend(StorageBackend):
 
     def identifiers(self) -> tuple[str, ...]:
         return tuple(sorted(self._relations))
+
+    def has(self, identifier: str) -> bool:
+        return identifier in self._relations
 
     def transaction_numbers(
         self, identifier: str

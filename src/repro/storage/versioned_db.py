@@ -20,7 +20,13 @@ from typing import Iterable, Optional, Sequence
 from repro.errors import CommandError, RelationTypeError, StorageError
 from repro.core.commands import Command, DefineRelation, ModifyState
 from repro.core.commands import Sequence as CommandSequence
-from repro.core.expressions import EMPTY_SET, Expression, is_empty_set
+from repro.core.expressions import (
+    EMPTY_SET,
+    Expression,
+    evaluate_memoized,
+    is_empty_set,
+)
+from repro.obsv import registry as _obsv
 from repro.core.relation import EMPTY_STATE, RelationType
 from repro.core.txn import TransactionNumber
 from repro.historical.state import HistoricalState
@@ -74,7 +80,9 @@ class _BackendDatabaseView:
         return self._txn
 
     def lookup(self, identifier: str) -> Optional[_BackendRelationView]:
-        if identifier not in self._backend.identifiers():
+        # ``has`` is an O(1) membership probe; ``identifiers()`` would
+        # rebuild a sorted tuple on every expression-evaluation lookup.
+        if not self._backend.has(identifier):
             return None
         return _BackendRelationView(self._backend, identifier)
 
@@ -115,21 +123,44 @@ class VersionedDatabase:
 
     def execute(self, command: Command) -> None:
         """Execute a command with the paper's semantics, persisting
-        through the backend."""
+        through the backend.
+
+        Mirrors :meth:`repro.core.commands.Command.execute` exactly —
+        including the ``strict`` escape hatch (raise instead of the
+        paper's silent no-op) and ``memoize`` (evaluate the update
+        expression with common-subexpression elimination) — so that the
+        physical path stays observation-equivalent to the pure
+        semantics, flags included.
+        """
         if isinstance(command, CommandSequence):
             self.execute(command.first)
             self.execute(command.second)
             return
+        if _obsv.enabled():
+            _obsv.get().counter("versioned_db.commands_executed").inc()
         if isinstance(command, DefineRelation):
-            if command.identifier in self._backend.identifiers():
+            if self._backend.has(command.identifier):
+                if command.strict:
+                    raise CommandError(
+                        f"define_relation: {command.identifier!r} is "
+                        "already defined"
+                    )
                 return  # paper semantics: no-op on a bound identifier
             self._backend.create(command.identifier, command.rtype)
             self._txn += 1
             return
         if isinstance(command, ModifyState):
-            if command.identifier not in self._backend.identifiers():
+            if not self._backend.has(command.identifier):
+                if command.strict:
+                    raise CommandError(
+                        f"modify_state: {command.identifier!r} is not "
+                        "defined"
+                    )
                 return  # paper semantics: no-op on an unbound identifier
-            state = self.evaluate(command.expression)
+            if command.memoize:
+                state = self.evaluate_memoized(command.expression)
+            else:
+                state = self.evaluate(command.expression)
             self.set_state(command.identifier, state)
             return
         raise CommandError(f"cannot execute command {command!r}")
@@ -164,6 +195,14 @@ class VersionedDatabase:
         (the semantic function **E** over the backend)."""
         return expression.evaluate(
             _BackendDatabaseView(self._backend, self._txn)  # type: ignore[arg-type]
+        )
+
+    def evaluate_memoized(self, expression: Expression):
+        """**E** over the backend with common-subexpression elimination
+        (the ``ModifyState.memoize`` evaluation mode)."""
+        return evaluate_memoized(
+            expression,
+            _BackendDatabaseView(self._backend, self._txn),  # type: ignore[arg-type]
         )
 
     def state_at(

@@ -177,3 +177,29 @@ class TestValidation:
 
         with pytest.raises(ConcurrencyError, match="retries"):
             manager.run(body, retries=2)
+
+    def test_run_aborts_transaction_when_body_raises(self, manager):
+        # Regression: a raising body used to leak the transaction in
+        # ACTIVE status — never aborted, never counted.
+        seen = []
+
+        def body(t: Transaction) -> None:
+            seen.append(t)
+            t.read(Rollback("r", NOW))
+            raise RuntimeError("boom")
+
+        before = manager.database
+        with pytest.raises(RuntimeError, match="boom"):
+            manager.run(body)
+        assert len(seen) == 1  # a body error is not retried
+        assert seen[0].status is TransactionStatus.ABORTED
+        assert manager.abort_count == 1
+        assert manager.database is before  # nothing applied
+
+    def test_run_aborts_on_keyboard_interrupt(self, manager):
+        def body(t: Transaction) -> None:
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            manager.run(body)
+        assert manager.abort_count == 1

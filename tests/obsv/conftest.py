@@ -1,0 +1,19 @@
+"""Fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obsv import registry as obsv_registry
+from repro.obsv.registry import MetricsRegistry
+
+
+@pytest.fixture
+def metrics():
+    """A freshly enabled registry, guaranteed to be disabled afterwards
+    so no other test runs with ambient instrumentation."""
+    registry = obsv_registry.enable(MetricsRegistry())
+    try:
+        yield registry
+    finally:
+        obsv_registry.disable()

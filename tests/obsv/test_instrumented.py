@@ -1,0 +1,113 @@
+"""InstrumentedBackend: transparent observation of any backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.txn import NOW
+from repro.obsv import registry as obsv_registry
+from repro.obsv.instrumented import InstrumentedBackend
+from repro.obsv.registry import MetricsRegistry
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+    VersionedDatabase,
+    backends_agree,
+)
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+BACKENDS = [
+    FullCopyBackend,
+    DeltaBackend,
+    ReverseDeltaBackend,
+    lambda: CheckpointDeltaBackend(4),
+    TupleTimestampBackend,
+]
+
+
+def _state(rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+def _drive(vdb: VersionedDatabase, updates: int = 6) -> None:
+    vdb.execute(DefineRelation("r", "rollback"))
+    for i in range(updates):
+        vdb.execute(
+            ModifyState(
+                "r", Union(Rollback("r", NOW), Const(_state([(i, i)])))
+            )
+        )
+
+
+class TestDelegation:
+    @pytest.mark.parametrize("make_backend", BACKENDS)
+    def test_wrapped_backend_is_observation_equivalent(self, make_backend):
+        plain = make_backend()
+        wrapped = InstrumentedBackend(make_backend(), MetricsRegistry())
+        for backend in (plain, wrapped):
+            _drive(VersionedDatabase(backend))
+        probes = [("r", txn) for txn in range(0, 9)]
+        assert backends_agree([plain, wrapped], probes)
+
+    def test_name_and_inner(self):
+        inner = FullCopyBackend()
+        wrapped = InstrumentedBackend(inner)
+        assert wrapped.inner is inner
+        assert wrapped.name == "instrumented(full-copy)"
+
+    def test_has_delegates(self):
+        wrapped = InstrumentedBackend(FullCopyBackend(), MetricsRegistry())
+        _drive(VersionedDatabase(wrapped), updates=1)
+        assert wrapped.has("r")
+        assert not wrapped.has("missing")
+
+
+class TestRecording:
+    def test_counts_and_latencies(self):
+        registry = MetricsRegistry()
+        wrapped = InstrumentedBackend(DeltaBackend(), registry)
+        _drive(VersionedDatabase(wrapped), updates=5)
+        wrapped.state_at("r", 3)
+        counters = registry.snapshot()["counters"]
+        assert counters["backend.forward-delta.create_calls"] == 1
+        assert counters["backend.forward-delta.install_calls"] == 5
+        # each update installs i+1 atoms: 1+2+3+4+5
+        assert counters["backend.forward-delta.atoms_installed"] == 15
+        # 5 rollback reads during updates + 1 explicit probe
+        assert counters["backend.forward-delta.state_at_calls"] == 6
+        histograms = registry.snapshot()["histograms"]
+        assert histograms["backend.forward-delta.state_at_seconds"]["count"] == 6
+        assert histograms["backend.forward-delta.install_seconds"]["count"] == 5
+
+    def test_record_space_writes_gauges(self):
+        registry = MetricsRegistry()
+        wrapped = InstrumentedBackend(FullCopyBackend(), registry)
+        _drive(VersionedDatabase(wrapped), updates=3)
+        wrapped.record_space()
+        gauges = registry.snapshot()["gauges"]
+        assert gauges["backend.full-copy.stored_atoms"] == 1 + 2 + 3
+        assert gauges["backend.full-copy.stored_versions"] == 3
+
+    def test_default_sink_is_noop_while_disabled(self):
+        assert not obsv_registry.enabled()
+        wrapped = InstrumentedBackend(FullCopyBackend())
+        _drive(VersionedDatabase(wrapped), updates=2)
+        # nothing recorded anywhere: the process registry is the null sink
+        assert obsv_registry.get().snapshot()["counters"] == {}
+
+    def test_default_sink_follows_global_switch(self, metrics):
+        wrapped = InstrumentedBackend(FullCopyBackend())
+        _drive(VersionedDatabase(wrapped), updates=2)
+        counters = metrics.snapshot()["counters"]
+        assert counters["backend.full-copy.install_calls"] == 2
+        # the inner backend's own hooks fire too, under storage.*
+        assert counters["storage.full-copy.installs"] == 2

@@ -1,0 +1,158 @@
+"""EXPLAIN-style traces: same results as plain evaluation, plus the
+operator tree with timings."""
+
+from __future__ import annotations
+
+from repro.core.commands import DefineRelation, ModifyState, Sequence
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Project,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.obsv.trace import format_trace, trace_command, trace_evaluate
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def _state(rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+def _database():
+    return run(
+        [
+            DefineRelation("r", "rollback"),
+            ModifyState("r", Const(_state([(1, 1), (2, 2), (3, 3)]))),
+        ]
+    )
+
+
+class TestTraceEvaluate:
+    def test_result_matches_plain_evaluation(self):
+        database = _database()
+        expression = Union(
+            Difference(
+                Rollback("r", NOW),
+                Select(
+                    Rollback("r", NOW),
+                    Comparison(attr("k"), "=", lit(1)),
+                ),
+            ),
+            Const(_state([(9, 9)])),
+        )
+        result, trace = trace_evaluate(expression, database)
+        assert result == expression.evaluate(database)
+        assert trace.rows == len(result)
+
+    def test_tree_shape_mirrors_expression(self):
+        database = _database()
+        expression = Project(
+            Union(Rollback("r", NOW), Const(_state([(7, 7)]))), ["k"]
+        )
+        _, trace = trace_evaluate(expression, database)
+        assert trace.operator == "Project"
+        assert [child.operator for child in trace.children] == ["Union"]
+        union = trace.children[0]
+        assert [child.operator for child in union.children] == [
+            "Rollback",
+            "Const",
+        ]
+
+    def test_timings_accumulate(self):
+        database = _database()
+        expression = Union(Rollback("r", NOW), Const(_state([(7, 7)])))
+        _, trace = trace_evaluate(expression, database)
+        assert trace.self_seconds >= 0.0
+        assert trace.total_seconds >= trace.self_seconds
+        assert trace.total_seconds >= sum(
+            child.total_seconds for child in trace.children
+        )
+
+    def test_empty_set_leaf_reports_no_rows(self):
+        database = run([DefineRelation("empty", "rollback")])
+        _, trace = trace_evaluate(Rollback("empty", NOW), database)
+        assert trace.rows is None
+
+    def test_to_dict_is_json_shaped(self):
+        database = _database()
+        _, trace = trace_evaluate(
+            Union(Rollback("r", NOW), Const(_state([(7, 7)]))), database
+        )
+        payload = trace.to_dict()
+        assert payload["operator"] == "Union"
+        assert len(payload["children"]) == 2
+        assert payload["total_seconds"] >= payload["self_seconds"]
+
+
+class TestTraceCommand:
+    def test_modify_state_traced_and_database_identical(self):
+        database = _database()
+        command = ModifyState(
+            "r", Union(Rollback("r", NOW), Const(_state([(9, 9)])))
+        )
+        traced_db, trace = trace_command(command, database)
+        assert traced_db == command.execute(database)
+        assert trace.txn_after == trace.txn_before + 1
+        assert trace.expression is not None
+        assert trace.expression.operator == "Union"
+
+    def test_define_relation_has_no_expression_trace(self):
+        new_db, trace = trace_command(
+            DefineRelation("r", "rollback"), EMPTY_DATABASE
+        )
+        assert trace.expression is None
+        assert new_db.transaction_number == 1
+
+    def test_noop_modify_state_is_traced_as_noop(self):
+        # unbound identifier: paper semantics no-op, no expression trace
+        new_db, trace = trace_command(
+            ModifyState("ghost", Const(_state([(1, 1)]))), EMPTY_DATABASE
+        )
+        assert new_db is EMPTY_DATABASE or new_db == EMPTY_DATABASE
+        assert trace.expression is None
+        assert trace.txn_after == trace.txn_before
+
+    def test_sequence_nests_subtraces(self):
+        command = Sequence(
+            DefineRelation("r", "rollback"),
+            ModifyState("r", Const(_state([(1, 1)]))),
+        )
+        new_db, trace = trace_command(command, EMPTY_DATABASE)
+        assert new_db.transaction_number == 2
+        assert trace.command == "sequence"
+        assert len(trace.children) == 2
+        assert trace.children[1].expression is not None
+
+
+class TestFormatting:
+    def test_format_expression_trace(self):
+        database = _database()
+        _, trace = trace_evaluate(
+            Union(Rollback("r", NOW), Const(_state([(7, 7)]))), database
+        )
+        text = format_trace(trace)
+        assert "∪" in text
+        assert "rows=4" in text
+        assert "self=" in text and "total=" in text
+
+    def test_format_command_trace(self):
+        database = _database()
+        _, trace = trace_command(
+            ModifyState(
+                "r", Union(Rollback("r", NOW), Const(_state([(9, 9)])))
+            ),
+            database,
+        )
+        text = format_trace(trace)
+        assert text.startswith("modify_state(r")
+        assert "txn 2 → 3" in text

@@ -1,0 +1,129 @@
+"""Regression tests: ``VersionedDatabase.execute`` must honor the
+``strict`` and ``memoize`` flags of ``DefineRelation``/``ModifyState``.
+
+Pre-fix, the backend execution path silently dropped both flags — the
+exact class of silent physical/logical drift the paper's Section 5
+observation-equivalence criterion is supposed to rule out.  Every test
+here fails against the pre-fix code.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommandError
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Difference, Rollback, Select
+from repro.core.txn import NOW
+from repro.obsv import registry as obsv_registry
+from repro.obsv.registry import MetricsRegistry
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+    VersionedDatabase,
+)
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+@pytest.fixture(
+    params=[
+        FullCopyBackend,
+        DeltaBackend,
+        ReverseDeltaBackend,
+        lambda: CheckpointDeltaBackend(4),
+        TupleTimestampBackend,
+    ],
+    ids=[
+        "full-copy",
+        "forward-delta",
+        "reverse-delta",
+        "checkpoint-delta",
+        "tuple-timestamp",
+    ],
+)
+def vdb(request):
+    return VersionedDatabase(request.param())
+
+
+class TestStrict:
+    def test_strict_define_on_bound_raises(self, vdb):
+        vdb.execute(DefineRelation("r", "rollback"))
+        with pytest.raises(CommandError, match="already defined"):
+            vdb.execute(DefineRelation("r", "rollback", strict=True))
+        # the failed command must not consume a transaction number
+        assert vdb.transaction_number == 1
+
+    def test_strict_modify_on_unbound_raises(self, vdb):
+        with pytest.raises(CommandError, match="not defined"):
+            vdb.execute(
+                ModifyState("ghost", Const(kv((1, 1))), strict=True)
+            )
+        assert vdb.transaction_number == 0
+
+    def test_non_strict_still_noops(self, vdb):
+        vdb.execute(DefineRelation("r", "rollback"))
+        vdb.execute(DefineRelation("r", "rollback"))  # bound: no-op
+        vdb.execute(ModifyState("ghost", Const(kv((1, 1)))))  # unbound
+        assert vdb.transaction_number == 1
+
+    def test_strict_define_on_unbound_succeeds(self, vdb):
+        vdb.execute(DefineRelation("r", "rollback", strict=True))
+        assert vdb.transaction_number == 1
+
+    def test_strict_matches_pure_semantics_error(self, vdb):
+        """The pure and physical paths raise for the same inputs."""
+        from repro.core.database import EMPTY_DATABASE
+
+        command = ModifyState("ghost", Const(kv((1, 1))), strict=True)
+        with pytest.raises(CommandError):
+            command.execute(EMPTY_DATABASE)
+        with pytest.raises(CommandError):
+            vdb.execute(command)
+
+
+class TestMemoize:
+    def _shared_subtree_command(self, memoize: bool) -> ModifyState:
+        source = Rollback("r", NOW)
+        return ModifyState(
+            "r",
+            Difference(
+                source,
+                Select(source, Comparison(attr("k"), "=", lit(1))),
+            ),
+            memoize=memoize,
+        )
+
+    def test_memoize_uses_memoized_evaluator(self, vdb):
+        vdb.execute(DefineRelation("r", "rollback"))
+        vdb.execute(ModifyState("r", Const(kv((1, 1), (2, 2)))))
+        registry = obsv_registry.enable(MetricsRegistry())
+        try:
+            vdb.execute(self._shared_subtree_command(memoize=True))
+            counters = registry.snapshot()["counters"]
+            # the repeated ρ(r, now) subtree was served from the cache —
+            # impossible if the memoize flag were dropped
+            assert counters.get("expr.memo_hits", 0) >= 1
+        finally:
+            obsv_registry.disable()
+
+    def test_memoized_result_matches_plain(self):
+        results = []
+        for memoize in (False, True):
+            vdb = VersionedDatabase(FullCopyBackend())
+            vdb.execute(DefineRelation("r", "rollback"))
+            vdb.execute(ModifyState("r", Const(kv((1, 1), (2, 2)))))
+            vdb.execute(self._shared_subtree_command(memoize))
+            results.append(vdb.current("r"))
+        assert results[0] == results[1] == kv((2, 2))
