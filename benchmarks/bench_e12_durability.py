@@ -1,0 +1,152 @@
+"""E12 — durability: WAL append throughput and recovery latency.
+
+Two questions the durability subsystem answers empirically:
+
+* what each fsync policy costs on the append path — commands/second
+  through a :class:`DurableDatabase` over a real directory, where
+  ``always`` pays one fsync per command, ``batch`` amortizes it, and
+  ``never`` defers it entirely; and
+* how recovery latency scales with the length of the WAL tail past the
+  last checkpoint — replay is linear in the tail, so checkpoints bound
+  restart time at the checkpoint interval.
+
+``--smoke`` shrinks the workload for CI; with ``REPRO_METRICS_JSON``
+set, the sidecar carries the ``wal.*`` counters (records appended,
+fsyncs, rotations, checkpoints, recovery replay lengths).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const
+from repro.durability import DurableDatabase
+from repro.workloads import StateGenerator
+
+POLICIES = ("always", "batch(32, 100)", "never")
+
+FULL = dict(appends=600, tails=(0, 100, 300, 600), repeat=3)
+SMOKE = dict(appends=120, tails=(0, 40, 120), repeat=1)
+
+
+def command_stream(length: int, seed: int = 3):
+    """``define_relation`` plus ``length − 1`` constant-state updates."""
+    generator = StateGenerator(seed=seed, key_space=64)
+    commands = [DefineRelation("r", "rollback")]
+    for _ in range(length - 1):
+        commands.append(
+            ModifyState("r", Const(generator.snapshot_state(3)))
+        )
+    return commands
+
+
+def append_throughput(length: int, policy: str) -> float:
+    """Commands/second through a DurableDatabase on a real directory."""
+    commands = command_stream(length)
+    with tempfile.TemporaryDirectory(prefix="repro-e12-") as tmp:
+        with DurableDatabase(
+            tmp, fsync=policy, checkpoint_every=0
+        ) as ddb:
+            start = time.perf_counter()
+            for command in commands:
+                ddb.execute(command)
+            ddb.sync()
+            elapsed = time.perf_counter() - start
+    return length / elapsed
+
+
+def recovery_latency(
+    tail: int, total: int, checkpointed: bool
+) -> tuple[float, int]:
+    """Open-time recovery cost after a log with ``tail`` un-checkpointed
+    records; returns (seconds, records replayed)."""
+    commands = command_stream(total)
+    with tempfile.TemporaryDirectory(prefix="repro-e12-") as tmp:
+        with DurableDatabase(
+            tmp, fsync="never", checkpoint_every=0
+        ) as ddb:
+            for index, command in enumerate(commands):
+                ddb.execute(command)
+                if checkpointed and index == total - tail - 1:
+                    ddb.checkpoint()
+        start = time.perf_counter()
+        recovered = DurableDatabase(tmp, checkpoint_every=0)
+        seconds = time.perf_counter() - start
+        result = recovered.last_recovery
+        assert recovered.transaction_number == total
+        recovered.close()
+    return seconds, result.replayed
+
+
+def throughput_table(config) -> list:
+    return [
+        (
+            policy,
+            max(
+                append_throughput(config["appends"], policy)
+                for _ in range(config["repeat"])
+            ),
+        )
+        for policy in POLICIES
+    ]
+
+
+def recovery_table(config) -> list:
+    total = max(config["tails"])
+    rows = []
+    for tail in config["tails"]:
+        seconds, replayed = recovery_latency(
+            tail, total, checkpointed=tail < total
+        )
+        rows.append((tail, replayed, seconds))
+    return rows
+
+
+def report(smoke: bool = False) -> str:
+    config = SMOKE if smoke else FULL
+    lines = [
+        f"E12 — durability ({config['appends']} commands; "
+        f"{'smoke' if smoke else 'full'} run)"
+    ]
+    lines.append("  append throughput (commands/s) by fsync policy:")
+    for policy, rate in throughput_table(config):
+        lines.append(f"    {policy:16s} {rate:10.0f}")
+    lines.append(
+        "  recovery latency vs un-checkpointed WAL tail "
+        f"(total history {max(config['tails'])}):"
+    )
+    for tail, replayed, seconds in recovery_table(config):
+        lines.append(
+            f"    tail {tail:5d}  replayed {replayed:5d}  "
+            f"{seconds * 1000.0:8.1f} ms"
+        )
+    return "\n".join(lines)
+
+
+# -- pytest-benchmark entry points -----------------------------------------
+
+
+def bench_append_always(benchmark):
+    benchmark(append_throughput, 60, "always")
+
+
+def bench_append_batch(benchmark):
+    benchmark(append_throughput, 60, "batch(16, 100)")
+
+
+def bench_append_never(benchmark):
+    benchmark(append_throughput, 60, "never")
+
+
+def bench_recovery_replay(benchmark):
+    benchmark(recovery_latency, 60, 60, False)
+
+
+if __name__ == "__main__":
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e12_durability"):
+        print(report(smoke="--smoke" in sys.argv[1:]))

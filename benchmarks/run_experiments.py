@@ -26,6 +26,7 @@ from benchmarks import (
     bench_e9_benzvi,
     bench_e10_concurrency,
     bench_e11_update_optimization,
+    bench_e12_durability,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -44,6 +45,7 @@ EXPERIMENTS = {
     "e9": bench_e9_benzvi,
     "e10": bench_e10_concurrency,
     "e11": bench_e11_update_optimization,
+    "e12": bench_e12_durability,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

@@ -8,7 +8,7 @@ from typing import Any, Optional
 
 from repro.errors import StorageError
 from repro.core.txn import TransactionNumber
-from repro.persistence.json_codec import _state_from_dict, _state_to_dict
+from repro.persistence.json_codec import state_from_dict, state_to_dict
 
 __all__ = ["ArchivedSegment", "ArchiveStore"]
 
@@ -121,7 +121,7 @@ class ArchiveStore:
                 {
                     "identifier": segment.identifier,
                     "pairs": [
-                        {"txn": txn, "state": _state_to_dict(state)}
+                        {"txn": txn, "state": state_to_dict(state)}
                         for state, txn in segment.pairs
                     ],
                 }
@@ -140,7 +140,7 @@ class ArchiveStore:
         store = cls()
         for entry in payload["segments"]:
             pairs = [
-                (_state_from_dict(item["state"]), item["txn"])
+                (state_from_dict(item["state"]), item["txn"])
                 for item in entry["pairs"]
             ]
             store.add_segment(

@@ -1,0 +1,191 @@
+"""Fault injection: a simulated disk with an explicit durable/volatile split.
+
+The crash-recovery suite needs to kill the process at arbitrary points
+and observe what a real disk would have retained.  :class:`MemoryStore`
+models exactly that: every file has *volatile* contents (what the
+process sees) and *durable* contents (what survives a crash).  Appends
+land in volatile space; :meth:`~MemoryStore.sync` promotes them;
+:meth:`~MemoryStore.crash` discards everything volatile — except that,
+as on a real disk, an arbitrary prefix of the un-synced tail may have
+reached the platter, optionally with flipped bits (a torn write).
+
+:class:`FaultPlan` scripts the failure:
+
+* ``crash_at_op=n`` — raise :class:`CrashPoint` when the ``n``-th store
+  operation (append/replace/sync/delete) is about to run, simulating the
+  process dying mid-write;
+* ``keep_tail_bytes=k`` — at crash time, ``k`` bytes of each file's
+  un-synced tail survive on disk (a torn write when it splits a record);
+* ``flip_bit_in_tail=True`` — one bit of the surviving torn tail is
+  inverted, exercising the CRC check;
+* ``sync_lies=True`` — ``sync`` reports success without making anything
+  durable (a "lying fsync" / partial-fsync fault).
+
+After :meth:`~MemoryStore.crash` the plan is disarmed: the post-crash
+store behaves like a healthy disk, so recovery itself runs fault-free
+(recovery under *repeated* faults can be scripted with a fresh plan).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.durability.files import FileStore
+
+__all__ = ["CrashPoint", "FaultPlan", "MemoryStore"]
+
+
+class CrashPoint(Exception):
+    """Simulated process death.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: nothing in
+    the library should catch it, exactly as nothing can catch a real
+    ``kill -9``.
+    """
+
+
+class FaultPlan:
+    """A scripted failure for one :class:`MemoryStore` run."""
+
+    __slots__ = (
+        "crash_at_op",
+        "keep_tail_bytes",
+        "flip_bit_in_tail",
+        "sync_lies",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        crash_at_op: Optional[int] = None,
+        keep_tail_bytes: int = 0,
+        flip_bit_in_tail: bool = False,
+        sync_lies: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.crash_at_op = crash_at_op
+        self.keep_tail_bytes = keep_tail_bytes
+        self.flip_bit_in_tail = flip_bit_in_tail
+        self.sync_lies = sync_lies
+        self._rng = random.Random(seed)
+
+
+class _MemFile:
+    __slots__ = ("data", "durable", "created_durable")
+
+    def __init__(self) -> None:
+        self.data = bytearray()  # what the process sees
+        self.durable = b""  # what survives a crash
+        self.created_durable = False  # does the *name* survive a crash?
+
+
+class MemoryStore(FileStore):
+    """An in-memory :class:`FileStore` with crash semantics.
+
+    ``ops`` counts every mutating operation, so a fault-free probe run
+    yields the space of crash points a test can sweep.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        self._files: dict[str, _MemFile] = {}
+        self._plan = plan
+        self.ops = 0
+        self.crashes = 0
+
+    # -- fault machinery --------------------------------------------------
+
+    def _op(self) -> None:
+        self.ops += 1
+        plan = self._plan
+        if plan is not None and plan.crash_at_op == self.ops:
+            raise CrashPoint(f"injected crash at store op {self.ops}")
+
+    def crash(self) -> None:
+        """Simulate process death + restart: volatile state is lost.
+
+        Per the plan, a prefix of each file's un-synced tail may survive
+        (torn write), possibly with one bit flipped.  Files whose
+        creation was never made durable vanish entirely.  The plan is
+        disarmed afterwards.
+        """
+        plan = self._plan
+        survivors: dict[str, _MemFile] = {}
+        for name, file in self._files.items():
+            if not file.created_durable:
+                continue
+            tail = b""
+            pending = bytes(file.data[len(file.durable):])
+            if plan is not None and plan.keep_tail_bytes > 0 and pending:
+                tail = pending[: plan.keep_tail_bytes]
+                if plan.flip_bit_in_tail and tail:
+                    index = plan._rng.randrange(len(tail))
+                    bit = 1 << plan._rng.randrange(8)
+                    flipped = bytearray(tail)
+                    flipped[index] ^= bit
+                    tail = bytes(flipped)
+            file.durable = file.durable + tail
+            file.data = bytearray(file.durable)
+            survivors[name] = file
+        self._files = survivors
+        self._plan = None
+        self.crashes += 1
+
+    def corrupt(self, name: str, offset: int, bit: int = 1) -> None:
+        """Flip a bit of already-durable data (silent media corruption;
+        used to test CRC/validation paths directly)."""
+        file = self._files[self._check_name(name)]
+        data = bytearray(file.durable)
+        data[offset] ^= bit
+        file.durable = bytes(data)
+        file.data = bytearray(file.durable)
+
+    # -- FileStore --------------------------------------------------------
+
+    def list(self) -> tuple[str, ...]:
+        return tuple(sorted(self._files))
+
+    def exists(self, name: str) -> bool:
+        return self._check_name(name) in self._files
+
+    def read(self, name: str) -> bytes:
+        from repro.errors import StorageError
+
+        file = self._files.get(self._check_name(name))
+        if file is None:
+            raise StorageError(f"store has no file {name!r}")
+        return bytes(file.data)
+
+    def append(self, name: str, data: bytes) -> None:
+        self._op()
+        file = self._files.get(self._check_name(name))
+        if file is None:
+            file = self._files[name] = _MemFile()
+        file.data += data
+
+    def replace(self, name: str, data: bytes) -> None:
+        # atomic-and-durable, like DirectoryStore.replace (tmp + fsync +
+        # rename): a crash before this op leaves the old contents, after
+        # it the new — never a mix.
+        self._op()
+        file = self._files.get(self._check_name(name))
+        if file is None:
+            file = self._files[name] = _MemFile()
+        file.data = bytearray(data)
+        file.durable = bytes(data)
+        file.created_durable = True
+
+    def delete(self, name: str) -> None:
+        self._op()
+        self._files.pop(self._check_name(name), None)
+
+    def sync(self, name: str) -> None:
+        self._op()
+        plan = self._plan
+        if plan is not None and plan.sync_lies:
+            return  # the lying-fsync fault: report success, do nothing
+        file = self._files.get(self._check_name(name))
+        if file is None:
+            return
+        file.durable = bytes(file.data)
+        file.created_durable = True

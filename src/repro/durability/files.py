@@ -1,0 +1,184 @@
+"""The file layer the durability subsystem writes through.
+
+Everything the WAL, the checkpointer and recovery touch on disk goes
+through the small :class:`FileStore` interface — flat named files with
+append, atomic replace and explicit fsync.  Two implementations ship:
+
+* :class:`DirectoryStore` — real files in one directory, the production
+  path.  ``replace`` is atomic-and-durable (write a temp file, fsync it,
+  ``os.replace``, best-effort fsync of the directory), which is what
+  checkpoint publication relies on.
+* :class:`repro.durability.faults.MemoryStore` — a simulated disk that
+  models the durable/volatile split explicitly and can inject crashes,
+  torn writes and bit flips; the crash-recovery test suite runs on it.
+
+Keeping the interface this narrow is deliberate: the durability
+guarantees are arguments about *these five operations only*, and the
+fault-injection store can cover them exhaustively.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import StorageError
+
+__all__ = ["FileStore", "DirectoryStore"]
+
+
+class FileStore:
+    """A flat namespace of named byte files.
+
+    Names are simple filenames (no path separators).  ``append`` and
+    ``sync`` are the WAL write path; ``replace`` is the atomic-publish
+    path used by checkpoints and torn-tail repair; ``read``/``list`` are
+    the recovery read path.
+    """
+
+    def list(self) -> tuple[str, ...]:
+        """All file names, sorted."""
+        raise NotImplementedError
+
+    def exists(self, name: str) -> bool:
+        raise NotImplementedError
+
+    def read(self, name: str) -> bytes:
+        """The file's full contents."""
+        raise NotImplementedError
+
+    def append(self, name: str, data: bytes) -> None:
+        """Append ``data``, creating the file if missing.  The write is
+        *not* durable until :meth:`sync`."""
+        raise NotImplementedError
+
+    def replace(self, name: str, data: bytes) -> None:
+        """Atomically publish ``data`` as the file's new contents.
+        After return the new contents are durable; a crash during the
+        call leaves either the old or the new contents, never a mix."""
+        raise NotImplementedError
+
+    def delete(self, name: str) -> None:
+        """Remove the file (no error if already absent)."""
+        raise NotImplementedError
+
+    def sync(self, name: str) -> None:
+        """Make all appended data of ``name`` durable (fsync)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any cached handles (optional)."""
+
+    @staticmethod
+    def _check_name(name: str) -> str:
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            raise StorageError(f"invalid store file name {name!r}")
+        return name
+
+
+class DirectoryStore(FileStore):
+    """Real files in a single directory.
+
+    Append handles are cached per file so a hot WAL segment is opened
+    once, not per record; ``replace`` and ``delete`` evict the cached
+    handle first.
+    """
+
+    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+        self._dir = os.fspath(directory)
+        os.makedirs(self._dir, exist_ok=True)
+        self._handles: dict[str, "object"] = {}
+
+    def _path(self, name: str) -> str:
+        return os.path.join(self._dir, self._check_name(name))
+
+    # -- reads -------------------------------------------------------------
+
+    def list(self) -> tuple[str, ...]:
+        return tuple(
+            sorted(
+                entry
+                for entry in os.listdir(self._dir)
+                if not entry.startswith(".")
+                and not entry.endswith(".tmp")
+            )
+        )
+
+    def exists(self, name: str) -> bool:
+        return os.path.exists(self._path(name))
+
+    def read(self, name: str) -> bytes:
+        handle = self._handles.get(name)
+        if handle is not None:
+            handle.flush()
+        try:
+            with open(self._path(name), "rb") as fp:
+                return fp.read()
+        except FileNotFoundError:
+            raise StorageError(f"store has no file {name!r}") from None
+
+    # -- writes ----------------------------------------------------------
+
+    def append(self, name: str, data: bytes) -> None:
+        handle = self._handles.get(name)
+        if handle is None:
+            handle = open(self._path(name), "ab")
+            self._handles[name] = handle
+        handle.write(data)
+
+    def replace(self, name: str, data: bytes) -> None:
+        self._evict(name)
+        path = self._path(name)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as fp:
+            fp.write(data)
+            fp.flush()
+            os.fsync(fp.fileno())
+        os.replace(tmp, path)
+        self._sync_dir()
+
+    def delete(self, name: str) -> None:
+        self._evict(name)
+        try:
+            os.remove(self._path(name))
+        except FileNotFoundError:
+            pass
+
+    def sync(self, name: str) -> None:
+        handle = self._handles.get(name)
+        if handle is not None:
+            handle.flush()
+            os.fsync(handle.fileno())
+            return
+        # nothing buffered by us; fsync the on-disk file if it exists
+        try:
+            fd = os.open(self._path(name), os.O_RDONLY)
+        except FileNotFoundError:
+            return
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def close(self) -> None:
+        for name in list(self._handles):
+            self._evict(name)
+
+    # -- internal ---------------------------------------------------------
+
+    def _evict(self, name: str) -> None:
+        handle = self._handles.pop(name, None)
+        if handle is not None:
+            handle.flush()
+            handle.close()
+
+    def _sync_dir(self) -> None:
+        try:
+            fd = os.open(self._dir, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)

@@ -10,6 +10,10 @@ commands start with a dot:
 * ``.save <path>`` / ``.load <path>`` — persist/restore via JSON;
 * ``.help`` — summary; ``.quit`` — leave.
 
+Every meta command is also reachable with a ``:`` prefix (``:save``,
+``:load``, ...), the spelling common in other interactive database
+shells, so sessions survive restarts whichever habit the user brings.
+
 The loop is written against explicit input/output streams so it is unit-
 testable; ``python -m repro`` wires it to stdin/stdout.
 """
@@ -44,7 +48,7 @@ expressions:
   project [a, b] (E) | select [a = 1 and b < 2] (E)
   derive [<temporal predicate> ; <temporal expression>] (E)
 
-meta:
+meta (also with a ':' prefix, e.g. :save / :load):
   .relations  .txn  .save <path>  .load <path>  .help  .quit
 """
 
@@ -63,7 +67,7 @@ class Repl:
         """Process one input line; returns False when the REPL should
         exit."""
         stripped = line.strip()
-        if not self._buffer and stripped.startswith("."):
+        if not self._buffer and stripped.startswith((".", ":")):
             return self._meta(stripped)
         if not stripped:
             return True
@@ -107,6 +111,8 @@ class Repl:
     def _meta(self, line: str) -> bool:
         parts = line.split(None, 1)
         name = parts[0]
+        if name.startswith(":"):
+            name = "." + name[1:]
         argument = parts[1].strip() if len(parts) > 1 else ""
         if name == ".quit":
             return False

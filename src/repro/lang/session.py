@@ -41,9 +41,26 @@ class Session:
     session keeps the trail in :attr:`history` for inspection).
     """
 
-    def __init__(self) -> None:
-        self._database: Database = EMPTY_DATABASE
-        self._history: list[Database] = [EMPTY_DATABASE]
+    def __init__(
+        self,
+        durable_dir: "str | None" = None,
+        *,
+        fsync: str = "batch(64, 100)",
+        checkpoint_every: int = 256,
+    ) -> None:
+        self._durable = None
+        if durable_dir is not None:
+            from repro.durability import DurableDatabase
+
+            self._durable = DurableDatabase(
+                durable_dir,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+            )
+            self._database: Database = self._durable.database
+        else:
+            self._database = EMPTY_DATABASE
+        self._history: list[Database] = [self._database]
 
     @property
     def database(self) -> Database:
@@ -79,9 +96,31 @@ class Session:
     def _apply(self, command: Command) -> Database:
         if _obsv.enabled():
             _obsv.get().counter("lang.statements_executed").inc()
-        self._database = command.execute(self._database)
+        if self._durable is not None:
+            self._database = self._durable.execute(command)
+        else:
+            self._database = command.execute(self._database)
         self._history.append(self._database)
         return self._database
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def durable(self):
+        """The session's :class:`~repro.durability.DurableDatabase`,
+        or None for a purely in-memory session."""
+        return self._durable
+
+    def checkpoint(self) -> None:
+        """Force a checkpoint + log compaction (durable sessions only)."""
+        if self._durable is not None:
+            self._durable.checkpoint()
+
+    def close(self) -> None:
+        """Flush the command log and release file handles.  In-memory
+        sessions: a no-op."""
+        if self._durable is not None:
+            self._durable.close()
 
     # -- queries ---------------------------------------------------------------
 

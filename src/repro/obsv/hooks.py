@@ -1,4 +1,4 @@
-"""Observer installation for the expression-evaluation hot path.
+"""Observer installation for the expression-evaluation and WAL hot paths.
 
 Expression evaluation is the innermost loop of the whole stack — every
 ``modify_state``, Quel statement and benchmark hits it — so it uses the
@@ -9,6 +9,14 @@ when metrics are on, the installed :class:`ExpressionObserver` holds its
 counters directly so the enabled path is a bound-method call and an
 integer add, with no per-event name lookup.
 
+The durability layer uses the same pattern: :class:`WalObserver` holds
+the ``wal.*`` instruments (records appended, fsyncs, rotations,
+compactions, recovery replay lengths), and
+:func:`repro.durability.wal` / ``checkpoint`` / ``recovery`` fetch it
+through :func:`wal_observer`, which is ``None`` until metrics are on —
+appends in the ``never``/``batch`` fsync configurations stay on the
+fast path.
+
 :func:`install` / :func:`uninstall` are called by
 :func:`repro.obsv.registry.enable` / ``disable``; they are not part of
 the public surface.
@@ -16,9 +24,17 @@ the public surface.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.obsv.registry import MetricsRegistry
 
-__all__ = ["ExpressionObserver", "install", "uninstall"]
+__all__ = [
+    "ExpressionObserver",
+    "WalObserver",
+    "install",
+    "uninstall",
+    "wal_observer",
+]
 
 
 class ExpressionObserver:
@@ -51,15 +67,105 @@ class ExpressionObserver:
         self._memo_misses.inc()
 
 
+class WalObserver:
+    """Per-event callbacks for the durability layer (``wal.*`` metrics).
+    Instruments are resolved once, at installation."""
+
+    __slots__ = (
+        "_records",
+        "_bytes",
+        "_fsyncs",
+        "_rotations",
+        "_torn",
+        "_compactions",
+        "_segments_dropped",
+        "_checkpoints",
+        "_invalid_checkpoints",
+        "_recoveries",
+        "_replay_length",
+        "_recovery_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._records = registry.counter("wal.records_appended")
+        self._bytes = registry.counter("wal.bytes_appended")
+        self._fsyncs = registry.counter("wal.fsyncs")
+        self._rotations = registry.counter("wal.segments_rotated")
+        self._torn = registry.counter("wal.torn_records_truncated")
+        self._compactions = registry.counter("wal.compactions")
+        self._segments_dropped = registry.counter("wal.segments_dropped")
+        self._checkpoints = registry.counter("wal.checkpoints_written")
+        self._invalid_checkpoints = registry.counter(
+            "wal.checkpoints_invalid_skipped"
+        )
+        self._recoveries = registry.counter("wal.recoveries")
+        self._replay_length = registry.histogram(
+            "wal.recovery_replay_length"
+        )
+        self._recovery_seconds = registry.histogram(
+            "wal.recovery_seconds"
+        )
+
+    def appended(self, nbytes: int) -> None:
+        """One record (``nbytes`` framed bytes) was appended."""
+        self._records.inc()
+        self._bytes.inc(nbytes)
+
+    def fsynced(self) -> None:
+        """The log fsynced its current segment."""
+        self._fsyncs.inc()
+
+    def rotated(self) -> None:
+        """A full segment was closed and a new one started."""
+        self._rotations.inc()
+
+    def torn(self, records: int) -> None:
+        """Torn/corrupt records were truncated away at log open."""
+        self._torn.inc(records)
+
+    def compacted(self, segments: int) -> None:
+        """A compaction pass dropped fully-checkpointed segments."""
+        self._compactions.inc()
+        self._segments_dropped.inc(segments)
+
+    def checkpointed(self) -> None:
+        """A checkpoint file was published."""
+        self._checkpoints.inc()
+
+    def invalid_checkpoint(self) -> None:
+        """Recovery skipped a checkpoint that failed validation."""
+        self._invalid_checkpoints.inc()
+
+    def recovered(self, replayed: int, seconds: float) -> None:
+        """A recovery completed, re-executing ``replayed`` records."""
+        self._recoveries.inc()
+        self._replay_length.observe(replayed)
+        self._recovery_seconds.observe(seconds)
+
+
+_WAL_OBSERVER: Optional[WalObserver] = None
+
+
+def wal_observer() -> Optional[WalObserver]:
+    """The installed :class:`WalObserver`, or None while metrics are
+    disabled (the durability layer's zero-cost guard)."""
+    return _WAL_OBSERVER
+
+
 def install(registry: MetricsRegistry) -> None:
-    """Point the expression evaluator's observer slot at ``registry``."""
+    """Point the expression evaluator's and durability layer's observer
+    slots at ``registry``."""
+    global _WAL_OBSERVER
     from repro.core import expressions
 
     expressions._OBSERVER = ExpressionObserver(registry)
+    _WAL_OBSERVER = WalObserver(registry)
 
 
 def uninstall() -> None:
-    """Clear the observer slot (the disabled, zero-cost state)."""
+    """Clear the observer slots (the disabled, zero-cost state)."""
+    global _WAL_OBSERVER
     from repro.core import expressions
 
     expressions._OBSERVER = None
+    _WAL_OBSERVER = None

@@ -27,6 +27,8 @@ from repro.persistence.json_codec import (
     loads,
     database_to_dict,
     database_from_dict,
+    state_to_dict,
+    state_from_dict,
 )
 
 __all__ = [
@@ -36,4 +38,6 @@ __all__ = [
     "loads",
     "database_to_dict",
     "database_from_dict",
+    "state_to_dict",
+    "state_from_dict",
 ]

@@ -29,6 +29,8 @@ __all__ = [
     "FORMAT_VERSION",
     "database_to_dict",
     "database_from_dict",
+    "state_to_dict",
+    "state_from_dict",
     "dumps",
     "loads",
     "dump",
@@ -80,7 +82,10 @@ def _periods_from_list(payload: list[list[Any]]) -> PeriodSet:
     )
 
 
-def _state_to_dict(state) -> dict[str, Any]:
+def state_to_dict(state) -> dict[str, Any]:
+    """A snapshot or historical state as a JSON-ready dictionary — the
+    per-state slice of :func:`database_to_dict`, public because other
+    layers (the archive store, checkpoints) serialize bare states."""
     if isinstance(state, HistoricalState):
         return {
             "kind": "historical",
@@ -104,7 +109,8 @@ def _state_to_dict(state) -> dict[str, Any]:
     raise StorageError(f"cannot serialize state {type(state).__name__}")
 
 
-def _state_from_dict(payload: dict[str, Any]):
+def state_from_dict(payload: dict[str, Any]):
+    """Rebuild a state from :func:`state_to_dict` output."""
     schema = _schema_from_dict(payload["schema"])
     if payload["kind"] == "historical":
         tuples = [
@@ -119,6 +125,11 @@ def _state_from_dict(payload: dict[str, Any]):
     raise StorageError(f"unknown state kind {payload['kind']!r}")
 
 
+# Backwards-compatible aliases for the former private spellings.
+_state_to_dict = state_to_dict
+_state_from_dict = state_from_dict
+
+
 # -- relations and databases ------------------------------------------------------
 
 
@@ -126,7 +137,7 @@ def _relation_to_dict(relation: Relation) -> dict[str, Any]:
     return {
         "type": relation.rtype.value,
         "states": [
-            {"txn": txn, "state": _state_to_dict(state)}
+            {"txn": txn, "state": state_to_dict(state)}
             for state, txn in relation.rstate
         ],
     }
@@ -135,7 +146,7 @@ def _relation_to_dict(relation: Relation) -> dict[str, Any]:
 def _relation_from_dict(payload: dict[str, Any]) -> Relation:
     rtype = RelationType.from_name(payload["type"])
     states = [
-        (_state_from_dict(entry["state"]), entry["txn"])
+        (state_from_dict(entry["state"]), entry["txn"])
         for entry in payload["states"]
     ]
     return Relation(rtype, states)
@@ -155,15 +166,37 @@ def database_to_dict(database: Database) -> dict[str, Any]:
 
 
 def database_from_dict(payload: dict[str, Any]) -> Database:
-    """Rebuild a Database from :func:`database_to_dict` output."""
+    """Rebuild a Database from :func:`database_to_dict` output.
+
+    The format version is gated *before* any decoding: a payload written
+    by a newer library is rejected with a clear :class:`StorageError` up
+    front, not a confusing failure halfway through decode.
+    """
+    if not isinstance(payload, dict):
+        raise StorageError(
+            "payload is not a repro database dump (expected a JSON "
+            f"object, got {type(payload).__name__})"
+        )
     if payload.get("format") != "repro-database":
         raise StorageError(
             "payload is not a repro database dump "
             f"(format={payload.get('format')!r})"
         )
-    if payload.get("version") != FORMAT_VERSION:
+    version = payload.get("version")
+    if not isinstance(version, int):
         raise StorageError(
-            f"unsupported dump version {payload.get('version')!r}; "
+            f"dump has no integer format version (got {version!r}); "
+            "the payload is damaged or not a repro dump"
+        )
+    if version > FORMAT_VERSION:
+        raise StorageError(
+            f"dump was written by a newer library (format version "
+            f"{version}); this library reads up to version "
+            f"{FORMAT_VERSION} — upgrade to load it"
+        )
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported dump version {version!r}; "
             f"this library reads version {FORMAT_VERSION}"
         )
     bindings = {

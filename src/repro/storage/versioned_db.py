@@ -211,6 +211,29 @@ class VersionedDatabase:
         """``FINDSTATE`` directly against the backend."""
         return self._backend.state_at(identifier, txn)
 
+    # -- recovery ---------------------------------------------------------------
+
+    def restore(self, database) -> None:
+        """Load a semantic :class:`~repro.core.database.Database` value
+        into the (empty) backend — the crash-recovery path that rebuilds
+        a physical representation from a checkpoint + WAL replay.
+
+        Every relation is created and its full state sequence installed
+        with the original transaction numbers, so subsequent
+        ``state_at`` probes answer exactly as they did before the crash.
+        """
+        if self._backend.identifiers():
+            raise StorageError(
+                "restore requires an empty backend; this one already "
+                f"holds {self._backend.identifiers()}"
+            )
+        for identifier in database.state:
+            relation = database.require(identifier)
+            self._backend.create(identifier, relation.rtype)
+            for state, txn in relation.rstate:
+                self._backend.install(identifier, state, txn)
+        self._txn = database.transaction_number
+
     def current(self, identifier: str) -> Optional[State]:
         """The relation's most recent state."""
         return self._backend.state_at(identifier, self._txn)

@@ -1,0 +1,135 @@
+"""Shared workload + oracle for the durability suite.
+
+The crash-recovery tests are differential: the same command sequence is
+run once purely in memory (the *oracle* — one database value per prefix)
+and once through the durable stack with injected faults.  Recovery must
+always land on one of the oracle's prefixes, never anywhere else.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.commands import (
+    DefineRelation,
+    ModifyState,
+    execute,
+)
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.txn import NOW
+from repro.workloads.generators import StateGenerator
+
+#: Every relation type the paper defines appears in the workload.
+RELATIONS = (
+    ("r", "rollback"),
+    ("s", "snapshot"),
+    ("h", "historical"),
+    ("t", "temporal"),
+)
+
+
+def scripted_workload(length: int = 220, seed: int = 7):
+    """A deterministic ``length``-command workload over all four
+    relation types.
+
+    Besides plain ``modify_state`` with constant states (snapshot rows
+    and historical rows with random — sometimes ``FOREVER`` — periods),
+    it mixes in the paper's no-op cases (re-defining a bound identifier,
+    modifying an unbound one), rollback-reading updates
+    (``ρ(I, now) union <const>``), and command sequences, so the WAL
+    codec and replay see every command shape.
+    """
+    rng = random.Random(seed)
+    snap = StateGenerator(seed=seed, key_space=40)
+    hist = StateGenerator(seed=seed + 1, key_space=40)
+    commands = [DefineRelation(i, t) for i, t in RELATIONS]
+    modified: set[str] = set()
+    while len(commands) < length:
+        roll = rng.random()
+        if roll < 0.04:
+            # paper semantics: re-defining a bound identifier is a no-op
+            commands.append(DefineRelation("r", "rollback"))
+            continue
+        if roll < 0.08:
+            # ... as is modifying an unbound identifier
+            commands.append(
+                ModifyState("ghost", Const(snap.snapshot_state(1)))
+            )
+            continue
+        identifier, rtype = RELATIONS[rng.randrange(len(RELATIONS))]
+        if rtype in ("rollback", "snapshot"):
+            expression = Const(snap.snapshot_state(rng.randint(1, 4)))
+            if identifier in modified and rng.random() < 0.35:
+                # append-style update reading the current state
+                expression = Union(
+                    Rollback(identifier, NOW), expression
+                )
+        else:
+            expression = Const(hist.historical_state(rng.randint(1, 3)))
+        command = ModifyState(identifier, expression)
+        if roll > 0.95 and identifier in modified:
+            # occasionally ship two commands as one sequence record
+            command = DefineRelation(identifier, rtype).then(command)
+        commands.append(command)
+        modified.add(identifier)
+    return commands
+
+
+def oracle_history(commands):
+    """Database value after every prefix: ``oracle[k]`` is the result of
+    executing the first ``k`` commands from the empty database."""
+    databases = [EMPTY_DATABASE]
+    for command in commands:
+        databases.append(execute(command, databases[-1]))
+    return databases
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return scripted_workload()
+
+
+@pytest.fixture(scope="session")
+def oracle(workload):
+    return oracle_history(workload)
+
+
+def assert_recovered_prefix(recovered, oracle, completed, min_index):
+    """The core recovery invariant: ``recovered`` equals ``oracle[m]``
+    for some ``min_index ≤ m ≤ completed + 1``, and FINDSTATE agrees
+    with that oracle prefix for every relation at every transaction
+    number.  Returns ``m``.
+
+    The upper bound is ``completed + 1`` because a crash *during* a
+    command's post-append bookkeeping can leave the record durable even
+    though the caller never saw the command acknowledged.
+    """
+    upper = min(completed + 1, len(oracle) - 1)
+    match = None
+    for index in range(upper, -1, -1):
+        if oracle[index] == recovered:
+            match = index
+            break
+    assert match is not None, (
+        "recovered database is not any prefix of the committed history "
+        f"(completed={completed}, recovered txn="
+        f"{recovered.transaction_number})"
+    )
+    assert match >= min_index, (
+        f"recovery lost acknowledged commands: recovered prefix {match} "
+        f"but the fsync policy guarantees at least {min_index}"
+    )
+    expected = oracle[match]
+    assert recovered.transaction_number == expected.transaction_number
+    for identifier in recovered.state:
+        relation = recovered.require(identifier)
+        mirror = expected.require(identifier)
+        for txn in range(recovered.transaction_number + 1):
+            assert relation.find_state(txn) == mirror.find_state(txn), (
+                f"FINDSTATE({identifier!r}, {txn}) diverges from the "
+                f"oracle at prefix {match}"
+            )
+    return match

@@ -1,0 +1,202 @@
+"""Tests for checkpoints and checkpoint-plus-replay recovery."""
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.durability import DurableDatabase, MemoryStore
+from repro.durability.checkpoint import (
+    checkpoint_name,
+    drop_old_checkpoints,
+    latest_checkpoint,
+    list_checkpoints,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.durability.recovery import recover
+
+
+def corrupt_checkpoint(store, name):
+    """Flip one bit inside the checkpoint's embedded database body."""
+    data = store.read(name)
+    offset = data.index(b'"database"') + len(b'"database"') + 10
+    store.corrupt(name, offset)
+
+
+class TestCheckpointFiles:
+    def test_roundtrip(self, oracle):
+        store = MemoryStore()
+        database = oracle[100]
+        name = write_checkpoint(store, database, 100)
+        lsn, loaded = read_checkpoint(store, name)
+        assert lsn == 100
+        assert loaded == database
+        assert latest_checkpoint(store) == (100, database)
+
+    def test_newest_wins(self, oracle):
+        store = MemoryStore()
+        write_checkpoint(store, oracle[50], 50)
+        write_checkpoint(store, oracle[120], 120)
+        lsn, loaded = latest_checkpoint(store)
+        assert (lsn, loaded) == (120, oracle[120])
+
+    def test_crc_detects_corruption(self, oracle):
+        store = MemoryStore()
+        name = write_checkpoint(store, oracle[30], 30)
+        corrupt_checkpoint(store, name)
+        with pytest.raises(StorageError, match="CRC"):
+            read_checkpoint(store, name)
+
+    def test_corrupt_newest_falls_back(self, oracle):
+        store = MemoryStore()
+        write_checkpoint(store, oracle[50], 50)
+        name = write_checkpoint(store, oracle[120], 120)
+        corrupt_checkpoint(store, name)
+        assert latest_checkpoint(store) == (50, oracle[50])
+
+    def test_all_corrupt_means_none(self, oracle):
+        store = MemoryStore()
+        for lsn in (10, 20):
+            corrupt_checkpoint(
+                store, write_checkpoint(store, oracle[lsn], lsn)
+            )
+        assert latest_checkpoint(store) is None
+
+    def test_unsupported_version_rejected(self, oracle):
+        store = MemoryStore()
+        name = write_checkpoint(store, oracle[10], 10)
+        envelope = json.loads(store.read(name).decode())
+        envelope["version"] = 99
+        store.replace(name, json.dumps(envelope).encode())
+        with pytest.raises(StorageError, match="version"):
+            read_checkpoint(store, name)
+
+    def test_drop_old_checkpoints(self, oracle):
+        store = MemoryStore()
+        for lsn in (10, 20, 30, 40):
+            write_checkpoint(store, oracle[lsn], lsn)
+        kept = drop_old_checkpoints(store, keep=2)
+        assert kept == (30, 40)
+        assert list_checkpoints(store) == (
+            checkpoint_name(30),
+            checkpoint_name(40),
+        )
+        with pytest.raises(StorageError, match="at least one"):
+            drop_old_checkpoints(store, keep=0)
+
+
+class TestRecovery:
+    def test_empty_store_recovers_empty(self):
+        result = recover(MemoryStore())
+        assert result.database.transaction_number == 0
+        assert (result.checkpoint_lsn, result.replayed) == (0, 0)
+
+    def test_replay_without_checkpoint(self, workload, oracle):
+        store = MemoryStore()
+        with DurableDatabase(
+            store, fsync="always", checkpoint_every=0
+        ) as ddb:
+            for command in workload[:60]:
+                ddb.execute(command)
+        result = recover(store)
+        assert result.database == oracle[60]
+        assert result.checkpoint_lsn == 0
+        assert result.replayed == 60
+
+    def test_checkpoint_bounds_replay(self, workload, oracle):
+        store = MemoryStore()
+        with DurableDatabase(
+            store, fsync="always", checkpoint_every=0
+        ) as ddb:
+            for command in workload[:50]:
+                ddb.execute(command)
+            ddb.checkpoint()
+            for command in workload[50:60]:
+                ddb.execute(command)
+        result = recover(store)
+        assert result.database == oracle[60]
+        assert result.checkpoint_lsn == 50
+        assert result.replayed == 10
+
+    def test_compaction_preserves_recovery(self, workload, oracle):
+        store = MemoryStore()
+        with DurableDatabase(
+            store,
+            fsync="always",
+            checkpoint_every=20,
+            keep_checkpoints=2,
+            segment_bytes=2048,
+        ) as ddb:
+            for command in workload[:90]:
+                ddb.execute(command)
+        # compaction really dropped something
+        assert recover(store).database == oracle[90]
+
+    def test_corrupt_newest_checkpoint_replays_longer_tail(
+        self, workload, oracle
+    ):
+        """Recovery falls back to the older checkpoint; compaction kept
+        every WAL record past it, so nothing is lost."""
+        store = MemoryStore()
+        with DurableDatabase(
+            store,
+            fsync="always",
+            checkpoint_every=20,
+            keep_checkpoints=2,
+            segment_bytes=2048,
+        ) as ddb:
+            for command in workload[:90]:
+                ddb.execute(command)
+        checkpoints = list_checkpoints(store)
+        assert len(checkpoints) == 2
+        corrupt_checkpoint(store, checkpoints[-1])
+        result = recover(store)
+        assert result.database == oracle[90]
+        assert result.checkpoint_lsn < 90
+
+    def test_divergent_log_fails_loudly(self, workload, oracle):
+        """If every checkpoint is lost *and* the early log was compacted
+        away, replay cannot reach a consistent state — recovery must
+        raise, not silently return a wrong database."""
+        store = MemoryStore()
+        with DurableDatabase(
+            store,
+            fsync="always",
+            checkpoint_every=20,
+            keep_checkpoints=2,
+            segment_bytes=2048,
+        ) as ddb:
+            for command in workload[:90]:
+                ddb.execute(command)
+        compacted = recover(store)
+        assert compacted.checkpoint_lsn > 0
+        for name in list_checkpoints(store):
+            store.delete(name)
+        with pytest.raises(StorageError, match="diverged"):
+            recover(store)
+
+    def test_checkpoint_outliving_log_rebases_lsns(
+        self, workload, oracle
+    ):
+        """A checkpoint newer than the entire surviving log (total WAL
+        loss) must not make post-recovery commands invisible to the
+        *next* recovery."""
+        store = MemoryStore()
+        with DurableDatabase(
+            store, fsync="always", checkpoint_every=0
+        ) as ddb:
+            for command in workload[:40]:
+                ddb.execute(command)
+            ddb.checkpoint()
+        for name in store.list():
+            if name.startswith("wal-"):
+                store.delete(name)
+        ddb = DurableDatabase(store, fsync="always", checkpoint_every=0)
+        assert ddb.database == oracle[40]
+        assert ddb.wal.last_lsn == 40  # rebased past the covered range
+        for command in workload[40:55]:
+            ddb.execute(command)
+        ddb.close()
+        again = DurableDatabase(store, fsync="always")
+        assert again.database == oracle[55]

@@ -126,6 +126,43 @@ class TestMeta:
         assert "error" in output
 
 
+class TestColonAliases:
+    """Every meta command is also reachable with a ':' prefix — the
+    spelling common in other database shells."""
+
+    def test_colon_save_and_load(self, tmp_path):
+        path = tmp_path / "db.json"
+        output, _ = drive(
+            [
+                "define_relation(r, rollback);",
+                'modify_state(r, state (k: integer) { (7) });',
+                f":save {path}",
+            ]
+        )
+        assert "saved" in output
+
+        output2, repl2 = drive([f":load {path}", "rollback(r, now);"])
+        assert "loaded" in output2
+        assert "7" in output2
+        assert repl2.session.transaction_number == 2
+
+    def test_colon_txn_and_relations(self):
+        output, _ = drive(
+            ["define_relation(r, rollback);", ":txn", ":relations"]
+        )
+        assert "1" in output
+        assert "r: rollback" in output
+
+    def test_colon_help_and_quit(self):
+        output, repl = drive([":help", ":quit", ".txn"])
+        assert ":save" in output  # help mentions the ':' spelling
+        assert "0" not in output.splitlines()[-1]  # .txn never ran
+
+    def test_colon_unknown_is_reported(self):
+        output, _ = drive([":frobnicate"])
+        assert "unknown meta command" in output
+
+
 class TestRunRepl:
     def test_banner_and_eof(self):
         stdin = io.StringIO("define_relation(r, rollback);\n")
