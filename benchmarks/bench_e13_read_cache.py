@@ -1,0 +1,113 @@
+"""E13 — the read-path engine: hot reads and the version-aware state cache.
+
+Two measurements on a forward-delta relation with 512 installed versions:
+
+* ``ρ(R, now)`` latency with the engine on (O(1): the installed state is
+  returned directly) vs. off (``hot_reads=False, cache_capacity=0`` — the
+  pre-engine replay path reconstructs from the base through every delta).
+  The acceptance bar is a ≥10× improvement; in practice the gap is the
+  replay length, i.e. orders of magnitude.
+* warm rollback reads: a working set of historical probes visited twice,
+  showing the state-cache hit latency vs. the cold reconstruction, plus
+  the cache hit rate reported by ``cache_info()``.
+
+Observation equivalence of the fast paths is the subject of
+``tests/storage/test_cache_differential.py``; this script measures the
+latency those tests license us to claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.storage import DeltaBackend
+from repro.workloads import churn_stream, populate_backends
+
+HISTORY = 512
+CARDINALITY = 100
+CHURN = 0.1
+
+#: Historical probe working set: 16 distinct rollback depths, small
+#: enough to fit the default cache, visited twice.
+WORKING_SET = [32 * i + 5 for i in range(16)]
+
+
+def _prepared(**read_options) -> DeltaBackend:
+    states = churn_stream(
+        HISTORY, cardinality=CARDINALITY, churn=CHURN, seed=13
+    )
+    backend = DeltaBackend(**read_options)
+    populate_backends([backend], states)
+    return backend
+
+
+def _latency(backend, txn, repeat) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        backend.state_at("r", txn)
+    return (time.perf_counter() - start) / repeat
+
+
+def hot_read_comparison() -> tuple[float, float]:
+    """(replay-path seconds, engine seconds) for ρ(R, now)."""
+    baseline = _prepared(hot_reads=False, cache_capacity=0)
+    engine = _prepared()
+    # "now" = any probe at or after the newest transaction
+    probe = HISTORY + 1
+    return (
+        _latency(baseline, probe, repeat=20),
+        _latency(engine, probe, repeat=2000),
+    )
+
+
+def warm_rollback_comparison() -> tuple[float, float, dict]:
+    """(cold seconds/probe, warm seconds/probe, cache_info) over the
+    historical working set, visited twice."""
+    backend = _prepared()
+    start = time.perf_counter()
+    for txn in WORKING_SET:
+        backend.state_at("r", txn)
+    cold = (time.perf_counter() - start) / len(WORKING_SET)
+    start = time.perf_counter()
+    for txn in WORKING_SET:
+        backend.state_at("r", txn)
+    warm = (time.perf_counter() - start) / len(WORKING_SET)
+    return cold, warm, backend.cache_info()
+
+
+def report() -> str:
+    lines = [
+        f"E13 — read-path engine on forward deltas "
+        f"(history {HISTORY}, churn {CHURN})"
+    ]
+    replay, hot = hot_read_comparison()
+    lines.append(
+        f"  rho(R, now): replay path {replay * 1e6:9.1f}µs   "
+        f"engine {hot * 1e6:7.2f}µs   "
+        f"speedup {replay / hot:8.0f}x"
+    )
+    cold, warm, info = warm_rollback_comparison()
+    total = info["hits"] + info["misses"]
+    rate = info["hits"] / total if total else 0.0
+    lines.append(
+        f"  rollback working set ({len(WORKING_SET)} probes x2): "
+        f"cold {cold * 1e6:8.1f}µs   warm {warm * 1e6:7.2f}µs   "
+        f"speedup {cold / warm:6.0f}x"
+    )
+    lines.append(
+        f"  state cache: hits {info['hits']}  misses {info['misses']}  "
+        f"evictions {info['evictions']}  hit rate {rate:.0%}  "
+        f"(capacity {info['capacity']})"
+    )
+    lines.append(
+        "  shape: the hot read never replays; the warm pass is pure "
+        "cache hits (rate 50% because every probe was first a miss)"
+    )
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e13_read_cache"):
+        print(report())

@@ -27,6 +27,7 @@ from benchmarks import (
     bench_e10_concurrency,
     bench_e11_update_optimization,
     bench_e12_durability,
+    bench_e13_read_cache,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -46,6 +47,7 @@ EXPERIMENTS = {
     "e10": bench_e10_concurrency,
     "e11": bench_e11_update_optimization,
     "e12": bench_e12_durability,
+    "e13": bench_e13_read_cache,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

@@ -20,6 +20,7 @@ non-conflicting writes to *other* relations correctly.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Callable, Optional
 
 from repro.errors import ConcurrencyError
@@ -38,8 +39,17 @@ class TransactionManager:
         self._database = database if database is not None else EMPTY_DATABASE
         self._next_txn_id = 1
         #: (commit database txn before, write set) of each committed
-        #: transaction, used for backward validation.
-        self._commit_log: list[tuple[int, frozenset[str]]] = []
+        #: transaction, used for backward validation.  Pruned after every
+        #: commit/abort: an entry is only needed while some outstanding
+        #: transaction began at or before its commit point, so a
+        #: long-lived manager stays O(active transactions) instead of
+        #: leaking one entry per commit.
+        self._commit_log: deque[tuple[int, frozenset[str]]] = deque()
+        #: txn_id → begin_txn of every begun-but-unfinished transaction
+        #: (the validation horizon).  A transaction leaves on commit or
+        #: abort; an abandoned ACTIVE transaction pins the log, which is
+        #: the conservative, correct behaviour.
+        self._outstanding: dict[int, int] = {}
         self._aborts = 0
         self._commits = 0
 
@@ -60,6 +70,17 @@ class TransactionManager:
         """Number of aborted transactions (validation failures)."""
         return self._aborts
 
+    @property
+    def validation_log_size(self) -> int:
+        """How many commit-log entries are currently retained for
+        backward validation (bounded by outstanding transactions)."""
+        return len(self._commit_log)
+
+    @property
+    def outstanding_count(self) -> int:
+        """Transactions begun but neither committed nor aborted."""
+        return len(self._outstanding)
+
     # -- lifecycle ----------------------------------------------------------------
 
     def begin(self) -> Transaction:
@@ -71,6 +92,7 @@ class TransactionManager:
             snapshot=self._database,
         )
         self._next_txn_id += 1
+        self._outstanding[transaction.txn_id] = transaction.begin_txn
         return transaction
 
     def commit(self, transaction: Transaction) -> Database:
@@ -100,6 +122,8 @@ class TransactionManager:
         transaction.status = TransactionStatus.COMMITTED
         transaction.commit_txn = new_database.transaction_number
         self._commits += 1
+        self._outstanding.pop(transaction.txn_id, None)
+        self._prune_commit_log()
         if _obsv.enabled():
             _obsv.get().counter("concurrency.commits").inc()
         return new_database
@@ -108,6 +132,8 @@ class TransactionManager:
         """Abort without touching the database."""
         if transaction.status is TransactionStatus.ACTIVE:
             transaction.status = TransactionStatus.ABORTED
+            self._outstanding.pop(transaction.txn_id, None)
+            self._prune_commit_log()
             self._aborts += 1
             if _obsv.enabled():
                 _obsv.get().counter("concurrency.aborts").inc()
@@ -146,6 +172,23 @@ class TransactionManager:
             command = sequence(transaction.commands)
             return command.execute(self._database)
         return self._database
+
+    def _prune_commit_log(self) -> None:
+        """Drop validation entries no transaction can conflict with.
+
+        Validation skips entries with ``committed_at < begin_txn``, so
+        an entry older than every outstanding transaction's begin point
+        — and older than any *future* begin point, which is at least the
+        current transaction number — can never matter again.
+        """
+        horizon = self._database.transaction_number
+        if self._outstanding:
+            begin = min(self._outstanding.values())
+            if begin < horizon:
+                horizon = begin
+        log = self._commit_log
+        while log and log[0][0] < horizon:
+            log.popleft()
 
     # -- validation ----------------------------------------------------------------
 

@@ -16,7 +16,8 @@ which renders a relation's current state as an aligned text table.
 
 from __future__ import annotations
 
-from typing import Union as TypingUnion
+from collections import OrderedDict
+from typing import Iterable, Union as TypingUnion
 
 from repro.core.commands import Command
 from repro.core.database import EMPTY_DATABASE, Database
@@ -41,13 +42,35 @@ class Session:
     session keeps the trail in :attr:`history` for inspection).
     """
 
+    #: Default bound on the retained database-value trail.  Database
+    #: values share structure but under full-copy semantics a long
+    #: session retaining every value is O(n²) memory; the bound keeps
+    #: the recent trail inspectable without the leak.
+    DEFAULT_HISTORY_LIMIT = 256
+
+    #: Default capacity of the parsed-expression (plan) cache.
+    DEFAULT_PLAN_CACHE_CAPACITY = 128
+
     def __init__(
         self,
         durable_dir: "str | None" = None,
         *,
         fsync: str = "batch(64, 100)",
         checkpoint_every: int = 256,
+        history_limit: "int | None" = DEFAULT_HISTORY_LIMIT,
+        plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
     ) -> None:
+        if history_limit is not None and history_limit < 1:
+            raise ValueError(
+                f"history_limit must be ≥ 1 (the current database is "
+                f"always retained) or None for unbounded, got "
+                f"{history_limit}"
+            )
+        if plan_cache_capacity < 0:
+            raise ValueError(
+                f"plan_cache_capacity must be ≥ 0, got "
+                f"{plan_cache_capacity}"
+            )
         self._durable = None
         if durable_dir is not None:
             from repro.durability import DurableDatabase
@@ -61,6 +84,9 @@ class Session:
         else:
             self._database = EMPTY_DATABASE
         self._history: list[Database] = [self._database]
+        self._history_limit = history_limit
+        self._plan_cache: "OrderedDict[str, Expression]" = OrderedDict()
+        self._plan_cache_capacity = plan_cache_capacity
 
     @property
     def database(self) -> Database:
@@ -69,9 +95,17 @@ class Session:
 
     @property
     def history(self) -> tuple[Database, ...]:
-        """Every database value the session has passed through, starting
-        with the empty database."""
+        """The trail of database values the session has passed through,
+        oldest first.  Sessions start the trail at the empty database;
+        once more than ``history_limit`` values have accumulated, the
+        oldest are dropped (pass ``history_limit=None`` to retain every
+        value, the pre-bound behaviour)."""
         return tuple(self._history)
+
+    @property
+    def history_limit(self) -> "int | None":
+        """The bound on the retained trail (None = unbounded)."""
+        return self._history_limit
 
     @property
     def transaction_number(self) -> int:
@@ -93,6 +127,30 @@ class Session:
             command = parse_command(command)
         return self._apply(command)
 
+    def execute_many(
+        self, batch: Iterable[TypingUnion[str, Command]]
+    ) -> Database:
+        """Execute a batch of commands (source text or ASTs) as one
+        group; returns the resulting database.
+
+        For durable sessions this is *group commit*: every command's WAL
+        record is appended under the log's fsync policy — with the
+        default ``batch(N, ms)`` policy the appends coalesce into a few
+        fsyncs instead of one per command — and a single forced sync on
+        return makes the whole batch durable at once.
+        """
+        if _obsv.enabled():
+            _obsv.get().counter("lang.batches_executed").inc()
+        for item in batch:
+            if isinstance(item, str):
+                for command in parse_sentence(item):
+                    self._apply(command)
+            else:
+                self._apply(item)
+        if self._durable is not None:
+            self._durable.sync()
+        return self._database
+
     def _apply(self, command: Command) -> Database:
         if _obsv.enabled():
             _obsv.get().counter("lang.statements_executed").inc()
@@ -101,6 +159,9 @@ class Session:
         else:
             self._database = command.execute(self._database)
         self._history.append(self._database)
+        limit = self._history_limit
+        if limit is not None and len(self._history) > limit:
+            del self._history[: len(self._history) - limit]
         return self._database
 
     # -- durability ----------------------------------------------------------
@@ -127,13 +188,47 @@ class Session:
     def query(self, source: TypingUnion[str, Expression]) -> State:
         """Parse and evaluate an expression against the current database.
         Expressions are side-effect-free: the session's database is
-        unchanged."""
+        unchanged.
+
+        Parsed expressions are memoized by source text in a bounded LRU
+        (expressions are immutable ASTs, so reuse is safe), so repeated
+        queries — the hot production read shape — skip the lexer and
+        parser entirely.
+        """
         if _obsv.enabled():
             _obsv.get().counter("lang.queries").inc()
         expression = (
-            parse_expression(source) if isinstance(source, str) else source
+            self._cached_expression(source)
+            if isinstance(source, str)
+            else source
         )
         return expression.evaluate(self._database)
+
+    def _cached_expression(self, source: str) -> Expression:
+        cache = self._plan_cache
+        expression = cache.get(source)
+        if expression is not None:
+            cache.move_to_end(source)
+            if _obsv.enabled():
+                _obsv.get().counter("lang.plan_cache.hits").inc()
+            return expression
+        if _obsv.enabled():
+            _obsv.get().counter("lang.plan_cache.misses").inc()
+        expression = parse_expression(source)
+        if self._plan_cache_capacity > 0:
+            cache[source] = expression
+            if len(cache) > self._plan_cache_capacity:
+                cache.popitem(last=False)
+                if _obsv.enabled():
+                    _obsv.get().counter("lang.plan_cache.evictions").inc()
+        return expression
+
+    def plan_cache_info(self) -> dict:
+        """Occupancy of the parsed-expression cache."""
+        return {
+            "capacity": self._plan_cache_capacity,
+            "size": len(self._plan_cache),
+        }
 
     def current_state(self, identifier: str) -> State:
         """The named relation's most recent state, via ``ρ(I, now)``."""

@@ -94,6 +94,17 @@ class InstrumentedBackend(StorageBackend):
     ) -> tuple[TransactionNumber, ...]:
         return self._inner.transaction_numbers(identifier)
 
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        return self._inner.latest_txn(identifier)
+
+    def version_count(self, identifier: str) -> int:
+        return self._inner.version_count(identifier)
+
+    def cache_info(self) -> dict:
+        return self._inner.cache_info()
+
     # -- accounting ------------------------------------------------------------
 
     def stored_atoms(self) -> int:

@@ -24,9 +24,18 @@ All five expose the same :class:`StorageBackend` interface, and
 ``state_at`` results for every (relation, transaction) probe.  Experiment
 E7 runs this check over randomized update streams; E5 and E6 measure the
 space/time trade-offs the designs embody.
+
+On top of the physical designs sits a shared read-path engine: every
+backend answers probes at or after its newest transaction in O(1) from
+the installed latest state, and memoizes older reconstructions in a
+version-aware LRU :class:`StateCache` (invalidated per-identifier on
+install).  Experiment E13 measures the hot-read speedup and hit rates;
+the differential suite proves observation equivalence with the cache on,
+off, and eviction-thrashed.
 """
 
 from repro.storage.backend import StorageBackend, atoms_of, state_from_atoms
+from repro.storage.cache import DEFAULT_CACHE_CAPACITY, StateCache
 from repro.storage.full_copy import FullCopyBackend
 from repro.storage.delta import DeltaBackend
 from repro.storage.reverse_delta import ReverseDeltaBackend
@@ -36,6 +45,8 @@ from repro.storage.versioned_db import VersionedDatabase, backends_agree
 
 __all__ = [
     "StorageBackend",
+    "StateCache",
+    "DEFAULT_CACHE_CAPACITY",
     "atoms_of",
     "state_from_atoms",
     "FullCopyBackend",

@@ -26,6 +26,7 @@ from repro.historical.tuples import HistoricalTuple
 from repro.snapshot.schema import Schema
 from repro.snapshot.state import SnapshotState
 from repro.snapshot.tuples import SnapshotTuple
+from repro.storage.cache import DEFAULT_CACHE_CAPACITY, StateCache
 
 __all__ = [
     "State",
@@ -72,6 +73,33 @@ class StorageBackend:
 
     #: Human-readable backend name for benchmark output.
     name = "abstract"
+
+    #: Class-level defaults so backends (and third-party subclasses) that
+    #: never call ``__init__`` still behave: no cache, hot reads allowed.
+    _state_cache: Optional[StateCache] = None
+    _hot_reads: bool = True
+
+    def __init__(
+        self,
+        *,
+        cache_capacity: Optional[int] = None,
+        hot_reads: bool = True,
+    ) -> None:
+        """Configure the shared read-path machinery.
+
+        ``cache_capacity`` bounds the version-aware LRU state cache
+        (None → :data:`~repro.storage.cache.DEFAULT_CACHE_CAPACITY`,
+        0 → disabled); ``hot_reads`` toggles the O(1) latest-version
+        fast path (left on in production; benchmarks switch it off to
+        measure the raw reconstruction cost).
+        """
+        capacity = (
+            DEFAULT_CACHE_CAPACITY
+            if cache_capacity is None
+            else cache_capacity
+        )
+        self._state_cache = StateCache(capacity)
+        self._hot_reads = hot_reads
 
     # -- write path -----------------------------------------------------------
 
@@ -123,6 +151,69 @@ class StorageBackend:
         were installed."""
         raise NotImplementedError
 
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        """The newest installed transaction number, or None for a
+        relation with no state yet.
+
+        The default falls back to ``transaction_numbers()`` (O(n) tuple
+        materialization) so third-party backends keep working; concrete
+        backends override with an O(1) tail read.  The expression
+        evaluator's ``current_state`` path calls this once per
+        ``ρ(R, now)``-shaped read, which is why it must be cheap.
+        """
+        txns = self.transaction_numbers(identifier)
+        return txns[-1] if txns else None
+
+    def version_count(self, identifier: str) -> int:
+        """How many versions are recorded — ``history_length`` without
+        materializing the transaction-number tuple.  Concrete backends
+        override with an O(1) length read."""
+        return len(self.transaction_numbers(identifier))
+
+    # -- shared state cache -------------------------------------------------------
+
+    @property
+    def state_cache(self) -> Optional[StateCache]:
+        """The backend's version-aware LRU state cache (None when the
+        backend predates the cache and never called ``__init__``)."""
+        return self._state_cache
+
+    def cache_info(self) -> dict:
+        """Capacity, occupancy and hit/miss/eviction counts."""
+        if self._state_cache is None:
+            return {
+                "capacity": 0,
+                "size": 0,
+                "hits": 0,
+                "misses": 0,
+                "evictions": 0,
+            }
+        return self._state_cache.info()
+
+    def _cache_get(self, identifier: str, version_index: int):
+        """The cached state for version ``version_index``, or None."""
+        cache = self._state_cache
+        if cache is None:
+            return None
+        return cache.get((identifier, version_index))
+
+    def _cache_put(
+        self, identifier: str, version_index: int, state: State
+    ) -> None:
+        """Memoize a reconstructed state."""
+        cache = self._state_cache
+        if cache is not None:
+            cache.put((identifier, version_index), state)
+
+    def _cache_invalidate(self, identifier: str) -> None:
+        """Drop the identifier's cached states (every ``install`` must
+        call this before the new version becomes readable)."""
+        cache = self._state_cache
+        if cache is not None:
+            cache.invalidate(identifier)
+
     # -- accounting ------------------------------------------------------------
 
     def stored_atoms(self) -> int:
@@ -150,6 +241,7 @@ class StorageBackend:
         self,
         replay_length: Optional[int] = None,
         checkpoint_hit: Optional[bool] = None,
+        hot: bool = False,
     ) -> None:
         """Record a ``state_at`` probe under ``storage.<name>.*``.
 
@@ -157,12 +249,16 @@ class StorageBackend:
         backend processed to reconstruct the answer (deltas replayed,
         undo records applied, or timestamp episodes scanned);
         ``checkpoint_hit`` reports whether a checkpointed backend landed
-        exactly on a checkpoint (no replay needed).
+        exactly on a checkpoint (no replay needed); ``hot`` marks a probe
+        answered from the latest-version fast path without touching
+        physical version records at all.
         """
         if _obsv.enabled():
             registry = _obsv.get()
             prefix = f"storage.{self.name}"
             registry.counter(f"{prefix}.state_at_calls").inc()
+            if hot:
+                registry.counter(f"{prefix}.hot_reads").inc()
             if replay_length is not None:
                 registry.histogram(f"{prefix}.replay_length").observe(
                     replay_length

@@ -1,0 +1,123 @@
+"""The version-aware LRU state cache shared by every storage backend.
+
+Reconstructing a past state is the expensive half of ``FINDSTATE``: delta
+backends replay change records and the tuple-timestamp backend scans every
+episode.  But a relation's version *i* is immutable once installed — the
+paper's databases are values, and backends only ever append — so any
+reconstruction keyed by ``(identifier, version_index)`` can be memoized
+safely.  :class:`StateCache` is that memo: a bounded LRU from version
+coordinates to reconstructed states.
+
+Version indexes (positions in the relation's transaction-number sequence)
+are the key, *not* probe transaction numbers: every probe between two
+installs resolves to the same version, so keying by index collapses the
+whole probe range onto one entry.
+
+Invalidation is per-identifier on ``install``.  For history-keeping
+relations an install only appends a version, but for replacement-semantics
+relations (snapshot, historical) it *rewrites* version 0; dropping the
+identifier's entries on every install is the rule that is correct for
+both, and the differential suite verifies observation equivalence with the
+cache on, off, and eviction-thrashed.
+
+Counters ``storage.cache.{hits,misses,evictions}`` flow through the obsv
+registry when metrics are enabled; local counts are always kept so tests
+and benchmarks can read hit rates without enabling metrics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from repro.errors import StorageError
+from repro.obsv import registry as _obsv
+
+__all__ = ["DEFAULT_CACHE_CAPACITY", "StateCache"]
+
+#: Default per-backend capacity: enough to keep a working set of hot
+#: versions across a handful of relations without retaining full-copy
+#: levels of memory.
+DEFAULT_CACHE_CAPACITY = 64
+
+_Key = tuple[str, int]
+
+
+class StateCache:
+    """A bounded LRU of reconstructed states keyed by
+    ``(identifier, version_index)``.  Capacity 0 disables the cache
+    entirely (every operation a no-op, no counter traffic)."""
+
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity < 0:
+            raise StorageError(
+                f"state-cache capacity must be ≥ 0, got {capacity}"
+            )
+        self.capacity = capacity
+        self._entries: "OrderedDict[_Key, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- the cache protocol ---------------------------------------------------
+
+    def get(self, key: _Key):
+        """The cached state for ``key``, or None (counted as a miss)."""
+        if self.capacity == 0:
+            return None
+        state = self._entries.get(key)
+        if state is None:
+            self.misses += 1
+            if _obsv.enabled():
+                _obsv.get().counter("storage.cache.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if _obsv.enabled():
+            _obsv.get().counter("storage.cache.hits").inc()
+        return state
+
+    def put(self, key: _Key, state) -> None:
+        """Remember a reconstructed state, evicting the least recently
+        used entry when over capacity."""
+        if self.capacity == 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = state
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+            if _obsv.enabled():
+                _obsv.get().counter("storage.cache.evictions").inc()
+
+    def invalidate(self, identifier: str) -> None:
+        """Drop every entry belonging to ``identifier`` (called on
+        ``install``; see the module docstring for why this is the rule
+        that is correct for every relation type)."""
+        if not self._entries:
+            return
+        stale = [key for key in self._entries if key[0] == identifier]
+        for key in stale:
+            del self._entries[key]
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    # -- inspection -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> dict:
+        """Capacity, occupancy and traffic counts as plain data."""
+        return {
+            "capacity": self.capacity,
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -55,7 +55,15 @@ class _Version:
 
 
 class _CheckpointRelation:
-    __slots__ = ("rtype", "txns", "versions", "schema", "kind", "latest")
+    __slots__ = (
+        "rtype",
+        "txns",
+        "versions",
+        "schema",
+        "kind",
+        "latest",
+        "latest_state",
+    )
 
     def __init__(self, rtype: RelationType) -> None:
         self.rtype = rtype
@@ -64,6 +72,9 @@ class _CheckpointRelation:
         self.schema: Optional[Schema] = None
         self.kind: str = "snapshot"
         self.latest: frozenset = frozenset()
+        #: The most recently installed state — the O(1) answer for any
+        #: probe at or after the newest transaction.
+        self.latest_state: Optional[State] = None
 
 
 class CheckpointDeltaBackend(StorageBackend):
@@ -71,7 +82,10 @@ class CheckpointDeltaBackend(StorageBackend):
 
     name = "checkpoint-delta"
 
-    def __init__(self, checkpoint_interval: int = 16) -> None:
+    def __init__(
+        self, checkpoint_interval: int = 16, **read_options
+    ) -> None:
+        super().__init__(**read_options)
         if checkpoint_interval < 1:
             raise StorageError(
                 f"checkpoint interval must be ≥ 1, got "
@@ -116,8 +130,10 @@ class CheckpointDeltaBackend(StorageBackend):
                 )
             relation.txns.append(txn)
         relation.latest = new_atoms
+        relation.latest_state = state
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._cache_invalidate(identifier)
         self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
@@ -131,6 +147,17 @@ class CheckpointDeltaBackend(StorageBackend):
             self._note_state_at(replay_length=0)
             return None
         target = index - 1
+        if (
+            self._hot_reads
+            and target == len(relation.txns) - 1
+            and relation.latest_state is not None
+        ):
+            self._note_state_at(hot=True)
+            return relation.latest_state
+        cached = self._cache_get(identifier, target)
+        if cached is not None:
+            self._note_state_at()
+            return cached
         # Find the nearest checkpoint at or before the target version.
         base_index = target
         while not relation.versions[base_index].is_checkpoint:
@@ -144,7 +171,9 @@ class CheckpointDeltaBackend(StorageBackend):
             checkpoint_hit=base_index == target,
         )
         assert relation.schema is not None
-        return state_from_atoms(relation.schema, relation.kind, atoms)
+        state = state_from_atoms(relation.schema, relation.kind, atoms)
+        self._cache_put(identifier, target, state)
+        return state
 
     def type_of(self, identifier: str) -> RelationType:
         return self._require(identifier).rtype
@@ -159,6 +188,15 @@ class CheckpointDeltaBackend(StorageBackend):
         self, identifier: str
     ) -> tuple[TransactionNumber, ...]:
         return tuple(self._require(identifier).txns)
+
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        txns = self._require(identifier).txns
+        return txns[-1] if txns else None
+
+    def version_count(self, identifier: str) -> int:
+        return len(self._require(identifier).txns)
 
     # -- accounting ------------------------------------------------------------
 

@@ -5,11 +5,14 @@ stored as a *delta* — the atoms added and the atoms removed relative to the
 previous version.  Space is proportional to the total amount of *change*
 rather than the sum of state sizes, so slowly changing relations are cheap.
 The price is read cost: ``state_at`` replays deltas from the base state
-forward, O(history depth).
+forward, O(history depth) — except on the two fast paths every backend
+shares: probes at or after the newest transaction return the installed
+latest state in O(1), and older probes consult the version-aware LRU
+state cache before replaying (see :mod:`repro.storage.cache`).
 
-Benchmarks E5/E6 quantify exactly this trade-off against the full-copy
-semantics; :mod:`repro.storage.checkpoint` bounds the replay with periodic
-checkpoints.
+Benchmarks E5/E6 quantify the raw trade-off against the full-copy
+semantics, E13 the fast paths; :mod:`repro.storage.checkpoint` bounds the
+replay with periodic checkpoints.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ class _DeltaRelation:
         "schema",
         "kind",
         "latest_atoms",
+        "latest_state",
     )
 
     def __init__(self, rtype: RelationType) -> None:
@@ -54,6 +58,10 @@ class _DeltaRelation:
         #: Cached atoms of the most recent version (write-path helper;
         #: does not count toward stored_atoms).
         self.latest_atoms: frozenset = frozenset()
+        #: The most recently installed state itself — the O(1) answer
+        #: for any probe at or after the newest transaction (the
+        #: dominant production read, ρ(R, now)).
+        self.latest_state: Optional[State] = None
 
 
 class DeltaBackend(StorageBackend):
@@ -61,7 +69,8 @@ class DeltaBackend(StorageBackend):
 
     name = "forward-delta"
 
-    def __init__(self) -> None:
+    def __init__(self, **read_options) -> None:
+        super().__init__(**read_options)
         self._relations: dict[str, _DeltaRelation] = {}
 
     # -- write path -----------------------------------------------------------
@@ -95,8 +104,10 @@ class DeltaBackend(StorageBackend):
             relation.txns.append(txn)
             relation.deltas.append((added, removed))
         relation.latest_atoms = new_atoms
+        relation.latest_state = state
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._cache_invalidate(identifier)
         self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
@@ -109,14 +120,28 @@ class DeltaBackend(StorageBackend):
         if index == 0 or relation.base is None:
             self._note_state_at(replay_length=0)
             return None
+        version = index - 1
+        if (
+            self._hot_reads
+            and version == len(relation.txns) - 1
+            and relation.latest_state is not None
+        ):
+            self._note_state_at(hot=True)
+            return relation.latest_state
+        cached = self._cache_get(identifier, version)
+        if cached is not None:
+            self._note_state_at()
+            return cached
         atoms = set(relation.base)
-        replay = relation.deltas[: index - 1]
+        replay = relation.deltas[:version]
         for added, removed in replay:
             atoms -= removed
             atoms |= added
         self._note_state_at(replay_length=len(replay))
         assert relation.schema is not None
-        return state_from_atoms(relation.schema, relation.kind, atoms)
+        state = state_from_atoms(relation.schema, relation.kind, atoms)
+        self._cache_put(identifier, version, state)
+        return state
 
     def type_of(self, identifier: str) -> RelationType:
         return self._require(identifier).rtype
@@ -131,6 +156,15 @@ class DeltaBackend(StorageBackend):
         self, identifier: str
     ) -> tuple[TransactionNumber, ...]:
         return tuple(self._require(identifier).txns)
+
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        txns = self._require(identifier).txns
+        return txns[-1] if txns else None
+
+    def version_count(self, identifier: str) -> int:
+        return len(self._require(identifier).txns)
 
     # -- accounting ------------------------------------------------------------
 

@@ -36,7 +36,11 @@ class FullCopyBackend(StorageBackend):
 
     name = "full-copy"
 
-    def __init__(self) -> None:
+    def __init__(self, **read_options) -> None:
+        # Reads are already a binary search + pointer dereference, so the
+        # shared cache never sees traffic here; the options are accepted
+        # for constructor uniformity across the backend family.
+        super().__init__(**read_options)
         self._relations: dict[str, _FullCopyRelation] = {}
 
     # -- write path -----------------------------------------------------------
@@ -88,6 +92,15 @@ class FullCopyBackend(StorageBackend):
         self, identifier: str
     ) -> tuple[TransactionNumber, ...]:
         return tuple(self._require(identifier).txns)
+
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        txns = self._require(identifier).txns
+        return txns[-1] if txns else None
+
+    def version_count(self, identifier: str) -> int:
+        return len(self._require(identifier).txns)
 
     # -- accounting ------------------------------------------------------------
 

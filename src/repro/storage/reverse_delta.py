@@ -28,7 +28,15 @@ __all__ = ["ReverseDeltaBackend"]
 
 
 class _ReverseDeltaRelation:
-    __slots__ = ("rtype", "txns", "current", "undo", "schema", "kind")
+    __slots__ = (
+        "rtype",
+        "txns",
+        "current",
+        "undo",
+        "schema",
+        "kind",
+        "latest_state",
+    )
 
     def __init__(self, rtype: RelationType) -> None:
         self.rtype = rtype
@@ -39,6 +47,10 @@ class _ReverseDeltaRelation:
         self.undo: list[tuple[frozenset, frozenset]] = []
         self.schema: Optional[Schema] = None
         self.kind: str = "snapshot"
+        #: The most recently installed state — returned directly for
+        #: probes at or after the newest transaction, so the design's
+        #: signature O(1) current read skips even the atom-set copy.
+        self.latest_state: Optional[State] = None
 
 
 class ReverseDeltaBackend(StorageBackend):
@@ -46,7 +58,8 @@ class ReverseDeltaBackend(StorageBackend):
 
     name = "reverse-delta"
 
-    def __init__(self) -> None:
+    def __init__(self, **read_options) -> None:
+        super().__init__(**read_options)
         self._relations: dict[str, _ReverseDeltaRelation] = {}
 
     # -- write path -----------------------------------------------------------
@@ -79,8 +92,10 @@ class ReverseDeltaBackend(StorageBackend):
             relation.undo.append((re_added, re_removed))
             relation.txns.append(txn)
         relation.current = new_atoms
+        relation.latest_state = state
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        self._cache_invalidate(identifier)
         self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
@@ -93,15 +108,29 @@ class ReverseDeltaBackend(StorageBackend):
         if index == 0 or relation.current is None:
             self._note_state_at(replay_length=0)
             return None
+        version = index - 1
+        if (
+            self._hot_reads
+            and version == len(relation.txns) - 1
+            and relation.latest_state is not None
+        ):
+            self._note_state_at(hot=True)
+            return relation.latest_state
+        cached = self._cache_get(identifier, version)
+        if cached is not None:
+            self._note_state_at()
+            return cached
         atoms = set(relation.current)
         # Walk backward from the newest version to version index-1.
-        replay = relation.undo[index - 1 :]
+        replay = relation.undo[version:]
         for re_added, re_removed in reversed(replay):
             atoms -= re_removed
             atoms |= re_added
         self._note_state_at(replay_length=len(replay))
         assert relation.schema is not None
-        return state_from_atoms(relation.schema, relation.kind, atoms)
+        state = state_from_atoms(relation.schema, relation.kind, atoms)
+        self._cache_put(identifier, version, state)
+        return state
 
     def type_of(self, identifier: str) -> RelationType:
         return self._require(identifier).rtype
@@ -116,6 +145,15 @@ class ReverseDeltaBackend(StorageBackend):
         self, identifier: str
     ) -> tuple[TransactionNumber, ...]:
         return tuple(self._require(identifier).txns)
+
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        txns = self._require(identifier).txns
+        return txns[-1] if txns else None
+
+    def version_count(self, identifier: str) -> int:
+        return len(self._require(identifier).txns)
 
     # -- accounting ------------------------------------------------------------
 

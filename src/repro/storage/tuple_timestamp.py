@@ -38,7 +38,15 @@ _OPEN = None
 
 
 class _StampedRelation:
-    __slots__ = ("rtype", "txns", "episodes", "open_index", "schema", "kind")
+    __slots__ = (
+        "rtype",
+        "txns",
+        "episodes",
+        "open_index",
+        "schema",
+        "kind",
+        "latest_state",
+    )
 
     def __init__(self, rtype: RelationType) -> None:
         self.rtype = rtype
@@ -49,6 +57,9 @@ class _StampedRelation:
         self.open_index: dict[Atom, int] = {}
         self.schema: Optional[Schema] = None
         self.kind: str = "snapshot"
+        #: The most recently installed state — probes at or after the
+        #: newest transaction skip the full episode scan.
+        self.latest_state: Optional[State] = None
 
 
 class TupleTimestampBackend(StorageBackend):
@@ -56,7 +67,8 @@ class TupleTimestampBackend(StorageBackend):
 
     name = "tuple-timestamp"
 
-    def __init__(self) -> None:
+    def __init__(self, **read_options) -> None:
+        super().__init__(**read_options)
         self._relations: dict[str, _StampedRelation] = {}
 
     # -- write path -----------------------------------------------------------
@@ -96,6 +108,8 @@ class TupleTimestampBackend(StorageBackend):
             relation.txns.append(txn)
         relation.schema = state.schema
         relation.kind = state_kind(state)
+        relation.latest_state = state
+        self._cache_invalidate(identifier)
         self._note_install(len(new_atoms))
 
     # -- read path ----------------------------------------------------------
@@ -108,6 +122,18 @@ class TupleTimestampBackend(StorageBackend):
         if index == 0:
             self._note_state_at(replay_length=0)
             return None
+        version = index - 1
+        if (
+            self._hot_reads
+            and version == len(relation.txns) - 1
+            and relation.latest_state is not None
+        ):
+            self._note_state_at(hot=True)
+            return relation.latest_state
+        cached = self._cache_get(identifier, version)
+        if cached is not None:
+            self._note_state_at()
+            return cached
         atoms = [
             atom
             for atom, start, stop in relation.episodes
@@ -116,7 +142,9 @@ class TupleTimestampBackend(StorageBackend):
         # A timestamp read "replays" nothing but scans every episode.
         self._note_state_at(replay_length=len(relation.episodes))
         assert relation.schema is not None
-        return state_from_atoms(relation.schema, relation.kind, atoms)
+        state = state_from_atoms(relation.schema, relation.kind, atoms)
+        self._cache_put(identifier, version, state)
+        return state
 
     def type_of(self, identifier: str) -> RelationType:
         return self._require(identifier).rtype
@@ -131,6 +159,15 @@ class TupleTimestampBackend(StorageBackend):
         self, identifier: str
     ) -> tuple[TransactionNumber, ...]:
         return tuple(self._require(identifier).txns)
+
+    def latest_txn(
+        self, identifier: str
+    ) -> Optional[TransactionNumber]:
+        txns = self._require(identifier).txns
+        return txns[-1] if txns else None
+
+    def version_count(self, identifier: str) -> int:
+        return len(self._require(identifier).txns)
 
     # -- accounting ------------------------------------------------------------
 

@@ -56,14 +56,17 @@ class _BackendRelationView:
 
     @property
     def history_length(self) -> int:
-        return len(self._backend.transaction_numbers(self._identifier))
+        # ``version_count`` is an O(1) length read; materializing the
+        # transaction-number tuple here made every expression-evaluation
+        # read pay O(history).
+        return self._backend.version_count(self._identifier)
 
     @property
     def current_state(self):
-        txns = self._backend.transaction_numbers(self._identifier)
-        if not txns:
+        txn = self._backend.latest_txn(self._identifier)
+        if txn is None:
             return EMPTY_STATE
-        return self._backend.state_at(self._identifier, txns[-1])
+        return self._backend.state_at(self._identifier, txn)
 
 
 class _BackendDatabaseView:
@@ -172,10 +175,29 @@ class VersionedDatabase:
 
     # -- direct write path (used by workload streams) ------------------------------
 
-    def define(self, identifier: str, rtype: RelationType | str) -> None:
-        """``define_relation`` without going through a Command object."""
+    def define(
+        self,
+        identifier: str,
+        rtype: RelationType | str,
+        *,
+        strict: bool = False,
+    ) -> None:
+        """``define_relation`` without going through a Command object.
+
+        Matches the ``DefineRelation`` command path exactly: redefining a
+        bound identifier is the paper's silent no-op (no transaction
+        number consumed, original type retained) unless ``strict=True``,
+        which raises :class:`CommandError` — the same escape hatch the
+        command carries.
+        """
         if isinstance(rtype, str):
             rtype = RelationType.from_name(rtype)
+        if self._backend.has(identifier):
+            if strict:
+                raise CommandError(
+                    f"define: {identifier!r} is already defined"
+                )
+            return  # paper semantics: no-op on a bound identifier
         self._backend.create(identifier, rtype)
         self._txn += 1
 

@@ -203,3 +203,71 @@ class TestValidation:
         with pytest.raises(KeyboardInterrupt):
             manager.run(body)
         assert manager.abort_count == 1
+
+
+class TestValidationLogPruning:
+    """The backward-validation log must not grow without bound: an entry
+    is only needed while some outstanding transaction began at or before
+    its commit timestamp."""
+
+    def test_log_empties_with_no_outstanding_txns(self, manager):
+        for key in range(1, 20):
+            t = manager.begin()
+            t.stage(append("r", key))
+            manager.commit(t)
+        assert manager.outstanding_count == 0
+        assert manager.validation_log_size == 0
+
+    def test_outstanding_reader_pins_the_log(self, manager):
+        reader = manager.begin()
+        reader.read(Rollback("r"))
+        for key in range(1, 6):
+            t = manager.begin()
+            t.stage(append("r", key))
+            manager.commit(t)
+        # every commit since the reader began must stay validatable
+        assert manager.validation_log_size == 5
+        manager.abort(reader)
+        assert manager.validation_log_size == 0
+
+    def test_log_pruned_after_reader_finishes(self, manager):
+        reader = manager.begin()
+        reader.read(Rollback("r"))
+        for key in range(1, 4):
+            t = manager.begin()
+            t.stage(append("r", key))
+            manager.commit(t)
+        assert manager.validation_log_size == 3
+        manager.abort(reader)
+        t = manager.begin()
+        t.stage(append("r", 99))
+        manager.commit(t)
+        assert manager.validation_log_size == 0
+
+    def test_conflict_detection_survives_pruning(self, manager):
+        """Pruning must never drop an entry a live transaction could
+        conflict with."""
+        for key in range(1, 10):
+            t = manager.begin()
+            t.stage(append("r", key))
+            manager.commit(t)
+        stale = manager.begin()
+        stale.read(Rollback("r"))
+        stale.stage(append("r", 100))
+        winner = manager.begin()
+        winner.stage(append("r", 200))
+        manager.commit(winner)
+        with pytest.raises(ConcurrencyError):
+            manager.commit(stale)
+
+    def test_commit_prunes_its_own_entry_horizon(self, manager):
+        a = manager.begin()
+        a.stage(append("r", 1))
+        b = manager.begin()
+        b.read(Rollback("r"))
+        manager.commit(a)
+        assert manager.validation_log_size == 1  # pinned by b
+        with pytest.raises(ConcurrencyError):
+            manager.commit(b)  # b read r, a wrote it: backward validation
+        assert manager.outstanding_count == 0
+        assert manager.validation_log_size == 0

@@ -101,3 +101,121 @@ class TestFormatState:
         text = format_state(state)
         assert "valid" in text
         assert "[0, 5)" in text
+
+
+class TestHistoryLimit:
+    def test_default_is_bounded(self):
+        session = Session()
+        assert session.history_limit == Session.DEFAULT_HISTORY_LIMIT
+
+    def test_trail_is_trimmed_to_limit(self):
+        session = Session(history_limit=3)
+        session.execute("define_relation(r, rollback)")
+        for i in range(10):
+            session.execute(
+                "modify_state(r, rollback(r, now) union "
+                'state (k: integer) { (%d) })' % i
+            )
+        assert len(session.history) == 3
+        # the retained suffix is the most recent databases, newest last
+        txns = [db.transaction_number for db in session.history]
+        assert txns == [9, 10, 11]
+        assert session.history[-1] == session.database
+
+    def test_none_retains_everything(self):
+        session = Session(history_limit=None)
+        session.execute("define_relation(r, rollback)")
+        for i in range(10):
+            session.execute(
+                "modify_state(r, rollback(r, now) union "
+                'state (k: integer) { (%d) })' % i
+            )
+        assert len(session.history) == 12  # empty + 11 commands
+
+    def test_bounded_trail_is_a_suffix_of_unbounded(self):
+        bounded = Session(history_limit=4)
+        unbounded = Session(history_limit=None)
+        for s in (bounded, unbounded):
+            s.execute(PROGRAM)
+            s.execute(
+                "modify_state(faculty, rollback(faculty, now) union "
+                'state (name: string, rank: string) { ("amy", "assoc") })'
+            )
+        assert bounded.history == unbounded.history[-4:]
+        assert bounded.database == unbounded.database
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            Session(history_limit=0)
+        with pytest.raises(ValueError):
+            Session(history_limit=-5)
+
+
+class TestPlanCache:
+    def test_repeat_query_reuses_parsed_expression(self):
+        session = Session()
+        session.execute(PROGRAM)
+        source = "project [name] (rollback(faculty, now))"
+        first = session._cached_expression(source)
+        assert session._cached_expression(source) is first
+        assert session.plan_cache_info()["size"] == 1
+
+    def test_query_results_unchanged_by_caching(self):
+        cached = Session()
+        uncached = Session(plan_cache_capacity=0)
+        for s in (cached, uncached):
+            s.execute(PROGRAM)
+        source = 'select [rank = "full"] (rollback(faculty, now))'
+        for _ in range(3):
+            assert (
+                cached.query(source).sorted_rows()
+                == uncached.query(source).sorted_rows()
+            )
+        assert cached.plan_cache_info()["size"] == 1
+        assert uncached.plan_cache_info()["size"] == 0
+
+    def test_capacity_bounds_cache(self):
+        session = Session(plan_cache_capacity=2)
+        session.execute(PROGRAM)
+        for name in ("name", "rank", "name", "rank"):
+            session.query("project [%s] (rollback(faculty, now))" % name)
+        session.query("rollback(faculty, now)")
+        assert session.plan_cache_info()["size"] == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Session(plan_cache_capacity=-1)
+
+
+class TestExecuteMany:
+    BATCH = [
+        "define_relation(faculty, rollback)",
+        'modify_state(faculty, state (name: string, rank: string)'
+        ' { ("merrie", "assistant") })',
+        'modify_state(faculty, rollback(faculty, now) union '
+        'state (name: string, rank: string) { ("tom", "full") })',
+    ]
+
+    def test_batch_equals_one_at_a_time(self):
+        batched = Session()
+        batched.execute_many(self.BATCH)
+        sequential = Session()
+        for line in self.BATCH:
+            sequential.execute_command(line)
+        assert batched.database == sequential.database
+        assert batched.transaction_number == 3
+
+    def test_sentence_items_are_split(self):
+        session = Session()
+        session.execute_many([PROGRAM])  # one multi-command sentence
+        assert session.transaction_number == 3
+
+    def test_durable_group_commit_survives_reopen(self, tmp_path):
+        directory = str(tmp_path / "db")
+        session = Session(directory)
+        session.execute_many(self.BATCH)
+        session.close()
+        reopened = Session(directory)
+        assert reopened.transaction_number == 3
+        assert len(reopened.current_state("faculty")) == 2
+        reopened.close()

@@ -98,7 +98,10 @@ class TestExpressionMetrics:
 
 class TestStorageMetrics:
     def test_replay_length_histogram(self, metrics):
-        vdb = VersionedDatabase(DeltaBackend())
+        # fast paths off: this test measures the raw replay instrumentation
+        vdb = VersionedDatabase(
+            DeltaBackend(hot_reads=False, cache_capacity=0)
+        )
         vdb.execute(DefineRelation("r", "rollback"))
         for i in range(6):
             vdb.set_state("r", _state([(j, j) for j in range(i + 1)]))
@@ -111,6 +114,24 @@ class TestStorageMetrics:
         assert histogram["count"] == 2
         assert histogram["min"] == 0
         assert histogram["max"] == 5
+
+    def test_hot_reads_and_cache_counters(self, metrics):
+        vdb = VersionedDatabase(DeltaBackend())
+        vdb.execute(DefineRelation("r", "rollback"))
+        for i in range(6):
+            vdb.set_state("r", _state([(j, j) for j in range(i + 1)]))
+        vdb.state_at("r", 7)  # newest version: hot read, no replay
+        vdb.state_at("r", 3)  # old version: replayed, then cached
+        vdb.state_at("r", 3)  # served from the state cache
+        counters = metrics.snapshot()["counters"]
+        assert counters["storage.forward-delta.hot_reads"] == 1
+        assert counters["storage.cache.misses"] == 1
+        assert counters["storage.cache.hits"] == 1
+        histogram = metrics.snapshot()["histograms"][
+            "storage.forward-delta.replay_length"
+        ]
+        # only the one cold probe touched physical version records
+        assert histogram["max"] == histogram["min"] > 0
 
     def test_checkpoint_hits_and_misses(self, metrics):
         vdb = VersionedDatabase(CheckpointDeltaBackend(2))

@@ -1,0 +1,156 @@
+"""Differential suite for the read-path engine: `backends_agree` over
+randomized update/probe streams with the state cache enabled, disabled,
+and eviction-thrashed (capacity 1), across all five backends and all four
+relation types.
+
+This is the Section 5 obligation applied to the caching layer: an
+optimized read path is only admissible if it is observation-equivalent to
+the replay path, and the cheapest way to be wrong is a stale or
+mis-keyed cache entry.  Probes are interleaved with installs so every
+invalidation boundary is crossed mid-stream, and the full-copy backend —
+the paper's semantics, literally, with no cache traffic — is always the
+reference.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.relation import RelationType
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+    backends_agree,
+)
+from repro.workloads import churn_stream
+
+#: (label, constructor kwargs) — the three cache configurations the
+#: satellite task names: default capacity, disabled, eviction-heavy.
+CACHE_CONFIGS = [
+    ("cache-default", {}),
+    ("cache-off", {"cache_capacity": 0}),
+    ("cache-capacity-1", {"cache_capacity": 1}),
+    ("replay-only", {"cache_capacity": 0, "hot_reads": False}),
+]
+
+RELATION_TYPES = [
+    RelationType.SNAPSHOT,
+    RelationType.ROLLBACK,
+    RelationType.HISTORICAL,
+    RelationType.TEMPORAL,
+]
+
+
+def _backend_set(**kw):
+    return [
+        FullCopyBackend(),  # the oracle: no cache, no fast path to get wrong
+        DeltaBackend(**kw),
+        ReverseDeltaBackend(**kw),
+        CheckpointDeltaBackend(4, **kw),
+        TupleTimestampBackend(**kw),
+    ]
+
+
+def _stream_for(rtype, length, seed):
+    return churn_stream(
+        length,
+        cardinality=12,
+        churn=0.3,
+        seed=seed,
+        historical=rtype.stores_valid_time,
+    )
+
+
+@pytest.mark.parametrize(
+    "config_kw",
+    [kw for _, kw in CACHE_CONFIGS],
+    ids=[label for label, _ in CACHE_CONFIGS],
+)
+@pytest.mark.parametrize(
+    "rtype", RELATION_TYPES, ids=[t.value for t in RELATION_TYPES]
+)
+def test_interleaved_update_probe_stream(rtype, config_kw):
+    """Install, probe, install, probe — every probe round compares all
+    five backends at randomized transaction numbers, so cached entries
+    are exercised across invalidation boundaries."""
+    length = 24
+    rng = random.Random(hash((rtype.value, tuple(sorted(config_kw)))))
+    states = _stream_for(rtype, length, seed=7)
+    backends = _backend_set(**config_kw)
+    for backend in backends:
+        backend.create("r", rtype)
+    for i, state in enumerate(states):
+        txn = i + 1
+        for backend in backends:
+            backend.install("r", state, txn)
+        # revisit a random handful of past (and future) txns after every
+        # install — stale cache entries surface here immediately
+        probes = [("r", rng.randrange(0, txn + 3)) for _ in range(4)]
+        probes.append(("r", txn))  # the hot read itself
+        assert backends_agree(backends, probes)
+
+
+@pytest.mark.parametrize(
+    "config_kw",
+    [kw for _, kw in CACHE_CONFIGS],
+    ids=[label for label, _ in CACHE_CONFIGS],
+)
+@pytest.mark.parametrize("seed", range(3))
+def test_exhaustive_probe_sweep_after_stream(seed, config_kw):
+    """After a full randomized rollback stream, probe every transaction
+    number twice — the second pass is served largely from the cache and
+    must answer identically."""
+    length = 30
+    states = _stream_for(RelationType.ROLLBACK, length, seed=seed)
+    backends = _backend_set(**config_kw)
+    for backend in backends:
+        backend.create("r", RelationType.ROLLBACK)
+    for i, state in enumerate(states):
+        for backend in backends:
+            backend.install("r", state, i + 1)
+    probes = [("r", txn) for txn in range(0, length + 3)]
+    assert backends_agree(backends, probes)
+    assert backends_agree(backends, probes)  # cached second pass
+
+
+def test_capacity_one_thrashes_but_agrees():
+    """Capacity 1 makes every alternating probe an eviction; the cache
+    must thrash, not corrupt."""
+    states = _stream_for(RelationType.ROLLBACK, 16, seed=11)
+    backends = _backend_set(cache_capacity=1)
+    for backend in backends:
+        backend.create("r", RelationType.ROLLBACK)
+    for i, state in enumerate(states):
+        for backend in backends:
+            backend.install("r", state, i + 1)
+    # alternate between two old versions: every probe evicts the other
+    probes = [("r", 3 if i % 2 else 9) for i in range(20)]
+    assert backends_agree(backends, probes)
+    evicting = [b for b in backends if b.cache_info()["evictions"] > 0]
+    assert evicting, "capacity-1 sweep never evicted — cache not exercised"
+
+
+def test_multi_relation_invalidation_is_scoped():
+    """Installing into one relation must not invalidate (or corrupt)
+    another's cached states."""
+    snapshot_states = _stream_for(RelationType.ROLLBACK, 10, seed=3)
+    backends = _backend_set()
+    for backend in backends:
+        backend.create("a", RelationType.ROLLBACK)
+        backend.create("b", RelationType.ROLLBACK)
+    txn = 0
+    for state in snapshot_states:
+        txn += 1
+        for backend in backends:
+            backend.install("a", state, txn)
+        txn += 1
+        for backend in backends:
+            backend.install("b", state, txn)
+        probes = [("a", t) for t in range(0, txn + 2)]
+        probes += [("b", t) for t in range(0, txn + 2)]
+        assert backends_agree(backends, probes)

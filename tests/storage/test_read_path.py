@@ -1,0 +1,251 @@
+"""The read-path performance engine: O(1) hot reads, the version-aware
+LRU state cache, the cheap metadata accessors, and the `define`
+redefinition no-op.
+
+Correctness framing is the paper's Section 5 throughout: every fast path
+must answer exactly what the replay path answers.  The randomized
+differential sweep lives in ``test_cache_differential.py``; these are the
+targeted unit tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CommandError, StorageError
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    FullCopyBackend,
+    ReverseDeltaBackend,
+    StateCache,
+    TupleTimestampBackend,
+    VersionedDatabase,
+)
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+BACKEND_FACTORIES = [
+    FullCopyBackend,
+    DeltaBackend,
+    ReverseDeltaBackend,
+    lambda **kw: CheckpointDeltaBackend(4, **kw),
+    TupleTimestampBackend,
+]
+BACKEND_IDS = [
+    "full-copy",
+    "forward-delta",
+    "reverse-delta",
+    "checkpoint-delta",
+    "tuple-timestamp",
+]
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+def _populated(factory, versions=8, **kw):
+    backend = factory(**kw)
+    backend.create("r", _rollback())
+    for i in range(versions):
+        backend.install("r", kv(*[(j, i) for j in range(i + 1)]), i + 1)
+    return backend
+
+
+def _rollback():
+    from repro.core.relation import RelationType
+
+    return RelationType.ROLLBACK
+
+
+@pytest.fixture(params=BACKEND_FACTORIES, ids=BACKEND_IDS)
+def backend_factory(request):
+    return request.param
+
+
+class TestHotReads:
+    def test_probe_at_newest_txn_is_installed_state(self, backend_factory):
+        backend = _populated(backend_factory)
+        newest = backend.latest_txn("r")
+        assert backend.state_at("r", newest) == kv(
+            *[(j, 7) for j in range(8)]
+        )
+
+    def test_probe_after_newest_txn_is_installed_state(
+        self, backend_factory
+    ):
+        backend = _populated(backend_factory)
+        assert backend.state_at("r", 10_000) == backend.state_at(
+            "r", backend.latest_txn("r")
+        )
+
+    def test_hot_read_equals_replay_answer(self, backend_factory):
+        hot = _populated(backend_factory)
+        cold = _populated(
+            backend_factory, hot_reads=False, cache_capacity=0
+        )
+        for txn in range(0, 12):
+            assert hot.state_at("r", txn) == cold.state_at("r", txn), txn
+
+    def test_hot_read_does_no_replay_work(self):
+        backend = _populated(DeltaBackend, versions=64)
+        # the fast path returns the installed object itself — no
+        # reconstruction, no copy
+        newest = backend.latest_txn("r")
+        first = backend.state_at("r", newest)
+        assert backend.state_at("r", newest) is first
+
+    def test_probe_before_first_txn_is_none(self, backend_factory):
+        backend = _populated(backend_factory)
+        assert backend.state_at("r", 0) is None
+
+
+class TestMetadataAccessors:
+    def test_latest_txn(self, backend_factory):
+        backend = _populated(backend_factory, versions=5)
+        assert backend.latest_txn("r") == 5
+
+    def test_latest_txn_empty_relation(self, backend_factory):
+        backend = backend_factory()
+        backend.create("r", _rollback())
+        assert backend.latest_txn("r") is None
+
+    def test_version_count(self, backend_factory):
+        backend = _populated(backend_factory, versions=5)
+        assert backend.version_count("r") == 5
+        assert backend.version_count("r") == len(
+            backend.transaction_numbers("r")
+        )
+
+    def test_unknown_identifier_raises(self, backend_factory):
+        backend = backend_factory()
+        with pytest.raises(StorageError):
+            backend.latest_txn("ghost")
+        with pytest.raises(StorageError):
+            backend.version_count("ghost")
+
+    def test_instrumented_wrapper_delegates(self):
+        from repro.obsv.instrumented import InstrumentedBackend
+
+        backend = InstrumentedBackend(_populated(DeltaBackend, versions=3))
+        assert backend.latest_txn("r") == 3
+        assert backend.version_count("r") == 3
+
+
+class TestStateCache:
+    def test_repeat_old_probe_served_from_cache(self, backend_factory):
+        backend = _populated(backend_factory)
+        if isinstance(backend, FullCopyBackend):
+            pytest.skip("full-copy reads never reconstruct")
+        first = backend.state_at("r", 3)
+        before = backend.cache_info()["hits"]
+        assert backend.state_at("r", 3) is first  # the memoized object
+        assert backend.cache_info()["hits"] == before + 1
+
+    def test_same_version_window_shares_entry(self):
+        backend = DeltaBackend()
+        backend.create("r", _rollback())
+        backend.install("r", kv((1, 1)), 2)
+        backend.install("r", kv((2, 2)), 9)
+        # every probe in [2, 9) resolves to version 0
+        first = backend.state_at("r", 2)
+        info = backend.cache_info()
+        assert backend.state_at("r", 5) is first
+        assert backend.state_at("r", 8) is first
+        assert backend.cache_info()["hits"] == info["hits"] + 2
+
+    def test_install_invalidates_identifier(self):
+        backend = _populated(DeltaBackend)
+        backend.state_at("r", 3)
+        assert len(backend.state_cache) == 1
+        backend.install("r", kv((99, 99)), 100)
+        assert len(backend.state_cache) == 0
+        # and the answer after invalidation is still right
+        assert backend.state_at("r", 3) == kv(*[(j, 2) for j in range(3)])
+
+    def test_install_keeps_other_identifiers(self):
+        backend = _populated(DeltaBackend)
+        backend.create("s", _rollback())
+        backend.install("s", kv((1, 1)), 50)
+        backend.install("s", kv((2, 2)), 51)
+        backend.state_at("r", 3)
+        backend.state_at("s", 50)
+        assert len(backend.state_cache) == 2
+        backend.install("r", kv((99, 99)), 100)
+        assert len(backend.state_cache) == 1
+
+    def test_capacity_one_evicts(self):
+        backend = _populated(DeltaBackend, cache_capacity=1)
+        backend.state_at("r", 3)
+        backend.state_at("r", 4)  # evicts version 2's entry
+        info = backend.cache_info()
+        assert info["evictions"] == 1
+        assert info["size"] == 1
+        assert backend.state_at("r", 3) == kv(*[(j, 2) for j in range(3)])
+
+    def test_capacity_zero_disables(self):
+        backend = _populated(DeltaBackend, cache_capacity=0)
+        backend.state_at("r", 3)
+        backend.state_at("r", 3)
+        info = backend.cache_info()
+        assert info["hits"] == info["misses"] == info["size"] == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            StateCache(-1)
+        with pytest.raises(StorageError):
+            DeltaBackend(cache_capacity=-3)
+
+    def test_lru_order(self):
+        cache = StateCache(2)
+        cache.put(("r", 0), "a")
+        cache.put(("r", 1), "b")
+        assert cache.get(("r", 0)) == "a"  # refresh version 0
+        cache.put(("r", 2), "c")  # evicts version 1, the LRU entry
+        assert cache.get(("r", 1)) is None
+        assert cache.get(("r", 0)) == "a"
+        assert cache.get(("r", 2)) == "c"
+        assert cache.evictions == 1
+
+
+class TestDefineRedefinition:
+    """`VersionedDatabase.define` must match the DefineRelation command
+    path: the paper's silent no-op on a bound identifier, with
+    `strict=True` as the opt-in raise."""
+
+    @pytest.fixture(params=BACKEND_FACTORIES, ids=BACKEND_IDS)
+    def vdb(self, request):
+        return VersionedDatabase(request.param())
+
+    def test_redefinition_is_silent_noop(self, vdb):
+        vdb.define("r", "rollback")
+        txn_before = vdb.transaction_number
+        vdb.define("r", "snapshot")  # no error, no txn, type retained
+        assert vdb.transaction_number == txn_before
+        assert vdb.backend.type_of("r").value == "rollback"
+
+    def test_redefinition_strict_raises(self, vdb):
+        vdb.define("r", "rollback")
+        with pytest.raises(CommandError):
+            vdb.define("r", "rollback", strict=True)
+
+    def test_direct_path_matches_command_path(self, vdb):
+        from repro.core.commands import DefineRelation
+        from repro.core.database import EMPTY_DATABASE
+
+        pure = EMPTY_DATABASE
+        for command in (
+            DefineRelation("r", "rollback"),
+            DefineRelation("r", "snapshot"),  # paper no-op
+        ):
+            pure = command.execute(pure)
+        vdb.define("r", "rollback")
+        vdb.define("r", "snapshot")
+        assert vdb.transaction_number == pure.transaction_number
+        assert (
+            vdb.backend.type_of("r") == pure.state.require("r").rtype
+        )
