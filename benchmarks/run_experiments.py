@@ -28,6 +28,7 @@ from benchmarks import (
     bench_e11_update_optimization,
     bench_e12_durability,
     bench_e13_read_cache,
+    bench_e14_replication,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -48,6 +49,7 @@ EXPERIMENTS = {
     "e11": bench_e11_update_optimization,
     "e12": bench_e12_durability,
     "e13": bench_e13_read_cache,
+    "e14": bench_e14_replication,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

@@ -19,7 +19,7 @@ import json
 import zlib
 from typing import Optional
 
-from repro.errors import StorageError
+from repro.errors import CheckpointError, StorageError
 from repro.core.database import Database
 from repro.durability.files import FileStore
 from repro.obsv import hooks as _hooks
@@ -101,36 +101,36 @@ def write_checkpoint(
 def read_checkpoint(
     store: FileStore, name: str
 ) -> tuple[int, Database]:
-    """Load and validate one checkpoint; raises :class:`StorageError`
+    """Load and validate one checkpoint; raises :class:`CheckpointError`
     on any damage (bad JSON, wrong format, CRC mismatch)."""
     try:
         envelope = json.loads(store.read(name).decode("utf-8"))
     except (ValueError, UnicodeDecodeError) as error:
-        raise StorageError(
+        raise CheckpointError(
             f"checkpoint {name!r} is unreadable: {error}"
         ) from error
     if (
         not isinstance(envelope, dict)
         or envelope.get("format") != CHECKPOINT_FORMAT
     ):
-        raise StorageError(f"{name!r} is not a repro checkpoint")
+        raise CheckpointError(f"{name!r} is not a repro checkpoint")
     if envelope.get("version") != CHECKPOINT_VERSION:
-        raise StorageError(
+        raise CheckpointError(
             f"checkpoint {name!r} has unsupported version "
             f"{envelope.get('version')!r}"
         )
     inner = envelope.get("database")
     if not isinstance(inner, str):
-        raise StorageError(f"checkpoint {name!r} has no database body")
+        raise CheckpointError(f"checkpoint {name!r} has no database body")
     if zlib.crc32(inner.encode("utf-8")) & 0xFFFFFFFF != envelope.get(
         "crc"
     ):
-        raise StorageError(
+        raise CheckpointError(
             f"checkpoint {name!r} failed its CRC check"
         )
     lsn = envelope.get("lsn")
     if not isinstance(lsn, int) or lsn < 0:
-        raise StorageError(
+        raise CheckpointError(
             f"checkpoint {name!r} has a bad LSN {lsn!r}"
         )
     return lsn, database_from_dict(json.loads(inner))
@@ -157,7 +157,7 @@ def drop_old_checkpoints(
     """Delete all but the newest ``keep`` checkpoints; returns the LSNs
     of the retained ones (oldest first)."""
     if keep < 1:
-        raise StorageError(f"must keep at least one checkpoint, got {keep}")
+        raise CheckpointError(f"must keep at least one checkpoint, got {keep}")
     names = list_checkpoints(store)
     for name in names[:-keep] if len(names) > keep else ():
         store.delete(name)

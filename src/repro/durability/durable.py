@@ -24,7 +24,7 @@ from __future__ import annotations
 import os
 from typing import Iterable, Optional, Union
 
-from repro.errors import StorageError
+from repro.errors import CheckpointError, StorageError
 from repro.core.commands import Command, execute as execute_command
 from repro.core.database import Database
 from repro.core.expressions import Expression
@@ -68,10 +68,11 @@ class DurableDatabase:
         if not isinstance(store, FileStore):
             store = DirectoryStore(store)
         if checkpoint_every < 0:
-            raise StorageError(
+            raise CheckpointError(
                 f"checkpoint_every must be ≥ 0 (0 disables automatic "
                 f"checkpoints), got {checkpoint_every}"
             )
+        self._closed = False
         self._store = store
         self._wal = WriteAheadLog(
             store, policy=fsync, segment_bytes=segment_bytes
@@ -133,6 +134,10 @@ class DurableDatabase:
         is appended (and fsynced per policy), and only then does the
         in-memory value — the acknowledged state — advance.
         """
+        if self._closed:
+            raise StorageError(
+                "cannot execute a command on a closed DurableDatabase"
+            )
         new_database = execute_command(command, self._database)
         self._wal.append(
             encode_record(command, new_database.transaction_number)
@@ -193,10 +198,23 @@ class DurableDatabase:
         self._wal.drop_segments_through(min(kept))
         self._since_checkpoint = 0
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def close(self) -> None:
         """Sync and release file handles.  The database on disk is
         complete; a later :class:`DurableDatabase` over the same store
-        recovers it exactly."""
+        recovers it exactly.
+
+        Idempotent, and safe mid-batch: any records pending under a
+        ``batch(N, ms)`` policy are fsynced exactly once by the first
+        close; subsequent closes are no-ops (they must not touch the
+        store again — the caller may have handed it to someone else,
+        e.g. a replica re-opening it after a promote)."""
+        if self._closed:
+            return
+        self._closed = True
         self._wal.sync()
         self._store.close()
 

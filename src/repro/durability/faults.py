@@ -24,6 +24,17 @@ reached the platter, optionally with flipped bits (a torn write).
 After :meth:`~MemoryStore.crash` the plan is disarmed: the post-crash
 store behaves like a healthy disk, so recovery itself runs fault-free
 (recovery under *repeated* faults can be scripted with a fresh plan).
+
+The plan also scripts *replication stream* faults, consumed by
+:class:`repro.replication.stream.FaultyStream` rather than the store:
+``stream_error_rate`` makes a fetch fail transiently
+(:class:`~repro.errors.ReplicationError`), and ``stream_drop_rate`` /
+``stream_duplicate_rate`` / ``stream_reorder_rate`` /
+``stream_truncate_rate`` mangle a shipped batch via
+:meth:`FaultPlan.mangle_batch` — deliveries a robust replica must
+absorb (duplicates skipped, gaps re-fetched) without ever applying a
+record out of order.  All rolls come from the plan's seeded RNG, so a
+chaos schedule replays exactly.
 """
 
 from __future__ import annotations
@@ -53,6 +64,11 @@ class FaultPlan:
         "keep_tail_bytes",
         "flip_bit_in_tail",
         "sync_lies",
+        "stream_drop_rate",
+        "stream_duplicate_rate",
+        "stream_reorder_rate",
+        "stream_truncate_rate",
+        "stream_error_rate",
         "_rng",
     )
 
@@ -62,13 +78,86 @@ class FaultPlan:
         keep_tail_bytes: int = 0,
         flip_bit_in_tail: bool = False,
         sync_lies: bool = False,
+        stream_drop_rate: float = 0.0,
+        stream_duplicate_rate: float = 0.0,
+        stream_reorder_rate: float = 0.0,
+        stream_truncate_rate: float = 0.0,
+        stream_error_rate: float = 0.0,
         seed: int = 0,
     ) -> None:
         self.crash_at_op = crash_at_op
         self.keep_tail_bytes = keep_tail_bytes
         self.flip_bit_in_tail = flip_bit_in_tail
         self.sync_lies = sync_lies
+        self.stream_drop_rate = stream_drop_rate
+        self.stream_duplicate_rate = stream_duplicate_rate
+        self.stream_reorder_rate = stream_reorder_rate
+        self.stream_truncate_rate = stream_truncate_rate
+        self.stream_error_rate = stream_error_rate
         self._rng = random.Random(seed)
+
+    # -- stream faults -----------------------------------------------------
+
+    @property
+    def has_stream_faults(self) -> bool:
+        """True when any replication-stream fault is configured."""
+        return bool(
+            self.stream_drop_rate
+            or self.stream_duplicate_rate
+            or self.stream_reorder_rate
+            or self.stream_truncate_rate
+            or self.stream_error_rate
+        )
+
+    def stream_error_due(self) -> bool:
+        """Roll for a transient fetch failure."""
+        return (
+            self.stream_error_rate > 0.0
+            and self._rng.random() < self.stream_error_rate
+        )
+
+    def mangle_batch(self, records: list) -> list:
+        """Apply the scripted delivery faults to one shipped batch.
+
+        Drop loses the whole delivery; truncate loses a suffix;
+        duplicate re-delivers one record; reorder swaps two adjacent
+        records.  Faults compose (a batch can be both truncated and
+        reordered), mirroring how a flaky transport stacks failures.
+        Payload *bytes* are never altered here — bit rot inside records
+        is the store's CRC-checked domain, not the transport's.
+        """
+        records = list(records)
+        rng = self._rng
+        if not records:
+            return records
+        if (
+            self.stream_drop_rate
+            and rng.random() < self.stream_drop_rate
+        ):
+            return []
+        if (
+            self.stream_truncate_rate
+            and rng.random() < self.stream_truncate_rate
+        ):
+            records = records[: rng.randrange(len(records))]
+        if (
+            self.stream_duplicate_rate
+            and records
+            and rng.random() < self.stream_duplicate_rate
+        ):
+            index = rng.randrange(len(records))
+            records = records[: index + 1] + records[index:]
+        if (
+            self.stream_reorder_rate
+            and len(records) > 1
+            and rng.random() < self.stream_reorder_rate
+        ):
+            index = rng.randrange(len(records) - 1)
+            records[index], records[index + 1] = (
+                records[index + 1],
+                records[index],
+            )
+        return records
 
 
 class _MemFile:

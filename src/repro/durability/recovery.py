@@ -27,7 +27,7 @@ from __future__ import annotations
 import time
 from typing import Optional, Union
 
-from repro.errors import StorageError
+from repro.errors import DivergenceError
 from repro.core.commands import execute as execute_command
 from repro.core.database import EMPTY_DATABASE, Database
 from repro.durability.checkpoint import latest_checkpoint
@@ -97,7 +97,7 @@ def recover(
         command, txn = decode_record(payload)
         database = execute_command(command, database)
         if database.transaction_number != txn:
-            raise StorageError(
+            raise DivergenceError(
                 f"WAL replay diverged at LSN {lsn}: record committed "
                 f"txn {txn} but replay reached "
                 f"{database.transaction_number}; the log and checkpoint "

@@ -37,7 +37,7 @@ import time
 import zlib
 from typing import Iterator, Optional, Union
 
-from repro.errors import StorageError
+from repro.errors import StreamGapError, WalError
 from repro.durability.files import FileStore
 from repro.obsv import hooks as _hooks
 from repro.obsv import registry as _obsv
@@ -75,9 +75,9 @@ class FsyncPolicy:
         self, mode: str, batch_records: int = 0, batch_ms: float = 0.0
     ) -> None:
         if mode not in ("always", "never", "batch"):
-            raise StorageError(f"unknown fsync mode {mode!r}")
+            raise WalError(f"unknown fsync mode {mode!r}")
         if mode == "batch" and (batch_records < 1 or batch_ms < 0):
-            raise StorageError(
+            raise WalError(
                 f"batch fsync needs N ≥ 1 and ms ≥ 0, got "
                 f"batch({batch_records}, {batch_ms})"
             )
@@ -103,7 +103,7 @@ class FsyncPolicy:
                     return cls("batch", int(parts[0]), float(parts[1]))
                 except ValueError:
                     pass
-        raise StorageError(
+        raise WalError(
             f"cannot parse fsync policy {spec!r}; expected 'always', "
             "'never' or 'batch(N, ms)'"
         )
@@ -174,7 +174,7 @@ class WriteAheadLog:
         segment_bytes: int = 1 << 20,
     ) -> None:
         if segment_bytes < _HEADER.size + 1:
-            raise StorageError(
+            raise WalError(
                 f"segment_bytes must allow at least one record, got "
                 f"{segment_bytes}"
             )
@@ -250,7 +250,7 @@ class WriteAheadLog:
     def append(self, payload: bytes) -> int:
         """Append one record; returns its LSN.  May fsync, per policy."""
         if not payload:
-            raise StorageError("cannot append an empty WAL record")
+            raise WalError("cannot append an empty WAL record")
         lsn = self.last_lsn + 1 if self._segments else self._next_lsn()
         frame = (
             _HEADER.pack(len(payload), zlib.crc32(payload) & 0xFFFFFFFF)
@@ -311,10 +311,53 @@ class WriteAheadLog:
             if segment.records == 0 or segment.last_lsn <= after_lsn:
                 continue
             payloads, _ = _scan_segment(self._store.read(segment.name))
+            if len(payloads) < segment.records:
+                # the segment lost records *after* the open-time repair
+                # (media corruption under a live log); serving a shorter
+                # run would silently skip LSNs
+                raise WalError(
+                    f"segment {segment.name!r} holds "
+                    f"{len(payloads)} valid records but "
+                    f"{segment.records} were appended; the log is "
+                    "damaged beneath a live handle"
+                )
             for index, payload in enumerate(payloads):
                 lsn = segment.first_lsn + index
                 if lsn > after_lsn:
                     yield lsn, payload
+
+    # -- tailing (the replication shipping surface) -----------------------
+
+    def read_from(
+        self, lsn: int, limit: Optional[int] = None
+    ) -> list[tuple[int, bytes]]:
+        """Up to ``limit`` ``(lsn, payload)`` pairs starting at ``lsn``.
+
+        The shipping API replicas poll: records come back CRC-verified
+        and contiguous.  Asking for an LSN the log has already compacted
+        or rebased away raises :class:`StreamGapError` with
+        ``compacted=True`` — the authoritative "fetch a snapshot
+        instead" signal.  Asking past the end returns ``[]`` (nothing
+        new yet).
+        """
+        if lsn < 1:
+            raise WalError(f"read_from needs an LSN ≥ 1, got {lsn}")
+        first = self.first_lsn
+        if lsn <= self.last_lsn and (first == 0 or lsn < first):
+            raise StreamGapError(
+                f"records from LSN {lsn} have been compacted away; "
+                f"the oldest retained record is "
+                f"{first if first else 'none'}",
+                expected=lsn,
+                got=first,
+                compacted=True,
+            )
+        batch: list[tuple[int, bytes]] = []
+        for record_lsn, payload in self.records(after_lsn=lsn - 1):
+            batch.append((record_lsn, payload))
+            if limit is not None and len(batch) >= limit:
+                break
+        return batch
 
     # -- re-anchoring -----------------------------------------------------
 
@@ -330,7 +373,7 @@ class WriteAheadLog:
         checkpoint — would silently skip them.
         """
         if lsn < self.last_lsn:
-            raise StorageError(
+            raise WalError(
                 f"cannot rebase to LSN {lsn}: the log already holds "
                 f"records through {self.last_lsn}"
             )

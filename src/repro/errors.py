@@ -25,6 +25,13 @@ __all__ = [
     "LexError",
     "TranslationError",
     "StorageError",
+    "WalError",
+    "CheckpointError",
+    "ReplicationError",
+    "StreamGapError",
+    "DivergenceError",
+    "RetryExhaustedError",
+    "StaleReadError",
     "ConcurrencyError",
     "EvolutionError",
     "WorkloadError",
@@ -98,7 +105,81 @@ class TranslationError(ReproError):
 
 
 class StorageError(ReproError):
-    """A physical storage backend detected an inconsistency."""
+    """A physical storage backend detected an inconsistency.
+
+    Root of the durability/replication taxonomy below, so ``except
+    StorageError`` written against earlier releases keeps catching the
+    finer-grained errors."""
+
+
+class WalError(StorageError):
+    """The write-ahead log rejected an operation or found damage it
+    could not repair (bad fsync policy, empty record, rebase below the
+    retained tail, a segment losing records under a live log)."""
+
+
+class CheckpointError(StorageError):
+    """A checkpoint failed validation (unreadable envelope, wrong
+    format/version, CRC mismatch, bad LSN) or could not be written."""
+
+
+class ReplicationError(StorageError):
+    """Base class for replication failures.  Raised directly for
+    *transient* conditions — an injected stream fault, an undecodable
+    shipped record — that a retry of the fetch may clear."""
+
+
+class StreamGapError(ReplicationError):
+    """The replication stream skipped one or more LSNs.
+
+    ``compacted=True`` means the gap is authoritative — the primary no
+    longer retains the records (log compaction or a rebase) and the
+    replica must re-snapshot; ``compacted=False`` means the delivery
+    itself was gappy (drop/reorder) and a re-fetch may heal it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        expected: int = 0,
+        got: int = 0,
+        compacted: bool = False,
+    ) -> None:
+        super().__init__(message)
+        self.expected = expected
+        self.got = got
+        self.compacted = compacted
+
+
+class DivergenceError(ReplicationError):
+    """A replica's replay no longer matches the primary: applying a
+    shipped record produced a transaction number different from the one
+    the record committed with.  Fatal for the replica — it must be
+    discarded or rebuilt from a snapshot, never retried."""
+
+
+class RetryExhaustedError(ReplicationError):
+    """A :class:`~repro.replication.retry.RetryPolicy` gave up: every
+    attempt failed and the attempt budget or deadline ran out.  The last
+    underlying error is chained as ``__cause__``."""
+
+    def __init__(
+        self, message: str, *, attempts: int = 0, elapsed: float = 0.0
+    ) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.elapsed = elapsed
+
+
+class StaleReadError(ReplicationError):
+    """A replica configured with ``max_lag`` + reject semantics refused
+    a read because it had fallen too far behind the primary."""
+
+    def __init__(self, message: str, *, lag: int = 0, max_lag: int = 0) -> None:
+        super().__init__(message)
+        self.lag = lag
+        self.max_lag = max_lag
 
 
 class ConcurrencyError(ReproError):

@@ -59,6 +59,10 @@ class Session:
         checkpoint_every: int = 256,
         history_limit: "int | None" = DEFAULT_HISTORY_LIMIT,
         plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
+        replica_of=None,
+        max_lag: "int | None" = None,
+        on_stale: str = "reject",
+        retry=None,
     ) -> None:
         if history_limit is not None and history_limit < 1:
             raise ValueError(
@@ -71,8 +75,20 @@ class Session:
                 f"plan_cache_capacity must be ≥ 0, got "
                 f"{plan_cache_capacity}"
             )
+        if durable_dir is not None and replica_of is not None:
+            raise ValueError(
+                "a session is a primary (durable_dir=...) or a replica "
+                "(replica_of=...), not both"
+            )
         self._durable = None
-        if durable_dir is not None:
+        self._replica = None
+        if replica_of is not None:
+            self._replica = self._build_replica(
+                replica_of, retry=retry, max_lag=max_lag, on_stale=on_stale
+            )
+            self._replica.catch_up()
+            self._database: Database = self._replica.database
+        elif durable_dir is not None:
             from repro.durability import DurableDatabase
 
             self._durable = DurableDatabase(
@@ -80,7 +96,7 @@ class Session:
                 fsync=fsync,
                 checkpoint_every=checkpoint_every,
             )
-            self._database: Database = self._durable.database
+            self._database = self._durable.database
         else:
             self._database = EMPTY_DATABASE
         self._history: list[Database] = [self._database]
@@ -88,9 +104,42 @@ class Session:
         self._plan_cache: "OrderedDict[str, Expression]" = OrderedDict()
         self._plan_cache_capacity = plan_cache_capacity
 
+    @staticmethod
+    def _build_replica(source, *, retry, max_lag, on_stale):
+        """Accept a Replica, a ReplicationStream, a DurableDatabase, or
+        another (durable) Session as the thing to follow."""
+        from repro.durability import DurableDatabase
+        from repro.replication import PrimaryStream, Replica
+        from repro.replication.stream import ReplicationStream
+
+        if isinstance(source, Replica):
+            return source
+        if isinstance(source, Session):
+            if source.durable is None:
+                raise ValueError(
+                    "replica_of: the source session is purely "
+                    "in-memory; only durable sessions publish a WAL "
+                    "to replicate"
+                )
+            source = source.durable
+        if isinstance(source, DurableDatabase):
+            source = PrimaryStream(source)
+        if not isinstance(source, ReplicationStream):
+            raise ValueError(
+                "replica_of must be a Replica, ReplicationStream, "
+                f"DurableDatabase or durable Session, got "
+                f"{type(source).__name__}"
+            )
+        kwargs = {"max_lag": max_lag, "on_stale": on_stale}
+        if retry is not None:
+            kwargs["retry"] = retry
+        return Replica(source, **kwargs)
+
     @property
     def database(self) -> Database:
         """The current database value."""
+        if self._replica is not None:
+            self._database = self._replica.database
         return self._database
 
     @property
@@ -110,7 +159,7 @@ class Session:
     @property
     def transaction_number(self) -> int:
         """The current database's transaction number."""
-        return self._database.transaction_number
+        return self.database.transaction_number
 
     # -- execution -----------------------------------------------------------
 
@@ -152,16 +201,20 @@ class Session:
         return self._database
 
     def _apply(self, command: Command) -> Database:
+        if self._replica is not None:
+            from repro.errors import ReplicationError
+
+            raise ReplicationError(
+                "this session is a read-only replica "
+                "(replica_of=...): commands belong on the primary; "
+                "promote() turns it into a writable primary"
+            )
         if _obsv.enabled():
             _obsv.get().counter("lang.statements_executed").inc()
         if self._durable is not None:
-            self._database = self._durable.execute(command)
+            self._record_history(self._durable.execute(command))
         else:
-            self._database = command.execute(self._database)
-        self._history.append(self._database)
-        limit = self._history_limit
-        if limit is not None and len(self._history) > limit:
-            del self._history[: len(self._history) - limit]
+            self._record_history(command.execute(self._database))
         return self._database
 
     # -- durability ----------------------------------------------------------
@@ -180,8 +233,57 @@ class Session:
     def close(self) -> None:
         """Flush the command log and release file handles.  In-memory
         sessions: a no-op."""
+        if self._replica is not None:
+            self._replica.close()
         if self._durable is not None:
             self._durable.close()
+
+    # -- replication ---------------------------------------------------------
+
+    @property
+    def replica(self):
+        """The session's :class:`~repro.replication.Replica`, or None
+        for primary/in-memory sessions."""
+        return self._replica
+
+    def catch_up(self) -> int:
+        """Replica sessions: apply shipped records up to the primary's
+        published tail, returning how many were applied.  Primary and
+        in-memory sessions: a no-op returning 0."""
+        if self._replica is None:
+            return 0
+        applied = self._replica.catch_up()
+        if applied:
+            self._record_history(self._replica.database)
+        return applied
+
+    def lag(self) -> int:
+        """How many shipped records behind the primary this replica
+        session is (0 for primary/in-memory sessions)."""
+        return 0 if self._replica is None else self._replica.lag()
+
+    def promote(self) -> Database:
+        """Fail over: turn a replica session into a writable primary
+        anchored at its last applied record.  Returns the database the
+        new primary starts from."""
+        if self._replica is None:
+            from repro.errors import ReplicationError
+
+            raise ReplicationError(
+                "promote(): this session is not a replica"
+            )
+        self._durable = self._replica.promote()
+        self._replica = None
+        self._database = self._durable.database
+        self._record_history(self._database)
+        return self._database
+
+    def _record_history(self, database: Database) -> None:
+        self._database = database
+        self._history.append(database)
+        limit = self._history_limit
+        if limit is not None and len(self._history) > limit:
+            del self._history[: len(self._history) - limit]
 
     # -- queries ---------------------------------------------------------------
 
@@ -202,6 +304,13 @@ class Session:
             if isinstance(source, str)
             else source
         )
+        return self._evaluate(expression)
+
+    def _evaluate(self, expression: Expression) -> State:
+        """Evaluate a side-effect-free expression; replica sessions
+        route through the replica so its staleness bound applies."""
+        if self._replica is not None:
+            return self._replica.evaluate(expression)
         return expression.evaluate(self._database)
 
     def _cached_expression(self, source: str) -> Expression:
@@ -232,7 +341,7 @@ class Session:
 
     def current_state(self, identifier: str) -> State:
         """The named relation's most recent state, via ``ρ(I, now)``."""
-        return Rollback(identifier, NOW).evaluate(self._database)
+        return self._evaluate(Rollback(identifier, NOW))
 
     # -- Quel integration ---------------------------------------------------------
 
@@ -241,9 +350,10 @@ class Session:
         the data dictionary the Quel translators need."""
         from repro.core.expressions import is_empty_set
 
+        database = self.database
         schemas = {}
-        for identifier in self._database.state:
-            relation = self._database.require(identifier)
+        for identifier in database.state:
+            relation = database.require(identifier)
             state = relation.current_state
             if not is_empty_set(state):
                 schemas[identifier] = state.schema
@@ -284,10 +394,10 @@ class Session:
             expression = QuelTranslator(catalog).translate_retrieve(
                 statement
             )
-            return expression.evaluate(self._database)
+            return self._evaluate(expression)
 
         # dispatch updates on the target relation's kind
-        relation = self._database.lookup(statement.relation)
+        relation = self.database.lookup(statement.relation)
         if relation is None:
             raise TranslationError(
                 f"relation {statement.relation!r} is not defined"
@@ -311,7 +421,7 @@ class Session:
         as an aligned text table."""
         from repro.core.expressions import is_empty_set
 
-        state = Rollback(identifier, numeral).evaluate(self._database)
+        state = self._evaluate(Rollback(identifier, numeral))
         if is_empty_set(state):
             return f"{identifier}\n(no recorded state)"
         return format_state(state, title=identifier)

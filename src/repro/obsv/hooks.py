@@ -30,9 +30,11 @@ from repro.obsv.registry import MetricsRegistry
 
 __all__ = [
     "ExpressionObserver",
+    "ReplicationObserver",
     "WalObserver",
     "install",
     "uninstall",
+    "repl_observer",
     "wal_observer",
 ]
 
@@ -143,7 +145,111 @@ class WalObserver:
         self._recovery_seconds.observe(seconds)
 
 
+class ReplicationObserver:
+    """Per-event callbacks for the replication layer (``repl.*``
+    metrics).  Instruments are resolved once, at installation."""
+
+    __slots__ = (
+        "_batches",
+        "_applied",
+        "_duplicates",
+        "_gaps",
+        "_divergences",
+        "_transient_errors",
+        "_retries",
+        "_retry_sleep",
+        "_resnapshots",
+        "_promotions",
+        "_stale_rejected",
+        "_stale_served",
+        "_lag",
+        "_batch_size",
+        "_apply_seconds",
+        "_catchup_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._batches = registry.counter("repl.batches_fetched")
+        self._applied = registry.counter("repl.records_applied")
+        self._duplicates = registry.counter("repl.duplicates_skipped")
+        self._gaps = registry.counter("repl.gaps_detected")
+        self._divergences = registry.counter("repl.divergences_detected")
+        self._transient_errors = registry.counter(
+            "repl.transient_errors"
+        )
+        self._retries = registry.counter("repl.retries")
+        self._retry_sleep = registry.histogram("repl.retry_sleep_seconds")
+        self._resnapshots = registry.counter("repl.resnapshots")
+        self._promotions = registry.counter("repl.promotions")
+        self._stale_rejected = registry.counter(
+            "repl.stale_reads_rejected"
+        )
+        self._stale_served = registry.counter("repl.stale_reads_served")
+        self._lag = registry.histogram("repl.lag_records")
+        self._batch_size = registry.histogram("repl.batch_records")
+        self._apply_seconds = registry.histogram("repl.apply_seconds")
+        self._catchup_seconds = registry.histogram(
+            "repl.catchup_seconds"
+        )
+
+    def fetched(self, records: int) -> None:
+        """One batch came back from the stream (possibly empty)."""
+        self._batches.inc()
+        self._batch_size.observe(records)
+
+    def applied(self, records: int, seconds: float) -> None:
+        """An apply round executed ``records`` shipped records."""
+        self._applied.inc(records)
+        self._apply_seconds.observe(seconds)
+
+    def duplicate(self) -> None:
+        """A record at or below the applied LSN was skipped."""
+        self._duplicates.inc()
+
+    def gap(self) -> None:
+        """A delivery skipped LSNs (reorder/drop or compaction)."""
+        self._gaps.inc()
+
+    def diverged(self) -> None:
+        """Replay produced a transaction number the record disagrees
+        with — the replica is now condemned."""
+        self._divergences.inc()
+
+    def transient_error(self) -> None:
+        """A fetch failed in a way retry may clear."""
+        self._transient_errors.inc()
+
+    def retried(self, sleep_seconds: float) -> None:
+        """The retry policy is about to back off and go again."""
+        self._retries.inc()
+        self._retry_sleep.observe(sleep_seconds)
+
+    def resnapshotted(self) -> None:
+        """A replica rebuilt itself from a primary checkpoint."""
+        self._resnapshots.inc()
+
+    def promoted(self) -> None:
+        """A replica was promoted to a standalone primary."""
+        self._promotions.inc()
+
+    def stale_read(self, served: bool) -> None:
+        """A read hit the ``max_lag`` bound (served stale or rejected)."""
+        if served:
+            self._stale_served.inc()
+        else:
+            self._stale_rejected.inc()
+
+    def lag(self, records: int) -> None:
+        """An observed primary-minus-replica LSN lag sample."""
+        self._lag.observe(records)
+
+    def caught_up(self, seconds: float) -> None:
+        """A catch-up loop reached the primary's tail."""
+        self._catchup_seconds.observe(seconds)
+
+
 _WAL_OBSERVER: Optional[WalObserver] = None
+_REPL_OBSERVER: Optional[ReplicationObserver] = None
 
 
 def wal_observer() -> Optional[WalObserver]:
@@ -152,20 +258,28 @@ def wal_observer() -> Optional[WalObserver]:
     return _WAL_OBSERVER
 
 
+def repl_observer() -> Optional[ReplicationObserver]:
+    """The installed :class:`ReplicationObserver`, or None while metrics
+    are disabled (the replication layer's zero-cost guard)."""
+    return _REPL_OBSERVER
+
+
 def install(registry: MetricsRegistry) -> None:
-    """Point the expression evaluator's and durability layer's observer
-    slots at ``registry``."""
-    global _WAL_OBSERVER
+    """Point the expression evaluator's, durability layer's and
+    replication layer's observer slots at ``registry``."""
+    global _WAL_OBSERVER, _REPL_OBSERVER
     from repro.core import expressions
 
     expressions._OBSERVER = ExpressionObserver(registry)
     _WAL_OBSERVER = WalObserver(registry)
+    _REPL_OBSERVER = ReplicationObserver(registry)
 
 
 def uninstall() -> None:
     """Clear the observer slots (the disabled, zero-cost state)."""
-    global _WAL_OBSERVER
+    global _WAL_OBSERVER, _REPL_OBSERVER
     from repro.core import expressions
 
     expressions._OBSERVER = None
     _WAL_OBSERVER = None
+    _REPL_OBSERVER = None

@@ -72,6 +72,9 @@ class InstrumentedBackend(StorageBackend):
 
     # -- read path ----------------------------------------------------------
 
+    def clear(self) -> None:
+        self._inner.clear()
+
     def state_at(
         self, identifier: str, txn: TransactionNumber
     ) -> Optional[State]:

@@ -1,0 +1,32 @@
+"""WAL-shipping replication for the versioned database.
+
+The paper models a database as the cumulative result of a command
+sentence (Section 3.5); the durability layer already persists that
+sentence as a CRC-framed WAL.  This package ships it: a primary
+publishes its log through a :class:`~repro.replication.stream.PrimaryStream`,
+and any number of :class:`~repro.replication.replica.Replica` objects
+replay it into databases of their own — with retry/backoff
+(:class:`~repro.replication.retry.RetryPolicy`), gap and divergence
+detection, checkpoint re-snapshotting, bounded-staleness reads, and
+:func:`~repro.replication.promote.promote` for failover.
+"""
+
+from repro.replication.promote import promote
+from repro.replication.replica import Replica
+from repro.replication.retry import RetryPolicy
+from repro.replication.stream import (
+    DEFAULT_BATCH_RECORDS,
+    FaultyStream,
+    PrimaryStream,
+    ReplicationStream,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_RECORDS",
+    "FaultyStream",
+    "PrimaryStream",
+    "Replica",
+    "ReplicationStream",
+    "RetryPolicy",
+    "promote",
+]

@@ -115,6 +115,22 @@ class StorageBackend:
         discarded, matching replacement semantics."""
         raise NotImplementedError
 
+    def clear(self) -> None:
+        """Drop every relation *and* every cached reconstruction, leaving
+        the backend as-new.  Restore paths (checkpoint load, replica
+        re-snapshot) call this before reinstalling a full history: any
+        cached ``(identifier, version_index)`` entry would otherwise
+        describe the pre-restore contents at coordinates the restored
+        history reuses."""
+        raise NotImplementedError
+
+    def _clear_cache(self) -> None:
+        """The shared half of :meth:`clear` (backends add their own
+        relation-map wipe)."""
+        cache = self._state_cache
+        if cache is not None:
+            cache.clear()
+
     # -- read path ----------------------------------------------------------
 
     def state_at(

@@ -101,6 +101,10 @@ class CheckpointDeltaBackend(StorageBackend):
             raise StorageError(f"relation {identifier!r} already exists")
         self._relations[identifier] = _CheckpointRelation(rtype)
 
+    def clear(self) -> None:
+        self._relations.clear()
+        self._clear_cache()
+
     def install(
         self, identifier: str, state: State, txn: TransactionNumber
     ) -> None:

@@ -80,6 +80,10 @@ class DeltaBackend(StorageBackend):
             raise StorageError(f"relation {identifier!r} already exists")
         self._relations[identifier] = _DeltaRelation(rtype)
 
+    def clear(self) -> None:
+        self._relations.clear()
+        self._clear_cache()
+
     def install(
         self, identifier: str, state: State, txn: TransactionNumber
     ) -> None:

@@ -50,6 +50,10 @@ class FullCopyBackend(StorageBackend):
             raise StorageError(f"relation {identifier!r} already exists")
         self._relations[identifier] = _FullCopyRelation(rtype)
 
+    def clear(self) -> None:
+        self._relations.clear()
+        self._clear_cache()
+
     def install(
         self, identifier: str, state: State, txn: TransactionNumber
     ) -> None:

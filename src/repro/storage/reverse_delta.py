@@ -69,6 +69,10 @@ class ReverseDeltaBackend(StorageBackend):
             raise StorageError(f"relation {identifier!r} already exists")
         self._relations[identifier] = _ReverseDeltaRelation(rtype)
 
+    def clear(self) -> None:
+        self._relations.clear()
+        self._clear_cache()
+
     def install(
         self, identifier: str, state: State, txn: TransactionNumber
     ) -> None:

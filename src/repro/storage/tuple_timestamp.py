@@ -78,6 +78,10 @@ class TupleTimestampBackend(StorageBackend):
             raise StorageError(f"relation {identifier!r} already exists")
         self._relations[identifier] = _StampedRelation(rtype)
 
+    def clear(self) -> None:
+        self._relations.clear()
+        self._clear_cache()
+
     def install(
         self, identifier: str, state: State, txn: TransactionNumber
     ) -> None:

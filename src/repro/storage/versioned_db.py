@@ -237,18 +237,29 @@ class VersionedDatabase:
 
     def restore(self, database) -> None:
         """Load a semantic :class:`~repro.core.database.Database` value
-        into the (empty) backend — the crash-recovery path that rebuilds
-        a physical representation from a checkpoint + WAL replay.
+        into the backend — the crash-recovery path that rebuilds a
+        physical representation from a checkpoint + WAL replay, and the
+        replica re-snapshot path that rebuilds one from a shipped
+        checkpoint.
 
-        Every relation is created and its full state sequence installed
-        with the original transaction numbers, so subsequent
-        ``state_at`` probes answer exactly as they did before the crash.
+        A non-empty backend is wiped first via
+        :meth:`~repro.storage.backend.StorageBackend.clear`, which also
+        drops its cached ``(identifier, version_index)`` reconstructions
+        — without that, a cached pre-restore state could be served at
+        coordinates the restored history reuses.  Every relation is then
+        created and its full state sequence installed with the original
+        transaction numbers, so subsequent ``state_at`` probes answer
+        exactly as the restored value prescribes.
         """
         if self._backend.identifiers():
-            raise StorageError(
-                "restore requires an empty backend; this one already "
-                f"holds {self._backend.identifiers()}"
-            )
+            try:
+                self._backend.clear()
+            except NotImplementedError:
+                raise StorageError(
+                    "restore over a non-empty backend needs "
+                    f"{type(self._backend).__name__}.clear(); the "
+                    "backend predates it — pass an empty backend instead"
+                ) from None
         for identifier in database.state:
             relation = database.require(identifier)
             self._backend.create(identifier, relation.rtype)

@@ -1,0 +1,68 @@
+"""``DurableDatabase.close()`` is idempotent and safe mid-batch."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.durability import DurableDatabase, MemoryStore
+
+from tests.durability.conftest import scripted_workload
+
+
+class TestCloseIdempotent:
+    def test_double_close_is_a_no_op(self):
+        ddb = DurableDatabase(MemoryStore(), fsync="always")
+        ddb.close()
+        assert ddb.closed
+        ddb.close()  # second close must not raise or touch the store
+        assert ddb.closed
+
+    def test_close_mid_batch_fsyncs_pending_records_once(self):
+        workload = scripted_workload(length=30, seed=11)
+        store = MemoryStore()
+        # a batch policy that will never trigger on its own: every
+        # record is still pending when close() arrives
+        ddb = DurableDatabase(
+            store, fsync="batch(1000, 600000)", checkpoint_every=0
+        )
+        for command in workload:
+            ddb.execute(command)
+        before = ddb.database
+        ddb.close()
+        ddb.close()
+        store.crash()  # only fsynced bytes survive
+        recovered = DurableDatabase(store)
+        assert recovered.database == before
+
+    def test_execute_after_close_is_refused(self):
+        workload = scripted_workload(length=5, seed=1)
+        ddb = DurableDatabase(MemoryStore(), fsync="always")
+        ddb.execute(workload[0])
+        ddb.close()
+        with pytest.raises(StorageError):
+            ddb.execute(workload[1])
+
+    def test_context_manager_plus_explicit_close(self):
+        workload = scripted_workload(length=5, seed=2)
+        store = MemoryStore()
+        with DurableDatabase(store, fsync="always") as ddb:
+            for command in workload:
+                ddb.execute(command)
+            ddb.close()  # early close inside the with-block is fine
+        assert ddb.closed
+        assert DurableDatabase(store).database == ddb.database
+
+    def test_replica_handoff_after_close(self):
+        # the promote() shape: close() releases the durable handle and a
+        # new one over the same store picks up exactly where it stopped
+        workload = scripted_workload(length=20, seed=4)
+        store = MemoryStore()
+        ddb = DurableDatabase(store, fsync="batch(64, 60000)")
+        for command in workload:
+            ddb.execute(command)
+        ddb.close()
+        successor = DurableDatabase(store, fsync="always")
+        assert successor.wal.last_lsn == 20
+        assert successor.database == ddb.database
+        ddb.close()  # the old handle stays inert
+        successor.execute(scripted_workload(length=21, seed=4)[20])
+        assert successor.wal.last_lsn == 21

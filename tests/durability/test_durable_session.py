@@ -152,13 +152,24 @@ class TestBackendMirror:
             oracle[60]
         )
 
-    def test_restore_refuses_nonempty_backend(self, workload, oracle):
+    def test_restore_replaces_nonempty_backend(self, workload, oracle):
+        # restoring over a backend that already holds content wipes it
+        # first (the replica re-snapshot path) and lands exactly on the
+        # restored value
         backend = FullCopyBackend()
         vdb = VersionedDatabase(backend)
         for command in workload[:10]:
             vdb.execute(command)
-        with pytest.raises(StorageError, match="empty backend"):
-            vdb.restore(oracle[20])
+        vdb.restore(oracle[20])
+        assert vdb.transaction_number == oracle[20].transaction_number
+        reference = VersionedDatabase(FullCopyBackend())
+        reference.restore(oracle[20])
+        probes = [
+            (identifier, txn)
+            for identifier in ("r", "s", "h", "t")
+            for txn in range(oracle[20].transaction_number + 1)
+        ]
+        assert backends_agree([backend, reference.backend], probes)
 
 
 class TestStateAt:

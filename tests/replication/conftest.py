@@ -1,0 +1,57 @@
+"""Shared fixtures for the replication suite.
+
+The suite reuses the durability suite's differential machinery: the
+scripted workload (every command shape the WAL codec ships) and its
+in-memory oracle.  `REPRO_CHAOS_SEED` reseeds the chaos tests from the
+environment so CI can roll a fresh schedule per run while any failure
+stays reproducible by exporting the printed seed.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.durability import DurableDatabase, MemoryStore
+from repro.replication import PrimaryStream, Replica, RetryPolicy
+
+from tests.durability.conftest import (  # noqa: F401  (re-exported fixtures)
+    oracle,
+    scripted_workload,
+    workload,
+)
+
+
+def chaos_seed(default: int = 0) -> int:
+    """The base seed for randomized fault schedules; CI varies it via
+    the REPRO_CHAOS_SEED environment variable."""
+    return int(os.environ.get("REPRO_CHAOS_SEED", default))
+
+
+@pytest.fixture
+def primary():
+    """A durable primary over a fresh in-memory store, with automatic
+    checkpointing disabled so tests control compaction explicitly."""
+    ddb = DurableDatabase(
+        MemoryStore(), fsync="always", checkpoint_every=0
+    )
+    yield ddb
+    ddb.close()
+
+
+@pytest.fixture
+def stream(primary):
+    return PrimaryStream(primary)
+
+
+@pytest.fixture
+def fast_retry():
+    """A generous attempt budget with zero sleeping — chaos tests retry
+    through injected faults without slowing the suite down."""
+    return RetryPolicy(max_attempts=64, base_delay=0.0, max_delay=0.0)
+
+
+def make_replica(stream, **kwargs):
+    kwargs.setdefault("retry", RetryPolicy.none())
+    return Replica(stream, **kwargs)

@@ -1,0 +1,184 @@
+"""Differential chaos: randomized workloads × randomized fault
+schedules, replayed against the in-memory oracle.
+
+Invariant: whatever the delivery layer does — drop, duplicate, reorder,
+truncate, error — a replica that reports itself caught up holds a
+database byte-for-byte equal (via the canonical JSON encoding) to the
+primary's at the same transaction number.  ``REPRO_CHAOS_SEED`` varies
+the schedules in CI; every printed seed reproduces its run exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.expressions import Rollback
+from repro.durability import DurableDatabase, MemoryStore
+from repro.durability.faults import FaultPlan
+from repro.persistence.json_codec import database_to_dict
+from repro.replication import (
+    FaultyStream,
+    PrimaryStream,
+    Replica,
+    RetryPolicy,
+)
+
+from tests.durability.conftest import oracle_history, scripted_workload
+from tests.replication.conftest import chaos_seed
+
+IDENTIFIERS = ("r", "s", "h", "t")
+
+
+def _fault_plan(rng):
+    return FaultPlan(
+        seed=rng.randrange(1 << 30),
+        stream_drop_rate=rng.uniform(0.0, 0.35),
+        stream_duplicate_rate=rng.uniform(0.0, 0.35),
+        stream_reorder_rate=rng.uniform(0.0, 0.35),
+        stream_truncate_rate=rng.uniform(0.0, 0.35),
+        stream_error_rate=rng.uniform(0.0, 0.25),
+    )
+
+
+def _retry():
+    return RetryPolicy(max_attempts=200, base_delay=0.0, max_delay=0.0)
+
+
+@pytest.mark.parametrize("case", range(6))
+def test_replica_converges_under_arbitrary_delivery_faults(case):
+    seed = chaos_seed(17) * 1000 + case
+    rng = random.Random(seed)
+    workload = scripted_workload(length=120, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(workload)
+    primary = DurableDatabase(
+        MemoryStore(), fsync="always", checkpoint_every=0
+    )
+    replica = Replica(
+        FaultyStream(PrimaryStream(primary), _fault_plan(rng)),
+        retry=_retry(),
+        batch_records=rng.choice([1, 3, 8, 32]),
+    )
+    executed = 0
+    while executed < len(workload):
+        step = rng.randint(1, 17)
+        for command in workload[executed : executed + step]:
+            primary.execute(command)
+        executed = min(executed + step, len(workload))
+        replica.catch_up()
+        assert replica.applied_lsn == executed, f"seed={seed}"
+        assert database_to_dict(replica.database) == database_to_dict(
+            oracle[executed]
+        ), f"seed={seed}"
+    expression = Rollback(
+        "r", rng.randrange(primary.transaction_number + 1)
+    )
+    assert replica.evaluate(expression) == primary.evaluate(expression)
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_replica_converges_across_compaction_and_faults(case):
+    # the primary checkpoints and compacts mid-stream, so lagging
+    # replicas fall off the log and must re-snapshot — under delivery
+    # faults the whole way
+    seed = chaos_seed(29) * 1000 + case
+    rng = random.Random(seed)
+    workload = scripted_workload(length=150, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(workload)
+    primary = DurableDatabase(
+        MemoryStore(),
+        fsync="always",
+        checkpoint_every=0,
+        keep_checkpoints=1,
+        segment_bytes=rng.choice([128, 256, 512]),
+    )
+    replica = Replica(
+        FaultyStream(PrimaryStream(primary), _fault_plan(rng)),
+        retry=_retry(),
+    )
+    executed = 0
+    while executed < len(workload):
+        step = rng.randint(5, 40)
+        for command in workload[executed : executed + step]:
+            primary.execute(command)
+        executed = min(executed + step, len(workload))
+        if rng.random() < 0.6:
+            primary.checkpoint()  # compacts the tail away
+        replica.catch_up()
+        assert database_to_dict(replica.database) == database_to_dict(
+            oracle[executed]
+        ), f"seed={seed}"
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_replica_crash_restart_converges(case):
+    # the replica itself crashes (volatile state lost, durable prefix
+    # kept) at random points and resumes over the same store
+    seed = chaos_seed(43) * 1000 + case
+    rng = random.Random(seed)
+    workload = scripted_workload(length=100, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(workload)
+    primary = DurableDatabase(
+        MemoryStore(), fsync="always", checkpoint_every=0
+    )
+    stream = FaultyStream(PrimaryStream(primary), _fault_plan(rng))
+    store = MemoryStore()
+    fsync = rng.choice(["always", "batch(8, 60000)", "never"])
+    replica = Replica(stream, store=store, fsync=fsync, retry=_retry())
+    executed = 0
+    while executed < len(workload):
+        step = rng.randint(1, 25)
+        for command in workload[executed : executed + step]:
+            primary.execute(command)
+        executed = min(executed + step, len(workload))
+        replica.catch_up()
+        if rng.random() < 0.5:
+            store.crash()
+            replica = Replica(
+                stream, store=store, fsync=fsync, retry=_retry()
+            )
+            assert replica.applied_lsn <= executed
+            replica.catch_up()
+        assert database_to_dict(replica.database) == database_to_dict(
+            oracle[executed]
+        ), f"seed={seed}"
+
+
+def test_failover_promotion_continues_history():
+    # primary dies mid-stream; a caught-up replica is promoted and new
+    # writes extend the same LSN space with no reuse; a second replica
+    # then follows the new primary to the combined history
+    seed = chaos_seed(61)
+    rng = random.Random(seed)
+    workload = scripted_workload(length=80, seed=seed % (1 << 16))
+    oracle = oracle_history(workload)
+    primary = DurableDatabase(
+        MemoryStore(), fsync="always", checkpoint_every=0
+    )
+    replica = Replica(
+        FaultyStream(PrimaryStream(primary), _fault_plan(rng)),
+        retry=_retry(),
+    )
+    for command in workload[:50]:
+        primary.execute(command)
+    replica.catch_up()
+    primary.close()  # the primary is gone
+
+    promoted = replica.promote()
+    assert promoted.wal.last_lsn == 50
+    for command in workload[50:]:
+        promoted.execute(command)
+    assert promoted.wal.last_lsn == len(workload)  # contiguous, no reuse
+    assert database_to_dict(promoted.database) == database_to_dict(
+        oracle[len(workload)]
+    )
+
+    follower = Replica(
+        FaultyStream(PrimaryStream(promoted), _fault_plan(rng)),
+        retry=_retry(),
+    )
+    follower.catch_up()
+    assert database_to_dict(follower.database) == database_to_dict(
+        oracle[len(workload)]
+    )
+    lsns = [lsn for lsn, _ in promoted.wal.read_from(1)]
+    assert lsns == sorted(set(lsns)), "LSN space must never fork"

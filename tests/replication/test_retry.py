@@ -1,0 +1,159 @@
+"""RetryPolicy: delay schedule, budget, deadline, and error typing."""
+
+import pytest
+
+from repro.errors import (
+    DivergenceError,
+    ReplicationError,
+    RetryExhaustedError,
+)
+from repro.replication import RetryPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(seconds)
+        self.now += seconds
+
+
+class TestDelays:
+    def test_capped_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay=0.1,
+            max_delay=0.5,
+            multiplier=2.0,
+            jitter=0.0,
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_only_subtracts(self):
+        policy = RetryPolicy(
+            max_attempts=20,
+            base_delay=0.1,
+            max_delay=1.0,
+            jitter=0.5,
+            seed=11,
+        )
+        ceilings = [0.1 * 2.0 ** k for k in range(19)]
+        for delay, ceiling in zip(policy.delays(), ceilings):
+            assert 0 < delay <= min(1.0, ceiling)
+
+    def test_seed_determines_schedule(self):
+        a = RetryPolicy(max_attempts=10, seed=3)
+        b = RetryPolicy(max_attempts=10, seed=3)
+        assert list(a.delays()) == list(b.delays())
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"base_delay": 2.0, "max_delay": 1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+            {"deadline": 0.0},
+        ],
+    )
+    def test_invalid_configuration_rejected(self, kwargs):
+        with pytest.raises(ReplicationError):
+            RetryPolicy(**kwargs)
+
+
+class TestRun:
+    def test_returns_first_success(self):
+        policy = RetryPolicy.none()
+        assert policy.run(lambda: 42) == 42
+
+    def test_retries_until_success(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_attempts=5,
+            base_delay=0.1,
+            jitter=0.0,
+            sleep=clock.sleep,
+            clock=clock.clock,
+        )
+        attempts = []
+
+        def operation():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ReplicationError("flaky")
+            return "done"
+
+        assert policy.run(operation) == "done"
+        assert len(attempts) == 3
+        assert clock.sleeps == [0.1, 0.2]
+
+    def test_exhaustion_chains_last_error(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_delay=0.0,
+            max_delay=0.0,
+            sleep=clock.sleep,
+            clock=clock.clock,
+        )
+
+        def operation():
+            raise ReplicationError("always down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(operation, describe="test op")
+        assert info.value.attempts == 3
+        assert isinstance(info.value.__cause__, ReplicationError)
+        assert "test op" in str(info.value)
+
+    def test_deadline_stops_before_overrun(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_attempts=100,
+            base_delay=1.0,
+            max_delay=1.0,
+            jitter=0.0,
+            deadline=2.5,
+            sleep=clock.sleep,
+            clock=clock.clock,
+        )
+        attempts = []
+
+        def operation():
+            attempts.append(1)
+            raise ReplicationError("down")
+
+        with pytest.raises(RetryExhaustedError):
+            policy.run(operation)
+        # attempts at t=0, 1, 2; the next sleep would land past 2.5
+        assert len(attempts) == 3
+        assert clock.now <= 2.5
+
+    def test_unrelated_errors_propagate(self):
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, max_delay=0.0)
+
+        def operation():
+            raise ValueError("not transport")
+
+        with pytest.raises(ValueError):
+            policy.run(operation)
+
+    def test_no_retry_on_beats_retry_on(self):
+        # DivergenceError IS-A ReplicationError but must surface on the
+        # first occurrence, never be retried
+        policy = RetryPolicy(max_attempts=5, base_delay=0.0, max_delay=0.0)
+        attempts = []
+
+        def operation():
+            attempts.append(1)
+            raise DivergenceError("forked history")
+
+        with pytest.raises(DivergenceError):
+            policy.run(operation, no_retry_on=(DivergenceError,))
+        assert len(attempts) == 1

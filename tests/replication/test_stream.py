@@ -1,0 +1,158 @@
+"""The shipping surface: WAL tailing, PrimaryStream, FaultyStream."""
+
+import pytest
+
+from repro.errors import StreamGapError, WalError
+from repro.durability import DurableDatabase, MemoryStore
+from repro.durability.faults import FaultPlan
+from repro.replication import FaultyStream, PrimaryStream
+
+from tests.replication.conftest import chaos_seed
+
+
+class TestReadFrom:
+    def _primary(self, workload, n=30, **kwargs):
+        kwargs.setdefault("fsync", "always")
+        kwargs.setdefault("checkpoint_every", 0)
+        ddb = DurableDatabase(MemoryStore(), **kwargs)
+        for command in workload[:n]:
+            ddb.execute(command)
+        return ddb
+
+    def test_tail_is_ordered_and_contiguous(self, workload):
+        ddb = self._primary(workload)
+        batch = ddb.wal.read_from(1)
+        assert [lsn for lsn, _ in batch] == list(range(1, 31))
+        assert ddb.wal.read_from(31) == []
+
+    def test_limit_bounds_the_batch(self, workload):
+        ddb = self._primary(workload)
+        batch = ddb.wal.read_from(5, limit=7)
+        assert [lsn for lsn, _ in batch] == list(range(5, 12))
+
+    def test_nonpositive_lsn_rejected(self, workload):
+        ddb = self._primary(workload, n=3)
+        with pytest.raises(WalError):
+            ddb.wal.read_from(0)
+
+    def test_compacted_prefix_raises_authoritative_gap(self, workload):
+        ddb = self._primary(
+            workload,
+            n=40,
+            segment_bytes=256,
+            keep_checkpoints=1,
+        )
+        ddb.checkpoint()
+        first = ddb.wal.first_lsn
+        assert first > 1, "workload must span several dropped segments"
+        with pytest.raises(StreamGapError) as info:
+            ddb.wal.read_from(1)
+        assert info.value.compacted
+        assert info.value.got == first
+        # the retained suffix still reads fine
+        batch = ddb.wal.read_from(first)
+        assert batch[0][0] == first
+
+    def test_rebased_log_serves_only_the_future(self, workload):
+        # after rebase(k) nothing ≤ k is retained: read_from must not
+        # silently return [] and strand a replica
+        ddb = self._primary(workload, n=10)
+        ddb.wal.rebase(25)
+        with pytest.raises(StreamGapError) as info:
+            ddb.wal.read_from(11)
+        assert info.value.compacted
+        assert ddb.wal.read_from(26) == []
+
+
+class TestPrimaryStream:
+    def test_fetch_decodes_nothing_ships_bytes(self, primary, workload):
+        for command in workload[:12]:
+            primary.execute(command)
+        stream = PrimaryStream(primary)
+        batch = stream.fetch(0, limit=5)
+        assert [lsn for lsn, _ in batch] == [1, 2, 3, 4, 5]
+        assert all(isinstance(p, bytes) for _, p in batch)
+        assert stream.first_lsn() == 1
+        assert stream.last_lsn() == 12
+
+    def test_snapshot_forces_a_checkpoint_when_none(
+        self, primary, workload, oracle
+    ):
+        for command in workload[:8]:
+            primary.execute(command)
+        stream = PrimaryStream(primary)
+        lsn, database = stream.snapshot()
+        assert lsn == 8
+        assert database == oracle[8]
+
+    def test_snapshot_returns_newest_existing(self, primary, workload):
+        for command in workload[:5]:
+            primary.execute(command)
+        primary.checkpoint()
+        for command in workload[5:9]:
+            primary.execute(command)
+        stream = PrimaryStream(primary)
+        lsn, _ = stream.snapshot()
+        assert lsn == 5  # existing checkpoint, not a forced new one
+
+
+class TestFaultyStream:
+    def _stream(self, primary, workload, plan):
+        for command in workload[:20]:
+            primary.execute(command)
+        return FaultyStream(PrimaryStream(primary), plan)
+
+    def test_clean_plan_is_passthrough(self, primary, workload):
+        faulty = self._stream(primary, workload, FaultPlan(seed=1))
+        assert faulty.fetch(0, limit=20) == PrimaryStream(
+            primary
+        ).fetch(0, limit=20)
+
+    def test_transient_errors_are_replication_errors(
+        self, primary, workload
+    ):
+        from repro.errors import ReplicationError
+
+        plan = FaultPlan(seed=chaos_seed(5), stream_error_rate=1.0)
+        faulty = self._stream(primary, workload, plan)
+        with pytest.raises(ReplicationError):
+            faulty.fetch(0)
+
+    def test_mangling_is_seed_deterministic(self, primary, workload):
+        kwargs = dict(
+            stream_drop_rate=0.3,
+            stream_duplicate_rate=0.3,
+            stream_reorder_rate=0.3,
+            stream_truncate_rate=0.3,
+        )
+        one = self._stream(
+            primary, workload, FaultPlan(seed=7, **kwargs)
+        )
+        two = FaultyStream(one.inner, FaultPlan(seed=7, **kwargs))
+        for after in (0, 5, 10):
+            assert one.fetch(after, limit=6) == two.fetch(
+                after, limit=6
+            )
+
+    def test_mangled_batches_only_rearrange_real_records(
+        self, primary, workload
+    ):
+        plan = FaultPlan(
+            seed=chaos_seed(9),
+            stream_drop_rate=0.25,
+            stream_duplicate_rate=0.25,
+            stream_reorder_rate=0.25,
+            stream_truncate_rate=0.25,
+        )
+        faulty = self._stream(primary, workload, plan)
+        clean = {
+            lsn: payload
+            for lsn, payload in PrimaryStream(primary).fetch(
+                0, limit=20
+            )
+        }
+        for round_ in range(50):
+            batch = faulty.fetch(0, limit=10)
+            for lsn, payload in batch:
+                # faults lose/duplicate/shuffle records but never forge
+                assert clean[lsn] == payload

@@ -1,0 +1,110 @@
+"""Regression: ``VersionedDatabase.restore()`` over an already-used
+backend must invalidate cached ``(identifier, version_index)``
+reconstructions.
+
+Per-install invalidation already covers identifiers the restored
+history reinstalls; the hole is entries for identifiers the new history
+*doesn't* touch — they would sit in the cache forever, ready to be
+served if the identifier's coordinates are ever reused.  With a
+capacity-1 cache the leak is maximally visible: the single slot holds
+exactly the poisoned entry, and restore must leave the cache empty.
+"""
+
+import pytest
+
+from repro.core.commands import DefineRelation, ModifyState, execute
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import Const
+from repro.storage import (
+    CheckpointDeltaBackend,
+    DeltaBackend,
+    ReverseDeltaBackend,
+    TupleTimestampBackend,
+)
+from repro.storage.versioned_db import VersionedDatabase
+from repro.workloads.generators import StateGenerator
+
+from tests.durability.conftest import scripted_workload
+
+CACHED_BACKENDS = [
+    DeltaBackend,
+    ReverseDeltaBackend,
+    CheckpointDeltaBackend,
+    TupleTimestampBackend,
+]
+
+
+def _database_after(commands):
+    database = EMPTY_DATABASE
+    for command in commands:
+        database = execute(command, database)
+    return database
+
+
+def _old_history_with_extra_relation():
+    """The pre-restore history: the scripted workload plus a relation
+    ``x`` that the restore target will NOT contain."""
+    generator = StateGenerator(seed=123, key_space=10)
+    commands = list(scripted_workload(length=20, seed=5))
+    commands.append(DefineRelation("x", "rollback"))
+    for _ in range(3):
+        commands.append(
+            ModifyState("x", Const(generator.snapshot_state(2)))
+        )
+    return commands
+
+
+@pytest.mark.parametrize("backend_type", CACHED_BACKENDS)
+def test_restore_drops_cached_entries_of_vanished_relations(
+    backend_type,
+):
+    backend = backend_type(cache_capacity=1, hot_reads=False)
+    vdb = VersionedDatabase(backend)
+    for command in _old_history_with_extra_relation():
+        vdb.execute(command)
+    # warm the single cache slot with a reconstruction of "x" — an
+    # identifier the restore target does not define
+    vdb.state_at("x", vdb.transaction_number)
+    assert len(backend.state_cache) == 1
+
+    target = _database_after(scripted_workload(length=30, seed=99))
+    vdb.restore(target)
+    assert len(backend.state_cache) == 0, (
+        "restore retained a cached reconstruction from the replaced "
+        "history"
+    )
+    assert "x" not in backend.identifiers()
+    assert vdb.transaction_number == target.transaction_number
+
+
+@pytest.mark.parametrize("backend_type", CACHED_BACKENDS)
+def test_restore_over_used_backend_answers_like_fresh(backend_type):
+    backend = backend_type(cache_capacity=1)
+    vdb = VersionedDatabase(backend)
+    for command in scripted_workload(length=40, seed=5):
+        vdb.execute(command)
+    for identifier in ("r", "t"):
+        vdb.state_at(identifier, 20)  # churn the one cache slot
+
+    target = _database_after(scripted_workload(length=40, seed=99))
+    vdb.restore(target)
+    reference = VersionedDatabase(backend_type(cache_capacity=1))
+    reference.restore(target)
+    for identifier in ("r", "s", "h", "t"):
+        for txn in range(target.transaction_number + 1):
+            assert vdb.state_at(identifier, txn) == reference.state_at(
+                identifier, txn
+            ), (identifier, txn)
+
+
+@pytest.mark.parametrize("backend_type", CACHED_BACKENDS)
+def test_clear_empties_relations_and_cache(backend_type):
+    backend = backend_type(cache_capacity=4, hot_reads=False)
+    vdb = VersionedDatabase(backend)
+    for command in scripted_workload(length=20, seed=3):
+        vdb.execute(command)
+    vdb.state_at("r", vdb.transaction_number)  # populate the cache
+    assert len(backend.state_cache) >= 1
+    backend.clear()
+    assert backend.identifiers() == ()
+    assert len(backend.state_cache) == 0
