@@ -29,6 +29,7 @@ from benchmarks import (
     bench_e12_durability,
     bench_e13_read_cache,
     bench_e14_replication,
+    bench_e15_sharding,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -50,6 +51,7 @@ EXPERIMENTS = {
     "e12": bench_e12_durability,
     "e13": bench_e13_read_cache,
     "e14": bench_e14_replication,
+    "e15": bench_e15_sharding,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

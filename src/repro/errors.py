@@ -25,6 +25,7 @@ __all__ = [
     "LexError",
     "TranslationError",
     "StorageError",
+    "ShardingError",
     "WalError",
     "CheckpointError",
     "ReplicationError",
@@ -110,6 +111,13 @@ class StorageError(ReproError):
     Root of the durability/replication taxonomy below, so ``except
     StorageError`` written against earlier releases keeps catching the
     finer-grained errors."""
+
+
+class ShardingError(StorageError):
+    """The shard coordinator detected an inconsistency: shards opened
+    over non-empty stores without coordinator metadata, a moved
+    identifier whose replayed history disagrees with the source, or a
+    partitioner that maps outside the shard set."""
 
 
 class WalError(StorageError):

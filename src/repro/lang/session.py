@@ -63,6 +63,8 @@ class Session:
         max_lag: "int | None" = None,
         on_stale: str = "reject",
         retry=None,
+        shards: "int | None" = None,
+        partitioner=None,
     ) -> None:
         if history_limit is not None and history_limit < 1:
             raise ValueError(
@@ -80,9 +82,27 @@ class Session:
                 "a session is a primary (durable_dir=...) or a replica "
                 "(replica_of=...), not both"
             )
+        if shards is not None and replica_of is not None:
+            raise ValueError(
+                "a session is sharded (shards=N) or a replica "
+                "(replica_of=...), not both; replicas attach to "
+                "individual shard DurableDatabases instead"
+            )
         self._durable = None
         self._replica = None
-        if replica_of is not None:
+        self._sharded = None
+        if shards is not None:
+            from repro.sharding import ShardedDatabase
+
+            self._sharded = ShardedDatabase(
+                shards,
+                directory=durable_dir,
+                partitioner=partitioner,
+                fsync=fsync,
+                checkpoint_every=checkpoint_every,
+            )
+            self._database: Database = EMPTY_DATABASE
+        elif replica_of is not None:
             self._replica = self._build_replica(
                 replica_of, retry=retry, max_lag=max_lag, on_stale=on_stale
             )
@@ -137,8 +157,14 @@ class Session:
 
     @property
     def database(self) -> Database:
-        """The current database value."""
-        if self._replica is not None:
+        """The current database value.
+
+        Sharded sessions reassemble the global value from the shard set
+        on each access (an O(identifiers) walk, not a hot-path cost);
+        reads and writes themselves never materialize it."""
+        if self._sharded is not None:
+            self._database = self._sharded.as_database()
+        elif self._replica is not None:
             self._database = self._replica.database
         return self._database
 
@@ -148,7 +174,11 @@ class Session:
         oldest first.  Sessions start the trail at the empty database;
         once more than ``history_limit`` values have accumulated, the
         oldest are dropped (pass ``history_limit=None`` to retain every
-        value, the pre-bound behaviour)."""
+        value, the pre-bound behaviour).  Sharded sessions do not retain
+        a trail (the global value is assembled on demand): the tuple
+        holds just the current database."""
+        if self._sharded is not None:
+            return (self.database,)
         return tuple(self._history)
 
     @property
@@ -159,6 +189,8 @@ class Session:
     @property
     def transaction_number(self) -> int:
         """The current database's transaction number."""
+        if self._sharded is not None:
+            return self._sharded.transaction_number
         return self.database.transaction_number
 
     # -- execution -----------------------------------------------------------
@@ -168,13 +200,14 @@ class Session:
         resulting database."""
         for command in parse_sentence(source):
             self._apply(command)
-        return self._database
+        return self.database
 
     def execute_command(self, command: TypingUnion[str, Command]) -> Database:
         """Execute a single command (source text or AST)."""
         if isinstance(command, str):
             command = parse_command(command)
-        return self._apply(command)
+        self._apply(command)
+        return self.database
 
     def execute_many(
         self, batch: Iterable[TypingUnion[str, Command]]
@@ -198,9 +231,11 @@ class Session:
                 self._apply(item)
         if self._durable is not None:
             self._durable.sync()
-        return self._database
+        if self._sharded is not None:
+            self._sharded.sync()
+        return self.database
 
-    def _apply(self, command: Command) -> Database:
+    def _apply(self, command: Command) -> "Database | None":
         if self._replica is not None:
             from repro.errors import ReplicationError
 
@@ -211,6 +246,11 @@ class Session:
             )
         if _obsv.enabled():
             _obsv.get().counter("lang.statements_executed").inc()
+        if self._sharded is not None:
+            # the coordinator owns the authoritative state; the global
+            # Database value is assembled on demand, never per command
+            self._sharded.execute(command)
+            return None
         if self._durable is not None:
             self._record_history(self._durable.execute(command))
         else:
@@ -226,9 +266,12 @@ class Session:
         return self._durable
 
     def checkpoint(self) -> None:
-        """Force a checkpoint + log compaction (durable sessions only)."""
+        """Force a checkpoint + log compaction (durable and sharded
+        sessions; sharded sessions checkpoint every shard)."""
         if self._durable is not None:
             self._durable.checkpoint()
+        if self._sharded is not None:
+            self._sharded.checkpoint()
 
     def close(self) -> None:
         """Flush the command log and release file handles.  In-memory
@@ -237,6 +280,38 @@ class Session:
             self._replica.close()
         if self._durable is not None:
             self._durable.close()
+        if self._sharded is not None:
+            self._sharded.close()
+
+    # -- sharding ------------------------------------------------------------
+
+    @property
+    def sharded(self):
+        """The session's :class:`~repro.sharding.ShardedDatabase`, or
+        None for unsharded sessions."""
+        return self._sharded
+
+    def rebalance(self, partitioner=None):
+        """Sharded sessions: move identifiers to their partitioner-
+        preferred shards; returns the
+        :class:`~repro.sharding.RebalanceReport`."""
+        if self._sharded is None:
+            from repro.errors import ShardingError
+
+            raise ShardingError(
+                "rebalance(): this session is not sharded (shards=N)"
+            )
+        return self._sharded.rebalance(partitioner)
+
+    def add_shard(self) -> int:
+        """Sharded sessions: open one more shard and return its index."""
+        if self._sharded is None:
+            from repro.errors import ShardingError
+
+            raise ShardingError(
+                "add_shard(): this session is not sharded (shards=N)"
+            )
+        return self._sharded.add_shard()
 
     # -- replication ---------------------------------------------------------
 
@@ -308,7 +383,10 @@ class Session:
 
     def _evaluate(self, expression: Expression) -> State:
         """Evaluate a side-effect-free expression; replica sessions
-        route through the replica so its staleness bound applies."""
+        route through the replica so its staleness bound applies,
+        sharded sessions through the scatter-gather router."""
+        if self._sharded is not None:
+            return self._sharded.evaluate(expression)
         if self._replica is not None:
             return self._replica.evaluate(expression)
         return expression.evaluate(self._database)
@@ -386,7 +464,8 @@ class Session:
             # (append ... valid / terminate ... at)
             temporal = parse_temporal_statement(source)
             command = TemporalQuelTranslator(catalog).translate(temporal)
-            return self._apply(command)
+            self._apply(command)
+            return self.database
 
         if isinstance(statement, Retrieve):
             if _obsv.enabled():
@@ -407,14 +486,16 @@ class Session:
                 command = TemporalQuelTranslator(catalog).translate(
                     TemporalDelete(statement.relation, statement.where)
                 )
-                return self._apply(command)
+                self._apply(command)
+                return self.database
             raise TranslationError(
                 f"relation {statement.relation!r} stores valid time; "
                 "use 'append ... valid <periods>' or "
                 "'terminate ... at <chronon>'"
             )
         command = QuelTranslator(catalog).translate(statement)
-        return self._apply(command)
+        self._apply(command)
+        return self.database
 
     def display(self, identifier: str, numeral=NOW) -> str:
         """Render the named relation's state at the given transaction time

@@ -31,10 +31,12 @@ from repro.obsv.registry import MetricsRegistry
 __all__ = [
     "ExpressionObserver",
     "ReplicationObserver",
+    "ShardObserver",
     "WalObserver",
     "install",
     "uninstall",
     "repl_observer",
+    "shard_observer",
     "wal_observer",
 ]
 
@@ -248,8 +250,96 @@ class ReplicationObserver:
         self._catchup_seconds.observe(seconds)
 
 
+class ShardObserver:
+    """Per-event callbacks for the sharding layer (``shard.*``
+    metrics).  Instruments are resolved once, at installation."""
+
+    __slots__ = (
+        "_routed",
+        "_coordinated",
+        "_noops",
+        "_queries",
+        "_single",
+        "_scattered",
+        "_subqueries",
+        "_merges",
+        "_fanout",
+        "_rebalances",
+        "_moves_wal",
+        "_moves_copy",
+        "_moves_skipped",
+        "_rebalance_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._routed = registry.counter("shard.commands_routed")
+        self._coordinated = registry.counter("shard.commands_coordinated")
+        self._noops = registry.counter("shard.commands_noop")
+        self._queries = registry.counter("shard.queries")
+        self._single = registry.counter("shard.queries_single_shard")
+        self._scattered = registry.counter("shard.queries_scattered")
+        self._subqueries = registry.counter("shard.subqueries_routed")
+        self._merges = registry.counter("shard.merges")
+        self._fanout = registry.histogram("shard.query_fanout")
+        self._rebalances = registry.counter("shard.rebalances")
+        self._moves_wal = registry.counter("shard.moves_wal_replayed")
+        self._moves_copy = registry.counter("shard.moves_state_copied")
+        self._moves_skipped = registry.counter("shard.moves_skipped_stale")
+        self._rebalance_seconds = registry.histogram(
+            "shard.rebalance_seconds"
+        )
+
+    def routed(self) -> None:
+        """A command was shipped untouched to its owning shard."""
+        self._routed.inc()
+
+    def coordinated(self) -> None:
+        """A cross-shard ``modify_state`` was evaluated at the
+        coordinator and shipped to the owner as a constant state."""
+        self._coordinated.inc()
+
+    def noop(self) -> None:
+        """The coordinator short-circuited a paper no-op (modify of an
+        unbound identifier) without touching any shard."""
+        self._noops.inc()
+
+    def query(self, fanout: int) -> None:
+        """A top-level scatter-gather evaluation touched ``fanout``
+        shards."""
+        self._queries.inc()
+        self._fanout.observe(fanout)
+        if fanout > 1:
+            self._scattered.inc()
+        else:
+            self._single.inc()
+
+    def subquery(self) -> None:
+        """A (sub)expression was routed to a single shard."""
+        self._subqueries.inc()
+
+    def merge(self) -> None:
+        """The coordinator merged cross-shard operands for one node."""
+        self._merges.inc()
+
+    def rebalanced(
+        self,
+        wal_replayed: int,
+        state_copied: int,
+        skipped: int,
+        seconds: float,
+    ) -> None:
+        """A rebalance pass finished, having moved identifiers by WAL
+        replay or state copy and skipped stale-copy conflicts."""
+        self._rebalances.inc()
+        self._moves_wal.inc(wal_replayed)
+        self._moves_copy.inc(state_copied)
+        self._moves_skipped.inc(skipped)
+        self._rebalance_seconds.observe(seconds)
+
+
 _WAL_OBSERVER: Optional[WalObserver] = None
 _REPL_OBSERVER: Optional[ReplicationObserver] = None
+_SHARD_OBSERVER: Optional[ShardObserver] = None
 
 
 def wal_observer() -> Optional[WalObserver]:
@@ -264,22 +354,31 @@ def repl_observer() -> Optional[ReplicationObserver]:
     return _REPL_OBSERVER
 
 
+def shard_observer() -> Optional[ShardObserver]:
+    """The installed :class:`ShardObserver`, or None while metrics are
+    disabled (the sharding layer's zero-cost guard)."""
+    return _SHARD_OBSERVER
+
+
 def install(registry: MetricsRegistry) -> None:
-    """Point the expression evaluator's, durability layer's and
-    replication layer's observer slots at ``registry``."""
-    global _WAL_OBSERVER, _REPL_OBSERVER
+    """Point the expression evaluator's, durability layer's,
+    replication layer's and sharding layer's observer slots at
+    ``registry``."""
+    global _WAL_OBSERVER, _REPL_OBSERVER, _SHARD_OBSERVER
     from repro.core import expressions
 
     expressions._OBSERVER = ExpressionObserver(registry)
     _WAL_OBSERVER = WalObserver(registry)
     _REPL_OBSERVER = ReplicationObserver(registry)
+    _SHARD_OBSERVER = ShardObserver(registry)
 
 
 def uninstall() -> None:
     """Clear the observer slots (the disabled, zero-cost state)."""
-    global _WAL_OBSERVER, _REPL_OBSERVER
+    global _WAL_OBSERVER, _REPL_OBSERVER, _SHARD_OBSERVER
     from repro.core import expressions
 
     expressions._OBSERVER = None
     _WAL_OBSERVER = None
     _REPL_OBSERVER = None
+    _SHARD_OBSERVER = None

@@ -1,0 +1,26 @@
+"""Horizontal sharding for the versioned database.
+
+``ShardedDatabase`` partitions relation identifiers across N durable
+shards behind a coordinator that preserves the paper's single-sentence,
+single-counter command semantics; ``ScatterGatherRouter`` decomposes
+algebraic expressions over the shard set; the partitioners decide
+initial placement.  See ``docs/architecture.md`` (Sharding) and
+``docs/testing.md`` (the differential shard oracle).
+"""
+
+from repro.sharding.partition import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+from repro.sharding.router import ScatterGatherRouter
+from repro.sharding.sharded import RebalanceReport, ShardedDatabase
+
+__all__ = [
+    "HashPartitioner",
+    "Partitioner",
+    "RangePartitioner",
+    "RebalanceReport",
+    "ScatterGatherRouter",
+    "ShardedDatabase",
+]

@@ -1,0 +1,109 @@
+"""Partitioners: which shard owns a relation identifier.
+
+The unit of partitioning is the *identifier* — the paper's ``DATABASE
+STATE`` is a finite map ``IDENTIFIER → [RELATION + {⊥}]`` (Section 3.2),
+and every command names exactly one identifier, so identifier-granular
+ownership lets the coordinator fan each command to a single shard while
+the scatter-gather router recombines cross-identifier expressions.
+
+Two built-in strategies:
+
+* :class:`HashPartitioner` — a stable CRC32 hash of the identifier,
+  modulo the shard count.  Deterministic across processes and Python
+  invocations (unlike ``hash()``, which is salted by
+  ``PYTHONHASHSEED``), so a coordinator reopened over the same shard
+  layout routes identically.
+* :class:`RangePartitioner` — explicit lexicographic boundaries, for
+  deployments that want locality (e.g. all ``user_*`` relations on one
+  shard).
+
+A partitioner only decides *initial* placement: the coordinator keeps an
+authoritative owner map, and :meth:`ShardedDatabase.rebalance` is what
+moves already-placed identifiers when the partitioner (or the shard
+count) changes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import ShardingError
+
+__all__ = ["Partitioner", "HashPartitioner", "RangePartitioner"]
+
+
+class Partitioner:
+    """Strategy interface: map an identifier to a shard index in
+    ``range(shard_count)``."""
+
+    def shard_for(self, identifier: str, shard_count: int) -> int:
+        raise NotImplementedError
+
+    def _check(self, shard: int, shard_count: int) -> int:
+        if not 0 <= shard < shard_count:
+            raise ShardingError(
+                f"{type(self).__name__} mapped to shard {shard} but "
+                f"only {shard_count} shard(s) exist"
+            )
+        return shard
+
+
+class HashPartitioner(Partitioner):
+    """Stable hash placement: ``crc32(identifier) % shard_count``.
+
+    ``salt`` perturbs the hash so tests (and re-splits) can force a
+    different spread over the same identifiers.
+    """
+
+    __slots__ = ("salt",)
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = salt
+
+    def shard_for(self, identifier: str, shard_count: int) -> int:
+        if shard_count < 1:
+            raise ShardingError(
+                f"shard_count must be ≥ 1, got {shard_count}"
+            )
+        digest = zlib.crc32(identifier.encode("utf-8")) ^ self.salt
+        return self._check(digest % shard_count, shard_count)
+
+    def __repr__(self) -> str:
+        return f"HashPartitioner(salt={self.salt})"
+
+
+class RangePartitioner(Partitioner):
+    """Lexicographic range placement.
+
+    ``boundaries`` are the split points: an identifier goes to the
+    number of boundaries strictly ≤ it, so ``RangePartitioner(["m"])``
+    sends ``"abc"`` to shard 0 and ``"zeta"`` to shard 1.  Requires
+    ``shard_count > len(boundaries)`` so every range has a shard.
+    """
+
+    __slots__ = ("boundaries",)
+
+    def __init__(self, boundaries: Sequence[str]) -> None:
+        ordered = tuple(boundaries)
+        if list(ordered) != sorted(set(ordered)):
+            raise ShardingError(
+                f"range boundaries must be strictly increasing, got "
+                f"{list(ordered)}"
+            )
+        self.boundaries = ordered
+
+    def shard_for(self, identifier: str, shard_count: int) -> int:
+        if shard_count <= len(self.boundaries):
+            raise ShardingError(
+                f"{len(self.boundaries)} boundaries define "
+                f"{len(self.boundaries) + 1} ranges but only "
+                f"{shard_count} shard(s) exist"
+            )
+        return self._check(
+            bisect_right(self.boundaries, identifier), shard_count
+        )
+
+    def __repr__(self) -> str:
+        return f"RangePartitioner({list(self.boundaries)})"

@@ -1,0 +1,636 @@
+"""`ShardedDatabase` — the paper's command semantics over N shards.
+
+The paper defines a database as the cumulative result of one *sentence*
+of commands under one monotonically increasing transaction counter
+(Sections 3.2–3.5).  The coordinator preserves exactly that contract
+while partitioning the ``IDENTIFIER → [RELATION + {⊥}]`` map across
+independent :class:`~repro.durability.durable.DurableDatabase` shards,
+each with its own WAL, checkpoints, and (optionally) a physical backend
+mirror:
+
+* **one global transaction counter** lives at the coordinator; shard
+  transaction numbers are private replay details.  For every identifier
+  the coordinator records the global transaction number of each
+  *effective* ``modify_state`` (``_mods``), which — because rollback and
+  temporal relations are append-only — aligns element-for-element with
+  the owning shard's state sequence.  ``ρ(I, N)`` with a global numeral
+  ``N`` is answered by translating ``N`` into the owner's local
+  numbering; the returned *state* carries no transaction stamps, so
+  results are byte-identical to the unsharded semantics.
+* **commands fan out to single shards** through the one semantic
+  function :func:`repro.core.commands.execute` (via each shard's
+  ``execute``): a command whose expression only references relations on
+  the owning shard ships whole (and is WAL-logged there); a cross-shard
+  ``modify_state`` is evaluated at the coordinator by the scatter-gather
+  router and shipped as a constant state.  Either way the shard's WAL
+  replays to the exact states the global sentence prescribes.
+* **reads scatter-gather**: single-shard subtrees evaluate on their
+  shard (through its backend mirror when attached); cross-shard
+  ``∪``/``−``/``×`` merge at the coordinator through
+  :func:`repro.core.expressions.apply_node`.
+
+Coordinator metadata (owner map, per-identifier global transaction
+numbers, the global counter) is in-memory: a ``ShardedDatabase`` must
+open over *empty* shard stores and raises :class:`ShardingError`
+otherwise.  Durability of the shards themselves is unchanged — each
+shard store is a complete, recoverable ``DurableDatabase``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from bisect import bisect_right
+from typing import Callable, Iterable, Optional, Sequence, Union as TypingUnion
+
+from repro.errors import CommandError, ShardingError
+from repro.core.commands import (
+    Command,
+    DefineRelation,
+    ModifyState,
+    Sequence as CommandSequence,
+)
+from repro.core.database import Database, DatabaseState
+from repro.core.expressions import (
+    Const,
+    Expression,
+    Rollback,
+    is_empty_set,
+)
+from repro.core.relation import EMPTY_STATE, Relation
+from repro.core.txn import NOW, Numeral, TransactionNumber, is_now
+from repro.durability import DurableDatabase, MemoryStore
+from repro.durability.codec import decode_record
+from repro.durability.files import FileStore
+from repro.historical.state import HistoricalState
+from repro.obsv import hooks as _hooks
+from repro.sharding.partition import HashPartitioner, Partitioner
+from repro.sharding.router import ScatterGatherRouter
+from repro.snapshot.state import SnapshotState
+
+__all__ = ["ShardedDatabase", "RebalanceReport"]
+
+
+class RebalanceReport:
+    """What one :meth:`ShardedDatabase.rebalance` did."""
+
+    __slots__ = ("moved", "wal_replayed", "state_copied", "skipped_stale")
+
+    def __init__(self) -> None:
+        self.moved = 0
+        self.wal_replayed = 0
+        self.state_copied = 0
+        self.skipped_stale = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"RebalanceReport(moved={self.moved}, "
+            f"wal_replayed={self.wal_replayed}, "
+            f"state_copied={self.state_copied}, "
+            f"skipped_stale={self.skipped_stale})"
+        )
+
+
+def _only_now_and_self(expression: Expression, identifier: str) -> bool:
+    """True iff every rollback leaf is ``ρ(identifier, now)`` — the
+    shape whose replay is independent of absolute transaction numbers,
+    so the command may be re-executed on a shard with a different local
+    counter and still rebuild the same states."""
+    if isinstance(expression, Rollback):
+        return expression.identifier == identifier and is_now(
+            expression.numeral
+        )
+    return all(
+        _only_now_and_self(child, identifier)
+        for child in expression.children()
+    )
+
+
+class ShardedDatabase:
+    """A coordinator over N durable shards, observationally equivalent
+    to one unsharded database executing the same sentence.
+
+    ``stores`` pins each shard to an explicit
+    :class:`~repro.durability.files.FileStore` (tests pass
+    ``MemoryStore`` instances); ``directory`` puts shard ``i`` under
+    ``<directory>/shard-<i>``; with neither, shards live in memory.
+    ``backend_factory`` (called once per shard) attaches a physical
+    :class:`~repro.storage.versioned_db.VersionedDatabase` mirror to
+    each shard, so sharding composes with all five storage backends.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        *,
+        directory: "TypingUnion[str, os.PathLike[str], None]" = None,
+        stores: Optional[Sequence[FileStore]] = None,
+        partitioner: Optional[Partitioner] = None,
+        backend_factory: Optional[Callable[[], object]] = None,
+        fsync: str = "batch(64, 100)",
+        checkpoint_every: int = 256,
+        keep_checkpoints: int = 2,
+        segment_bytes: int = 1 << 20,
+    ) -> None:
+        if stores is not None:
+            stores = list(stores)
+            if not stores:
+                raise ShardingError("stores must name at least one shard")
+            shards = len(stores)
+        if shards < 1:
+            raise ShardingError(f"shard count must be ≥ 1, got {shards}")
+        self._directory = (
+            os.fspath(directory) if directory is not None else None
+        )
+        self._backend_factory = backend_factory
+        self._durable_options = dict(
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            keep_checkpoints=keep_checkpoints,
+            segment_bytes=segment_bytes,
+        )
+        self._shards: list[DurableDatabase] = []
+        for index in range(shards):
+            store = stores[index] if stores is not None else None
+            self._shards.append(self._open_shard(index, store))
+        self._partitioner = partitioner or HashPartitioner()
+        self._txn: TransactionNumber = 0
+        #: authoritative identifier → shard index; assignments are sticky
+        #: (the partitioner only decides *initial* placement)
+        self._owner: dict[str, int] = {}
+        #: identifier → global transaction numbers of its effective
+        #: modifies, aligned 1:1 with the owner relation's state sequence
+        #: for the append-only types
+        self._mods: dict[str, list[int]] = {}
+        self._closed = False
+        self._router = ScatterGatherRouter(
+            owner_of=self._owner_for_read,
+            localize_numeral=self._localize_numeral,
+            evaluate_on_shard=lambda index, expr: self._shards[
+                index
+            ].evaluate(expr),
+        )
+
+    def _open_shard(
+        self, index: int, store: Optional[FileStore]
+    ) -> DurableDatabase:
+        if store is None:
+            if self._directory is not None:
+                store = os.path.join(self._directory, f"shard-{index}")
+            else:
+                store = MemoryStore()
+        backend = (
+            self._backend_factory() if self._backend_factory else None
+        )
+        shard = DurableDatabase(
+            store, backend=backend, **self._durable_options
+        )
+        if shard.transaction_number != 0:
+            shard.close()
+            raise ShardingError(
+                f"shard {index} recovered {shard.transaction_number} "
+                "transaction(s) from its store; a ShardedDatabase keeps "
+                "its coordinator metadata in memory and must open over "
+                "empty shard stores"
+            )
+        return shard
+
+    # -- properties -------------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> tuple[DurableDatabase, ...]:
+        return tuple(self._shards)
+
+    @property
+    def transaction_number(self) -> TransactionNumber:
+        """The *global* transaction counter — what the unsharded
+        database's transaction number would be after the same sentence."""
+        return self._txn
+
+    @property
+    def partitioner(self) -> Partitioner:
+        return self._partitioner
+
+    @property
+    def identifiers(self) -> tuple[str, ...]:
+        """Every defined identifier, sorted for determinism."""
+        return tuple(sorted(self._owner))
+
+    def shard_of(self, identifier: str) -> int:
+        """The shard that owns (or would initially receive) an
+        identifier."""
+        return self._owner_for_read(identifier)
+
+    def _owner_for_read(self, identifier: str) -> int:
+        owner = self._owner.get(identifier)
+        if owner is not None:
+            return owner
+        return self._partitioner.shard_for(identifier, len(self._shards))
+
+    # -- numeral translation ----------------------------------------------
+
+    def _localize_numeral(
+        self, identifier: str, numeral: Numeral
+    ) -> Numeral:
+        """The owner-shard-local numeral selecting the same state the
+        global ``numeral`` selects in the unsharded semantics.
+
+        Only meaningful for the append-only types; for everything else
+        (unbound identifiers, snapshot/historical relations) the numeral
+        is returned unchanged so the shard raises the exact error the
+        unsharded evaluator would."""
+        if is_now(numeral):
+            return numeral
+        owner = self._owner.get(identifier)
+        if owner is None:
+            return numeral
+        relation = self._shards[owner].database.lookup(identifier)
+        if relation is None or not relation.rtype.keeps_history:
+            return numeral
+        mods = self._mods.get(identifier, [])
+        if len(mods) != relation.history_length:
+            raise ShardingError(
+                f"coordinator metadata for {identifier!r} records "
+                f"{len(mods)} modifies but shard {owner} holds "
+                f"{relation.history_length} states"
+            )
+        position = bisect_right(mods, numeral)
+        if position == 0:
+            # no state had committed yet at the global time ``numeral``;
+            # local numeral 0 makes the shard's FINDSTATE return ∅ too
+            return 0
+        return relation.transaction_numbers[position - 1]
+
+    # -- command execution ------------------------------------------------
+
+    def execute(self, command: Command) -> TransactionNumber:
+        """Apply one command (or sentence) with the paper's semantics;
+        returns the new global transaction number.
+
+        Sequences are flattened at the coordinator — sequencing is
+        associative, and flat execution lets each shard WAL record name
+        a single identifier."""
+        if self._closed:
+            raise ShardingError(
+                "cannot execute a command on a closed ShardedDatabase"
+            )
+        for flat in self._flatten(command):
+            self._execute_one(flat)
+        return self._txn
+
+    def execute_all(self, commands: Iterable[Command]) -> TransactionNumber:
+        for command in commands:
+            self.execute(command)
+        return self._txn
+
+    @staticmethod
+    def _flatten(command: Command) -> list[Command]:
+        flat: list[Command] = []
+        stack = [command]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, CommandSequence):
+                stack.append(node.second)
+                stack.append(node.first)
+            else:
+                flat.append(node)
+        return flat
+
+    def _execute_one(self, command: Command) -> None:
+        if isinstance(command, DefineRelation):
+            self._execute_define(command)
+        elif isinstance(command, ModifyState):
+            self._execute_modify(command)
+        else:
+            raise ShardingError(
+                f"cannot route command {command!r} to a shard"
+            )
+
+    def _execute_define(self, command: DefineRelation) -> None:
+        owner = self._owner.get(command.identifier)
+        if owner is None:
+            owner = self._partitioner.shard_for(
+                command.identifier, len(self._shards)
+            )
+        shard = self._shards[owner]
+        before = shard.transaction_number
+        shard.execute(command)  # raises in strict mode on a rebind
+        observer = _hooks.shard_observer()
+        if shard.transaction_number == before:
+            # the paper's no-op: already bound, database unchanged
+            if observer is not None:
+                observer.noop()
+            return
+        self._owner[command.identifier] = owner
+        self._txn += 1
+        if observer is not None:
+            observer.routed()
+
+    def _execute_modify(self, command: ModifyState) -> None:
+        observer = _hooks.shard_observer()
+        owner = self._owner.get(command.identifier)
+        bound = (
+            owner is not None
+            and self._shards[owner].database.state.is_bound(
+                command.identifier
+            )
+        )
+        if not bound:
+            # the paper's exact no-op: an unbound identifier leaves the
+            # database unchanged *without evaluating the expression*
+            if command.strict:
+                raise CommandError(
+                    f"modify_state: {command.identifier!r} is not defined"
+                )
+            if observer is not None:
+                observer.noop()
+            return
+        touched = self._router.shards_of(command.expression)
+        if touched <= {owner}:
+            # every rollback leaf lives on the owner: ship the whole
+            # command (numerals localized) and let the shard evaluate,
+            # log, and apply it
+            shipped = ModifyState(
+                command.identifier,
+                self._router.localize(command.expression, owner),
+                strict=command.strict,
+                memoize=command.memoize,
+            )
+            self._shards[owner].execute(shipped)
+            if observer is not None:
+                observer.routed()
+        else:
+            # cross-shard expression: scatter-gather the value at the
+            # coordinator, then ship it as a constant state
+            state = self._router.evaluate(command.expression)
+            state = self._resolve_empty_set(command.identifier, state)
+            self._shards[owner].execute(
+                ModifyState(
+                    command.identifier,
+                    Const(state),
+                    strict=command.strict,
+                )
+            )
+            if observer is not None:
+                observer.coordinated()
+        self._txn += 1
+        self._mods.setdefault(command.identifier, []).append(self._txn)
+
+    def _resolve_empty_set(self, identifier: str, state):
+        """Mirror :meth:`ModifyState._resolve_empty_set` for
+        coordinator-evaluated expressions: give the untyped ∅ the schema
+        of the relation's most recent state before shipping it."""
+        if not is_empty_set(state):
+            return state
+        owner = self._owner[identifier]
+        relation = self._shards[owner].database.require(identifier)
+        if relation.history_length == 0:
+            raise CommandError(
+                f"modify_state({identifier!r}, ...): the expression "
+                "denotes the untyped empty set and the relation has no "
+                "prior state to take a schema from; use an explicit "
+                "empty constant state instead"
+            )
+        latest = relation.current_state
+        if isinstance(latest, HistoricalState):
+            return HistoricalState.empty(latest.schema)
+        assert isinstance(latest, SnapshotState)
+        return SnapshotState.empty(latest.schema)
+
+    # -- read path --------------------------------------------------------
+
+    def evaluate(self, expression: Expression):
+        """Scatter-gather evaluation of a side-effect-free expression,
+        observationally equal to evaluating it on the unsharded
+        database."""
+        observer = _hooks.shard_observer()
+        if observer is not None:
+            observer.query(self._router.fanout(expression))
+        return self._router.evaluate(expression)
+
+    def state_at(self, identifier: str, txn: TransactionNumber):
+        """``FINDSTATE`` at a *global* transaction number; None when the
+        identifier is unbound, ∅ when no state qualifies."""
+        owner = self._owner.get(identifier)
+        if owner is None:
+            return None
+        relation = self._shards[owner].database.lookup(identifier)
+        if relation is None:
+            return None
+        mods = self._mods.get(identifier, [])
+        position = bisect_right(mods, txn)
+        if relation.rtype.keeps_history:
+            if position == 0:
+                return EMPTY_STATE
+            return relation.rstate[position - 1][0]
+        # replace types hold only the latest state, bound to the global
+        # time of the last modify — exactly as the unsharded relation does
+        if mods and position == len(mods):
+            return relation.rstate[-1][0]
+        return EMPTY_STATE
+
+    def as_database(self) -> Database:
+        """The global :class:`~repro.core.database.Database` value — the
+        same value the unsharded execution of the sentence produces.
+        Rebuilt on demand (the differential oracle's strongest check);
+        not used on the command or query hot paths."""
+        state = DatabaseState()
+        for identifier in self.identifiers:
+            owner = self._owner[identifier]
+            relation = self._shards[owner].database.lookup(identifier)
+            if relation is None:
+                continue
+            mods = self._mods.get(identifier, [])
+            if relation.rtype.keeps_history:
+                if len(mods) != relation.history_length:
+                    raise ShardingError(
+                        f"coordinator metadata for {identifier!r} "
+                        f"records {len(mods)} modifies but shard "
+                        f"{owner} holds {relation.history_length} states"
+                    )
+                rstate = tuple(
+                    (entry[0], global_txn)
+                    for entry, global_txn in zip(relation.rstate, mods)
+                )
+            elif mods:
+                rstate = ((relation.rstate[-1][0], mods[-1]),)
+            else:
+                rstate = ()
+            state = state.bind(
+                identifier, Relation(relation.rtype, rstate)
+            )
+        return Database(state, self._txn)
+
+    # -- rebalancing ------------------------------------------------------
+
+    def add_shard(self, store: Optional[FileStore] = None) -> int:
+        """Open one more (empty) shard and return its index.  Existing
+        identifiers stay put until :meth:`rebalance`; new identifiers
+        spread over the enlarged shard set immediately."""
+        index = len(self._shards)
+        self._shards.append(self._open_shard(index, store))
+        return index
+
+    def rebalance(
+        self, partitioner: Optional[Partitioner] = None
+    ) -> RebalanceReport:
+        """Move every identifier whose partitioner-preferred shard
+        differs from its current owner.
+
+        Each move prefers replaying the source shard's command WAL
+        (filtered to the moved identifier) into the target — the same
+        command-replay discipline recovery uses — and falls back to
+        copying the state sequence when the log was compacted or the
+        identifier's commands read other relations.  The owner map flips
+        only after the target provably holds the identical state
+        sequence."""
+        if partitioner is not None:
+            self._partitioner = partitioner
+        report = RebalanceReport()
+        started = time.monotonic()
+        for identifier in self.identifiers:
+            source = self._owner[identifier]
+            target = self._partitioner.shard_for(
+                identifier, len(self._shards)
+            )
+            if target == source:
+                continue
+            self._move(identifier, source, target, report)
+        observer = _hooks.shard_observer()
+        if observer is not None:
+            observer.rebalanced(
+                wal_replayed=report.wal_replayed,
+                state_copied=report.state_copied,
+                skipped=report.skipped_stale,
+                seconds=time.monotonic() - started,
+            )
+        return report
+
+    def _move(
+        self,
+        identifier: str,
+        source_index: int,
+        target_index: int,
+        report: RebalanceReport,
+    ) -> None:
+        source = self._shards[source_index]
+        target = self._shards[target_index]
+        relation = source.database.lookup(identifier)
+        if relation is None:
+            # defined on paper but lost on the shard would be a bug
+            # elsewhere; ownership itself is free to move
+            self._owner[identifier] = target_index
+            report.moved += 1
+            return
+        if target.database.state.is_bound(identifier):
+            # a stale copy from an earlier move already occupies the
+            # target; there is no unbind command, so leave ownership put
+            report.skipped_stale += 1
+            return
+        commands = self._replayable_commands(source, identifier, relation)
+        if commands is not None:
+            for command in commands:
+                target.execute(command)
+            report.wal_replayed += 1
+        else:
+            target.execute(
+                DefineRelation(identifier, relation.rtype)
+            )
+            for state, _ in relation.rstate:
+                target.execute(ModifyState(identifier, Const(state)))
+            report.state_copied += 1
+        moved = target.database.require(identifier)
+        if moved.rtype != relation.rtype or [
+            entry[0] for entry in moved.rstate
+        ] != [entry[0] for entry in relation.rstate]:
+            raise ShardingError(
+                f"moving {identifier!r} from shard {source_index} to "
+                f"{target_index} rebuilt a diverging state sequence"
+            )
+        self._owner[identifier] = target_index
+        report.moved += 1
+
+    def _replayable_commands(
+        self,
+        source: DurableDatabase,
+        identifier: str,
+        relation: Relation,
+    ) -> Optional[list[Command]]:
+        """The source WAL's commands for one identifier, when replaying
+        them on the (differently numbered) target provably rebuilds the
+        same states; None forces the state-copy fallback.
+
+        Replay is only transaction-offset-invariant when every command
+        reads at most ``ρ(identifier, now)`` — a non-``now`` numeral or
+        a foreign identifier binds to different states under the
+        target's local counter.  A pure simulation from the empty
+        database then predicts the target outcome exactly; any mismatch
+        (or a compacted log) disqualifies the replay path."""
+        wal = source.wal
+        if wal.first_lsn > 1:
+            return None  # compacted: the head of the history is gone
+        commands: list[Command] = []
+        try:
+            for _, payload in wal.records():
+                command, _ = decode_record(payload)
+                for flat in self._flatten(command):
+                    if isinstance(flat, DefineRelation):
+                        if flat.identifier == identifier:
+                            commands.append(flat)
+                    elif isinstance(flat, ModifyState):
+                        if flat.identifier != identifier:
+                            continue
+                        if not _only_now_and_self(
+                            flat.expression, identifier
+                        ):
+                            return None
+                        commands.append(flat)
+                    else:
+                        return None
+        except Exception:
+            return None
+        from repro.core.database import EMPTY_DATABASE
+
+        simulated = EMPTY_DATABASE
+        try:
+            for command in commands:
+                simulated = command.execute(simulated)
+        except Exception:
+            return None
+        rebuilt = simulated.lookup(identifier)
+        if rebuilt is None or [
+            entry[0] for entry in rebuilt.rstate
+        ] != [entry[0] for entry in relation.rstate]:
+            return None
+        return commands
+
+    # -- durability control ----------------------------------------------
+
+    def sync(self) -> None:
+        for shard in self._shards:
+            shard.sync()
+
+    def checkpoint(self) -> None:
+        for shard in self._shards:
+            shard.checkpoint()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,6 +1,19 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+Seed discipline for every randomized test (see ``docs/testing.md``):
+one *run seed* is chosen per pytest run — from ``REPRO_TEST_SEED`` when
+set, otherwise fresh from the system RNG — and printed in the report
+header.  The ``test_seed`` fixture derives a per-test seed from it, and
+any failing test that used ``test_seed`` gets a "reproduce with" section
+appended to its failure report, so no randomized flake is ever
+unreproducible.
+"""
 
 from __future__ import annotations
+
+import os
+import random
+import zlib
 
 import pytest
 from hypothesis import strategies as st
@@ -16,6 +29,60 @@ from repro.historical.tuples import HistoricalTuple
 from repro.snapshot.attributes import INTEGER, STRING, Attribute
 from repro.snapshot.schema import Schema
 from repro.snapshot.state import SnapshotState
+
+# ---------------------------------------------------------------------------
+# seed discipline
+# ---------------------------------------------------------------------------
+
+#: The run seed: every randomized test derives its RNG from this one
+#: number, so exporting ``REPRO_TEST_SEED=<printed value>`` replays the
+#: entire run's randomness.
+RUN_SEED: int = (
+    int(os.environ["REPRO_TEST_SEED"])
+    if os.environ.get("REPRO_TEST_SEED")
+    else random.SystemRandom().randrange(2**31)
+)
+
+
+def derive_seed(run_seed: int, nodeid: str) -> int:
+    """A per-test seed: the run seed folded with a stable hash of the
+    test's node id, so tests stay independent of collection order."""
+    return run_seed ^ zlib.crc32(nodeid.encode("utf-8"))
+
+
+def pytest_report_header(config) -> str:
+    return (
+        f"repro run seed: {RUN_SEED} "
+        f"(reproduce with REPRO_TEST_SEED={RUN_SEED})"
+    )
+
+
+@pytest.fixture
+def test_seed(request) -> int:
+    """This test's seed, derived from the run seed and the test's node
+    id.  Failures stamp it into the report (see the hookwrapper below)."""
+    return derive_seed(RUN_SEED, request.node.nodeid)
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    if "test_seed" not in getattr(item, "fixturenames", ()):
+        return
+    seed = derive_seed(RUN_SEED, item.nodeid)
+    report.sections.append(
+        (
+            "reproduction seed",
+            f"this test drew its randomness from seed {seed}; rerun "
+            f"the whole suite identically with "
+            f"REPRO_TEST_SEED={RUN_SEED}, or pass seed={seed} to the "
+            f"failing generator directly",
+        )
+    )
+
 
 # ---------------------------------------------------------------------------
 # fixtures

@@ -25,8 +25,26 @@ from tests.durability.conftest import (  # noqa: F401  (re-exported fixtures)
 
 def chaos_seed(default: int = 0) -> int:
     """The base seed for randomized fault schedules; CI varies it via
-    the REPRO_CHAOS_SEED environment variable."""
-    return int(os.environ.get("REPRO_CHAOS_SEED", default))
+    the REPRO_CHAOS_SEED environment variable.  When that is unset the
+    run seed (``tests/conftest.py``) stands in for ``default``, so every
+    chaos schedule stays reproducible from the printed header seed."""
+    explicit = os.environ.get("REPRO_CHAOS_SEED")
+    if explicit:
+        return int(explicit)
+    from tests.conftest import RUN_SEED, derive_seed
+
+    return derive_seed(RUN_SEED, f"chaos-default-{default}")
+
+
+def case_seed(test_seed: int, salt: int = 0) -> int:
+    """The seed for one chaos test case: ``REPRO_CHAOS_SEED`` (the CI
+    override, combined with ``salt`` exactly as the pre-run-seed suite
+    did) when set, else the per-test ``test_seed`` fixture value — which
+    the failure report stamps automatically."""
+    explicit = os.environ.get("REPRO_CHAOS_SEED")
+    if explicit:
+        return int(explicit) * 1000 + salt
+    return test_seed
 
 
 @pytest.fixture

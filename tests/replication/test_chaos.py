@@ -24,7 +24,7 @@ from repro.replication import (
 )
 
 from tests.durability.conftest import oracle_history, scripted_workload
-from tests.replication.conftest import chaos_seed
+from tests.replication.conftest import case_seed
 
 IDENTIFIERS = ("r", "s", "h", "t")
 
@@ -45,8 +45,8 @@ def _retry():
 
 
 @pytest.mark.parametrize("case", range(6))
-def test_replica_converges_under_arbitrary_delivery_faults(case):
-    seed = chaos_seed(17) * 1000 + case
+def test_replica_converges_under_arbitrary_delivery_faults(case, test_seed):
+    seed = case_seed(test_seed, case)
     rng = random.Random(seed)
     workload = scripted_workload(length=120, seed=rng.randrange(1 << 16))
     oracle = oracle_history(workload)
@@ -76,11 +76,11 @@ def test_replica_converges_under_arbitrary_delivery_faults(case):
 
 
 @pytest.mark.parametrize("case", range(3))
-def test_replica_converges_across_compaction_and_faults(case):
+def test_replica_converges_across_compaction_and_faults(case, test_seed):
     # the primary checkpoints and compacts mid-stream, so lagging
     # replicas fall off the log and must re-snapshot — under delivery
     # faults the whole way
-    seed = chaos_seed(29) * 1000 + case
+    seed = case_seed(test_seed, case)
     rng = random.Random(seed)
     workload = scripted_workload(length=150, seed=rng.randrange(1 << 16))
     oracle = oracle_history(workload)
@@ -110,10 +110,10 @@ def test_replica_converges_across_compaction_and_faults(case):
 
 
 @pytest.mark.parametrize("case", range(3))
-def test_replica_crash_restart_converges(case):
+def test_replica_crash_restart_converges(case, test_seed):
     # the replica itself crashes (volatile state lost, durable prefix
     # kept) at random points and resumes over the same store
-    seed = chaos_seed(43) * 1000 + case
+    seed = case_seed(test_seed, case)
     rng = random.Random(seed)
     workload = scripted_workload(length=100, seed=rng.randrange(1 << 16))
     oracle = oracle_history(workload)
@@ -143,11 +143,11 @@ def test_replica_crash_restart_converges(case):
         ), f"seed={seed}"
 
 
-def test_failover_promotion_continues_history():
+def test_failover_promotion_continues_history(test_seed):
     # primary dies mid-stream; a caught-up replica is promoted and new
     # writes extend the same LSN space with no reuse; a second replica
     # then follows the new primary to the combined history
-    seed = chaos_seed(61)
+    seed = case_seed(test_seed)
     rng = random.Random(seed)
     workload = scripted_workload(length=80, seed=seed % (1 << 16))
     oracle = oracle_history(workload)

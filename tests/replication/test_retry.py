@@ -157,3 +157,149 @@ class TestRun:
         with pytest.raises(DivergenceError):
             policy.run(operation, no_retry_on=(DivergenceError,))
         assert len(attempts) == 1
+
+
+class TestDeadlineVsBudget:
+    """Regression tests pinning the deadline/backoff interaction: a
+    deadline that would expire *during* the next backoff must raise
+    immediately instead of sleeping past it, and the attempt budget and
+    deadline must each be able to cut the other short."""
+
+    def _policy(self, clock, **kwargs):
+        kwargs.setdefault("jitter", 0.0)
+        return RetryPolicy(
+            sleep=clock.sleep, clock=clock.clock, **kwargs
+        )
+
+    def test_deadline_expiring_mid_backoff_raises_instead_of_sleeping(self):
+        # the slow operation eats most of the budget; the pending 1s
+        # backoff would overrun the 2.5s deadline, so the policy must
+        # raise *without* that sleep ever happening
+        clock = FakeClock()
+        policy = self._policy(
+            clock,
+            max_attempts=100,
+            base_delay=1.0,
+            max_delay=1.0,
+            deadline=2.5,
+        )
+
+        def slow_failure():
+            clock.now += 0.9  # the operation itself consumes wall clock
+            raise ReplicationError("down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(slow_failure)
+        # attempts at t=0→0.9 (sleep to 1.9), t=1.9→2.8; the next
+        # backoff would end at 3.8 > 2.5, so exactly one sleep happened
+        assert clock.sleeps == [1.0]
+        assert info.value.attempts == 2
+        # the invariant under regression: never asleep past the deadline
+        assert clock.now == pytest.approx(2.8)
+        assert sum(clock.sleeps) <= policy.deadline
+
+    def test_deadline_error_reports_attempts_and_elapsed(self):
+        clock = FakeClock()
+        policy = self._policy(
+            clock,
+            max_attempts=100,
+            base_delay=1.0,
+            max_delay=1.0,
+            deadline=2.5,
+        )
+
+        def operation():
+            raise ReplicationError("down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(operation)
+        assert info.value.attempts == 3  # t=0, 1, 2; t=3 would overrun
+        assert info.value.elapsed == pytest.approx(2.0)
+        assert info.value.elapsed <= policy.deadline
+
+    def test_attempt_budget_exhausts_before_a_generous_deadline(self):
+        clock = FakeClock()
+        policy = self._policy(
+            clock,
+            max_attempts=4,
+            base_delay=0.5,
+            max_delay=0.5,
+            deadline=1000.0,
+        )
+        attempts = []
+
+        def operation():
+            attempts.append(1)
+            raise ReplicationError("down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(operation)
+        # the budget, not the deadline, stopped the loop: 4 attempts,
+        # 3 backoffs, nowhere near 1000s
+        assert len(attempts) == 4
+        assert info.value.attempts == 4
+        assert clock.sleeps == [0.5, 0.5, 0.5]
+        assert clock.now < policy.deadline
+
+    def test_deadline_cuts_a_generous_attempt_budget(self):
+        clock = FakeClock()
+        policy = self._policy(
+            clock,
+            max_attempts=10_000,
+            base_delay=0.25,
+            max_delay=0.25,
+            deadline=1.0,
+        )
+        attempts = []
+
+        def operation():
+            attempts.append(1)
+            raise ReplicationError("down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(operation)
+        # the deadline, not the budget, stopped the loop
+        assert info.value.attempts < policy.max_attempts
+        assert clock.now <= policy.deadline
+        assert attempts  # at least the free first attempt ran
+
+    def test_success_just_inside_the_deadline_still_returns(self):
+        # the deadline only gates *sleeps*: an attempt that begins
+        # before the deadline and succeeds must return normally
+        clock = FakeClock()
+        policy = self._policy(
+            clock,
+            max_attempts=10,
+            base_delay=1.0,
+            max_delay=1.0,
+            deadline=2.0,
+        )
+        outcomes = iter(
+            [ReplicationError("down"), ReplicationError("down"), "ok"]
+        )
+
+        def operation():
+            outcome = next(outcomes)
+            if isinstance(outcome, Exception):
+                raise outcome
+            return outcome
+
+        assert policy.run(operation) == "ok"
+        assert clock.sleeps == [1.0, 1.0]  # exactly at the boundary
+
+    def test_first_attempt_is_free_even_with_tiny_deadline(self):
+        # max_attempts=1 never consults the deadline at all: the single
+        # attempt's failure must surface as exhaustion, not as a sleep
+        clock = FakeClock()
+        policy = self._policy(
+            clock, max_attempts=1, base_delay=0.0, max_delay=0.0,
+            deadline=0.001,
+        )
+
+        def operation():
+            raise ReplicationError("down")
+
+        with pytest.raises(RetryExhaustedError) as info:
+            policy.run(operation)
+        assert info.value.attempts == 1
+        assert clock.sleeps == []

@@ -1,0 +1,179 @@
+"""The differential shard oracle: workload generator + assertions.
+
+The sharding suite's contract (ISSUE 5): a :class:`ShardedDatabase` fed
+a randomized command sentence must be *observationally identical* to the
+unsharded in-memory oracle executing the same sentence — byte-identical
+``ρ(I, N)`` results (via the canonical JSON encoding) for every
+identifier at every historical transaction number, an equal reassembled
+:class:`~repro.core.database.Database` value, and the same global
+transaction counter.  Every generator takes an explicit seed wired to
+the run-seed discipline in ``tests/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.commands import DefineRelation, ModifyState, execute
+from repro.core.database import EMPTY_DATABASE
+from repro.core.expressions import (
+    Const,
+    Difference,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.relation import EMPTY_STATE
+from repro.core.txn import NOW
+from repro.persistence.json_codec import database_to_dict, state_to_dict
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.workloads.generators import StateGenerator
+
+#: Identifiers spread across several shards under both partitioner
+#: families; two rollback relations so cross-identifier *and*
+#: past-transaction reads compose.
+RELATIONS = (
+    ("alpha", "rollback"),
+    ("omega", "rollback"),
+    ("snap", "snapshot"),
+    ("hist", "historical"),
+    ("tempo", "temporal"),
+)
+
+SNAPSHOT_LIKE = ("alpha", "omega", "snap")
+HISTORICAL_LIKE = ("hist", "tempo")
+
+
+def sharded_workload(length: int = 220, seed: int = 7):
+    """A ``length``-command sentence exercising every routing shape.
+
+    Beyond the durability suite's scripted workload, this one makes the
+    *cross-shard* paths first-class: ``modify_state`` expressions that
+    union/difference two different rollback relations, rollbacks at past
+    (global!) transaction numbers, selections and projections over
+    cross-identifier products, plus the paper's two no-op shapes and
+    occasional sequences.
+    """
+    rng = random.Random(seed)
+    snap = StateGenerator(seed=seed, key_space=30)
+    hist = StateGenerator(seed=seed + 1, key_space=30)
+    commands = [DefineRelation(i, t) for i, t in RELATIONS]
+    #: conservative running lower bound for "has a state by now" — the
+    #: generator only needs it to bias toward interesting expressions
+    modified: set[str] = set()
+    txn_estimate = len(commands)
+
+    def past_numeral():
+        return rng.randrange(txn_estimate + 2)
+
+    def rollback_pair():
+        a, b = rng.sample(("alpha", "omega"), 2)
+        left = Rollback(a, NOW if rng.random() < 0.5 else past_numeral())
+        right = Rollback(b, NOW if rng.random() < 0.5 else past_numeral())
+        return left, right
+
+    while len(commands) < length:
+        roll = rng.random()
+        if roll < 0.04:
+            commands.append(DefineRelation("alpha", "rollback"))  # no-op
+            txn_estimate += 0
+            continue
+        if roll < 0.08:
+            commands.append(  # no-op: unbound identifier
+                ModifyState("ghost", Const(snap.snapshot_state(1)))
+            )
+            continue
+        if roll < 0.55:
+            identifier = rng.choice(SNAPSHOT_LIKE)
+            expression = Const(snap.snapshot_state(rng.randint(1, 4)))
+            if identifier in modified and rng.random() < 0.5:
+                shape = rng.random()
+                if shape < 0.4 and identifier != "snap":
+                    # cross-identifier union/difference of rollbacks
+                    left, right = rollback_pair()
+                    node = Union if rng.random() < 0.7 else Difference
+                    expression = Union(node(left, right), expression)
+                elif shape < 0.7:
+                    expression = Union(
+                        Rollback(identifier, NOW), expression
+                    )
+                else:
+                    # σ/π over the current state, keeping the schema
+                    expression = Union(
+                        Select(
+                            Rollback(identifier, NOW),
+                            Comparison(attr("key"), ">=", lit(0)),
+                        ),
+                        expression,
+                    )
+        else:
+            identifier = rng.choice(HISTORICAL_LIKE)
+            expression = Const(hist.historical_state(rng.randint(1, 3)))
+            if (
+                "hist" in modified
+                and "tempo" in modified
+                and rng.random() < 0.4
+            ):
+                expression = Union(
+                    Union(
+                        Rollback("hist", NOW), Rollback("tempo", NOW)
+                    ),
+                    expression,
+                )
+        command = ModifyState(identifier, expression)
+        if rng.random() > 0.96 and identifier in modified:
+            command = DefineRelation(identifier, dict(RELATIONS)[identifier]).then(
+                command
+            )
+        commands.append(command)
+        modified.add(identifier)
+        txn_estimate += 1
+    return commands
+
+
+def oracle_history(commands):
+    """``oracle[k]`` = the database after the first ``k`` commands."""
+    databases = [EMPTY_DATABASE]
+    for command in commands:
+        databases.append(execute(command, databases[-1]))
+    return databases
+
+
+def canonical(state) -> object:
+    """The byte-identical comparison key: the paper's untyped ∅ maps to
+    a distinguished marker, anything else to its canonical JSON dict."""
+    if state is EMPTY_STATE:
+        return {"empty_set": True}
+    return state_to_dict(state)
+
+
+def assert_differential(sharded, oracle) -> None:
+    """The full oracle comparison.
+
+    * the global counters agree;
+    * the reassembled global database equals the oracle *value* and its
+      canonical JSON encoding (byte-identity, not just ``__eq__``);
+    * for every identifier the oracle ever bound, ``ρ(I, N)`` agrees at
+      every transaction number ``0..n`` and at ``now`` — through the
+      scatter-gather evaluator for history-keeping relations, and
+      through ``state_at`` (the FINDSTATE surface) for all of them.
+    """
+    assert sharded.transaction_number == oracle.transaction_number
+    rebuilt = sharded.as_database()
+    assert rebuilt == oracle
+    assert database_to_dict(rebuilt) == database_to_dict(oracle)
+    for identifier in oracle.state.identifiers:
+        relation = oracle.require(identifier)
+        now_expr = Rollback(identifier, NOW)
+        assert canonical(sharded.evaluate(now_expr)) == canonical(
+            now_expr.evaluate(oracle)
+        )
+        for txn in range(oracle.transaction_number + 1):
+            assert canonical(sharded.state_at(identifier, txn)) == (
+                canonical(relation.find_state(txn))
+            ), f"state_at({identifier!r}, {txn})"
+            if relation.rtype.keeps_history:
+                expression = Rollback(identifier, txn)
+                assert canonical(sharded.evaluate(expression)) == (
+                    canonical(expression.evaluate(oracle))
+                ), f"ρ({identifier!r}, {txn})"

@@ -1,0 +1,71 @@
+"""Sharded chaos: random rebalances, shard additions and checkpoints
+interleaved with the command sentence, against the unsharded oracle.
+
+Schedules are seeded by the run-seed discipline (``tests/conftest.py``):
+failures print a reproduction seed, and CI varies ``REPRO_CHAOS_SEED``
+per run while keeping every schedule replayable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.sharding import HashPartitioner, ShardedDatabase
+
+from tests.replication.conftest import case_seed
+from tests.sharding.conftest import (
+    assert_differential,
+    oracle_history,
+    sharded_workload,
+)
+
+
+def run_chaos(seed: int, *, length: int = 200, max_shards: int = 6):
+    """One chaos schedule: execute the sentence while randomly
+    rebalancing, growing the shard set, checkpointing and syncing."""
+    rng = random.Random(seed)
+    commands = sharded_workload(length=length, seed=rng.randrange(1 << 20))
+    oracle = oracle_history(commands)
+    with ShardedDatabase(
+        rng.randint(1, 3), partitioner=HashPartitioner(salt=seed % 1009)
+    ) as sharded:
+        for index, command in enumerate(commands, start=1):
+            sharded.execute(command)
+            assert (
+                sharded.transaction_number
+                == oracle[index].transaction_number
+            ), f"drift after command {index}"
+            event = rng.random()
+            if event < 0.03 and sharded.shard_count < max_shards:
+                sharded.add_shard()
+            elif event < 0.10:
+                sharded.rebalance(
+                    HashPartitioner(salt=rng.randrange(1 << 16))
+                )
+            elif event < 0.13:
+                sharded.checkpoint()
+            elif event < 0.16:
+                sharded.sync()
+        assert_differential(sharded, oracle[-1])
+
+
+def test_chaotic_rebalancing_preserves_the_oracle(test_seed):
+    run_chaos(case_seed(test_seed))
+
+
+def test_chaotic_scale_out_from_one_shard(test_seed):
+    # start at a single shard and let the schedule grow aggressively
+    seed = case_seed(test_seed, salt=1)
+    rng = random.Random(seed)
+    commands = sharded_workload(length=200, seed=rng.randrange(1 << 20))
+    oracle = oracle_history(commands)
+    with ShardedDatabase(1) as sharded:
+        for index, command in enumerate(commands, start=1):
+            sharded.execute(command)
+            if index % 40 == 0:
+                sharded.add_shard()
+                sharded.rebalance(
+                    HashPartitioner(salt=rng.randrange(1 << 16))
+                )
+        assert sharded.shard_count == 6
+        assert_differential(sharded, oracle[-1])

@@ -1,0 +1,99 @@
+"""Partitioners: determinism, bounds, and configuration validation."""
+
+import pytest
+
+from repro.errors import ShardingError
+from repro.sharding import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+)
+
+
+class TestPartitionerContract:
+    def test_base_class_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Partitioner().shard_for("r", 2)
+
+    def test_out_of_bounds_mappings_are_rejected(self):
+        class Bad(Partitioner):
+            def shard_for(self, identifier, shard_count):
+                return self._check(shard_count + 3, shard_count)
+
+        with pytest.raises(ShardingError, match="mapped to shard"):
+            Bad().shard_for("r", 2)
+
+    def test_reprs_name_the_configuration(self):
+        assert repr(HashPartitioner(salt=7)) == "HashPartitioner(salt=7)"
+        assert repr(RangePartitioner(["m"])) == "RangePartitioner(['m'])"
+
+
+class TestHashPartitioner:
+    def test_deterministic_across_instances(self):
+        a, b = HashPartitioner(), HashPartitioner()
+        for identifier in ("alpha", "omega", "x", "payroll_2024"):
+            assert a.shard_for(identifier, 5) == b.shard_for(
+                identifier, 5
+            )
+
+    def test_stays_in_bounds(self):
+        partitioner = HashPartitioner()
+        for count in (1, 2, 3, 7):
+            for index in range(50):
+                shard = partitioner.shard_for(f"rel{index}", count)
+                assert 0 <= shard < count
+
+    def test_single_shard_maps_everything_to_zero(self):
+        partitioner = HashPartitioner(salt=123)
+        assert all(
+            partitioner.shard_for(f"r{i}", 1) == 0 for i in range(20)
+        )
+
+    def test_salt_changes_the_spread(self):
+        identifiers = [f"rel{i}" for i in range(64)]
+        base = [HashPartitioner().shard_for(i, 8) for i in identifiers]
+        salted = [
+            HashPartitioner(salt=99).shard_for(i, 8)
+            for i in identifiers
+        ]
+        assert base != salted
+
+    def test_spreads_identifiers(self):
+        partitioner = HashPartitioner()
+        used = {
+            partitioner.shard_for(f"relation_{i}", 4)
+            for i in range(100)
+        }
+        assert used == {0, 1, 2, 3}
+
+    def test_rejects_empty_shard_set(self):
+        with pytest.raises(ShardingError):
+            HashPartitioner().shard_for("r", 0)
+
+
+class TestRangePartitioner:
+    def test_lexicographic_placement(self):
+        partitioner = RangePartitioner(["m"])
+        assert partitioner.shard_for("abc", 2) == 0
+        assert partitioner.shard_for("zeta", 2) == 1
+        # boundary identifier goes right (bisect_right semantics)
+        assert partitioner.shard_for("m", 2) == 1
+
+    def test_multiple_boundaries(self):
+        partitioner = RangePartitioner(["g", "p"])
+        assert partitioner.shard_for("alpha", 3) == 0
+        assert partitioner.shard_for("hist", 3) == 1
+        assert partitioner.shard_for("snap", 3) == 2
+
+    def test_requires_enough_shards(self):
+        partitioner = RangePartitioner(["g", "p"])
+        with pytest.raises(ShardingError):
+            partitioner.shard_for("alpha", 2)
+
+    def test_rejects_unsorted_boundaries(self):
+        with pytest.raises(ShardingError):
+            RangePartitioner(["p", "g"])
+
+    def test_rejects_duplicate_boundaries(self):
+        with pytest.raises(ShardingError):
+            RangePartitioner(["g", "g"])

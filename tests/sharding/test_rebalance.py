@@ -1,0 +1,190 @@
+"""Rebalance mechanics: WAL replay vs state copy, stale-copy skips,
+compaction fallback, and post-move validation."""
+
+import pytest
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.txn import NOW
+from repro.errors import ShardingError
+from repro.sharding import Partitioner, ShardedDatabase
+from repro.workloads.generators import StateGenerator
+
+GEN = StateGenerator(seed=9, key_space=20)
+S1 = GEN.snapshot_state(2)
+S2 = GEN.snapshot_state(3)
+S3 = GEN.snapshot_state(2)
+
+
+class MapPartitioner(Partitioner):
+    """Deterministic test placement: an explicit identifier → shard map."""
+
+    def __init__(self, mapping, default=0):
+        self.mapping = dict(mapping)
+        self.default = default
+
+    def shard_for(self, identifier, shard_count):
+        return self._check(
+            self.mapping.get(identifier, self.default), shard_count
+        )
+
+
+def checked(sharded, oracle_states):
+    """Post-rebalance invariant: ρ(I, now) still answers everywhere."""
+    for identifier, state in oracle_states.items():
+        assert sharded.evaluate(Rollback(identifier, NOW)) == state
+
+
+class TestMoveStrategies:
+    def test_self_referencing_history_replays_the_wal(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(ModifyState("r", Const(S1)))
+            # ρ(r, now) only: the transaction-offset-invariant shape
+            sharded.execute(
+                ModifyState("r", Union(Rollback("r", NOW), Const(S2)))
+            )
+            report = sharded.rebalance(MapPartitioner({"r": 1}))
+            assert report.moved == 1
+            assert report.wal_replayed == 1
+            assert report.state_copied == 0
+            assert sharded.shard_of("r") == 1
+            checked(
+                sharded,
+                {"r": Union(Const(S1), Const(S2)).evaluate(None)},
+            )
+            # the whole rollback history moved, not just the tip
+            assert sharded.state_at("r", 2) == S1
+
+    def test_cross_identifier_history_forces_state_copy(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0, "other": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(DefineRelation("other", "rollback"))
+            sharded.execute(ModifyState("other", Const(S2)))
+            # r's history reads another identifier: replay on a target
+            # shard (where 'other' has different states) is unsafe
+            sharded.execute(
+                ModifyState(
+                    "r", Union(Rollback("other", NOW), Const(S1))
+                )
+            )
+            report = sharded.rebalance(
+                MapPartitioner({"r": 1, "other": 0})
+            )
+            assert report.moved == 1
+            assert report.state_copied == 1
+            assert report.wal_replayed == 0
+            checked(
+                sharded,
+                {"r": Union(Const(S2), Const(S1)).evaluate(None)},
+            )
+
+    def test_past_numeral_history_forces_state_copy(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))  # txn 1
+            sharded.execute(ModifyState("r", Const(S1)))  # txn 2
+            # ρ(r, 2) names an absolute transaction number — not
+            # offset-invariant, so the WAL-replay path must refuse it
+            sharded.execute(
+                ModifyState("r", Union(Rollback("r", 2), Const(S2)))
+            )
+            report = sharded.rebalance(MapPartitioner({"r": 1}))
+            assert report.state_copied == 1
+            assert report.wal_replayed == 0
+            assert sharded.state_at("r", 2) == S1
+
+    def test_compacted_log_forces_state_copy(self):
+        with ShardedDatabase(
+            2,
+            partitioner=MapPartitioner({"r": 0}),
+            checkpoint_every=0,
+            keep_checkpoints=1,
+            segment_bytes=256,
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(ModifyState("r", Const(S1)))
+            sharded.execute(
+                ModifyState("r", Union(Rollback("r", NOW), Const(S2)))
+            )
+            sharded.checkpoint()  # compacts the source WAL
+            assert sharded.shards[0].wal.first_lsn > 1
+            report = sharded.rebalance(MapPartitioner({"r": 1}))
+            assert report.state_copied == 1
+            assert report.wal_replayed == 0
+            assert sharded.state_at("r", 2) == S1
+
+    def test_replace_types_copy_only_the_latest_state(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"s": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("s", "snapshot"))
+            sharded.execute(ModifyState("s", Const(S1)))
+            sharded.execute(ModifyState("s", Const(S2)))
+            report = sharded.rebalance(MapPartitioner({"s": 1}))
+            assert report.moved == 1
+            checked(sharded, {"s": S2})
+
+
+class TestStaleCopies:
+    def test_moving_back_onto_a_stale_copy_is_skipped(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(ModifyState("r", Const(S1)))
+            sharded.rebalance(MapPartitioner({"r": 1}))
+            # shard 0 still holds the pre-move copy (there is no unbind
+            # command); trying to move back must not clobber ownership
+            sharded.execute(ModifyState("r", Const(S2)))
+            report = sharded.rebalance(MapPartitioner({"r": 0}))
+            assert report.skipped_stale == 1
+            assert report.moved == 0
+            assert sharded.shard_of("r") == 1  # authoritative owner kept
+            checked(sharded, {"r": S2})
+            # the stale copy on shard 0 never sees later modifies
+            assert sharded.state_at("r", 3) == S2
+
+
+class TestRebalanceSurface:
+    def test_noop_when_placement_already_matches(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 1})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            report = sharded.rebalance()
+            assert report.moved == 0
+            assert repr(report) == (
+                "RebalanceReport(moved=0, wal_replayed=0, "
+                "state_copied=0, skipped_stale=0)"
+            )
+
+    def test_rebalance_swaps_the_partitioner_for_future_placements(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({}, default=0)
+        ) as sharded:
+            sharded.rebalance(MapPartitioner({}, default=1))
+            sharded.execute(DefineRelation("fresh", "rollback"))
+            assert sharded.shard_of("fresh") == 1
+
+    def test_divergence_during_a_move_raises(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(ModifyState("r", Const(S1)))
+            # sabotage the replay-safety gate: claim commands are
+            # replayable but hand over a diverging rebuild
+            sharded._replayable_commands = (
+                lambda source, identifier, relation: [
+                    DefineRelation("r", "rollback"),
+                    ModifyState("r", Const(S3)),
+                ]
+            )
+            with pytest.raises(ShardingError, match="diverging"):
+                sharded.rebalance(MapPartitioner({"r": 1}))

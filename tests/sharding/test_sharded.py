@@ -1,0 +1,322 @@
+"""ShardedDatabase unit behaviors: lifecycle, no-op/strict command
+shapes, numeral translation edges, and the FINDSTATE surface."""
+
+import pytest
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Difference, Rollback, Union
+from repro.core.relation import EMPTY_STATE
+from repro.core.txn import NOW
+from repro.durability import DurableDatabase, MemoryStore
+from repro.errors import CommandError, ShardingError
+from repro.sharding import (
+    HashPartitioner,
+    RangePartitioner,
+    ShardedDatabase,
+)
+from repro.workloads.generators import StateGenerator
+
+GEN = StateGenerator(seed=5, key_space=20)
+S1 = GEN.snapshot_state(2)
+S2 = GEN.snapshot_state(3)
+
+
+def split_ab():
+    """Two shards with 'a*' identifiers on 0 and everything later on 1."""
+    return ShardedDatabase(2, partitioner=RangePartitioner(["m"]))
+
+
+class TestLifecycle:
+    def test_rejects_zero_shards(self):
+        with pytest.raises(ShardingError):
+            ShardedDatabase(0)
+
+    def test_rejects_empty_stores(self):
+        with pytest.raises(ShardingError):
+            ShardedDatabase(stores=[])
+
+    def test_stores_fix_the_shard_count(self):
+        with ShardedDatabase(
+            stores=[MemoryStore(), MemoryStore(), MemoryStore()]
+        ) as sharded:
+            assert sharded.shard_count == 3
+            assert len(sharded.shards) == 3
+
+    def test_refuses_a_non_empty_store(self):
+        store = MemoryStore()
+        seeded = DurableDatabase(store, fsync="always")
+        seeded.execute(DefineRelation("r", "rollback"))
+        seeded.close()
+        with pytest.raises(ShardingError, match="empty shard stores"):
+            ShardedDatabase(stores=[store])
+
+    def test_directory_layout(self, tmp_path):
+        with ShardedDatabase(2, directory=tmp_path) as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.sync()
+        assert (tmp_path / "shard-0").is_dir()
+        assert (tmp_path / "shard-1").is_dir()
+
+    def test_execute_after_close_raises(self):
+        sharded = ShardedDatabase(1)
+        sharded.close()
+        assert sharded.closed
+        sharded.close()  # idempotent
+        with pytest.raises(ShardingError, match="closed"):
+            sharded.execute(DefineRelation("r", "rollback"))
+
+    def test_partitioner_property(self):
+        partitioner = RangePartitioner(["m"])
+        with ShardedDatabase(2, partitioner=partitioner) as sharded:
+            assert sharded.partitioner is partitioner
+
+    def test_defined_but_unmodified_replace_type_in_as_database(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("snap", "snapshot"))
+            relation = sharded.as_database().require("snap")
+            assert relation.rstate == ()
+
+    def test_checkpoint_touches_every_shard(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.execute(DefineRelation("zeta", "rollback"))
+            sharded.checkpoint()  # must not raise on any shard
+
+
+class TestCommandRouting:
+    def test_execute_returns_the_global_txn(self):
+        with split_ab() as sharded:
+            assert sharded.execute(DefineRelation("alpha", "rollback")) == 1
+            assert sharded.execute(ModifyState("alpha", Const(S1))) == 2
+            assert sharded.transaction_number == 2
+
+    def test_identifiers_and_shard_of(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("zeta", "rollback"))
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            assert sharded.identifiers == ("alpha", "zeta")
+            assert sharded.shard_of("alpha") == 0
+            assert sharded.shard_of("zeta") == 1
+            # unbound identifiers report their would-be placement
+            assert sharded.shard_of("beta") == 0
+
+    def test_redefine_is_a_noop(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            assert sharded.execute(DefineRelation("alpha", "snapshot")) == 1
+            assert (
+                sharded.as_database().require("alpha").rtype.name
+                == "ROLLBACK"
+            )
+
+    def test_strict_redefine_raises(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            with pytest.raises(CommandError):
+                sharded.execute(
+                    DefineRelation("alpha", "rollback", strict=True)
+                )
+            assert sharded.transaction_number == 1
+
+    def test_modify_unbound_is_a_noop_without_evaluation(self):
+        class Bomb(Const):
+            def evaluate(self, database):  # pragma: no cover
+                raise AssertionError("no-op must not evaluate")
+
+        with split_ab() as sharded:
+            assert sharded.execute(ModifyState("ghost", Bomb(S1))) == 0
+            assert sharded.identifiers == ()
+            # and no shard logged anything
+            assert all(
+                shard.transaction_number == 0 for shard in sharded.shards
+            )
+
+    def test_strict_modify_unbound_raises_the_paper_error(self):
+        with split_ab() as sharded:
+            with pytest.raises(
+                CommandError, match="'ghost' is not defined"
+            ):
+                sharded.execute(
+                    ModifyState("ghost", Const(S1), strict=True)
+                )
+
+    def test_sequences_flatten_across_shards(self):
+        with split_ab() as sharded:
+            sentence = (
+                DefineRelation("alpha", "rollback")
+                .then(DefineRelation("zeta", "rollback"))
+                .then(ModifyState("alpha", Const(S1)))
+                .then(ModifyState("zeta", Rollback("alpha", NOW)))
+            )
+            assert sharded.execute(sentence) == 4
+            assert sharded.evaluate(Rollback("zeta", NOW)) == S1
+
+    def test_unroutable_command_raises(self):
+        with split_ab() as sharded:
+            with pytest.raises(ShardingError, match="cannot route"):
+                sharded.execute("not a command")
+
+    def test_cross_shard_modify_ships_a_constant(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.execute(DefineRelation("zeta", "rollback"))
+            sharded.execute(ModifyState("alpha", Const(S1)))
+            sharded.execute(ModifyState("zeta", Const(S2)))
+            sharded.execute(
+                ModifyState(
+                    "zeta",
+                    Union(Rollback("alpha", NOW), Rollback("zeta", NOW)),
+                )
+            )
+            merged = sharded.evaluate(Rollback("zeta", NOW))
+            assert merged == Union(Const(S1), Const(S2)).evaluate(None)
+
+    def test_cross_shard_empty_set_takes_the_prior_schema(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.execute(DefineRelation("zeta", "rollback"))
+            sharded.execute(ModifyState("alpha", Const(S1)))
+            sharded.execute(ModifyState("zeta", Const(S2)))
+            # α − α is the untyped ∅ gathered at the coordinator; the
+            # shipped constant must inherit ζ's latest schema
+            sharded.execute(
+                ModifyState(
+                    "zeta",
+                    Difference(
+                        Rollback("alpha", NOW), Rollback("alpha", NOW)
+                    ),
+                )
+            )
+            state = sharded.evaluate(Rollback("zeta", NOW))
+            assert state is not EMPTY_STATE
+            assert state.schema == S2.schema
+            assert not state.tuples
+
+    def test_cross_shard_empty_set_on_a_temporal_relation(self):
+        from repro.historical.state import HistoricalState
+
+        hist = GEN.historical_state(2)
+        with split_ab() as sharded:
+            # alpha never gets a state, so ρ(alpha, now) is the untyped
+            # ∅ and the gathered difference stays untyped — forcing the
+            # coordinator to take zeta's historical schema
+            sharded.execute(DefineRelation("alpha", "temporal"))
+            sharded.execute(DefineRelation("zeta", "temporal"))
+            sharded.execute(ModifyState("zeta", Const(hist)))
+            sharded.execute(
+                ModifyState(
+                    "zeta",
+                    Difference(
+                        Rollback("alpha", NOW), Rollback("alpha", NOW)
+                    ),
+                )
+            )
+            state = sharded.evaluate(Rollback("zeta", NOW))
+            assert isinstance(state, HistoricalState)
+            assert state.schema == hist.schema
+            assert not state.tuples
+
+    def test_cross_shard_empty_set_without_prior_state_raises(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.execute(DefineRelation("zeta", "rollback"))
+            with pytest.raises(CommandError, match="untyped empty set"):
+                sharded.execute(
+                    ModifyState(
+                        "zeta",
+                        Difference(
+                            Rollback("alpha", NOW),
+                            Rollback("alpha", NOW),
+                        ),
+                    )
+                )
+            # the failed command consumed no transaction
+            assert sharded.transaction_number == 2
+
+
+class TestPerShardReplication:
+    def test_a_replica_can_tail_one_shard(self):
+        """Shards are ordinary DurableDatabases, so the replication
+        layer attaches per shard unchanged: a replica tailing a shard's
+        WAL converges on that shard's (local) database."""
+        from repro.replication import PrimaryStream, Replica, RetryPolicy
+
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.execute(ModifyState("alpha", Const(S1)))
+            shard = sharded.shards[0]
+            shard.sync()
+            replica = Replica(
+                PrimaryStream(shard), retry=RetryPolicy.none()
+            )
+            try:
+                replica.catch_up()
+                assert replica.database == shard.database
+                sharded.execute(
+                    ModifyState("alpha", Union(Rollback("alpha", NOW), Const(S2)))
+                )
+                shard.sync()
+                replica.catch_up()
+                assert replica.database == shard.database
+            finally:
+                replica.close()
+
+
+class TestStateAt:
+    def test_unbound_identifier_is_none(self):
+        with split_ab() as sharded:
+            assert sharded.state_at("ghost", 0) is None
+
+    def test_keeps_history_walks_global_numbers(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))  # txn 1
+            sharded.execute(DefineRelation("zeta", "rollback"))  # txn 2
+            sharded.execute(ModifyState("alpha", Const(S1)))  # txn 3
+            sharded.execute(ModifyState("zeta", Const(S2)))  # txn 4
+            sharded.execute(ModifyState("alpha", Const(S2)))  # txn 5
+            assert sharded.state_at("alpha", 2) is EMPTY_STATE
+            assert sharded.state_at("alpha", 3) == S1
+            assert sharded.state_at("alpha", 4) == S1
+            assert sharded.state_at("alpha", 5) == S2
+
+    def test_replace_type_only_answers_at_or_after_its_last_modify(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("snap", "snapshot"))  # txn 1
+            sharded.execute(ModifyState("snap", Const(S1)))  # txn 2
+            sharded.execute(ModifyState("snap", Const(S2)))  # txn 3
+            # the unsharded snapshot relation holds one state stamped
+            # with its *last* modify; earlier numerals find nothing
+            assert sharded.state_at("snap", 1) is EMPTY_STATE
+            assert sharded.state_at("snap", 2) is EMPTY_STATE
+            assert sharded.state_at("snap", 3) == S2
+
+    def test_defined_but_never_modified_is_empty(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("snap", "snapshot"))
+            assert sharded.state_at("snap", 1) is EMPTY_STATE
+
+
+class TestNumeralTranslation:
+    def test_unbound_identifier_passes_numerals_through(self):
+        with split_ab() as sharded:
+            # the shard must raise the oracle's own error text, which
+            # embeds the *global* numeral untranslated
+            with pytest.raises(Exception, match="ghost"):
+                sharded.evaluate(Rollback("ghost", 3))
+
+    def test_replace_type_numerals_pass_through(self):
+        from repro.errors import RelationTypeError
+
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("snap", "snapshot"))
+            sharded.execute(ModifyState("snap", Const(S1)))
+            with pytest.raises(RelationTypeError, match="2"):
+                sharded.evaluate(Rollback("snap", 2))
+
+    def test_metadata_mismatch_is_detected(self):
+        with split_ab() as sharded:
+            sharded.execute(DefineRelation("alpha", "rollback"))
+            sharded.execute(ModifyState("alpha", Const(S1)))
+            sharded._mods["alpha"].append(99)  # corrupt the metadata
+            with pytest.raises(ShardingError, match="coordinator metadata"):
+                sharded.evaluate(Rollback("alpha", 1))
