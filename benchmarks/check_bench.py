@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Compare fresh ``BENCH_<name>.json`` sidecars against the committed
+baseline and fail on an optimizer-path regression.
+
+Usage:
+    python -m benchmarks.check_bench BASELINE_DIR FRESH_DIR [names...]
+    python -m benchmarks.check_bench . fresh e2 e4 e13 e16 --tolerance 0.2
+
+For every measurement of kind ``speedup`` the fresh value must be
+
+* at least ``(1 - tolerance)`` of the committed baseline value
+  (default tolerance 20%), **and**
+* at least the measurement's absolute ``floor`` when one is recorded
+  (the repeated-query measurements commit to the >=5x acceptance bar).
+
+Ratios rather than absolute latencies are compared so the check is
+stable across machines: both sides of each speedup are timed in the
+same process on the same host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+DEFAULT_NAMES = ["e2", "e4", "e13", "e16"]
+DEFAULT_TOLERANCE = 0.20
+
+
+def _load(directory: str, name: str) -> dict:
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def check(
+    baseline_dir: str,
+    fresh_dir: str,
+    names: list[str],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> list[str]:
+    """Return a list of failure messages (empty = pass)."""
+    failures: list[str] = []
+    for name in names:
+        baseline = _load(baseline_dir, name)["measurements"]
+        fresh = _load(fresh_dir, name)["measurements"]
+        for key, committed in baseline.items():
+            if committed.get("kind") != "speedup":
+                continue
+            if key not in fresh:
+                failures.append(
+                    f"{name}.{key}: measurement missing from fresh run"
+                )
+                continue
+            value = fresh[key]["value"]
+            required = committed["value"] * (1.0 - tolerance)
+            floor = committed.get("floor")
+            print(
+                f"  {name}.{key}: committed {committed['value']:.2f}x, "
+                f"fresh {value:.2f}x "
+                f"(required >= {required:.2f}x"
+                + (f", floor {floor:.1f}x)" if floor else ")")
+            )
+            if value < required:
+                failures.append(
+                    f"{name}.{key}: {value:.2f}x regressed more than "
+                    f"{tolerance:.0%} from committed "
+                    f"{committed['value']:.2f}x"
+                )
+            if floor is not None and value < floor:
+                failures.append(
+                    f"{name}.{key}: {value:.2f}x is below the "
+                    f"{floor:.1f}x acceptance floor"
+                )
+    return failures
+
+
+def main(argv: list[str]) -> int:
+    args = list(argv)
+    tolerance = DEFAULT_TOLERANCE
+    if "--tolerance" in args:
+        index = args.index("--tolerance")
+        try:
+            tolerance = float(args[index + 1])
+        except (IndexError, ValueError):
+            print("--tolerance requires a numeric argument")
+            return 2
+        del args[index : index + 2]
+    if len(args) < 2:
+        print(__doc__)
+        return 2
+    baseline_dir, fresh_dir = args[0], args[1]
+    names = [name.lower() for name in args[2:]] or DEFAULT_NAMES
+    failures = check(baseline_dir, fresh_dir, names, tolerance)
+    if failures:
+        print("\nBENCH REGRESSION:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nall {len(names)} bench sidecars within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

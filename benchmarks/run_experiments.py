@@ -7,10 +7,17 @@ Usage:
     python -m benchmarks.run_experiments --metrics-json out.json e1 e6 e10
         # additionally collect observability metrics and write a JSON
         # sidecar (see benchmarks.metrics_io for the format)
+    python -m benchmarks.run_experiments --bench-json-dir . e2 e4 e13 e16
+        # write BENCH_<name>.json perf-trajectory sidecars for every
+        # selected experiment that defines bench_payload(); these are
+        # the files committed at the repo root and regression-checked
+        # in CI by benchmarks.check_bench
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
@@ -30,6 +37,7 @@ from benchmarks import (
     bench_e13_read_cache,
     bench_e14_replication,
     bench_e15_sharding,
+    bench_e16_compiled_engine,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -52,6 +60,7 @@ EXPERIMENTS = {
     "e13": bench_e13_read_cache,
     "e14": bench_e14_replication,
     "e15": bench_e15_sharding,
+    "e16": bench_e16_compiled_engine,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,
@@ -59,8 +68,29 @@ EXPERIMENTS = {
 }
 
 
+def write_bench_sidecars(directory: str, selected: list[str]) -> int:
+    """Write ``BENCH_<name>.json`` for every selected experiment with a
+    ``bench_payload()``; returns the number of sidecars written."""
+    os.makedirs(directory, exist_ok=True)
+    written = 0
+    for name in selected:
+        payload_fn = getattr(EXPERIMENTS[name], "bench_payload", None)
+        if payload_fn is None:
+            continue
+        payload = payload_fn()
+        payload["unix_time"] = time.time()
+        path = os.path.join(directory, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"  [bench sidecar written to {path}]")
+        written += 1
+    return written
+
+
 def main(argv: list[str]) -> int:
     metrics_path = None
+    bench_dir = None
     args = list(argv)
     if "--metrics-json" in args:
         index = args.index("--metrics-json")
@@ -68,6 +98,14 @@ def main(argv: list[str]) -> int:
             metrics_path = args[index + 1]
         except IndexError:
             print("--metrics-json requires a path argument")
+            return 2
+        del args[index : index + 2]
+    if "--bench-json-dir" in args:
+        index = args.index("--bench-json-dir")
+        try:
+            bench_dir = args[index + 1]
+        except IndexError:
+            print("--bench-json-dir requires a directory argument")
             return 2
         del args[index : index + 2]
     selected = [name.lower() for name in args] or list(EXPERIMENTS)
@@ -86,6 +124,8 @@ def main(argv: list[str]) -> int:
             print(f"  [{name} completed in "
                   f"{time.perf_counter() - start:.1f} s]")
             print()
+    if bench_dir is not None:
+        write_bench_sidecars(bench_dir, selected)
     return 0
 
 

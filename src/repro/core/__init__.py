@@ -48,6 +48,7 @@ from repro.core.commands import (
 )
 from repro.core.sentences import Sentence, run
 from repro.core.clock import TransactionClock
+from repro.core.compile import CompiledPlan, compile_expression
 
 __all__ = [
     "NOW",
@@ -83,4 +84,6 @@ __all__ = [
     "Sentence",
     "run",
     "TransactionClock",
+    "CompiledPlan",
+    "compile_expression",
 ]

@@ -67,6 +67,7 @@ __all__ = [
     "Rename",
     "Derive",
     "Rollback",
+    "NODE_HANDLERS",
     "apply_node",
     "evaluate",
     "evaluate_memoized",
@@ -167,7 +168,7 @@ class Const(Expression):
     concrete-syntax layer (:mod:`repro.lang`).
     """
 
-    __slots__ = ("state",)
+    __slots__ = ("state", "_hash")
 
     def __init__(self, state: State) -> None:
         if not isinstance(state, (SnapshotState, HistoricalState)):
@@ -176,6 +177,7 @@ class Const(Expression):
                 f"got {type(state).__name__}"
             )
         self.state = state
+        self._hash = hash(("Const", state))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -186,7 +188,7 @@ class Const(Expression):
         return isinstance(other, Const) and self.state == other.state
 
     def __hash__(self) -> int:
-        return hash(("Const", self.state))
+        return self._hash
 
     def __repr__(self) -> str:
         kind = "historical" if isinstance(self.state, HistoricalState) else "snapshot"
@@ -196,11 +198,12 @@ class Const(Expression):
 class Union(Expression):
     """``E1 ∪ E2`` / ``E1 ∪̂ E2``."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
 
     def __init__(self, left: Expression, right: Expression) -> None:
         self.left = left
         self.right = right
+        self._hash = hash(("Union", left, right))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -230,7 +233,7 @@ class Union(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(("Union", self.left, self.right))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"({self.left!r} ∪ {self.right!r})"
@@ -239,11 +242,12 @@ class Union(Expression):
 class Difference(Expression):
     """``E1 − E2`` / ``E1 −̂ E2``."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
 
     def __init__(self, left: Expression, right: Expression) -> None:
         self.left = left
         self.right = right
+        self._hash = hash(("Difference", left, right))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -273,7 +277,7 @@ class Difference(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(("Difference", self.left, self.right))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"({self.left!r} − {self.right!r})"
@@ -282,11 +286,12 @@ class Difference(Expression):
 class Product(Expression):
     """``E1 × E2`` / ``E1 ×̂ E2``."""
 
-    __slots__ = ("left", "right")
+    __slots__ = ("left", "right", "_hash")
 
     def __init__(self, left: Expression, right: Expression) -> None:
         self.left = left
         self.right = right
+        self._hash = hash(("Product", left, right))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -314,7 +319,7 @@ class Product(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(("Product", self.left, self.right))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"({self.left!r} × {self.right!r})"
@@ -323,11 +328,12 @@ class Product(Expression):
 class Project(Expression):
     """``π_X(E)`` / ``π̂_X(E)``."""
 
-    __slots__ = ("operand", "names")
+    __slots__ = ("operand", "names", "_hash")
 
     def __init__(self, operand: Expression, names: Sequence[str]) -> None:
         self.operand = operand
         self.names = tuple(names)
+        self._hash = hash(("Project", operand, self.names))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -351,7 +357,7 @@ class Project(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(("Project", self.operand, self.names))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"π[{', '.join(self.names)}]({self.operand!r})"
@@ -360,11 +366,12 @@ class Project(Expression):
 class Select(Expression):
     """``σ_F(E)`` / ``σ̂_F(E)``."""
 
-    __slots__ = ("operand", "predicate")
+    __slots__ = ("operand", "predicate", "_hash")
 
     def __init__(self, operand: Expression, predicate: Predicate) -> None:
         self.operand = operand
         self.predicate = predicate
+        self._hash = hash(("Select", operand, predicate))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -388,7 +395,7 @@ class Select(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(("Select", self.operand, self.predicate))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"σ[{self.predicate!r}]({self.operand!r})"
@@ -400,11 +407,14 @@ class Rename(Expression):
     relation with itself, and the Quel ``replace`` translation, can be
     written without leaving the algebra."""
 
-    __slots__ = ("operand", "mapping")
+    __slots__ = ("operand", "mapping", "_hash")
 
     def __init__(self, operand: Expression, mapping: dict[str, str]) -> None:
         self.operand = operand
         self.mapping = dict(mapping)
+        self._hash = hash(
+            ("Rename", operand, tuple(sorted(self.mapping.items())))
+        )
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -428,9 +438,7 @@ class Rename(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(
-            ("Rename", self.operand, tuple(sorted(self.mapping.items())))
-        )
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}→{v}" for k, v in sorted(self.mapping.items()))
@@ -443,7 +451,7 @@ class Derive(Expression):
     Only defined on historical states.
     """
 
-    __slots__ = ("operand", "predicate", "expression")
+    __slots__ = ("operand", "predicate", "expression", "_hash")
 
     def __init__(
         self,
@@ -454,6 +462,7 @@ class Derive(Expression):
         self.operand = operand
         self.predicate = predicate
         self.expression = expression
+        self._hash = hash(("Derive", operand, predicate, expression))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -481,9 +490,7 @@ class Derive(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(
-            ("Derive", self.operand, self.predicate, self.expression)
-        )
+        return self._hash
 
     def __repr__(self) -> str:
         return (
@@ -505,7 +512,7 @@ class Rollback(Expression):
     it into the algebra rather than the command layer.
     """
 
-    __slots__ = ("identifier", "numeral")
+    __slots__ = ("identifier", "numeral", "_hash")
 
     def __init__(self, identifier: str, numeral: Numeral = NOW) -> None:
         if not identifier or not isinstance(identifier, str):
@@ -516,6 +523,7 @@ class Rollback(Expression):
             numeral = as_transaction_number(numeral)
         self.identifier = identifier
         self.numeral = numeral
+        self._hash = hash(("Rollback", identifier, numeral))
 
     def evaluate(self, database: Database) -> State:
         if _OBSERVER is not None:
@@ -547,7 +555,7 @@ class Rollback(Expression):
         )
 
     def __hash__(self) -> int:
-        return hash(("Rollback", self.identifier, self.numeral))
+        return self._hash
 
     def __repr__(self) -> str:
         return f"ρ({self.identifier}, {self.numeral!r})"
@@ -577,92 +585,133 @@ _COMPOSITE_NODES = (
 )
 
 
+def _apply_union(node: Union, operands: Sequence[Any], database: Database):
+    l, r = operands
+    if is_empty_set(l):
+        return r
+    if is_empty_set(r):
+        return l
+    l = _require_state(l, node)
+    r = _require_state(r, node)
+    _require_same_kind(l, r, "union")
+    return (
+        historical_union(l, r)
+        if isinstance(l, HistoricalState)
+        else snap_union(l, r)
+    )
+
+
+def _apply_difference(
+    node: Difference, operands: Sequence[Any], database: Database
+):
+    l, r = operands
+    if is_empty_set(l):
+        return EMPTY_SET
+    if is_empty_set(r):
+        return l
+    l = _require_state(l, node)
+    r = _require_state(r, node)
+    _require_same_kind(l, r, "difference")
+    return (
+        historical_difference(l, r)
+        if isinstance(l, HistoricalState)
+        else snap_difference(l, r)
+    )
+
+
+def _apply_product(node: Product, operands: Sequence[Any], database: Database):
+    l, r = operands
+    if is_empty_set(l) or is_empty_set(r):
+        return EMPTY_SET
+    l = _require_state(l, node)
+    r = _require_state(r, node)
+    _require_same_kind(l, r, "product")
+    return (
+        historical_product(l, r)
+        if isinstance(l, HistoricalState)
+        else snap_product(l, r)
+    )
+
+
+def _apply_project(node: Project, operands: Sequence[Any], database: Database):
+    (inner,) = operands
+    if is_empty_set(inner):
+        return EMPTY_SET
+    inner = _require_state(inner, node)
+    if isinstance(inner, HistoricalState):
+        return historical_project(inner, node.names)
+    return snap_project(inner, node.names)
+
+
+def _apply_select(node: Select, operands: Sequence[Any], database: Database):
+    (inner,) = operands
+    if is_empty_set(inner):
+        return EMPTY_SET
+    inner = _require_state(inner, node)
+    if isinstance(inner, HistoricalState):
+        return historical_select(inner, node.predicate)
+    return snap_select(inner, node.predicate)
+
+
+def _apply_rename(node: Rename, operands: Sequence[Any], database: Database):
+    (inner,) = operands
+    if is_empty_set(inner):
+        return EMPTY_SET
+    inner = _require_state(inner, node)
+    if isinstance(inner, HistoricalState):
+        return historical_rename(inner, node.mapping)
+    return snap_rename(inner, node.mapping)
+
+
+def _apply_derive(node: Derive, operands: Sequence[Any], database: Database):
+    (inner,) = operands
+    if is_empty_set(inner):
+        return EMPTY_SET
+    inner = _require_state(inner, node)
+    if not isinstance(inner, HistoricalState):
+        raise ExpressionError("δ applies only to historical states")
+    return historical_derive(inner, node.predicate, node.expression)
+
+
+#: Per-type handlers computing a composite node's result from its
+#: pre-evaluated operand values.  This table is the single source of
+#: truth shared by :func:`apply_node`, :func:`evaluate_memoized` and the
+#: compiled engine (:mod:`repro.core.compile`): the compiler resolves a
+#: node's handler once at compile time, so compiled plans cannot drift
+#: from the interpreted semantics.
+NODE_HANDLERS = {
+    Union: _apply_union,
+    Difference: _apply_difference,
+    Product: _apply_product,
+    Project: _apply_project,
+    Select: _apply_select,
+    Rename: _apply_rename,
+    Derive: _apply_derive,
+}
+
+
 def apply_node(
     node: Expression, operands: Sequence[Any], database: Database
 ):
     """Compute ``node``'s result from already-evaluated operand values.
 
     ``operands`` must align with ``node.children()``.  For leaves (and
-    any node type outside :data:`_COMPOSITE_NODES`) the node's own
+    any node type outside :data:`NODE_HANDLERS`) the node's own
     ``evaluate`` is used.  This is the single dispatch point shared by
-    :func:`evaluate_memoized` and the tracing evaluator in
-    :mod:`repro.obsv.trace`, so the three evaluation strategies cannot
-    drift apart semantically.
+    :func:`evaluate_memoized`, the compiled engine and the tracing
+    evaluator in :mod:`repro.obsv.trace`, so the evaluation strategies
+    cannot drift apart semantically.
     """
-    if isinstance(node, Union):
-        l, r = operands
-        if is_empty_set(l):
-            return r
-        if is_empty_set(r):
-            return l
-        l = _require_state(l, node)
-        r = _require_state(r, node)
-        _require_same_kind(l, r, "union")
-        return (
-            historical_union(l, r)
-            if isinstance(l, HistoricalState)
-            else snap_union(l, r)
-        )
-    if isinstance(node, Difference):
-        l, r = operands
-        if is_empty_set(l):
-            return EMPTY_SET
-        if is_empty_set(r):
-            return l
-        l = _require_state(l, node)
-        r = _require_state(r, node)
-        _require_same_kind(l, r, "difference")
-        return (
-            historical_difference(l, r)
-            if isinstance(l, HistoricalState)
-            else snap_difference(l, r)
-        )
-    if isinstance(node, Product):
-        l, r = operands
-        if is_empty_set(l) or is_empty_set(r):
-            return EMPTY_SET
-        l = _require_state(l, node)
-        r = _require_state(r, node)
-        _require_same_kind(l, r, "product")
-        return (
-            historical_product(l, r)
-            if isinstance(l, HistoricalState)
-            else snap_product(l, r)
-        )
-    if isinstance(node, Project):
-        (inner,) = operands
-        if is_empty_set(inner):
-            return EMPTY_SET
-        inner = _require_state(inner, node)
-        if isinstance(inner, HistoricalState):
-            return historical_project(inner, node.names)
-        return snap_project(inner, node.names)
-    if isinstance(node, Select):
-        (inner,) = operands
-        if is_empty_set(inner):
-            return EMPTY_SET
-        inner = _require_state(inner, node)
-        if isinstance(inner, HistoricalState):
-            return historical_select(inner, node.predicate)
-        return snap_select(inner, node.predicate)
-    if isinstance(node, Rename):
-        (inner,) = operands
-        if is_empty_set(inner):
-            return EMPTY_SET
-        inner = _require_state(inner, node)
-        if isinstance(inner, HistoricalState):
-            return historical_rename(inner, node.mapping)
-        return snap_rename(inner, node.mapping)
-    if isinstance(node, Derive):
-        (inner,) = operands
-        if is_empty_set(inner):
-            return EMPTY_SET
-        inner = _require_state(inner, node)
-        if not isinstance(inner, HistoricalState):
-            raise ExpressionError("δ applies only to historical states")
-        return historical_derive(inner, node.predicate, node.expression)
+    handler = NODE_HANDLERS.get(type(node))
+    if handler is not None:
+        return handler(node, operands, database)
     # leaves (Const, Rollback) and any future node types
     return node.evaluate(database)
+
+
+#: Sentinel distinguishing "not cached" from any cached value (including
+#: falsy states and the untyped ∅) in :func:`evaluate_memoized`.
+_MEMO_MISSING = object()
 
 
 def evaluate_memoized(expression: Expression, database: Database):
@@ -680,8 +729,11 @@ def evaluate_memoized(expression: Expression, database: Database):
     cache: dict[Expression, Any] = {}
 
     def walk(node: Expression):
-        cached = cache.get(node)
-        if cached is not None or node in cache:
+        # Single sentinel-based lookup: a cached result may be falsy
+        # (the ∅ marker, an empty state) or even None (a hypothetical
+        # third-party node), and must still count as exactly one hit.
+        cached = cache.get(node, _MEMO_MISSING)
+        if cached is not _MEMO_MISSING:
             if _OBSERVER is not None:
                 _OBSERVER.memo_hit()
             return cached

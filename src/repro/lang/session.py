@@ -12,25 +12,53 @@ The session also offers :meth:`Session.query`, which parses and evaluates a
 side-effect-free expression (the "display the contents of a relation" use
 the paper mentions as a command example), and :meth:`Session.display`,
 which renders a relation's current state as an aligned text table.
+
+Repeated queries — the hot production read shape — run through a full
+plan pipeline: the source text is normalized and memoized, the parsed
+tree is rewritten by the cost-guided optimizer under statistics
+collected from whatever is serving reads, and the winning plan is
+compiled into a flat :class:`~repro.core.compile.CompiledPlan`.  Cached
+plans are tagged with the transaction number they were planned at and
+re-planned when the database moves on (statistics and the data
+dictionary may have shifted); in the steady read-heavy state every
+``query`` call is one dict probe plus one compiled-plan execution.
+:meth:`Session.explain` renders the before/after story for any query.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Iterable, Union as TypingUnion
+from typing import Iterable, Optional, Union as TypingUnion
 
 from repro.core.commands import Command
+from repro.core.compile import CompiledPlan, compile_expression
 from repro.core.database import EMPTY_DATABASE, Database
 from repro.core.expressions import Expression, Rollback
 from repro.core.txn import NOW
 from repro.historical.state import HistoricalState
 from repro.lang.parser import parse_command, parse_expression, parse_sentence
 from repro.obsv import registry as _obsv
+from repro.optimizer.cost import explain as explain_plan
+from repro.optimizer.rewriter import CostGuidedRewriter
+from repro.optimizer.stats import Statistics, collect_statistics
 from repro.snapshot.state import SnapshotState
 
 __all__ = ["Session"]
 
 State = TypingUnion[SnapshotState, HistoricalState]
+
+
+class _CachedPlan:
+    """One plan-cache entry: the parsed tree plus the optimized and
+    compiled forms planned at a particular transaction number."""
+
+    __slots__ = ("expression", "optimized", "compiled", "txn")
+
+    def __init__(self, expression: Expression) -> None:
+        self.expression = expression
+        self.optimized: Optional[Expression] = None
+        self.compiled: Optional[CompiledPlan] = None
+        self.txn: Optional[int] = None
 
 
 class Session:
@@ -59,6 +87,7 @@ class Session:
         checkpoint_every: int = 256,
         history_limit: "int | None" = DEFAULT_HISTORY_LIMIT,
         plan_cache_capacity: int = DEFAULT_PLAN_CACHE_CAPACITY,
+        optimize: bool = True,
         replica_of=None,
         max_lag: "int | None" = None,
         on_stale: str = "reject",
@@ -121,8 +150,12 @@ class Session:
             self._database = EMPTY_DATABASE
         self._history: list[Database] = [self._database]
         self._history_limit = history_limit
-        self._plan_cache: "OrderedDict[str, Expression]" = OrderedDict()
+        self._plan_cache: "OrderedDict[str, _CachedPlan]" = OrderedDict()
         self._plan_cache_capacity = plan_cache_capacity
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
+        self._plan_cache_evictions = 0
+        self._optimize = optimize
 
     @staticmethod
     def _build_replica(source, *, retry, max_lag, on_stale):
@@ -367,19 +400,18 @@ class Session:
         Expressions are side-effect-free: the session's database is
         unchanged.
 
-        Parsed expressions are memoized by source text in a bounded LRU
-        (expressions are immutable ASTs, so reuse is safe), so repeated
-        queries — the hot production read shape — skip the lexer and
-        parser entirely.
+        Query text runs through the plan cache: parsed once (keyed on
+        whitespace-normalized source, so formatting variants of one
+        query share an entry), cost-optimized under current statistics,
+        compiled, and re-planned only when the transaction number moves.
+        Pre-built :class:`Expression` values skip the cache and evaluate
+        directly.
         """
         if _obsv.enabled():
             _obsv.get().counter("lang.queries").inc()
-        expression = (
-            self._cached_expression(source)
-            if isinstance(source, str)
-            else source
-        )
-        return self._evaluate(expression)
+        if isinstance(source, str):
+            return self._evaluate_plan(self._cached_expression(source))
+        return self._evaluate(source)
 
     def _evaluate(self, expression: Expression) -> State:
         """Evaluate a side-effect-free expression; replica sessions
@@ -391,31 +423,127 @@ class Session:
             return self._replica.evaluate(expression)
         return expression.evaluate(self._database)
 
-    def _cached_expression(self, source: str) -> Expression:
+    def _evaluate_plan(self, plan: _CachedPlan) -> State:
+        """Evaluate a cached plan, (re)optimizing and (re)compiling if
+        the database has moved since it was last planned."""
+        expression = self._planned_expression(plan)
+        if self._sharded is not None or self._replica is not None:
+            # these modes evaluate through their own routers (scatter-
+            # gather, staleness bounds); they reuse the optimized tree
+            # but not the compiled single-database plan
+            return self._evaluate(expression)
+        if (
+            plan.compiled is None
+            or plan.compiled.expression is not expression
+        ):
+            plan.compiled = compile_expression(expression)
+        return plan.compiled(self._database)
+
+    def _planned_expression(self, plan: _CachedPlan) -> Expression:
+        """The plan's optimized tree for the current transaction number.
+
+        Plans are tagged with the transaction number they were planned
+        at: once the database moves, statistics and the data dictionary
+        may have shifted (a schema-dependent rewrite licensed by the old
+        catalog could be wrong under the new one), so the plan is
+        rebuilt.  Read-heavy workloads keep the number constant, which
+        is exactly when caching pays.
+        """
+        if not self._optimize:
+            return plan.expression
+        txn = self.transaction_number
+        if plan.optimized is None or plan.txn != txn:
+            stats = self.statistics()
+            rewriter = CostGuidedRewriter(
+                catalog=self.catalog(), stats=stats
+            )
+            plan.optimized = rewriter.rewrite(plan.expression)
+            plan.compiled = None
+            plan.txn = txn
+        return plan.optimized
+
+    def _cached_expression(self, source: str) -> _CachedPlan:
+        """The plan-cache entry for ``source`` (parsing on a miss).
+
+        The key is the whitespace-normalized source, so ``π[k](ρ(r))``
+        and the same query split across lines or double-spaced hit one
+        entry instead of parsing, optimizing and compiling three times.
+        """
+        key = " ".join(source.split())
         cache = self._plan_cache
-        expression = cache.get(source)
-        if expression is not None:
-            cache.move_to_end(source)
+        plan = cache.get(key)
+        if plan is not None:
+            cache.move_to_end(key)
+            self._plan_cache_hits += 1
             if _obsv.enabled():
                 _obsv.get().counter("lang.plan_cache.hits").inc()
-            return expression
+            return plan
+        self._plan_cache_misses += 1
         if _obsv.enabled():
             _obsv.get().counter("lang.plan_cache.misses").inc()
-        expression = parse_expression(source)
+        plan = _CachedPlan(parse_expression(source))
         if self._plan_cache_capacity > 0:
-            cache[source] = expression
+            cache[key] = plan
             if len(cache) > self._plan_cache_capacity:
                 cache.popitem(last=False)
+                self._plan_cache_evictions += 1
                 if _obsv.enabled():
                     _obsv.get().counter("lang.plan_cache.evictions").inc()
-        return expression
+        return plan
 
     def plan_cache_info(self) -> dict:
-        """Occupancy of the parsed-expression cache."""
+        """Occupancy and hit/miss accounting of the plan cache."""
         return {
             "capacity": self._plan_cache_capacity,
             "size": len(self._plan_cache),
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "evictions": self._plan_cache_evictions,
         }
+
+    def statistics(self) -> Statistics:
+        """Per-relation cardinality and version statistics collected
+        from whatever is serving this session's reads."""
+        if self._durable is not None:
+            versioned = getattr(self._durable, "versioned", None)
+            if versioned is not None:
+                return collect_statistics(versioned)
+        return collect_statistics(self.database)
+
+    def explain(self, source: TypingUnion[str, Expression]) -> str:
+        """The optimizer's story for a query: the plan as written and
+        the plan as it would run, with estimated costs and the rewrites
+        the cost gate accepted."""
+        expression = (
+            self._cached_expression(source).expression
+            if isinstance(source, str)
+            else source
+        )
+        stats = self.statistics()
+        rewriter = CostGuidedRewriter(catalog=self.catalog(), stats=stats)
+        optimized = rewriter.rewrite(expression)
+        lines = [f"plan  (cost ≈ {rewriter.baseline_cost:.1f}):"]
+        lines.extend(
+            "  " + line
+            for line in explain_plan(expression, stats).splitlines()
+        )
+        if optimized == expression:
+            lines.append("optimized: no cost-reducing rewrite found")
+        else:
+            lines.append(
+                f"optimized  (cost ≈ {rewriter.final_cost:.1f}):"
+            )
+            lines.extend(
+                "  " + line
+                for line in explain_plan(optimized, stats).splitlines()
+            )
+        for name, before, after, accepted in rewriter.trace:
+            verdict = "kept" if accepted else "rejected"
+            lines.append(
+                f"  rewrite {name}: {before:.1f} -> {after:.1f} "
+                f"({verdict})"
+            )
+        return "\n".join(lines)
 
     def current_state(self, identifier: str) -> State:
         """The named relation's most recent state, via ``ρ(I, now)``."""

@@ -29,7 +29,9 @@ from typing import Optional
 from repro.obsv.registry import MetricsRegistry
 
 __all__ = [
+    "EngineObserver",
     "ExpressionObserver",
+    "OptimizerObserver",
     "ReplicationObserver",
     "ShardObserver",
     "WalObserver",
@@ -69,6 +71,85 @@ class ExpressionObserver:
     def memo_miss(self) -> None:
         """``evaluate_memoized`` had to compute a subtree."""
         self._memo_misses.inc()
+
+
+class EngineObserver:
+    """Per-event callbacks the compiled expression engine fires when
+    metrics are enabled (``engine.*``).  Counters are resolved once, at
+    installation; the per-step hot path reuses the expression layer's
+    ``expr.nodes_evaluated`` counter through :meth:`node` so interpreted
+    and compiled evaluation report node work under one name."""
+
+    __slots__ = (
+        "_nodes",
+        "_compiled",
+        "_steps_compiled",
+        "_cse_saved",
+        "_executions",
+        "_steps_executed",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._nodes = registry.counter("expr.nodes_evaluated")
+        self._compiled = registry.counter("engine.plans_compiled")
+        self._steps_compiled = registry.counter("engine.steps_compiled")
+        self._cse_saved = registry.counter("engine.cse_nodes_saved")
+        self._executions = registry.counter("engine.plan_executions")
+        self._steps_executed = registry.counter("engine.steps_executed")
+
+    def node(self) -> None:
+        """A compiled step computed one composite node's result."""
+        self._nodes.inc()
+
+    def compiled(self, steps: int, tree_nodes: int) -> None:
+        """A plan was compiled: ``steps`` distinct subtrees covering a
+        tree of ``tree_nodes`` nodes (the difference is CSE sharing)."""
+        self._compiled.inc()
+        self._steps_compiled.inc(steps)
+        self._cse_saved.inc(max(0, tree_nodes - steps))
+
+    def executed(self, steps: int) -> None:
+        """A compiled plan ran to completion."""
+        self._executions.inc()
+        self._steps_executed.inc(steps)
+
+
+class OptimizerObserver:
+    """Per-event callbacks the cost-guided rewriter fires when metrics
+    are enabled (``optimizer.*``).  Counters are resolved once, at
+    installation."""
+
+    __slots__ = (
+        "_plans",
+        "_considered",
+        "_accepted",
+        "_rejected",
+        "_cost_ratio",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._plans = registry.counter("optimizer.plans_optimized")
+        self._considered = registry.counter(
+            "optimizer.rewrites_considered"
+        )
+        self._accepted = registry.counter("optimizer.rewrites_accepted")
+        self._rejected = registry.counter("optimizer.rewrites_rejected")
+        self._cost_ratio = registry.histogram("optimizer.cost_ratio")
+
+    def rewrite(self, accepted: bool) -> None:
+        """One candidate rewrite was priced against the cost gate."""
+        self._considered.inc()
+        if accepted:
+            self._accepted.inc()
+        else:
+            self._rejected.inc()
+
+    def optimized(self, baseline: float, final: float) -> None:
+        """A plan finished optimization; record the cost ratio (final
+        over baseline — below 1.0 means the optimizer found a win)."""
+        self._plans.inc()
+        if baseline > 0:
+            self._cost_ratio.observe(final / baseline)
 
 
 class WalObserver:
@@ -365,9 +446,13 @@ def install(registry: MetricsRegistry) -> None:
     replication layer's and sharding layer's observer slots at
     ``registry``."""
     global _WAL_OBSERVER, _REPL_OBSERVER, _SHARD_OBSERVER
+    from repro.core import compile as engine
     from repro.core import expressions
+    from repro.optimizer import rewriter
 
     expressions._OBSERVER = ExpressionObserver(registry)
+    engine._OBSERVER = EngineObserver(registry)
+    rewriter._OBSERVER = OptimizerObserver(registry)
     _WAL_OBSERVER = WalObserver(registry)
     _REPL_OBSERVER = ReplicationObserver(registry)
     _SHARD_OBSERVER = ShardObserver(registry)
@@ -376,9 +461,13 @@ def install(registry: MetricsRegistry) -> None:
 def uninstall() -> None:
     """Clear the observer slots (the disabled, zero-cost state)."""
     global _WAL_OBSERVER, _REPL_OBSERVER, _SHARD_OBSERVER
+    from repro.core import compile as engine
     from repro.core import expressions
+    from repro.optimizer import rewriter
 
     expressions._OBSERVER = None
+    engine._OBSERVER = None
+    rewriter._OBSERVER = None
     _WAL_OBSERVER = None
     _REPL_OBSERVER = None
     _SHARD_OBSERVER = None

@@ -31,17 +31,33 @@ from repro.optimizer.rules import (
     PushSelectBelowUnion,
     PushSelectBelowDifference,
     PushSelectBelowProduct,
+    PushSelectBelowDerive,
     MergeProjects,
     PushProjectBelowUnion,
+    PushProjectBelowSelect,
+    PushProjectBelowProduct,
     EliminateIdentityProject,
     RewriteDeleteAsNegatedSelect,
     DeduplicateUnion,
     DEFAULT_RULES,
+    EXTENDED_RULES,
     UPDATE_RULES,
 )
-from repro.optimizer.rewriter import Rewriter, optimize
+from repro.optimizer.rewriter import (
+    CostGuidedRewriter,
+    Rewriter,
+    optimize,
+    optimize_with_cost,
+)
 from repro.optimizer.update_rewrites import ALL_UPDATE_RULES, optimize_update
-from repro.optimizer.cost import estimate_cost, estimate_cardinality, explain
+from repro.optimizer.cost import (
+    PlanAnalysis,
+    analyze,
+    estimate_cost,
+    estimate_cardinality,
+    explain,
+)
+from repro.optimizer.stats import Statistics, collect_statistics
 from repro.optimizer.equivalence import expressions_equivalent
 
 __all__ = [
@@ -52,19 +68,29 @@ __all__ = [
     "PushSelectBelowUnion",
     "PushSelectBelowDifference",
     "PushSelectBelowProduct",
+    "PushSelectBelowDerive",
     "MergeProjects",
     "PushProjectBelowUnion",
+    "PushProjectBelowSelect",
+    "PushProjectBelowProduct",
     "EliminateIdentityProject",
     "RewriteDeleteAsNegatedSelect",
     "DeduplicateUnion",
     "DEFAULT_RULES",
+    "EXTENDED_RULES",
     "UPDATE_RULES",
     "ALL_UPDATE_RULES",
+    "CostGuidedRewriter",
     "Rewriter",
     "optimize",
+    "optimize_with_cost",
     "optimize_update",
+    "PlanAnalysis",
+    "analyze",
     "estimate_cost",
     "estimate_cardinality",
     "explain",
+    "Statistics",
+    "collect_statistics",
     "expressions_equivalent",
 ]

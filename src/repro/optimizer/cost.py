@@ -4,7 +4,21 @@ The model estimates, for each node, the cardinality of its result and the
 cumulative number of tuples *produced* while evaluating the tree (a proxy
 for work under our set-at-a-time evaluator).  Cardinalities come from a
 statistics mapping (relation identifier -> estimated tuple count) with
-textbook default selectivities.
+textbook default selectivities; a :class:`repro.optimizer.stats.Statistics`
+object additionally prices rollback leaves by version-chain depth (the
+reconstruction work a historical ``ρ(I, N)`` probe pays on a delta
+backend).
+
+Everything is computed in **one bottom-up pass** per tree
+(:func:`analyze`): each distinct subtree's cardinality and cumulative
+cost are established exactly once and reused by every parent.  The
+public helpers :func:`estimate_cardinality`, :func:`estimate_cost` and
+:func:`explain` all delegate to that pass, so pricing a chain of depth
+*n* visits *n* nodes — not the *n²/2* the naive formulation
+(``cost = card(root) + Σ cost(children)`` with ``card`` recomputed from
+scratch at every level) pays.  :attr:`PlanAnalysis.node_visits` counts
+the visits so the regression test can assert linearity without timing
+anything.
 
 This is intentionally simple: its job in the reproduction is to show that
 rewrites the rules license reduce estimated *and measured* cost (benchmark
@@ -28,7 +42,13 @@ from repro.core.expressions import (
     Union,
 )
 
-__all__ = ["estimate_cardinality", "estimate_cost", "explain"]
+__all__ = [
+    "PlanAnalysis",
+    "analyze",
+    "estimate_cardinality",
+    "estimate_cost",
+    "explain",
+]
 
 #: Default selectivity of a selection predicate.
 SELECT_SELECTIVITY = 0.33
@@ -36,54 +56,140 @@ SELECT_SELECTIVITY = 0.33
 PROJECT_DEDUP = 0.9
 #: Default cardinality for a rollback leaf with no statistics.
 DEFAULT_RELATION_CARD = 100.0
+#: Cost per recorded version of reaching back through a relation's
+#: history — the reconstruction work a ``ρ(I, N)`` probe may pay on a
+#: delta backend.  Charged only when the statistics carry version
+#: counts (a plain ``{identifier: cardinality}`` dict never does).
+VERSION_ACCESS_WEIGHT = 0.5
 
 Stats = Mapping[str, float]
+
+
+class PlanAnalysis:
+    """Cardinality and cost for every distinct subtree of one plan.
+
+    Produced by :func:`analyze` in a single bottom-up pass.  Shared
+    subtrees are priced once; per-occurrence work still counts toward
+    the parent's cumulative cost (our evaluator re-produces a shared
+    subtree's tuples at each occurrence unless the compiled engine's
+    CSE is in play, and the cost model prices the plain evaluator).
+    """
+
+    __slots__ = ("expression", "node_visits", "_cards", "_costs")
+
+    def __init__(
+        self,
+        expression: Expression,
+        cards: "dict[Expression, float]",
+        costs: "dict[Expression, float]",
+        node_visits: int,
+    ) -> None:
+        self.expression = expression
+        #: Distinct subtrees priced during the pass — the unit the
+        #: linear-cost regression test counts.
+        self.node_visits = node_visits
+        self._cards = cards
+        self._costs = costs
+
+    def cardinality(self, node: Optional[Expression] = None) -> float:
+        """Estimated result cardinality of ``node`` (default: root)."""
+        return self._cards[self.expression if node is None else node]
+
+    def cost(self, node: Optional[Expression] = None) -> float:
+        """Estimated cumulative tuples produced evaluating ``node``
+        (default: root)."""
+        return self._costs[self.expression if node is None else node]
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanAnalysis(cost={self.cost():.1f}, "
+            f"card={self.cardinality():.1f}, "
+            f"visits={self.node_visits})"
+        )
+
+
+def analyze(
+    expression: Expression, stats: Optional[Stats] = None
+) -> PlanAnalysis:
+    """Price every distinct subtree in one bottom-up pass.
+
+    Iterative post-order (explicit stack), so arbitrarily deep chains —
+    the shape the Quel translator emits for long conjunctions — analyze
+    without recursion and in time linear in the number of distinct
+    subtrees.
+    """
+    stats = stats if stats is not None else {}
+    version_count = getattr(stats, "version_count", None)
+    cards: dict = {}
+    costs: dict = {}
+    visits = 0
+
+    stack: "list[tuple[Expression, bool]]" = [(expression, False)]
+    while stack:
+        node, children_done = stack.pop()
+        if node in cards:
+            continue
+        children = node.children()
+        if not children_done and children:
+            stack.append((node, True))
+            for child in children:
+                if child not in cards:
+                    stack.append((child, False))
+            continue
+        if node in cards:  # a duplicate frame finished first
+            continue
+        visits += 1
+        card = _node_cardinality(node, children, cards, stats)
+        cost = card + sum(costs[child] for child in children)
+        if version_count is not None and isinstance(node, Rollback):
+            cost += VERSION_ACCESS_WEIGHT * version_count(
+                node.identifier, 0
+            )
+        cards[node] = card
+        costs[node] = cost
+
+    return PlanAnalysis(expression, cards, costs, visits)
+
+
+def _node_cardinality(
+    node: Expression,
+    children: "tuple[Expression, ...]",
+    cards: "dict[Expression, float]",
+    stats: Stats,
+) -> float:
+    """One node's output cardinality, given its children's."""
+    if isinstance(node, Const):
+        return float(len(node.state))
+    if isinstance(node, Rollback):
+        return float(stats.get(node.identifier, DEFAULT_RELATION_CARD))
+    if isinstance(node, Union):
+        return cards[node.left] + cards[node.right]
+    if isinstance(node, Difference):
+        return cards[node.left]
+    if isinstance(node, Product):
+        return cards[node.left] * cards[node.right]
+    if isinstance(node, Select):
+        return SELECT_SELECTIVITY * cards[node.operand]
+    if isinstance(node, Project):
+        return PROJECT_DEDUP * cards[node.operand]
+    if isinstance(node, (Rename, Derive)):
+        return cards[node.operand]
+    return DEFAULT_RELATION_CARD
 
 
 def estimate_cardinality(
     expression: Expression, stats: Optional[Stats] = None
 ) -> float:
     """Estimated result cardinality of the expression."""
-    stats = stats or {}
-    if isinstance(expression, Const):
-        return float(len(expression.state))
-    if isinstance(expression, Rollback):
-        return float(
-            stats.get(expression.identifier, DEFAULT_RELATION_CARD)
-        )
-    if isinstance(expression, Union):
-        return estimate_cardinality(
-            expression.left, stats
-        ) + estimate_cardinality(expression.right, stats)
-    if isinstance(expression, Difference):
-        return estimate_cardinality(expression.left, stats)
-    if isinstance(expression, Product):
-        return estimate_cardinality(
-            expression.left, stats
-        ) * estimate_cardinality(expression.right, stats)
-    if isinstance(expression, Select):
-        return SELECT_SELECTIVITY * estimate_cardinality(
-            expression.operand, stats
-        )
-    if isinstance(expression, Project):
-        return PROJECT_DEDUP * estimate_cardinality(
-            expression.operand, stats
-        )
-    if isinstance(expression, (Rename, Derive)):
-        return estimate_cardinality(expression.operand, stats)
-    return DEFAULT_RELATION_CARD
+    return analyze(expression, stats).cardinality()
 
 
 def estimate_cost(
     expression: Expression, stats: Optional[Stats] = None
 ) -> float:
     """Estimated total tuples produced while evaluating the tree —
-    the result cardinality of every node, summed."""
-    stats = stats or {}
-    total = estimate_cardinality(expression, stats)
-    for child in expression.children():
-        total += estimate_cost(child, stats)
-    return total
+    the result cardinality of every node occurrence, summed."""
+    return analyze(expression, stats).cost()
 
 
 def explain(
@@ -92,14 +198,19 @@ def explain(
     indent: int = 0,
 ) -> str:
     """An EXPLAIN-style rendering of the tree with estimated
-    cardinalities."""
-    stats = stats or {}
-    pad = "  " * indent
-    label = _node_label(expression)
-    card = estimate_cardinality(expression, stats)
-    lines = [f"{pad}{label}  (≈{card:.0f} tuples)"]
-    for child in expression.children():
-        lines.append(explain(child, stats, indent + 1))
+    cardinalities (one cost pass for the whole tree, then an iterative
+    render — deep plans neither re-price nor recurse)."""
+    analysis = analyze(expression, stats)
+    lines: list = []
+    stack: "list[tuple[Expression, int]]" = [(expression, indent)]
+    while stack:
+        node, depth = stack.pop()
+        pad = "  " * depth
+        label = _node_label(node)
+        card = analysis.cardinality(node)
+        lines.append(f"{pad}{label}  (≈{card:.0f} tuples)")
+        for child in reversed(node.children()):
+            stack.append((child, depth + 1))
     return "\n".join(lines)
 
 

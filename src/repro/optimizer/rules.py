@@ -12,7 +12,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.errors import SchemaError
 from repro.core.expressions import (
+    Derive,
     Difference,
     Expression,
     Product,
@@ -29,11 +31,15 @@ __all__ = [
     "PushSelectBelowUnion",
     "PushSelectBelowDifference",
     "PushSelectBelowProduct",
+    "PushSelectBelowDerive",
     "MergeProjects",
     "PushProjectBelowUnion",
+    "PushProjectBelowSelect",
+    "PushProjectBelowProduct",
     "EliminateIdentityProject",
     "CombineSelects",
     "DEFAULT_RULES",
+    "EXTENDED_RULES",
 ]
 
 
@@ -155,6 +161,34 @@ class PushSelectBelowProduct(Rule):
         return None
 
 
+class PushSelectBelowDerive(Rule):
+    """``σ̂_F(δ_{G,V}(E)) = δ_{G,V}(σ̂_F(E))`` — value selection commutes
+    with valid-time derivation.
+
+    ``σ̂`` examines only the *value part* of each historical tuple and
+    leaves valid times untouched; ``δ`` filters and re-stamps only the
+    *valid-time part* and leaves values untouched.  Each survivor of the
+    composition is the same tuple ``(value, V(t))`` either way, so the
+    operators commute unconditionally.  Pushing the selection below the
+    derivation filters tuples *before* their derived period sets are
+    computed — fewer historical timestamps are materialized.
+    """
+
+    name = "push-select-below-derive"
+
+    def apply(self, expression, catalog):
+        if isinstance(expression, Select) and isinstance(
+            expression.operand, Derive
+        ):
+            derive = expression.operand
+            return Derive(
+                Select(derive.operand, expression.predicate),
+                derive.predicate,
+                derive.expression,
+            )
+        return None
+
+
 class MergeProjects(Rule):
     """``π_X(π_Y(E)) = π_X(E)`` when ``X ⊆ Y`` — projection cascade."""
 
@@ -188,6 +222,81 @@ class PushProjectBelowUnion(Rule):
         return None
 
 
+class PushProjectBelowSelect(Rule):
+    """``π_X(σ_F(E)) = σ_F(π_X(E))`` when ``F`` references only
+    attributes in ``X``.
+
+    Valid under set semantics because, with ``F`` confined to ``X``,
+    ``F(t) = F(t|X)`` — a projected tuple survives the right-hand side
+    iff some witness survived the left.  For historical states the valid
+    time of each projected value is the union of its witnesses' periods
+    on both sides.  On its own this rewrite usually *raises* the
+    estimated cost (the projection dedups a larger input); it earns its
+    keep by carrying projections toward ``ρ`` leaves where they unlock
+    merges and union pushdowns, which is why it lives in the
+    cost-guided rule set rather than :data:`DEFAULT_RULES`.
+    """
+
+    name = "push-project-below-select"
+
+    def apply(self, expression, catalog):
+        if not (
+            isinstance(expression, Project)
+            and isinstance(expression.operand, Select)
+        ):
+            return None
+        select = expression.operand
+        refs = select.predicate.referenced_attributes()
+        if refs <= set(expression.names):
+            return Select(
+                Project(select.operand, expression.names),
+                select.predicate,
+            )
+        return None
+
+
+class PushProjectBelowProduct(Rule):
+    """``π_X(E1 × E2) = π_{X1}(E1) × π_{X2}(E2)`` when ``X`` is an
+    ordered partition ``X1 ++ X2`` with ``X1`` drawn from ``E1``'s
+    schema and ``X2`` from ``E2``'s, both non-empty.
+
+    The split must respect the projection list's order because the
+    product concatenates schemas positionally.  For historical states
+    the identity follows from distributivity of period-set intersection
+    (the product's valid-time combination) over union (the projection's
+    coalescing).  Requires schema inference; inapplicable when the
+    catalog cannot type an operand or the list interleaves sides.
+    """
+
+    name = "push-project-below-product"
+
+    def apply(self, expression, catalog):
+        if not (
+            isinstance(expression, Project)
+            and isinstance(expression.operand, Product)
+        ):
+            return None
+        product = expression.operand
+        try:
+            left_names = set(infer_schema(product.left, catalog).names)
+            right_names = set(infer_schema(product.right, catalog).names)
+        except SchemaError:
+            return None
+        names = expression.names
+        split = 0
+        while split < len(names) and names[split] in left_names:
+            split += 1
+        left_part, right_part = names[:split], names[split:]
+        if not left_part or not right_part:
+            return None
+        if not all(name in right_names for name in right_part):
+            return None
+        return Product(
+            Project(product.left, left_part),
+            Project(product.right, right_part),
+        )
+
+
 class EliminateIdentityProject(Rule):
     """``π_X(E) = E`` when ``X`` is exactly ``E``'s schema in order."""
 
@@ -214,6 +323,20 @@ DEFAULT_RULES: tuple[Rule, ...] = (
     MergeProjects(),
     PushProjectBelowUnion(),
     EliminateIdentityProject(),
+)
+
+
+#: The rule set the cost-guided rewriter explores: the classical
+#: defaults plus the rollback-oriented rewrites that move selections
+#: and projections toward ``ρ`` leaves so fewer historical states are
+#: materialized.  Still terminating as a fixpoint set (each new rule
+#: strictly advances an operator toward the leaves and nothing moves it
+#: back), but some members only pay off situationally — which is why
+#: they ride behind the cost gate instead of joining DEFAULT_RULES.
+EXTENDED_RULES: tuple[Rule, ...] = DEFAULT_RULES + (
+    PushSelectBelowDerive(),
+    PushProjectBelowSelect(),
+    PushProjectBelowProduct(),
 )
 
 

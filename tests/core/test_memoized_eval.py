@@ -123,3 +123,27 @@ class TestSharing:
         memo_calls = len(calls)
         assert plain_calls == 2
         assert memo_calls == 1
+
+
+class TestFalsyMemoHits:
+    def test_empty_set_cached_result_hits_once(self, db):
+        """A cached untyped empty set — a *falsy* value (``frozenset()``)
+        — must still count as a memo hit, exactly once per extra
+        occurrence.  Guards the sentinel-based cache probe against a
+        truthiness or ``is not None`` shortcut, either of which would
+        re-evaluate (or double-probe) every ∅-valued subtree."""
+        from repro.obsv import registry as obsv_registry
+        from repro.obsv.registry import MetricsRegistry
+
+        source = Rollback("empty")
+        query = Union(source, source)
+        registry = obsv_registry.enable(MetricsRegistry())
+        try:
+            result = evaluate_memoized(query, db)
+            counters = registry.snapshot()["counters"]
+        finally:
+            obsv_registry.disable()
+        assert is_empty_set(result)
+        # root + first ρ computed; second ρ occurrence served from cache
+        assert counters["expr.memo_hits"] == 1
+        assert counters["expr.memo_misses"] == 2

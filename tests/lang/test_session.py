@@ -186,6 +186,76 @@ class TestPlanCache:
         with pytest.raises(ValueError):
             Session(plan_cache_capacity=-1)
 
+    def test_whitespace_variants_share_one_plan(self):
+        """The cache key is the normalized source, so reformatting a
+        query must hit the plan compiled for its first spelling."""
+        session = Session()
+        session.execute(PROGRAM)
+        spellings = [
+            "project [name] (rollback(faculty, now))",
+            "project  [name]  (rollback(faculty,  now))",
+            "project [name]\n    (rollback(faculty, now))",
+            "  project [name] (rollback(faculty, now))  ",
+        ]
+        results = [session.query(s).sorted_rows() for s in spellings]
+        assert all(rows == results[0] for rows in results)
+        info = session.plan_cache_info()
+        assert info["size"] == 1
+        assert info["misses"] == 1
+        assert info["hits"] == len(spellings) - 1
+
+    def test_info_reports_hits_and_misses(self):
+        session = Session()
+        session.execute(PROGRAM)
+        assert session.plan_cache_info()["hits"] == 0
+        session.query("rollback(faculty, now)")
+        session.query("rollback(faculty, now)")
+        session.query("project [rank] (rollback(faculty, now))")
+        info = session.plan_cache_info()
+        assert info["hits"] == 1
+        assert info["misses"] == 2
+
+    def test_cached_plan_replans_after_new_transaction(self):
+        """The cached compiled plan is tagged with the transaction
+        number it was planned at; a later modification must re-plan,
+        not serve the stale answer."""
+        session = Session()
+        session.execute(PROGRAM)
+        source = "project [name] (rollback(faculty, now))"
+        before = session.query(source).sorted_rows()
+        session.execute(
+            "modify_state(faculty, rollback(faculty, now) union "
+            'state (name: string, rank: string) { ("zoe", "assoc") })'
+        )
+        after = session.query(source).sorted_rows()
+        assert before != after
+        assert ("zoe",) in after
+
+
+class TestExplain:
+    def test_explain_shows_plans_and_costs(self):
+        session = Session()
+        session.execute(PROGRAM)
+        text = session.explain(
+            'select [rank = "full"] (project [name, rank] '
+            "(rollback(faculty, now)))"
+        )
+        assert text.startswith("plan  (cost ≈")
+        assert "optimized" in text
+        assert "Rollback[faculty" in text
+
+    def test_explain_reports_accepted_rewrite(self):
+        session = Session()
+        session.execute(PROGRAM)
+        # σ over ∪ splits into σ ∪ σ and prunes; the trace shows the
+        # cost drop that justified keeping the rewrite
+        text = session.explain(
+            'select [rank = "full"] (rollback(faculty, now) union '
+            "rollback(faculty, now))"
+        )
+        assert "rewrite" in text
+        assert "kept" in text or "no cost-reducing rewrite" in text
+
 
 class TestExecuteMany:
     BATCH = [

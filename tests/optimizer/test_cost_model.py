@@ -1,0 +1,196 @@
+"""Tests for the single-pass cost analyzer and the statistics layer.
+
+The headline regression: pricing a plan must be linear in its number of
+distinct nodes.  The original formulation recomputed every node's
+cardinality from scratch at every ancestor, so a selection chain of
+depth *n* paid ~n²/2 node visits; :class:`PlanAnalysis.node_visits`
+counts actual visits so the test asserts the complexity class directly
+instead of timing anything.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import (
+    Const,
+    Product,
+    Project,
+    Rollback,
+    Select,
+    Union,
+)
+from repro.core.sentences import run
+from repro.core.txn import NOW
+from repro.optimizer.cost import (
+    DEFAULT_RELATION_CARD,
+    VERSION_ACCESS_WEIGHT,
+    PlanAnalysis,
+    analyze,
+    estimate_cardinality,
+    estimate_cost,
+    explain,
+)
+from repro.optimizer.stats import Statistics, collect_statistics
+from repro.snapshot.attributes import INTEGER, Attribute
+from repro.snapshot.predicates import Comparison, attr, lit
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+KV = Schema([Attribute("k", INTEGER), Attribute("v", INTEGER)])
+
+
+def kv(*rows):
+    return SnapshotState(KV, [list(r) for r in rows])
+
+
+def pk(value=4):
+    return Comparison(attr("k"), ">", lit(value))
+
+
+class TestLinearCost:
+    def test_depth_1000_chain_visits_each_node_once(self):
+        """σ(σ(...σ(ρ)...)) of depth 1000: 1001 node visits, not ~500k.
+
+        The counter, not wall clock, is the assertion — the O(n²)
+        formulation visited ``Σ(i+1) ≈ n²/2`` nodes for the same tree.
+        """
+        expression = Rollback("r", NOW)
+        depth = 1000
+        for index in range(depth):
+            expression = Select(expression, pk(index))
+        analysis = analyze(expression, {"r": 10})
+        assert analysis.node_visits == depth + 1
+
+    def test_visits_scale_linearly_not_quadratically(self):
+        def visits(depth):
+            expression = Rollback("r", NOW)
+            for index in range(depth):
+                expression = Select(expression, pk(index))
+            return analyze(expression, {"r": 10}).node_visits
+
+        # doubling the depth doubles the visits (+1 for the leaf);
+        # the quadratic formulation would quadruple them
+        assert visits(500) == 501
+        assert visits(1000) == 1000 + 1
+
+    def test_shared_subtrees_priced_once_costed_per_occurrence(self):
+        leaf = Rollback("r", NOW)
+        union = Union(leaf, leaf)
+        analysis = analyze(union, {"r": 10})
+        # 2 distinct nodes visited, but the leaf's 10 tuples are paid
+        # once per occurrence: cost = 20 (union) + 10 + 10
+        assert analysis.node_visits == 2
+        assert analysis.cost() == 40.0
+
+    def test_explain_matches_single_pass_estimates(self):
+        leaf = Rollback("r", NOW)
+        text = explain(Select(Union(leaf, leaf), pk()), {"r": 10})
+        lines = text.splitlines()
+        assert "Select" in lines[0] and "≈7 tuples" in lines[0]
+        assert "Union" in lines[1] and "≈20 tuples" in lines[1]
+        assert lines[2].startswith("    Rollback")
+        assert len(lines) == 4
+
+    def test_api_compatibility(self):
+        leaf = Rollback("r", NOW)
+        assert estimate_cardinality(leaf) == DEFAULT_RELATION_CARD
+        assert estimate_cardinality(leaf, {"r": 10}) == 10.0
+        assert estimate_cost(Union(leaf, leaf), {"r": 10}) == 40.0
+
+    def test_analysis_exposes_per_node_values(self):
+        leaf = Rollback("r", NOW)
+        select = Select(leaf, pk())
+        analysis = analyze(select, {"r": 100})
+        assert analysis.cardinality(leaf) == 100.0
+        assert analysis.cardinality(select) == pytest.approx(33.0)
+        assert analysis.cost(leaf) == 100.0
+        assert analysis.cost() == pytest.approx(133.0)
+
+
+class TestVersionAwareCost:
+    def test_dict_stats_charge_no_version_cost(self):
+        leaf = Rollback("r", 1)
+        assert estimate_cost(leaf, {"r": 10}) == 10.0
+
+    def test_statistics_charge_reconstruction_per_rollback(self):
+        leaf = Rollback("r", 1)
+        stats = Statistics({"r": 10.0}, {"r": 40})
+        assert estimate_cost(leaf, stats) == pytest.approx(
+            10.0 + VERSION_ACCESS_WEIGHT * 40
+        )
+
+    def test_deep_history_prices_higher_than_shallow(self):
+        query = Union(Rollback("deep", 1), Rollback("shallow", 1))
+        deep = Statistics(
+            {"deep": 10.0, "shallow": 10.0},
+            {"deep": 500, "shallow": 2},
+        )
+        shallow = Statistics(
+            {"deep": 10.0, "shallow": 10.0},
+            {"deep": 2, "shallow": 2},
+        )
+        assert estimate_cost(query, deep) > estimate_cost(query, shallow)
+
+
+class TestStatistics:
+    def test_mapping_protocol(self):
+        stats = Statistics({"r": 10.0, "s": 3.0}, {"r": 7})
+        assert stats.get("r") == 10.0
+        assert stats.get("missing", 42.0) == 42.0
+        assert stats["s"] == 3.0
+        assert "r" in stats and "missing" not in stats
+        assert sorted(stats) == ["r", "s"]
+        assert len(stats) == 2
+        assert stats.version_count("r") == 7
+        assert stats.version_count("missing") == 0
+
+    def test_collect_from_semantic_database(self):
+        database = run(
+            [
+                DefineRelation("r", "rollback"),
+                ModifyState("r", Const(kv((1, 10), (2, 20)))),
+                ModifyState("r", Const(kv((1, 11), (2, 21), (3, 31)))),
+            ]
+        )
+        stats = collect_statistics(database)
+        assert stats.get("r") == 3.0
+        assert stats.version_count("r") == 2
+        assert stats.latest_txn("r") == database.transaction_number
+
+    def test_collect_from_versioned_database(self):
+        from repro.storage import DeltaBackend, VersionedDatabase
+
+        versioned = VersionedDatabase(DeltaBackend())
+        versioned.execute(DefineRelation("r", "rollback"))
+        versioned.execute(ModifyState("r", Const(kv((1, 10)))))
+        versioned.execute(
+            ModifyState("r", Const(kv((1, 10), (2, 20))))
+        )
+        stats = collect_statistics(versioned)
+        assert stats.get("r") == 2.0
+        assert stats.version_count("r") == 2
+
+    def test_collect_from_session(self):
+        from repro.lang.session import Session
+
+        session = Session()
+        session.execute(
+            "define_relation(r, rollback); "
+            "modify_state(r, state (k: integer, v: integer) "
+            "{ (1, 10), (2, 20) });"
+        )
+        stats = session.statistics()
+        assert stats.get("r") == 2.0
+        assert stats.version_count("r") == 1
+
+    def test_unknown_source_yields_empty_statistics(self):
+        stats = collect_statistics(object())
+        assert len(stats) == 0
+        assert stats.get("anything") is None
+
+    def test_statistics_feed_cost_functions_as_stats_mapping(self):
+        stats = Statistics({"r": 10.0})
+        leaf = Rollback("r", NOW)
+        assert estimate_cardinality(Union(leaf, leaf), stats) == 20.0
