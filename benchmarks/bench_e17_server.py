@@ -1,0 +1,318 @@
+"""E17 — the wire-protocol server: worker scaling, admission, shedding.
+
+Three sections:
+
+* **worker scaling** — the headline: aggregate cached-read throughput
+  for 1/2/4/8 workers on the same workload.  Each query carries a
+  simulated per-request I/O stall (``stall_ms``, the ``debug_ops``
+  hook), the shape where a worker *pool* pays off: while one request
+  stalls, seven others progress.  The committed acceptance bar is a
+  ≥5× aggregate speedup for 8 workers vs 1.
+* **concurrency sweep** — throughput and p50/p99 latency as the number
+  of concurrent clients grows at a fixed pool size, over real sockets.
+* **admission control** — a burst far beyond the queue's high watermark
+  must be *shed* (``queue_full``) in bounded numbers, with the server
+  still answering afterwards — overload degrades, never hangs.
+
+``--smoke`` shrinks the workload for CI; with ``REPRO_METRICS_JSON``
+set the run also exports the ``server.*`` observability counters the
+server-smoke CI job asserts on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import sys
+import time
+
+from repro.lang.session import Session
+from repro.server import protocol
+from repro.server.client import AsyncReproClient, ReproClient
+from repro.server.server import ServerConfig, ThreadedServer
+from repro.server.store import render_state
+from repro.server.admission import percentile
+
+QUERY = "rollback(bench, now)"
+SETUP = [
+    "define_relation(bench, rollback)",
+    "modify_state(bench, state (k: integer, v: integer) "
+    "{ (1, 10), (2, 20), (3, 30), (4, 40) })",
+]
+
+FULL = {"clients": 16, "requests": 12, "stall_ms": 8.0, "burst": 64}
+SMOKE = {"clients": 8, "requests": 6, "stall_ms": 8.0, "burst": 32}
+
+
+# -- worker scaling -----------------------------------------------------------
+
+
+async def _hammer(
+    host: str, port: int, clients: int, requests: int, stall_ms: float
+) -> "tuple[float, list[float]]":
+    """``clients`` concurrent connections each issuing ``requests``
+    cached reads; returns (wall seconds, per-request latencies)."""
+    latencies: "list[float]" = []
+
+    async def one() -> None:
+        client = AsyncReproClient(host, port)
+        await client.connect()
+        try:
+            for _ in range(requests):
+                started = time.perf_counter()
+                await client.query(QUERY, stall_ms=stall_ms)
+                latencies.append(time.perf_counter() - started)
+        finally:
+            await client.close()
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one() for _ in range(clients)))
+    return time.perf_counter() - started, latencies
+
+
+def _serve(workers: int, **overrides) -> ThreadedServer:
+    config = ServerConfig(
+        port=0,
+        workers=workers,
+        queue_high=1024,
+        per_connection=64,
+        debug_ops=True,
+        **overrides,
+    )
+    return ThreadedServer(config)
+
+
+def _setup_relation(handle: ThreadedServer) -> None:
+    with ReproClient(handle.host, handle.port) as client:
+        for sentence in SETUP:
+            client.execute(sentence)
+        # correctness before timing: the wire answer must equal the
+        # in-process session's printed relation
+        oracle = Session()
+        for sentence in SETUP:
+            oracle.execute(sentence)
+        expected = render_state(oracle.query(QUERY))
+        actual = client.query(QUERY)
+        assert actual == expected, "wire result diverged from session"
+
+
+def worker_scaling(config: dict) -> "dict[int, float]":
+    """Aggregate read throughput (req/s) per worker-pool size."""
+    results: "dict[int, float]" = {}
+    total = config["clients"] * config["requests"]
+    for workers in (1, 2, 4, 8):
+        handle = _serve(workers)
+        try:
+            _setup_relation(handle)
+            wall, _ = asyncio.run(
+                _hammer(
+                    handle.host,
+                    handle.port,
+                    config["clients"],
+                    config["requests"],
+                    config["stall_ms"],
+                )
+            )
+            results[workers] = total / wall
+        finally:
+            handle.stop()
+    return results
+
+
+# -- concurrency sweep --------------------------------------------------------
+
+
+def concurrency_sweep(config: dict) -> "list[tuple[int, float, float, float]]":
+    """(clients, throughput, p50 ms, p99 ms) at a fixed 8-worker pool."""
+    rows = []
+    handle = _serve(8)
+    try:
+        _setup_relation(handle)
+        for clients in (1, config["clients"] // 2, config["clients"]):
+            wall, latencies = asyncio.run(
+                _hammer(
+                    handle.host,
+                    handle.port,
+                    clients,
+                    config["requests"],
+                    config["stall_ms"],
+                )
+            )
+            rows.append(
+                (
+                    clients,
+                    clients * config["requests"] / wall,
+                    percentile(latencies, 0.50) * 1e3,
+                    percentile(latencies, 0.99) * 1e3,
+                )
+            )
+    finally:
+        handle.stop()
+    return rows
+
+
+# -- admission / shedding -----------------------------------------------------
+
+
+def shed_burst(config: dict) -> "tuple[int, int, int]":
+    """Overrun a tiny queue; returns (burst, shed, completed)."""
+    handle = ThreadedServer(
+        ServerConfig(
+            port=0,
+            workers=1,
+            queue_high=8,
+            queue_low=4,
+            per_connection=1024,
+            debug_ops=True,
+        )
+    )
+    try:
+        _setup_relation(handle)
+        burst = config["burst"]
+        messages = [
+            protocol.request(1, "query", QUERY, stall_ms=200)
+        ] + [
+            protocol.request(i, "query", QUERY)
+            for i in range(2, burst + 1)
+        ]
+        decoder = protocol.FrameDecoder()
+        replies = []
+        with socket.create_connection(
+            (handle.host, handle.port), timeout=60
+        ) as sock:
+            sock.sendall(
+                b"".join(protocol.encode_message(m) for m in messages)
+            )
+            while len(replies) < burst:
+                chunk = sock.recv(65536)
+                assert chunk, "server hung up mid-burst"
+                replies.extend(
+                    protocol.decode_message(p)
+                    for p in decoder.feed(chunk)
+                )
+        shed = sum(
+            1
+            for r in replies
+            if r["status"] == protocol.STATUS_QUEUE_FULL
+        )
+        completed = sum(
+            1 for r in replies if r["status"] == protocol.STATUS_OK
+        )
+        # the server must still be fully responsive after the burst
+        with ReproClient(handle.host, handle.port) as client:
+            client.ping()
+        return burst, shed, completed
+    finally:
+        handle.stop()
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def report(smoke: bool = False) -> str:
+    config = SMOKE if smoke else FULL
+    lines = [
+        "E17 — wire-protocol server with admission control "
+        f"({'smoke' if smoke else 'full'} run)"
+    ]
+
+    scaling = worker_scaling(config)
+    base = scaling[1]
+    lines.append(
+        f"  worker scaling ({config['clients']} clients x "
+        f"{config['requests']} cached reads, "
+        f"{config['stall_ms']:.0f}ms simulated I/O each):"
+    )
+    for workers, throughput in scaling.items():
+        lines.append(
+            f"    {workers} worker{'s' if workers > 1 else ' '}: "
+            f"{throughput:8.0f} req/s   "
+            f"speedup {throughput / base:5.2f}x"
+        )
+
+    lines.append("  concurrency sweep (8 workers):")
+    for clients, throughput, p50, p99 in concurrency_sweep(config):
+        lines.append(
+            f"    {clients:3d} clients: {throughput:8.0f} req/s   "
+            f"p50 {p50:7.1f} ms   p99 {p99:7.1f} ms"
+        )
+
+    burst, shed, completed = shed_burst(config)
+    lines.append(
+        f"  admission: burst of {burst} against an 8-deep queue -> "
+        f"{completed} served, {shed} shed (queue_full), "
+        "server responsive throughout"
+    )
+    return "\n".join(lines)
+
+
+def bench_payload() -> dict:
+    """Perf-trajectory record for the committed ``BENCH_e17.json``."""
+    config = FULL
+    scaling = worker_scaling(config)
+    burst, shed, completed = shed_burst(config)
+    return {
+        "experiment": "e17",
+        "description": (
+            "asyncio wire-protocol server: aggregate cached-read "
+            "throughput scaling with the worker pool, plus bounded "
+            "load-shedding under a queue-overrunning burst"
+        ),
+        "measurements": {
+            "worker_scaling_8v1_speedup": {
+                "kind": "speedup",
+                "value": round(scaling[8] / scaling[1], 2),
+                "floor": 5.0,
+                "detail": (
+                    f"{scaling[1]:.0f} req/s @1 worker -> "
+                    f"{scaling[8]:.0f} req/s @8 workers "
+                    f"({config['stall_ms']:.0f}ms simulated I/O "
+                    "per cached read)"
+                ),
+            },
+            "worker_scaling_4v1_speedup": {
+                "kind": "speedup",
+                "value": round(scaling[4] / scaling[1], 2),
+                "floor": 2.5,
+                "detail": f"{scaling[4]:.0f} req/s @4 workers",
+            },
+            "shed_burst": {
+                "kind": "count",
+                "value": shed,
+                "detail": (
+                    f"burst {burst} vs queue_high 8: {completed} "
+                    f"served, {shed} shed, zero hung"
+                ),
+            },
+        },
+    }
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def bench_wire_ping(benchmark):
+    handle = _serve(2)
+    try:
+        with ReproClient(handle.host, handle.port) as client:
+            benchmark(client.ping)
+    finally:
+        handle.stop()
+
+
+def bench_wire_cached_query(benchmark):
+    handle = _serve(2)
+    try:
+        _setup_relation(handle)
+        with ReproClient(handle.host, handle.port) as client:
+            client.query(QUERY)  # warm the view's plan cache
+            benchmark(client.query, QUERY)
+    finally:
+        handle.stop()
+
+
+if __name__ == "__main__":
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e17_server"):
+        print(report(smoke="--smoke" in sys.argv[1:]))

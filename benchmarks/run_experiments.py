@@ -38,6 +38,7 @@ from benchmarks import (
     bench_e14_replication,
     bench_e15_sharding,
     bench_e16_compiled_engine,
+    bench_e17_server,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -61,6 +62,7 @@ EXPERIMENTS = {
     "e14": bench_e14_replication,
     "e15": bench_e15_sharding,
     "e16": bench_e16_compiled_engine,
+    "e17": bench_e17_server,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

@@ -110,11 +110,22 @@ class TransactionManager:
             registry = _obsv.get()
             with registry.timer("concurrency.validate_seconds"):
                 self._validate(transaction)
-            with registry.timer("concurrency.commit_seconds"):
-                new_database = self._apply(transaction)
+            try:
+                with registry.timer("concurrency.commit_seconds"):
+                    new_database = self._apply(transaction)
+            except BaseException:
+                # a command that fails at apply time (e.g. its expression
+                # reads an unbound relation) must abort, not leave the
+                # transaction pinned ACTIVE in the validation horizon
+                self.abort(transaction)
+                raise
         else:
             self._validate(transaction)
-            new_database = self._apply(transaction)
+            try:
+                new_database = self._apply(transaction)
+            except BaseException:
+                self.abort(transaction)
+                raise
         self._commit_log.append(
             (self._database.transaction_number, transaction.write_set)
         )

@@ -36,6 +36,13 @@ __all__ = [
     "ConcurrencyError",
     "EvolutionError",
     "WorkloadError",
+    "ProtocolError",
+    "ServerError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerShutdownError",
+    "ConnectionClosedError",
+    "RemoteError",
 ]
 
 
@@ -201,3 +208,44 @@ class EvolutionError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator was configured with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """A wire frame or message violated the protocol: short or torn
+    header, CRC mismatch, an oversized frame, non-JSON payload, or a
+    message missing required fields.  Framing errors are not recoverable
+    mid-stream (the byte positions of later frames are unknown), so the
+    peer that detects one closes the connection."""
+
+
+class ServerError(ReproError):
+    """Base class for request failures reported by a repro server."""
+
+
+class QueueFullError(ServerError):
+    """The server shed the request: its admission queue was above the
+    high watermark (or the connection exceeded its per-connection
+    budget).  Retry after backoff — the server is saturated, not broken."""
+
+
+class DeadlineExceededError(ServerError):
+    """The request's deadline expired — either while queued (never
+    executed) or mid-execution (the slow query was killed)."""
+
+
+class ServerShutdownError(ServerError):
+    """The server is draining: it finishes requests already admitted but
+    accepts no new ones."""
+
+
+class ConnectionClosedError(ServerError):
+    """The connection closed before a complete response arrived."""
+
+
+class RemoteError(ServerError):
+    """The server executed the request and it failed; carries the remote
+    exception's class name so clients can dispatch on it."""
+
+    def __init__(self, message: str, *, remote_type: str = "ReproError") -> None:
+        super().__init__(message)
+        self.remote_type = remote_type

@@ -8,6 +8,10 @@ commands start with a dot:
 * ``.relations`` — list defined relations with type, history length, txn;
 * ``.txn`` — show the current transaction number;
 * ``.save <path>`` / ``.load <path>`` — persist/restore via JSON;
+* ``.connect <host:port>`` / ``.disconnect`` — attach the shell to a
+  running ``python -m repro serve`` server: statements are then sent
+  over the wire (commands via ``execute``, expressions via ``query``)
+  instead of the in-process session;
 * ``.help`` — summary; ``.quit`` — leave.
 
 Every meta command is also reachable with a ``:`` prefix (``:save``,
@@ -48,8 +52,9 @@ expressions:
   project [a, b] (E) | select [a = 1 and b < 2] (E)
   derive [<temporal predicate> ; <temporal expression>] (E)
 
-meta (also with a ':' prefix, e.g. :save / :load):
+meta (also with a ':' prefix, e.g. :save / :connect):
   .relations  .txn  .save <path>  .load <path>  .help  .quit
+  .connect <host:port>  .disconnect    -- talk to a running server
 """
 
 
@@ -60,6 +65,21 @@ class Repl:
         self.session = Session()
         self._out = out
         self._buffer: list[str] = []
+        #: Statements that raised (script mode exits non-zero on any).
+        self.error_count = 0
+        #: The remote client while ``.connect``-ed, else None.
+        self._client = None
+        self._remote = ""
+
+    @property
+    def pending(self) -> bool:
+        """True when buffered input awaits its terminating ';'."""
+        return bool(self._buffer)
+
+    @property
+    def connected(self) -> bool:
+        """True while the shell proxies statements to a server."""
+        return self._client is not None
 
     # -- driving -----------------------------------------------------------
 
@@ -84,8 +104,12 @@ class Repl:
     # -- statement handling -------------------------------------------------
 
     def _run(self, source: str) -> None:
+        if not source.strip():
+            return
         try:
-            if self._looks_like_command(source):
+            if self._client is not None:
+                self._run_remote(source)
+            elif self._looks_like_command(source):
                 self.session.execute(source)
                 self._print(
                     f"ok (txn {self.session.transaction_number})"
@@ -97,7 +121,17 @@ class Repl:
                 else:
                     self._print(format_state(result))
         except ReproError as error:
+            self.error_count += 1
             self._print(f"error: {error}")
+
+    def _run_remote(self, source: str) -> None:
+        """Proxy one statement to the connected server."""
+        if self._looks_like_command(source):
+            txn = self._client.execute(source)
+            self._print(f"ok (txn {txn})")
+        else:
+            # the server renders the relation (or the ∅ marker) itself
+            self._print(self._client.query(source))
 
     @staticmethod
     def _looks_like_command(source: str) -> bool:
@@ -120,8 +154,18 @@ class Repl:
             self._print(_HELP)
             return True
         if name == ".txn":
+            if self._client is not None:
+                try:
+                    self._print(str(self._client.ping()))
+                except ReproError as error:
+                    self._print(f"error: {error}")
+                return True
             self._print(str(self.session.transaction_number))
             return True
+        if name == ".connect":
+            return self._connect(argument)
+        if name == ".disconnect":
+            return self._disconnect()
         if name == ".relations":
             database = self.session.database
             if not len(database.state):
@@ -139,6 +183,45 @@ class Repl:
         if name == ".load":
             return self._load(argument)
         self._print(f"unknown meta command {name!r}; try .help")
+        return True
+
+    def _connect(self, address: str) -> bool:
+        """Attach the shell to a running server (``host:port``)."""
+        if not address or ":" not in address:
+            self._print("usage: .connect <host:port>")
+            return True
+        host, _, port_text = address.rpartition(":")
+        try:
+            port = int(port_text)
+        except ValueError:
+            self._print(f"error: bad port {port_text!r}")
+            return True
+        from repro.server.client import ReproClient
+
+        try:
+            client = ReproClient(host, port, timeout=10.0)
+            txn = client.ping()
+        except (ReproError, OSError) as error:
+            self._print(f"error: cannot connect to {address}: {error}")
+            return True
+        self._disconnect(quiet=True)
+        self._client = client
+        self._remote = address
+        self._print(
+            f"connected to {address} (txn {txn}); statements now run "
+            "on the server, .disconnect returns to the local session"
+        )
+        return True
+
+    def _disconnect(self, quiet: bool = False) -> bool:
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+            self._remote = ""
+            if not quiet:
+                self._print("disconnected; back to the local session")
+        elif not quiet:
+            self._print("not connected")
         return True
 
     def _save(self, path: str) -> bool:

@@ -1,0 +1,307 @@
+"""Clients for the wire protocol: blocking sockets and asyncio streams.
+
+Both clients speak strict request/response on one connection (send,
+await the matching reply) — the protocol permits pipelining, but the
+server's worker pool does not promise cross-request ordering, so the
+clients keep effects ordered the simple way.  Server-side failure
+statuses surface as the typed exceptions from :mod:`repro.errors`:
+
+=================  =========================================
+response status    raised
+=================  =========================================
+``queue_full``     :class:`QueueFullError` (retry with backoff)
+``deadline``       :class:`DeadlineExceededError`
+``shutting_down``  :class:`ServerShutdownError`
+``error``          :class:`RemoteError` (``.remote_type`` holds the
+                   server-side exception class name)
+=================  =========================================
+
+A connection that closes mid-response raises
+:class:`ConnectionClosedError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Optional
+
+from repro.errors import (
+    ConnectionClosedError,
+    DeadlineExceededError,
+    ProtocolError,
+    QueueFullError,
+    RemoteError,
+    ServerShutdownError,
+)
+from repro.server import protocol
+
+__all__ = ["ReproClient", "AsyncReproClient", "raise_for_status"]
+
+
+def raise_for_status(reply: dict) -> dict:
+    """Map a non-``ok`` response onto its typed exception; return the
+    reply unchanged when it is ``ok``."""
+    status = reply.get("status")
+    if status == protocol.STATUS_OK:
+        return reply
+    error = reply.get("error", "request failed")
+    if status == protocol.STATUS_QUEUE_FULL:
+        raise QueueFullError(error)
+    if status == protocol.STATUS_DEADLINE:
+        raise DeadlineExceededError(error)
+    if status == protocol.STATUS_SHUTDOWN:
+        raise ServerShutdownError(error)
+    if status == protocol.STATUS_ERROR:
+        raise RemoteError(
+            error, remote_type=reply.get("error_type", "ReproError")
+        )
+    raise ProtocolError(f"unknown response status {status!r}")
+
+
+class _RequestMixin:
+    """The op surface both clients share; subclasses provide
+    ``_request(message) -> reply``."""
+
+    _next_id: int
+
+    def _message(
+        self,
+        op: str,
+        source: Optional[str] = None,
+        *,
+        deadline_ms: Optional[float] = None,
+        stall_ms: Optional[float] = None,
+    ) -> dict:
+        self._next_id += 1
+        return protocol.request(
+            self._next_id,
+            op,
+            source,
+            deadline_ms=deadline_ms,
+            stall_ms=stall_ms,
+        )
+
+
+class ReproClient(_RequestMixin):
+    """A blocking, socket-per-instance client."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = 30.0,
+        max_frame: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._socket = socket.create_connection((host, port), timeout)
+        self._decoder = protocol.FrameDecoder(max_frame)
+        self._max_frame = max_frame
+        self._pending: list[bytes] = []
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _request(self, message: dict) -> dict:
+        self._socket.sendall(
+            protocol.encode_message(message, self._max_frame)
+        )
+        return raise_for_status(self._read_reply())
+
+    def _read_reply(self) -> dict:
+        while not self._pending:
+            try:
+                chunk = self._socket.recv(65536)
+            except OSError as error:
+                raise ConnectionClosedError(
+                    f"connection lost awaiting a response: {error}"
+                ) from error
+            if not chunk:
+                raise ConnectionClosedError(
+                    "server closed the connection before responding"
+                )
+            self._pending.extend(self._decoder.feed(chunk))
+        return protocol.decode_message(self._pending.pop(0))
+
+    # -- ops ------------------------------------------------------------------
+
+    def query(
+        self,
+        source: str,
+        *,
+        deadline_ms: Optional[float] = None,
+        stall_ms: Optional[float] = None,
+    ) -> str:
+        """Evaluate an expression; returns the printed relation."""
+        reply = self._request(
+            self._message(
+                protocol.OP_QUERY,
+                source,
+                deadline_ms=deadline_ms,
+                stall_ms=stall_ms,
+            )
+        )
+        return reply["result"]
+
+    def execute(
+        self, source: str, *, deadline_ms: Optional[float] = None
+    ) -> int:
+        """Execute a sentence; returns the new transaction number."""
+        reply = self._request(
+            self._message(
+                protocol.OP_EXECUTE, source, deadline_ms=deadline_ms
+            )
+        )
+        return reply["txn"]
+
+    def explain(self, source: str) -> str:
+        reply = self._request(self._message(protocol.OP_EXPLAIN, source))
+        return reply["result"]
+
+    def ping(self) -> int:
+        """Round-trip; returns the server's transaction number."""
+        reply = self._request(self._message(protocol.OP_PING))
+        return reply["txn"]
+
+    def metrics(self) -> dict:
+        """The server's ``server.*`` metrics snapshot."""
+        reply = self._request(self._message(protocol.OP_METRICS))
+        return reply["metrics"]
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ReproClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class AsyncReproClient(_RequestMixin):
+    """The same surface over asyncio streams; hundreds of these share
+    one event loop in the load driver."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_frame: int = protocol.MAX_FRAME_BYTES,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._max_frame = max_frame
+        self._decoder = protocol.FrameDecoder(max_frame)
+        self._pending: list[bytes] = []
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._next_id = 0
+
+    async def connect(self) -> "AsyncReproClient":
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        return self
+
+    async def _request(self, message: dict) -> dict:
+        if self._writer is None:
+            raise ConnectionClosedError("client is not connected")
+        self._writer.write(
+            protocol.encode_message(message, self._max_frame)
+        )
+        try:
+            await self._writer.drain()
+        except (ConnectionError, OSError) as error:
+            raise ConnectionClosedError(
+                f"connection lost sending a request: {error}"
+            ) from error
+        return raise_for_status(await self._read_reply())
+
+    async def _read_reply(self) -> dict:
+        assert self._reader is not None
+        while not self._pending:
+            try:
+                chunk = await self._reader.read(65536)
+            except (ConnectionError, OSError) as error:
+                raise ConnectionClosedError(
+                    f"connection lost awaiting a response: {error}"
+                ) from error
+            if not chunk:
+                raise ConnectionClosedError(
+                    "server closed the connection before responding"
+                )
+            self._pending.extend(self._decoder.feed(chunk))
+        return protocol.decode_message(self._pending.pop(0))
+
+    # -- ops ------------------------------------------------------------------
+
+    async def query(
+        self,
+        source: str,
+        *,
+        deadline_ms: Optional[float] = None,
+        stall_ms: Optional[float] = None,
+    ) -> str:
+        reply = await self._request(
+            self._message(
+                protocol.OP_QUERY,
+                source,
+                deadline_ms=deadline_ms,
+                stall_ms=stall_ms,
+            )
+        )
+        return reply["result"]
+
+    async def execute(
+        self, source: str, *, deadline_ms: Optional[float] = None
+    ) -> int:
+        reply = await self._request(
+            self._message(
+                protocol.OP_EXECUTE, source, deadline_ms=deadline_ms
+            )
+        )
+        return reply["txn"]
+
+    async def explain(self, source: str) -> str:
+        reply = await self._request(
+            self._message(protocol.OP_EXPLAIN, source)
+        )
+        return reply["result"]
+
+    async def ping(self) -> int:
+        reply = await self._request(self._message(protocol.OP_PING))
+        return reply["txn"]
+
+    async def metrics(self) -> dict:
+        reply = await self._request(self._message(protocol.OP_METRICS))
+        return reply["metrics"]
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+
+    async def __aenter__(self) -> "AsyncReproClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    timeout: Optional[float] = 30.0,
+) -> ReproClient:
+    """Convenience: a connected blocking client."""
+    return ReproClient(host, port, timeout=timeout)

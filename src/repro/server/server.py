@@ -1,0 +1,531 @@
+"""The asyncio TCP server: wire protocol × admission control × store.
+
+Request lifecycle::
+
+    client ──frame──▶ connection handler ──try_admit──▶ request queue
+                           │        ╲ shed: queue_full / shutting_down
+                           │
+    worker pool (N tasks) ◀┘  pop → deadline check → execute → respond
+                               ╲ expired in queue: deadline
+                               ╲ wait_for timeout:  deadline (killed)
+                               ╲ dead connection:   orphaned (slot freed)
+
+Admission keeps the queue bounded (watermark hysteresis, per-connection
+budgets — :mod:`repro.server.admission`); the worker pool bounds
+execution concurrency.  Execution itself is cooperative: a worker runs
+the (synchronous, CPU-bound) query under ``asyncio.wait_for``, so the
+kill fires at the next await point — immediately for requests stalled on
+simulated I/O (``stall_ms``, the debug hook load tests use to model slow
+queries) and before execution for requests whose deadline already
+expired while queued.
+
+Shutdown drains: the listener closes first, admitted requests finish
+(bounded by ``drain_timeout``), workers are then cancelled and the
+store is closed.  A client that disconnects mid-request costs nothing
+but an ``orphaned`` count: its queued requests release their admission
+slots without executing, and a failing response write marks the
+connection dead rather than killing the worker.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ProtocolError, ReproError, ServerError
+from repro.obsv import registry as _obsv
+from repro.server import protocol
+from repro.server.admission import AdmissionController
+from repro.server.store import ServerStore, SessionView
+
+__all__ = ["ServerConfig", "ReproServer", "ThreadedServer", "serve_in_thread"]
+
+
+@dataclass
+class ServerConfig:
+    """Everything a server needs; flat and picklable so drivers can ship
+    it to child processes."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; ReproServer.port reports the bind
+    backlog: int = 128
+    workers: int = 4
+    #: Admission bounds (see AdmissionController).
+    queue_high: int = 64
+    queue_low: Optional[int] = None
+    per_connection: int = 16
+    #: Default per-request deadline; None = no deadline unless the
+    #: request carries one.
+    deadline_ms: Optional[float] = None
+    max_frame: int = protocol.MAX_FRAME_BYTES
+    #: Honour the ``stall_ms`` debug op (load tests / benchmarks only).
+    debug_ops: bool = False
+    #: Seconds stop() waits for admitted requests before cancelling.
+    drain_timeout: float = 5.0
+    # -- backing (all four Session modes compose here) ----------------
+    durable_dir: Optional[str] = None
+    fsync: str = "batch(64, 100)"
+    checkpoint_every: int = 256
+    shards: Optional[int] = None
+    replica_of: Optional[str] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServerError(f"workers must be ≥ 1, got {self.workers}")
+
+
+class _Connection:
+    """Per-connection state: identity, liveness, write lock, read view."""
+
+    __slots__ = ("id", "writer", "alive", "view", "send_lock")
+
+    _ids = itertools.count(1)
+
+    def __init__(self, writer: asyncio.StreamWriter, view: SessionView) -> None:
+        self.id = next(self._ids)
+        self.writer = writer
+        self.alive = True
+        self.view = view
+        self.send_lock = asyncio.Lock()
+
+
+@dataclass
+class _Request:
+    """One admitted request waiting in / moving through the queue."""
+
+    connection: _Connection
+    message: dict
+    admitted_at: float
+    deadline: Optional[float]  # absolute perf_counter seconds
+
+
+class ReproServer:
+    """One listening socket over one :class:`ServerStore`."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.store = ServerStore(
+            durable_dir=config.durable_dir,
+            fsync=config.fsync,
+            checkpoint_every=config.checkpoint_every,
+            shards=config.shards,
+            replica_of=config.replica_of,
+        )
+        self.admission = AdmissionController(
+            queue_high=config.queue_high,
+            queue_low=config.queue_low,
+            per_connection=config.per_connection,
+        )
+        self._queue: "asyncio.Queue[_Request]" = asyncio.Queue()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._workers: list[asyncio.Task] = []
+        self._connections: set[_Connection] = set()
+        self._draining = False
+        self.connections_opened = 0
+        self.connections_closed = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actual bound port (meaningful after start())."""
+        if self._server is None:
+            raise ServerError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            backlog=self.config.backlog,
+        )
+        self._workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.config.workers)
+        ]
+
+    async def stop(self, drain: bool = True) -> None:
+        """Graceful shutdown: close the listener, drain admitted
+        requests, cancel workers, close connections and the store."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            try:
+                await asyncio.wait_for(
+                    self._queue.join(), self.config.drain_timeout
+                )
+            except asyncio.TimeoutError:
+                pass
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        for connection in list(self._connections):
+            connection.alive = False
+            connection.writer.close()
+        self._connections.clear()
+        self.store.close()
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        connection = _Connection(writer, self.store.view())
+        self._connections.add(connection)
+        self.connections_opened += 1
+        if _obsv.enabled():
+            _obsv.get().counter("server.connections_opened").inc()
+        decoder = protocol.FrameDecoder(self.config.max_frame)
+        try:
+            while True:
+                chunk = await reader.read(65536)
+                if not chunk:
+                    break
+                try:
+                    payloads = list(decoder.feed(chunk))
+                    messages = [
+                        protocol.validate_request(
+                            protocol.decode_message(payload)
+                        )
+                        for payload in payloads
+                    ]
+                except ProtocolError as error:
+                    # framing is unrecoverable: report and hang up
+                    await self._send(
+                        connection,
+                        protocol.response(
+                            None,
+                            protocol.STATUS_ERROR,
+                            error=str(error),
+                            error_type="ProtocolError",
+                        ),
+                    )
+                    break
+                for message in messages:
+                    await self._admit(connection, message)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            connection.alive = False
+            self._connections.discard(connection)
+            self.connections_closed += 1
+            if _obsv.enabled():
+                _obsv.get().counter("server.connections_closed").inc()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _admit(self, connection: _Connection, message: dict) -> None:
+        request_id = message.get("id")
+        op = message["op"]
+        # control ops answer inline — no queue, and they keep working
+        # while draining so operators can watch the drain
+        if op == protocol.OP_PING:
+            await self._send(
+                connection,
+                protocol.response(
+                    request_id,
+                    protocol.STATUS_OK,
+                    txn=self.store.transaction_number,
+                ),
+            )
+            return
+        if op == protocol.OP_METRICS:
+            await self._send(
+                connection,
+                protocol.response(
+                    request_id,
+                    protocol.STATUS_OK,
+                    metrics=self.metrics_snapshot(),
+                ),
+            )
+            return
+        if self._draining:
+            await self._send(
+                connection,
+                protocol.response(
+                    request_id,
+                    protocol.STATUS_SHUTDOWN,
+                    error="server is draining",
+                ),
+            )
+            return
+        reason = self.admission.try_admit(connection.id)
+        if reason is not None:
+            await self._send(
+                connection,
+                protocol.response(
+                    request_id,
+                    protocol.STATUS_QUEUE_FULL,
+                    error=f"request shed: {reason}",
+                ),
+            )
+            return
+        admitted_at = time.perf_counter()
+        deadline_ms = message.get("deadline_ms", self.config.deadline_ms)
+        deadline = (
+            admitted_at + deadline_ms / 1e3
+            if deadline_ms is not None
+            else None
+        )
+        self._queue.put_nowait(
+            _Request(connection, message, admitted_at, deadline)
+        )
+
+    # -- workers --------------------------------------------------------------
+
+    async def _worker(self) -> None:
+        while True:
+            try:
+                request = await self._queue.get()
+            except asyncio.CancelledError:
+                return
+            try:
+                await self._process(request)
+            except asyncio.CancelledError:
+                return
+            except Exception:  # pragma: no cover - defensive
+                pass
+            finally:
+                self._queue.task_done()
+
+    async def _process(self, request: _Request) -> None:
+        connection = request.connection
+        request_id = request.message.get("id")
+        if not connection.alive:
+            # the client hung up while this request was queued: release
+            # the admission slot without occupying a worker
+            self.admission.finish(
+                connection.id,
+                admitted_at=request.admitted_at,
+                executed=False,
+                outcome="orphaned",
+            )
+            return
+        now = time.perf_counter()
+        if request.deadline is not None and now >= request.deadline:
+            self.admission.finish(
+                connection.id,
+                admitted_at=request.admitted_at,
+                executed=False,
+                outcome="expired",
+            )
+            await self._send(
+                connection,
+                protocol.response(
+                    request_id,
+                    protocol.STATUS_DEADLINE,
+                    error="deadline expired while queued",
+                ),
+            )
+            return
+        self.admission.start()
+        outcome = "completed"
+        try:
+            remaining = (
+                request.deadline - now
+                if request.deadline is not None
+                else None
+            )
+            reply = await asyncio.wait_for(
+                self._perform(request), remaining
+            )
+        except asyncio.TimeoutError:
+            outcome = "killed"
+            reply = protocol.response(
+                request_id,
+                protocol.STATUS_DEADLINE,
+                error="deadline expired mid-execution; query killed",
+            )
+        except ReproError as error:
+            outcome = "error"
+            reply = protocol.response(
+                request_id,
+                protocol.STATUS_ERROR,
+                error=str(error),
+                error_type=type(error).__name__,
+            )
+        except Exception as error:  # pragma: no cover - defensive
+            outcome = "error"
+            reply = protocol.response(
+                request_id,
+                protocol.STATUS_ERROR,
+                error=f"internal server error: {error}",
+                error_type="ServerError",
+            )
+        self.admission.finish(
+            connection.id,
+            admitted_at=request.admitted_at,
+            executed=True,
+            outcome=outcome,
+        )
+        await self._send(connection, reply)
+
+    async def _perform(self, request: _Request) -> dict:
+        message = request.message
+        request_id = message.get("id")
+        if self.config.debug_ops:
+            stall_ms = message.get("stall_ms")
+            if stall_ms:
+                # simulated I/O: the cancellable await that wait_for
+                # kills on deadline, and that lets workers overlap
+                await asyncio.sleep(stall_ms / 1e3)
+        op = message["op"]
+        source = message.get("source", "")
+        if op == protocol.OP_QUERY:
+            return protocol.response(
+                request_id,
+                protocol.STATUS_OK,
+                result=request.connection.view.query(source),
+            )
+        if op == protocol.OP_EXECUTE:
+            txn = self.store.execute(source)
+            return protocol.response(
+                request_id, protocol.STATUS_OK, txn=txn
+            )
+        if op == protocol.OP_EXPLAIN:
+            return protocol.response(
+                request_id,
+                protocol.STATUS_OK,
+                result=request.connection.view.explain(source),
+            )
+        raise ProtocolError(f"unhandled op {op!r}")  # pragma: no cover
+
+    async def _send(self, connection: _Connection, message: dict) -> None:
+        """Write one response; a failing write marks the connection dead
+        instead of propagating into the worker."""
+        if not connection.alive:
+            return
+        try:
+            data = protocol.encode_message(message, self.config.max_frame)
+        except ProtocolError as error:
+            # result too large for one frame: degrade to an error reply
+            data = protocol.encode_message(
+                protocol.response(
+                    message.get("id"),
+                    protocol.STATUS_ERROR,
+                    error=str(error),
+                    error_type="ProtocolError",
+                ),
+                self.config.max_frame,
+            )
+        async with connection.send_lock:
+            try:
+                connection.writer.write(data)
+                await connection.writer.drain()
+            except (ConnectionError, OSError):
+                connection.alive = False
+
+    # -- observation -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The full ``server.*`` surface (always available, independent
+        of the process-wide obsv switch)."""
+        snapshot = self.admission.snapshot()
+        snapshot["server.connections_open"] = len(self._connections)
+        snapshot["server.connections_opened"] = self.connections_opened
+        snapshot["server.connections_closed"] = self.connections_closed
+        snapshot["server.transaction_number"] = (
+            self.store.transaction_number
+        )
+        snapshot["server.workers"] = self.config.workers
+        snapshot["server.draining"] = int(self._draining)
+        return snapshot
+
+
+# -- running a server from synchronous code -----------------------------------
+
+
+class ThreadedServer:
+    """A server running its own event loop in a daemon thread — the
+    shape tests, benchmarks and the load driver's parent process use."""
+
+    def __init__(self, config: ServerConfig) -> None:
+        self.config = config
+        self.server: Optional[ReproServer] = None
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server is None:
+            raise ServerError("server failed to start within 30s")
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        try:
+            server = ReproServer(self.config)
+            self._loop.run_until_complete(server.start())
+            self.server = server
+        except BaseException as error:
+            self._startup_error = error
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.close()
+
+    @property
+    def host(self) -> str:
+        return self.config.host
+
+    @property
+    def port(self) -> int:
+        assert self.server is not None
+        return self._on_loop(lambda: self.server.port)
+
+    def metrics(self) -> dict:
+        assert self.server is not None
+        return self._on_loop(self.server.metrics_snapshot)
+
+    def _on_loop(self, fn):
+        """Evaluate ``fn()`` on the server's event loop thread, so the
+        caller never races the single-threaded server state."""
+        future = asyncio.run_coroutine_threadsafe(_call(fn), self._loop)
+        return future.result(timeout=10)
+
+    def stop(self, drain: bool = True) -> None:
+        if self.server is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.stop(drain=drain), self._loop
+            )
+            try:
+                future.result(timeout=30)
+            finally:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ThreadedServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+async def _call(fn):
+    return fn()
+
+
+def serve_in_thread(config: Optional[ServerConfig] = None) -> ThreadedServer:
+    """Start a server on a background thread; returns the handle."""
+    return ThreadedServer(config if config is not None else ServerConfig())

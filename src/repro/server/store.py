@@ -1,0 +1,190 @@
+"""The server's shared backing database and per-connection views.
+
+One process serves one database.  The :class:`ServerStore` owns it, in
+any of the four composable backings the in-process :class:`Session`
+already supports — plain in-memory, ``durable_dir`` (WAL + checkpoints),
+``shards=N`` (coordinator over N durable shard stores), or
+``replica_of`` (read-only follower) — so the network front-end adds a
+wire, not a fifth storage engine.
+
+**Writes** are serialized.  On the plain backing they run through the
+existing :class:`~repro.concurrency.manager.TransactionManager` path
+(``run`` stages the sentence's commands and commits atomically, and its
+abort-on-raise discipline guarantees a failing sentence never leaks an
+ACTIVE transaction — the same fix PR 1 made in-process, now load-bearing
+at the network boundary).  Durable, sharded and replica backings write
+through the authoritative session, whose execute path is already the
+serialized WAL/coordinator commit path.  Either way the asyncio server
+executes at most one write at a time, so the two paths agree with the
+sequential-sentence semantics the paper mandates.
+
+**Reads** never touch the write path.  Each connection gets its own
+:class:`SessionView` — a private plain :class:`Session` re-anchored at
+the store's current immutable database value per request — so every
+connection carries its *own* plan cache (parse once, optimize once,
+compile once per query text) while all views share the process-wide
+versioned state cache.  Sharded and replica backings route reads through
+the authoritative session instead (scatter-gather and bounded-staleness
+logic live there).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.database import Database
+from repro.errors import ReproError
+from repro.lang.parser import parse_sentence
+from repro.lang.session import Session, format_state
+
+__all__ = ["ServerStore", "SessionView", "render_state"]
+
+
+def render_state(state) -> str:
+    """The canonical printed form of a query result — shared by the
+    server, the REPL and the differential oracle, so "byte-identical to
+    the in-process session" is comparing like with like."""
+    from repro.core.expressions import is_empty_set
+
+    if is_empty_set(state):
+        return "∅ (no recorded state)"
+    return format_state(state)
+
+
+class ServerStore:
+    """The one shared backing database behind a server."""
+
+    def __init__(
+        self,
+        *,
+        durable_dir: Optional[str] = None,
+        fsync: str = "batch(64, 100)",
+        checkpoint_every: int = 256,
+        shards: Optional[int] = None,
+        replica_of=None,
+    ) -> None:
+        self._session = Session(
+            durable_dir,
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            shards=shards,
+            replica_of=replica_of,
+        )
+        self._shared_reads = shards is not None or replica_of is not None
+        self._replica = replica_of is not None
+        self._manager = None
+        if (
+            durable_dir is None
+            and shards is None
+            and replica_of is None
+        ):
+            from repro.concurrency.manager import TransactionManager
+
+            self._manager = TransactionManager(self._session.database)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def session(self) -> Session:
+        """The authoritative session over the backing database."""
+        return self._session
+
+    @property
+    def manager(self):
+        """The plain backing's :class:`TransactionManager` (None for
+        durable/sharded/replica backings, whose own execute path is the
+        serialized commit path)."""
+        return self._manager
+
+    @property
+    def transaction_number(self) -> int:
+        return self._session.transaction_number
+
+    def current_database(self) -> Database:
+        """The immutable database value reads anchor to."""
+        return self._session.database
+
+    # -- writes --------------------------------------------------------------
+
+    def execute(self, source: str) -> int:
+        """Execute one sentence; returns the resulting transaction
+        number.  Raises (without partial effect on the plain backing)
+        when the sentence is invalid."""
+        if self._manager is not None:
+            commands = parse_sentence(source)
+
+            def body(txn) -> None:
+                for command in commands:
+                    txn.stage(command)
+
+            database = self._manager.run(body)
+            # keep the authoritative session's trail in step
+            self._session._record_history(database)
+            return database.transaction_number
+        self._session.execute(source)
+        return self._session.transaction_number
+
+    # -- reads ---------------------------------------------------------------
+
+    def view(self) -> "SessionView":
+        """A fresh per-connection read view."""
+        return SessionView(self)
+
+    def catch_up(self) -> int:
+        """Replica backing: apply shipped records before a read (the
+        serve-fresh policy); other backings: no-op."""
+        if self._replica:
+            return self._session.catch_up()
+        return 0
+
+    def close(self) -> None:
+        self._session.close()
+
+
+class SessionView:
+    """One connection's read view: a private plan cache over the shared
+    backing.
+
+    Value-backed stores (plain / durable) re-anchor a private plain
+    :class:`Session` at the store's current database value per request —
+    concurrent reads then share nothing mutable but the (thread-safe by
+    event-loop serialization) state cache.  Sharded and replica stores
+    delegate to the authoritative session, which owns the scatter-gather
+    router / staleness bound.
+    """
+
+    __slots__ = ("_store", "_session")
+
+    def __init__(self, store: ServerStore) -> None:
+        self._store = store
+        self._session = None if store._shared_reads else Session()
+
+    def _reader(self) -> Session:
+        if self._session is None:
+            self._store.catch_up()
+            return self._store.session
+        # re-anchor the private session at the current shared value;
+        # Session re-plans cached queries when the txn number moves
+        self._session._database = self._store.current_database()
+        return self._session
+
+    def query(self, source: str) -> str:
+        """Evaluate an expression and return its printed relation."""
+        return render_state(self._reader().query(source))
+
+    def explain(self, source: str) -> str:
+        """The optimizer's story for a query against the current value."""
+        return self._reader().explain(source)
+
+    def plan_cache_info(self) -> dict:
+        return self._reader().plan_cache_info()
+
+
+def ensure_no_leaked_transactions(store: ServerStore) -> None:
+    """Assert helper used by tests: the plain backing's manager has no
+    begun-but-unfinished transaction (the disconnect regression)."""
+    manager = store.manager
+    if manager is not None and manager.outstanding_count:
+        raise ReproError(
+            f"{manager.outstanding_count} ACTIVE transaction(s) leaked"
+        )

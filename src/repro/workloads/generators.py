@@ -38,6 +38,15 @@ class StateGenerator:
 
     ``key_space`` bounds the key attribute's values, so churned streams
     revisit keys (producing genuine replaces, not only inserts).
+
+    Generators are **picklable and seed-reconstructible**: the multi-
+    process load driver ships generator configs to worker processes, so
+    pickling captures the construction parameters *plus* the RNG's
+    current state — an unpickled generator continues the exact sequence
+    of the original, and :meth:`config`/:meth:`from_config` rebuild a
+    fresh generator at its initial state from plain data.  Failure
+    reports can therefore always name one ``seed`` that replays the
+    workload (the ``REPRO_TEST_SEED`` discipline, extended to drivers).
     """
 
     _WORDS = (
@@ -53,10 +62,69 @@ class StateGenerator:
         horizon: int = 1_000,
     ) -> None:
         self.schema = schema if schema is not None else default_schema()
+        #: The seed this generator started from (reconstruction handle).
+        self.seed = seed
         self._rng = random.Random(seed)
         self.key_space = key_space
         #: The latest chronon used for bounded valid-time intervals.
         self.horizon = horizon
+
+    # -- reconstruction ------------------------------------------------------
+
+    def config(self) -> dict:
+        """Plain-data construction parameters: ``from_config(config())``
+        is a fresh generator at this one's *initial* state."""
+        return {
+            "schema_width": len(self.schema.attributes),
+            "seed": self.seed,
+            "key_space": self.key_space,
+            "horizon": self.horizon,
+        }
+
+    @classmethod
+    def from_config(cls, config: dict) -> "StateGenerator":
+        return cls(
+            default_schema(config.get("schema_width", 3)),
+            seed=config.get("seed", 0),
+            key_space=config.get("key_space", 10_000),
+            horizon=config.get("horizon", 1_000),
+        )
+
+    def spawn(self, index: int) -> "StateGenerator":
+        """A sibling generator with a seed derived from this one's —
+        how a driver gives each of N workers independent but
+        reproducible randomness (worker ``i`` of seed ``s`` always
+        draws the same stream)."""
+        derived = (self.seed * 1_000_003 + index * 7_919 + 1) % (2**31)
+        return StateGenerator(
+            self.schema,
+            seed=derived,
+            key_space=self.key_space,
+            horizon=self.horizon,
+        )
+
+    def __getstate__(self) -> dict:
+        # pickle by construction parameters + RNG state, never by
+        # __dict__, so the format survives attribute renames and the
+        # unpickled generator *continues* the original's sequence
+        return {
+            "config": self.config(),
+            "rng_state": self._rng.getstate(),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        rebuilt = StateGenerator.from_config(state["config"])
+        self.schema = rebuilt.schema
+        self.seed = rebuilt.seed
+        self.key_space = rebuilt.key_space
+        self.horizon = rebuilt.horizon
+        self._rng = rebuilt._rng
+        self._rng.setstate(
+            tuple(
+                tuple(part) if isinstance(part, list) else part
+                for part in state["rng_state"]
+            )
+        )
 
     # -- rows ---------------------------------------------------------------
 

@@ -1,0 +1,172 @@
+"""Sentence-text workloads: what wire clients actually send.
+
+The server speaks the language's concrete syntax, so a load workload is
+a stream of *sentence strings*, not state objects.  A
+:class:`SentenceWorkload` is a seeded, **picklable** recipe for one
+client's schedule: relation definitions first, then a mixed stream of
+reads (``rollback``/``project``/``select`` query text) and writes
+(``modify_state`` with replace / append / delete recipes rendered
+through the AST printer — the same printer/parser pair whose round-trip
+the WAL codec already relies on).
+
+Two properties make these drivable from many processes at once:
+
+* **determinism** — :meth:`items` rebuilds the schedule from the seed on
+  every call; a workload object carries no consumed-iterator state, so
+  shipping it to a worker process (pickle) or reconstructing it from
+  ``(seed, parameters)`` replays the identical schedule.  A failing run
+  is reproduced by one integer.
+* **namespacing** — every relation name is prefixed with the workload's
+  ``namespace``.  Clients with distinct namespaces touch disjoint
+  relations, so each client's query results are fully determined by its
+  *own* schedule regardless of how the server interleaves other
+  clients' writes — the property the differential oracle leans on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.generators import StateGenerator, default_schema
+
+__all__ = ["SentenceWorkload", "EXECUTE", "QUERY"]
+
+#: Item kinds: the request op the sentence should be sent with.
+EXECUTE = "execute"
+QUERY = "query"
+
+
+@dataclass
+class SentenceWorkload:
+    """A seeded recipe for one client's sentence schedule."""
+
+    seed: int = 0
+    namespace: str = "w"
+    relations: int = 1
+    length: int = 50
+    read_fraction: float = 0.7
+    cardinality: int = 6
+    key_space: int = 50
+    schema_width: int = 2
+    _cache: "List[Tuple[str, str]] | None" = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.relations < 1:
+            raise WorkloadError(
+                f"relations must be ≥ 1, got {self.relations}"
+            )
+        if self.length < 1:
+            raise WorkloadError(f"length must be ≥ 1, got {self.length}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise WorkloadError(
+                f"read_fraction must be in [0, 1], got "
+                f"{self.read_fraction}"
+            )
+
+    def relation(self, index: int) -> str:
+        return f"{self.namespace}_r{index}"
+
+    def items(self) -> "List[Tuple[str, str]]":
+        """The schedule: ``(kind, source)`` pairs, defines first.
+
+        Rebuilt deterministically from the seed on every call (then
+        memoized), so equality of two workloads' parameters implies
+        equality of their schedules.
+        """
+        if self._cache is not None:
+            return self._cache
+        from repro.core.expressions import Const
+        from repro.lang.ast_printer import format_expression
+
+        rng = random.Random(self.seed)
+        generator = StateGenerator(
+            default_schema(self.schema_width),
+            seed=self.seed ^ 0x53ED,
+            key_space=self.key_space,
+        )
+        items: "List[Tuple[str, str]]" = []
+        for index in range(self.relations):
+            items.append(
+                (EXECUTE, f"define_relation({self.relation(index)}, rollback)")
+            )
+            # every relation gets one initial state so reads before the
+            # first random write still see a recorded state
+            literal = format_expression(
+                Const(generator.snapshot_state(self.cardinality))
+            )
+            items.append(
+                (EXECUTE, f"modify_state({self.relation(index)}, {literal})")
+            )
+        for _ in range(self.length):
+            name = self.relation(rng.randrange(self.relations))
+            if rng.random() < self.read_fraction:
+                items.append((QUERY, self._read_sentence(rng, name)))
+            else:
+                items.append(
+                    (EXECUTE, self._write_sentence(rng, generator, name))
+                )
+        self._cache = items
+        return items
+
+    def __iter__(self) -> "Iterator[Tuple[str, str]]":
+        return iter(self.items())
+
+    def __len__(self) -> int:
+        return self.items().__len__()
+
+    # -- sentence recipes ----------------------------------------------------
+
+    def _read_sentence(self, rng: random.Random, name: str) -> str:
+        shape = rng.randrange(3)
+        if shape == 0:
+            return f"rollback({name}, now)"
+        if shape == 1:
+            return f"project [key] (rollback({name}, now))"
+        bound = rng.randrange(1, self.key_space)
+        return f"select [key < {bound}] (rollback({name}, now))"
+
+    def _write_sentence(
+        self, rng: random.Random, generator: StateGenerator, name: str
+    ) -> str:
+        from repro.core.expressions import Const
+        from repro.lang.ast_printer import format_expression
+
+        literal = format_expression(
+            Const(generator.snapshot_state(max(1, self.cardinality // 2)))
+        )
+        shape = rng.randrange(3)
+        if shape == 0:  # replace the whole state
+            return f"modify_state({name}, {literal})"
+        if shape == 1:  # append
+            return (
+                f"modify_state({name}, "
+                f"(rollback({name}, now) union {literal}))"
+            )
+        # delete by predicate
+        bound = rng.randrange(1, self.key_space)
+        return (
+            f"modify_state({name}, "
+            f"select [key >= {bound}] (rollback({name}, now)))"
+        )
+
+    def __getstate__(self) -> dict:
+        # ship the recipe, never the memoized schedule
+        state = {
+            "seed": self.seed,
+            "namespace": self.namespace,
+            "relations": self.relations,
+            "length": self.length,
+            "read_fraction": self.read_fraction,
+            "cardinality": self.cardinality,
+            "key_space": self.key_space,
+            "schema_width": self.schema_width,
+        }
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(**state)

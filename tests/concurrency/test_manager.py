@@ -204,6 +204,34 @@ class TestValidation:
             manager.run(body)
         assert manager.abort_count == 1
 
+    def test_apply_failure_aborts_instead_of_leaking(self, manager):
+        # Regression: a command that staged fine but *failed at apply
+        # time* (its expression reads an unbound relation) used to
+        # escape commit() with the transaction still ACTIVE — pinning
+        # the validation log horizon forever.
+        from repro.errors import UnknownRelationError
+
+        before = manager.database
+
+        def body(t: Transaction) -> None:
+            t.stage(ModifyState("r", Rollback("missing", NOW)))
+
+        with pytest.raises(UnknownRelationError):
+            manager.run(body)
+        assert manager.outstanding_count == 0
+        assert manager.abort_count == 1
+        assert manager.database is before
+
+    def test_direct_commit_apply_failure_aborts(self, manager):
+        from repro.errors import UnknownRelationError
+
+        t = manager.begin()
+        t.stage(ModifyState("r", Rollback("missing", NOW)))
+        with pytest.raises(UnknownRelationError):
+            manager.commit(t)
+        assert t.status is TransactionStatus.ABORTED
+        assert manager.outstanding_count == 0
+
 
 class TestValidationLogPruning:
     """The backward-validation log must not grow without bound: an entry

@@ -171,3 +171,69 @@ class TestRunRepl:
         text = stdout.getvalue()
         assert "McKenzie" in text
         assert "ok (txn 1)" in text
+
+
+class TestRemoteConnection:
+    """``.connect`` turns the shell into a wire client; ``.disconnect``
+    returns it to the local session."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.server.server import ServerConfig, ThreadedServer
+
+        with ThreadedServer(ServerConfig(port=0, workers=2)) as handle:
+            yield handle
+
+    def test_connect_execute_query_disconnect(self, server):
+        output, repl = drive(
+            [
+                f".connect {server.host}:{server.port}",
+                "define_relation(remote, rollback);",
+                "modify_state(remote, state (k: integer) { (5) });",
+                "rollback(remote, now);",
+                ".txn",
+                ".disconnect",
+                ".txn",
+            ]
+        )
+        assert "connected to" in output
+        assert "ok (txn 1)" in output
+        assert "ok (txn 2)" in output
+        assert "5" in output  # the printed remote relation
+        assert "disconnected" in output
+        # after disconnect the *local* session (txn 0) answers .txn
+        assert output.rstrip().splitlines()[-1] == "0"
+        assert not repl.connected
+
+    def test_remote_errors_are_reported_not_fatal(self, server):
+        output, repl = drive(
+            [
+                f".connect {server.host}:{server.port}",
+                "rollback(missing, now);",
+                "define_relation(r, rollback);",
+            ]
+        )
+        assert "error:" in output
+        assert "ok (txn 1)" in output
+        assert repl.error_count == 1
+
+    def test_connect_refused_is_reported(self):
+        output, repl = drive([".connect 127.0.0.1:1"])
+        assert "cannot connect" in output
+        assert not repl.connected
+
+    def test_connect_usage_errors(self):
+        output, _ = drive([".connect", ".connect nocolon", ".connect h:x"])
+        assert output.count("usage: .connect") >= 1
+        assert "bad port" in output
+
+    def test_disconnect_when_not_connected(self):
+        output, _ = drive([".disconnect"])
+        assert "not connected" in output
+
+    def test_colon_connect_alias(self, server):
+        output, _ = drive(
+            [f":connect {server.host}:{server.port}", ":disconnect"]
+        )
+        assert "connected to" in output
+        assert "disconnected" in output

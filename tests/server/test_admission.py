@@ -1,0 +1,250 @@
+"""Admission control: watermark hysteresis, budgets, deadlines.
+
+The controller unit tests exercise the bookkeeping directly; the live
+tests stand up a real server with one worker and ``debug_ops`` enabled,
+stall it with a simulated-I/O query, and prove the front door sheds
+(``queue_full``), expires queued requests, and kills over-deadline
+executions — instead of queuing without bound or hanging."""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError, ServerError
+from repro.server import protocol
+from repro.server.admission import AdmissionController, percentile
+from repro.server.client import ReproClient
+from repro.server.server import ServerConfig, ThreadedServer
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_median_and_tail(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.50) == 51.0
+        assert percentile(values, 0.99) == 99.0
+        assert percentile(values, 1.0) == 100.0
+
+
+class TestController:
+    def test_validation(self):
+        with pytest.raises(ServerError, match="queue_high"):
+            AdmissionController(queue_high=0)
+        with pytest.raises(ServerError, match="queue_low"):
+            AdmissionController(queue_high=4, queue_low=9)
+        with pytest.raises(ServerError, match="per_connection"):
+            AdmissionController(queue_high=4, per_connection=0)
+
+    def test_low_watermark_defaults_to_half(self):
+        assert AdmissionController(queue_high=64).queue_low == 32
+        assert AdmissionController(queue_high=1).queue_low == 1
+
+    def test_watermark_hysteresis(self):
+        """Shed from high watermark until drained below low — no
+        flapping at the boundary."""
+        controller = AdmissionController(
+            queue_high=4, queue_low=2, per_connection=16
+        )
+        for connection in range(4):
+            assert controller.try_admit(connection) is None
+        # at the high watermark: shed, enter the shedding state
+        assert controller.try_admit(9) == "saturated"
+        assert controller.shedding
+        # draining to 3 (> low) keeps shedding — hysteresis
+        controller.finish(0, admitted_at=0.0, executed=False, outcome="orphaned")
+        assert controller.depth == 3
+        assert controller.try_admit(9) == "saturated"
+        # draining to the low watermark ends the episode
+        controller.finish(1, admitted_at=0.0, executed=False, outcome="orphaned")
+        assert controller.depth == 2
+        assert not controller.shedding
+        assert controller.try_admit(9) is None
+
+    def test_recovers_after_drain(self):
+        controller = AdmissionController(queue_high=2, queue_low=1)
+        assert controller.try_admit(1) is None
+        assert controller.try_admit(2) is None
+        assert controller.try_admit(3) == "saturated"
+        controller.finish(1, admitted_at=0.0, executed=False, outcome="orphaned")
+        controller.finish(2, admitted_at=0.0, executed=False, outcome="orphaned")
+        assert not controller.shedding
+        assert controller.try_admit(3) is None
+
+    def test_per_connection_budget(self):
+        """One aggressive connection cannot occupy the whole queue."""
+        controller = AdmissionController(queue_high=64, per_connection=3)
+        for _ in range(3):
+            assert controller.try_admit(7) is None
+        assert controller.try_admit(7) == "connection budget"
+        # other connections are unaffected
+        assert controller.try_admit(8) is None
+        # finishing one frees budget
+        controller.finish(7, admitted_at=0.0, executed=False, outcome="orphaned")
+        assert controller.try_admit(7) is None
+
+    def test_outcome_counters_and_slots(self):
+        controller = AdmissionController(queue_high=8)
+        for connection in range(5):
+            controller.try_admit(connection)
+        controller.start()
+        controller.start()
+        assert controller.inflight == 2
+        now = time.perf_counter()
+        controller.finish(0, admitted_at=now, executed=True, outcome="completed")
+        controller.finish(1, admitted_at=now, executed=True, outcome="error")
+        controller.finish(2, admitted_at=now, executed=False, outcome="expired")
+        controller.finish(3, admitted_at=now, executed=False, outcome="orphaned")
+        controller.try_admit(9)  # nowhere near the watermark: admitted
+        controller.start()
+        controller.finish(9, admitted_at=now, executed=True, outcome="killed")
+        snapshot = controller.snapshot()
+        assert snapshot["server.completed"] == 1
+        assert snapshot["server.errors"] == 1
+        assert snapshot["server.expired_in_queue"] == 1
+        assert snapshot["server.orphaned"] == 1
+        assert snapshot["server.killed"] == 1
+        assert snapshot["server.accepted"] == 6
+        assert controller.inflight == 0
+        assert controller.depth == 1  # connection 4 still admitted
+        assert snapshot["server.latency_p50_ms"] >= 0.0
+
+    def test_latency_window_is_bounded(self):
+        controller = AdmissionController(queue_high=8)
+        for _ in range(controller.LATENCY_WINDOW + 50):
+            controller._observe_latency(0.001)
+        assert len(controller._latencies) == controller.LATENCY_WINDOW
+
+
+# -- live backpressure against a real server ---------------------------------
+
+
+def _pipeline(host: str, port: int, messages: "list[dict]") -> "list[dict]":
+    """Send every request frame at once (no waiting), then collect one
+    reply per request — how a misbehaving client overruns the queue."""
+    decoder = protocol.FrameDecoder()
+    replies: "list[dict]" = []
+    with socket.create_connection((host, port), timeout=30) as sock:
+        sock.sendall(
+            b"".join(protocol.encode_message(m) for m in messages)
+        )
+        while len(replies) < len(messages):
+            chunk = sock.recv(65536)
+            assert chunk, "server closed before answering every request"
+            replies.extend(
+                protocol.decode_message(p) for p in decoder.feed(chunk)
+            )
+    return replies
+
+
+@pytest.fixture
+def small_server():
+    """One worker, a 4-deep queue, debug stalls honoured."""
+    config = ServerConfig(
+        port=0,
+        workers=1,
+        queue_high=4,
+        queue_low=2,
+        per_connection=16,
+        debug_ops=True,
+    )
+    with ThreadedServer(config) as handle:
+        yield handle
+
+
+class TestBackpressure:
+    def test_overrun_queue_sheds_queue_full(self, small_server):
+        """queue_high admitted, the overflow shed — never unbounded."""
+        stall = protocol.request(1, "query", "rollback(r, now)", stall_ms=400)
+        flood = [
+            protocol.request(i, "query", "rollback(r, now)")
+            for i in range(2, 10)
+        ]
+        replies = _pipeline(
+            small_server.host, small_server.port, [stall] + flood
+        )
+        statuses = [r["status"] for r in replies]
+        shed = statuses.count(protocol.STATUS_QUEUE_FULL)
+        # 4 admitted (stall executing + 3 queued), 5 of 9 shed
+        assert shed == 5, statuses
+        # admitted ones actually completed (the relation is undefined,
+        # so they answer with a typed error, not a hang)
+        assert statuses.count(protocol.STATUS_ERROR) == 4
+        metrics = small_server.metrics()
+        assert metrics["server.shed"] == 5
+        assert metrics["server.accepted"] == 4
+        assert metrics["server.queue_depth"] == 0
+
+    def test_shed_reply_names_the_reason(self, small_server):
+        stall = protocol.request(1, "query", "x", stall_ms=300)
+        flood = [protocol.request(i, "query", "x") for i in range(2, 10)]
+        replies = _pipeline(
+            small_server.host, small_server.port, [stall] + flood
+        )
+        shed = [
+            r for r in replies if r["status"] == protocol.STATUS_QUEUE_FULL
+        ]
+        assert shed and all("saturated" in r["error"] for r in shed)
+
+    def test_per_connection_budget_over_the_wire(self):
+        config = ServerConfig(
+            port=0,
+            workers=1,
+            queue_high=64,
+            per_connection=2,
+            debug_ops=True,
+        )
+        with ThreadedServer(config) as handle:
+            stall = protocol.request(1, "query", "x", stall_ms=300)
+            flood = [protocol.request(i, "query", "x") for i in range(2, 6)]
+            replies = _pipeline(handle.host, handle.port, [stall] + flood)
+            shed = [
+                r
+                for r in replies
+                if r["status"] == protocol.STATUS_QUEUE_FULL
+            ]
+            assert len(shed) == 3
+            assert all("connection budget" in r["error"] for r in shed)
+
+    def test_deadline_kills_mid_execution(self, small_server):
+        """A query stalled past its deadline is killed, not awaited."""
+        with ReproClient(small_server.host, small_server.port) as client:
+            started = time.perf_counter()
+            with pytest.raises(DeadlineExceededError, match="killed"):
+                client.query("rollback(r, now)", deadline_ms=80, stall_ms=5000)
+            # the kill must fire at the deadline, not the stall length
+            assert time.perf_counter() - started < 2.0
+        metrics = small_server.metrics()
+        assert metrics["server.killed"] == 1
+        assert metrics["server.inflight"] == 0
+
+    def test_deadline_expires_in_queue(self, small_server):
+        """A request whose deadline passes while queued never executes."""
+        stall = protocol.request(1, "query", "x", stall_ms=300)
+        doomed = protocol.request(2, "query", "x")
+        doomed["deadline_ms"] = 40
+        replies = _pipeline(
+            small_server.host, small_server.port, [stall, doomed]
+        )
+        by_id = {r["id"]: r for r in replies}
+        assert by_id[2]["status"] == protocol.STATUS_DEADLINE
+        assert "queued" in by_id[2]["error"]
+        metrics = small_server.metrics()
+        assert metrics["server.expired_in_queue"] == 1
+
+    def test_stall_ignored_without_debug_ops(self):
+        """stall_ms is a debug hook: production servers don't honour it."""
+        config = ServerConfig(port=0, workers=1, debug_ops=False)
+        with ThreadedServer(config) as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                client.execute("define_relation(r, rollback)")
+                started = time.perf_counter()
+                client.query("rollback(r, now)", stall_ms=5000)
+                assert time.perf_counter() - started < 2.0

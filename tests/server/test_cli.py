@@ -1,0 +1,151 @@
+"""The ``python -m repro`` command line: repl / eval / serve modes."""
+
+from __future__ import annotations
+
+import io
+import os
+import signal
+import subprocess
+import sys
+import time
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.__main__ import main
+from repro.server.client import ReproClient
+
+SCRIPT = """
+define_relation(r, rollback);
+modify_state(r, state (k: integer) { (1), (2) });
+rollback(r, now)
+"""
+
+
+def _run_eval(argv):
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(argv)
+    return code, out.getvalue()
+
+
+class TestEvalMode:
+    def test_eval_file(self, tmp_path):
+        path = tmp_path / "script.repro"
+        path.write_text(SCRIPT)
+        code, output = _run_eval(["eval", str(path)])
+        assert code == 0
+        assert "ok (txn 1)" in output
+        assert "ok (txn 2)" in output
+        assert "1" in output and "2" in output
+
+    def test_eval_inline(self):
+        code, output = _run_eval(
+            ["eval", "-c", "define_relation(r, rollback);"]
+        )
+        assert code == 0
+        assert "ok (txn 1)" in output
+
+    def test_trailing_statement_without_semicolon_runs(self):
+        code, output = _run_eval(
+            ["eval", "-c", "define_relation(r, rollback)"]
+        )
+        assert code == 0
+        assert "ok (txn 1)" in output
+
+    def test_errors_exit_nonzero(self):
+        code, output = _run_eval(["eval", "-c", "rollback(missing, now);"])
+        assert code == 1
+        assert "error:" in output
+
+    def test_missing_file_exits_2(self):
+        assert main(["eval", "/nonexistent/script"]) == 2
+
+
+class TestServeMode:
+    def test_serve_subprocess_round_trip(self):
+        """The real thing: spawn ``python -m repro serve``, speak the
+        protocol to it, drain it with SIGINT."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--workers",
+                "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "repro server listening on" in banner
+            # the banner names the ephemeral port
+            address = banner.split("listening on ", 1)[1].split(" ")[0]
+            host, port = address.rsplit(":", 1)
+            with ReproClient(host, int(port), timeout=30) as client:
+                assert client.execute("define_relation(r, rollback)") == 1
+                assert "no recorded state" in client.query(
+                    "rollback(r, now)"
+                )
+                assert client.metrics()["server.workers"] == 2
+            process.send_signal(signal.SIGINT)
+            code = process.wait(timeout=30)
+            assert code == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    def test_serve_banner_names_backing(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+            "src",
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--port",
+                "0",
+                "--durable-dir",
+                str(tmp_path / "db"),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            assert "durable(" in banner
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+
+@pytest.mark.parametrize("command", [["repl"], []])
+def test_repl_mode_reads_stdin(monkeypatch, command):
+    stdin = io.StringIO("define_relation(r, rollback);\n.quit\n")
+    monkeypatch.setattr(sys, "stdin", stdin)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = main(command)
+    assert code == 0
+    assert "ok (txn 1)" in out.getvalue()

@@ -1,0 +1,173 @@
+"""The multi-process load driver: picklability, reporting, and the
+200-concurrent-client acceptance run.
+
+The full-scale run is the PR's acceptance criterion: 4 spawned
+processes × 50 asyncio clients — 200 genuinely concurrent connections —
+replay seeded workloads through real sockets and must finish with
+**zero divergence** from the in-process oracle, with any overload shed
+(``queue_full`` + client backoff) rather than hung."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.server.loadgen import (
+    ClientRecord,
+    DriverConfig,
+    DriverReport,
+    client_workload,
+    drive_clients,
+    driver_seed_from_env,
+    oracle_digests,
+    run_driver,
+)
+from repro.server.server import ServerConfig, ThreadedServer
+
+
+class TestConfig:
+    def test_round_trips_through_pickle(self):
+        config = DriverConfig(
+            port=1234, processes=3, clients_per_process=7, seed=42
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.total_clients == 21
+
+    def test_client_seeds_are_distinct_and_deterministic(self):
+        config = DriverConfig(processes=8, clients_per_process=32, seed=5)
+        seeds = {
+            config.client_seed(p, c)
+            for p in range(config.processes)
+            for c in range(config.clients_per_process)
+        }
+        assert len(seeds) == config.total_clients
+        assert config.client_seed(3, 9) == DriverConfig(
+            processes=8, clients_per_process=32, seed=5
+        ).client_seed(3, 9)
+
+    def test_client_workloads_namespaced_disjointly(self):
+        config = DriverConfig(seed=1, relations=2)
+        a = client_workload(config, 0, 1)
+        b = client_workload(config, 1, 0)
+        names_a = {a.relation(i) for i in range(a.relations)}
+        names_b = {b.relation(i) for i in range(b.relations)}
+        assert not names_a & names_b
+
+    def test_seed_env_discipline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TEST_SEED", raising=False)
+        assert driver_seed_from_env(7) == 7
+        monkeypatch.setenv("REPRO_TEST_SEED", "12345")
+        assert driver_seed_from_env(7) == 12345
+
+
+class TestReport:
+    def _report(self, record: ClientRecord) -> DriverReport:
+        return DriverReport(
+            config=DriverConfig(seed=9),
+            clients=[record],
+            wall_seconds=1.0,
+        )
+
+    def test_verify_flags_divergence_with_seed(self):
+        record = ClientRecord(0, 0, query_digests=["bogus"])
+        divergences = self._report(record).verify()
+        assert divergences
+        assert "seed=9" in divergences[0]
+
+    def test_verify_flags_errors_and_nonmonotonic_txns(self):
+        record = ClientRecord(0, 0, errors=["boom"])
+        assert "errors" in self._report(record).verify()[0]
+        workload = client_workload(DriverConfig(seed=9), 0, 0)
+        digests, _ = oracle_digests(workload)
+        record = ClientRecord(0, 0, query_digests=digests, txns=[5, 3])
+        assert "monotonic" in self._report(record).verify()[0]
+
+    def test_verify_accepts_the_oracle_itself(self):
+        workload = client_workload(DriverConfig(seed=9), 0, 0)
+        digests, _ = oracle_digests(workload)
+        record = ClientRecord(0, 0, query_digests=digests, txns=[1, 2])
+        assert self._report(record).verify() == []
+
+
+class TestSingleProcessDrive:
+    def test_inline_drive_zero_divergence(self, test_seed):
+        """processes=1 runs in-process — the cheap smoke of the full
+        stack (real sockets, concurrent asyncio clients, oracle)."""
+        with ThreadedServer(
+            ServerConfig(port=0, workers=4, queue_high=256)
+        ) as server:
+            config = DriverConfig(
+                host=server.host,
+                port=server.port,
+                processes=1,
+                clients_per_process=10,
+                requests_per_client=8,
+                seed=test_seed % 2**31,
+            )
+            report = run_driver(config)
+            assert report.verify() == []
+            assert report.requests > 0
+            assert report.throughput > 0
+            percentiles = report.latency_percentiles_ms()
+            assert percentiles["p99"] >= percentiles["p50"] >= 0
+
+    def test_drive_clients_entry(self, test_seed):
+        with ThreadedServer(ServerConfig(port=0, workers=2)) as server:
+            config = DriverConfig(
+                host=server.host,
+                port=server.port,
+                processes=1,
+                clients_per_process=3,
+                requests_per_client=5,
+                seed=test_seed % 2**31,
+            )
+            records = drive_clients(config, process_index=0)
+            assert len(records) == 3
+            assert all(not r.errors for r in records)
+
+
+@pytest.mark.slow
+class TestAcceptance:
+    def test_200_concurrent_clients_zero_divergence(self, test_seed):
+        """The headline run: 4 spawn-processes × 50 clients against one
+        server.  Every config crosses a process boundary by pickle, the
+        queue is deliberately smaller than the client count so the run
+        *must* shed and recover, and the oracle comparison is strict."""
+        config_server = ServerConfig(
+            port=0,
+            workers=8,
+            queue_high=64,
+            queue_low=32,
+            per_connection=4,
+        )
+        with ThreadedServer(config_server) as server:
+            config = DriverConfig(
+                host=server.host,
+                port=server.port,
+                processes=4,
+                clients_per_process=50,
+                requests_per_client=6,
+                cardinality=4,
+                seed=test_seed % 2**31,
+                shed_retries=16,
+                shed_backoff_s=0.02,
+            )
+            assert config.total_clients == 200
+            report = run_driver(config)
+            divergences = report.verify()
+            assert divergences == [], "\n".join(divergences)
+            # every client's full schedule completed despite shedding
+            expected_per_client = len(
+                client_workload(config, 0, 0).items()
+            )
+            assert report.requests == 200 * expected_per_client
+            metrics = server.metrics()
+            # the server stayed bounded: nothing in flight afterwards
+            assert metrics["server.queue_depth"] == 0
+            assert metrics["server.inflight"] == 0
+            # every request was admitted exactly once; every shed the
+            # clients saw is a shed the server counted
+            assert metrics["server.accepted"] == report.requests
+            assert metrics["server.shed"] == report.shed_events

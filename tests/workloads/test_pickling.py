@@ -1,0 +1,113 @@
+"""Picklability and seed reconstruction of the workload machinery.
+
+The multi-process load driver ships generator/workload configs to
+spawned worker processes, so these objects must (a) survive pickle,
+(b) *continue* their random sequence after unpickling, and (c) rebuild
+identically from plain-data configs — one integer reproduces any run."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.workloads.generators import StateGenerator, default_schema
+from repro.workloads.sentences import EXECUTE, QUERY, SentenceWorkload
+
+
+class TestStateGeneratorPickling:
+    def test_config_round_trip_is_initial_state(self, test_seed):
+        generator = StateGenerator(
+            default_schema(3), seed=test_seed % 2**31, key_space=40
+        )
+        config = generator.config()
+        assert config["seed"] == generator.seed
+        rebuilt = StateGenerator.from_config(config)
+        for _ in range(3):
+            assert (
+                generator.snapshot_state(5).tuples
+                == rebuilt.snapshot_state(5).tuples
+            )
+
+    def test_pickle_continues_the_sequence(self, test_seed):
+        """An unpickled generator resumes mid-stream, not from seed 0."""
+        seed = test_seed % 2**31
+        original = StateGenerator(default_schema(2), seed=seed)
+        twin = StateGenerator(default_schema(2), seed=seed)
+        for _ in range(4):  # advance both identically
+            original.snapshot_state(3)
+            twin.snapshot_state(3)
+        resumed = pickle.loads(pickle.dumps(original))
+        for _ in range(3):
+            assert (
+                resumed.snapshot_state(4).tuples
+                == twin.snapshot_state(4).tuples
+            )
+
+    def test_spawn_derives_independent_reproducible_seeds(self, test_seed):
+        seed = test_seed % 2**31
+        parent = StateGenerator(default_schema(2), seed=seed)
+        children = [parent.spawn(i) for i in range(8)]
+        assert len({c.seed for c in children}) == 8
+        assert all(c.seed != parent.seed for c in children)
+        # reproducible: the same spawn index always yields the same seed
+        assert parent.spawn(3).seed == StateGenerator(
+            default_schema(2), seed=seed
+        ).spawn(3).seed
+        # and the child streams are deterministic
+        assert (
+            parent.spawn(3).snapshot_state(4).tuples
+            == parent.spawn(3).snapshot_state(4).tuples
+        )
+
+
+class TestSentenceWorkloadPickling:
+    def test_schedule_is_deterministic(self, test_seed):
+        seed = test_seed % 2**31
+        a = SentenceWorkload(seed=seed, namespace="w", length=20)
+        b = SentenceWorkload(seed=seed, namespace="w", length=20)
+        assert a.items() == b.items()
+        assert len(a) == len(a.items())
+        assert list(iter(a)) == a.items()
+
+    def test_pickle_ships_the_recipe_not_the_schedule(self, test_seed):
+        workload = SentenceWorkload(
+            seed=test_seed % 2**31, namespace="w", length=15
+        )
+        schedule = workload.items()  # populate the memo
+        payload = pickle.dumps(workload)
+        # the pickle must stay recipe-sized: parameters only, no
+        # rendered sentence texts
+        assert len(payload) < 500
+        clone = pickle.loads(payload)
+        assert clone.items() == schedule
+
+    def test_defines_precede_reads_and_writes(self, test_seed):
+        workload = SentenceWorkload(
+            seed=test_seed % 2**31,
+            namespace="n",
+            relations=3,
+            length=10,
+        )
+        items = workload.items()
+        # prelude: one define + one seed write per relation
+        for index in range(3):
+            kind, source = items[2 * index]
+            assert kind == EXECUTE and "define_relation" in source
+            kind, source = items[2 * index + 1]
+            assert kind == EXECUTE and source.startswith("modify_state")
+        assert len(items) == 3 * 2 + 10
+
+    def test_read_fraction_extremes(self, test_seed):
+        seed = test_seed % 2**31
+        reads = SentenceWorkload(seed=seed, read_fraction=1.0, length=10)
+        body = reads.items()[2:]
+        assert all(kind == QUERY for kind, _ in body)
+        writes = SentenceWorkload(seed=seed, read_fraction=0.0, length=10)
+        body = writes.items()[2:]
+        assert all(kind == EXECUTE for kind, _ in body)
+
+    def test_namespacing_prefixes_every_relation(self, test_seed):
+        workload = SentenceWorkload(
+            seed=test_seed % 2**31, namespace="p3c7", relations=2
+        )
+        for _, source in workload.items():
+            assert "p3c7_r" in source
