@@ -39,6 +39,7 @@ from benchmarks import (
     bench_e15_sharding,
     bench_e16_compiled_engine,
     bench_e17_server,
+    bench_e18_cluster,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -63,6 +64,7 @@ EXPERIMENTS = {
     "e15": bench_e15_sharding,
     "e16": bench_e16_compiled_engine,
     "e17": bench_e17_server,
+    "e18": bench_e18_cluster,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

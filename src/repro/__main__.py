@@ -8,8 +8,9 @@ shells:
 * ``python -m repro eval FILE`` / ``python -m repro eval -c SOURCE`` —
   run a script of statements and exit (errors exit non-zero);
 * ``python -m repro serve`` — the asyncio wire-protocol server, with
-  the backing database (plain / ``--durable-dir`` / ``--shards``) and
-  the admission bounds on the command line.
+  the backing database (plain / ``--durable-dir`` / ``--shards`` /
+  ``--cluster-shards`` × ``--cluster-replicas``) and the admission
+  bounds on the command line.
 """
 
 from __future__ import annotations
@@ -94,6 +95,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="serve a sharded database with N shards",
     )
     serve.add_argument(
+        "--cluster-shards",
+        type=int,
+        default=None,
+        help="serve a cluster topology with N sharded primaries",
+    )
+    serve.add_argument(
+        "--cluster-replicas",
+        type=int,
+        default=1,
+        help="replicas behind each cluster primary (default 1)",
+    )
+    serve.add_argument(
         "--debug-ops",
         action="store_true",
         help="honour debug requests (stall_ms) from load drivers",
@@ -132,6 +145,14 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     from repro.server import ReproServer, ServerConfig
 
+    cluster = None
+    if args.cluster_shards is not None:
+        from repro.cluster import ClusterConfig
+
+        cluster = ClusterConfig(
+            shards=args.cluster_shards,
+            replicas_per_shard=args.cluster_replicas,
+        )
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -144,6 +165,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         durable_dir=args.durable_dir,
         fsync=args.fsync,
         shards=args.shards,
+        cluster=cluster,
         debug_ops=args.debug_ops,
     )
 
@@ -155,6 +177,11 @@ def _run_serve(args: argparse.Namespace) -> int:
             if config.durable_dir
             else f"sharded({config.shards})"
             if config.shards
+            else (
+                f"cluster({config.cluster.shards}x"
+                f"{config.cluster.replicas_per_shard})"
+            )
+            if config.cluster
             else "in-memory"
         )
         print(

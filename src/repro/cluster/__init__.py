@@ -1,0 +1,13 @@
+"""Cluster topology: sharded primaries × WAL-shipped replica sets.
+
+Composes :mod:`repro.sharding` (the global-transaction-number
+coordinator) with :mod:`repro.replication` (per-primary streams,
+bounded-staleness replicas, promotion) into one servable topology with
+per-shard failover.  See :mod:`repro.cluster.cluster` for the design
+notes.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Cluster", "ClusterConfig"]

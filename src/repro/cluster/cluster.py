@@ -1,0 +1,386 @@
+"""`Cluster` — sharded primaries × per-shard replica sets.
+
+The paper's rollback relations are append-only version sequences
+addressed by one global transaction number, and that is the whole
+correctness contract here: ``ρ(I, N)`` must answer byte-identically
+whether ``I`` lives on a single database or on a sharded, replicated
+topology mid-failover.  The cluster composes the two existing layers
+without duplicating either:
+
+* **writes** go through a :class:`~repro.sharding.sharded.ShardedDatabase`
+  of durable primaries — the coordinator keeps the global transaction
+  counter, the owner map, and the per-identifier global modification
+  times exactly as before;
+* **each primary publishes its WAL** as a
+  :class:`~repro.replication.stream.PrimaryStream` (or whatever the
+  config's ``stream_factory`` wraps it in), and N
+  :class:`~repro.replication.replica.Replica` followers per shard
+  replay it — the replica's local transaction numbering coincides with
+  its primary's by construction, so the coordinator's global→local
+  numeral translation is valid on the replica too;
+* **fan-out reads** run through a second
+  :class:`~repro.sharding.router.ScatterGatherRouter` whose per-shard
+  evaluation lands on a replica (round-robin over the live ones) under
+  the configured freshness contract, falling back to the primary when a
+  shard has no live replicas;
+* **failover** promotes a caught-up replica through the replication
+  layer's :func:`~repro.replication.promote.promote` and swaps it in as
+  the shard's primary via
+  :meth:`~repro.sharding.sharded.ShardedDatabase.replace_shard` — the
+  coordinator metadata never named the old object, so every other shard
+  (and every global answer) is undisturbed.  Sibling replicas re-home
+  onto the promoted primary's stream; the LSN space is continuous
+  across the seam, so their durable prefixes remain valid.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Union as TypingUnion
+
+from repro.errors import ClusterError, StaleReadError
+from repro.core.commands import Command
+from repro.core.database import Database
+from repro.core.expressions import Expression
+from repro.core.txn import TransactionNumber
+from repro.durability.durable import DurableDatabase
+from repro.obsv import hooks as _hooks
+from repro.replication.replica import Replica
+from repro.replication.stream import PrimaryStream, ReplicationStream
+from repro.sharding.partition import Partitioner
+from repro.sharding.sharded import RebalanceReport, ShardedDatabase
+
+from repro.cluster.config import ClusterConfig
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A servable topology: sharded primaries, each with a replica set.
+
+    ``directory`` puts shard ``i``'s primary under
+    ``<directory>/shard-<i>`` (replicas stay in memory — they are
+    rebuildable from their primary by definition); with no directory the
+    whole topology lives in memory.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        *,
+        directory: "TypingUnion[str, os.PathLike[str], None]" = None,
+    ) -> None:
+        self._config = config if config is not None else ClusterConfig()
+        self._stream_factory = (
+            self._config.stream_factory or PrimaryStream
+        )
+        self._sharded = ShardedDatabase(
+            self._config.shards,
+            directory=directory,
+            partitioner=self._config.partitioner,
+            fsync=self._config.fsync,
+            checkpoint_every=self._config.checkpoint_every,
+        )
+        self._streams: list[ReplicationStream] = []
+        self._replicas: list[list[Replica]] = []
+        self._cursors: list[int] = []
+        self._closed = False
+        for index in range(self._config.shards):
+            self._attach_shard(index)
+        # the replica-serving read path reuses the write path's router
+        # machinery verbatim: same owner map, same numeral translation —
+        # only the per-shard evaluation target differs
+        from repro.sharding.router import ScatterGatherRouter
+
+        self._read_router = ScatterGatherRouter(
+            owner_of=self._sharded._owner_for_read,
+            localize_numeral=self._sharded.localize_numeral,
+            evaluate_on_shard=self._read_on_shard,
+        )
+
+    def _attach_shard(self, index: int) -> None:
+        """Publish shard ``index``'s primary as a stream and spawn its
+        replica set (construction and :meth:`add_shard`)."""
+        primary = self._sharded.shards[index]
+        stream = self._stream_factory(primary)
+        self._streams.append(stream)
+        followers = [
+            self._new_replica(stream)
+            for _ in range(self._config.replicas_per_shard)
+        ]
+        self._replicas.append(followers)
+        self._cursors.append(0)
+
+    def _new_replica(self, stream: ReplicationStream) -> Replica:
+        return Replica(
+            stream,
+            retry=self._config.retry,
+            max_lag=self._config.max_lag,
+            on_stale=self._config.on_stale,
+        )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def config(self) -> ClusterConfig:
+        return self._config
+
+    @property
+    def sharded(self) -> ShardedDatabase:
+        """The underlying coordinator (the write path)."""
+        return self._sharded
+
+    @property
+    def shard_count(self) -> int:
+        return self._sharded.shard_count
+
+    @property
+    def primaries(self) -> tuple[DurableDatabase, ...]:
+        return self._sharded.shards
+
+    @property
+    def transaction_number(self) -> TransactionNumber:
+        return self._sharded.transaction_number
+
+    @property
+    def identifiers(self) -> tuple[str, ...]:
+        return self._sharded.identifiers
+
+    def replicas(self, shard: int) -> tuple[Replica, ...]:
+        """Shard ``shard``'s current replica set."""
+        self._check_shard(shard)
+        return tuple(self._replicas[shard])
+
+    def lags(self) -> dict[int, list[int]]:
+        """Per-shard replica lags (records behind the primary's tail),
+        sampled into the ``cluster.shard_lag_records`` histogram."""
+        observer = _hooks.cluster_observer()
+        lags: dict[int, list[int]] = {}
+        for index, followers in enumerate(self._replicas):
+            lags[index] = [replica.lag() for replica in followers]
+            if observer is not None:
+                for lag in lags[index]:
+                    observer.lag(lag)
+        return lags
+
+    # -- write path --------------------------------------------------------
+
+    def execute(self, command: Command) -> TransactionNumber:
+        """Apply one command (or sentence) through the coordinator;
+        replication is asynchronous — replicas pick the records up on
+        their next poll/read."""
+        return self._sharded.execute(command)
+
+    # -- read path ---------------------------------------------------------
+
+    def evaluate(self, expression: Expression):
+        """Scatter-gather evaluation with per-shard reads served from
+        replicas (round-robin over the live ones) under the configured
+        freshness contract; shards with no live replicas answer from
+        their primary."""
+        observer = _hooks.shard_observer()
+        if observer is not None:
+            observer.query(self._read_router.fanout(expression))
+        return self._read_router.evaluate(expression)
+
+    def evaluate_primary(self, expression: Expression):
+        """Scatter-gather evaluation pinned to the primaries (the
+        write-path router) — bypasses replicas entirely."""
+        return self._sharded.evaluate(expression)
+
+    def state_at(self, identifier: str, txn: TransactionNumber):
+        """``FINDSTATE`` at a global transaction number — answered from
+        coordinator metadata plus the owning primary."""
+        return self._sharded.state_at(identifier, txn)
+
+    def as_database(self) -> Database:
+        """The global database value (the differential oracle's
+        strongest check) — see
+        :meth:`~repro.sharding.sharded.ShardedDatabase.as_database`."""
+        return self._sharded.as_database()
+
+    def _read_on_shard(self, index: int, expression: Expression):
+        replica = self._pick_replica(index)
+        observer = _hooks.cluster_observer()
+        if replica is None:
+            if observer is not None:
+                observer.read(from_replica=False)
+            return self._sharded.shards[index].evaluate(expression)
+        if self._config.freshness == "fresh":
+            replica.catch_up()
+        if observer is not None:
+            observer.read(from_replica=True)
+        try:
+            return replica.evaluate(expression)
+        except StaleReadError:
+            if observer is not None:
+                observer.stale_rejected()
+            raise
+
+    def _pick_replica(self, index: int) -> Optional[Replica]:
+        """The next live replica of shard ``index`` in round-robin
+        order, or None when the set is empty or fully condemned."""
+        followers = self._replicas[index]
+        if not followers:
+            return None
+        cursor = self._cursors[index]
+        for offset in range(len(followers)):
+            candidate = followers[(cursor + offset) % len(followers)]
+            if not candidate.diverged and not candidate.promoted:
+                self._cursors[index] = (
+                    cursor + offset + 1
+                ) % len(followers)
+                return candidate
+        return None
+
+    # -- replication control -----------------------------------------------
+
+    def catch_up(self) -> int:
+        """Drive every replica to its primary's published tail; returns
+        the total records applied across the cluster."""
+        total = 0
+        for followers in self._replicas:
+            for replica in followers:
+                total += replica.catch_up()
+        observer = _hooks.cluster_observer()
+        if observer is not None and total:
+            observer.caught_up(total)
+        return total
+
+    def add_replica(self, shard: int) -> Replica:
+        """Attach one more replica to shard ``shard``'s stream.  It
+        bootstraps from the stream itself (fetching from the retained
+        head, or re-snapshotting when the head was compacted away)."""
+        self._check_shard(shard)
+        replica = self._new_replica(self._streams[shard])
+        self._replicas[shard].append(replica)
+        observer = _hooks.cluster_observer()
+        if observer is not None:
+            observer.replica_added()
+        return replica
+
+    # -- topology changes --------------------------------------------------
+
+    def add_shard(self) -> int:
+        """Open one more (empty) primary with its own replica set;
+        existing identifiers stay put until :meth:`rebalance`."""
+        index = self._sharded.add_shard()
+        self._attach_shard(index)
+        observer = _hooks.cluster_observer()
+        if observer is not None:
+            observer.shard_added()
+        return index
+
+    def rebalance(
+        self, partitioner: Optional[Partitioner] = None
+    ) -> RebalanceReport:
+        """Move identifiers per the (new) partitioner.  Moves are
+        ordinary commands on the shard primaries, so they replicate to
+        each shard's followers through the normal stream."""
+        return self._sharded.rebalance(partitioner)
+
+    def failover(
+        self, shard: int, replica_index: Optional[int] = None
+    ) -> None:
+        """Replace shard ``shard``'s primary with one of its replicas.
+
+        The chosen replica is caught up to the primary's published tail
+        and validated byte-for-byte against the primary *before* it is
+        promoted — any failure on that path raises
+        :class:`~repro.errors.ClusterError` (or the underlying
+        replication error) and leaves the cluster undisturbed, the
+        replica still following.  Only after promotion succeeds is the
+        primary swapped (the old one closed), and the surviving
+        siblings re-homed onto the promoted primary's stream: the LSN
+        space is continuous across the seam, so their durable prefixes
+        stay valid and gap/divergence detection guards the handoff.
+        """
+        self._check_shard(shard)
+        followers = self._replicas[shard]
+        live = [
+            r for r in followers if not r.diverged and not r.promoted
+        ]
+        if not live:
+            raise ClusterError(
+                f"cannot fail over shard {shard}: no live replicas "
+                "to promote"
+            )
+        if replica_index is None:
+            candidate = max(live, key=lambda r: r.applied_lsn)
+        else:
+            if not 0 <= replica_index < len(followers):
+                raise ClusterError(
+                    f"shard {shard} has no replica {replica_index} "
+                    f"(have {len(followers)})"
+                )
+            candidate = followers[replica_index]
+            if candidate not in live:
+                raise ClusterError(
+                    f"replica {replica_index} of shard {shard} is "
+                    "condemned and cannot be promoted"
+                )
+        candidate.catch_up()
+        old = self._sharded.shards[shard]
+        if candidate.durable.database != old.database:
+            raise ClusterError(
+                f"refusing to fail over shard {shard}: the caught-up "
+                "candidate's database does not match the primary's"
+            )
+        # promote() checkpoints *before* detaching: a failing
+        # checkpoint leaves the candidate attached and the cluster
+        # exactly as it was
+        promoted = candidate.promote()
+        self._sharded.replace_shard(shard, promoted)
+        followers.remove(candidate)
+        old.close()
+        stream = self._stream_factory(promoted)
+        self._streams[shard] = stream
+        for sibling in followers:
+            sibling.refollow(stream)
+        observer = _hooks.cluster_observer()
+        if observer is not None:
+            observer.failed_over()
+
+    # -- durability control ------------------------------------------------
+
+    def sync(self) -> None:
+        self._sharded.sync()
+
+    def checkpoint(self) -> None:
+        self._sharded.checkpoint()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for followers in self._replicas:
+            for replica in followers:
+                replica.close()
+        self._sharded.close()
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- guards ------------------------------------------------------------
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < len(self._replicas):
+            raise ClusterError(
+                f"no shard {shard} (have {len(self._replicas)})"
+            )
+
+    def __repr__(self) -> str:
+        sets = "+".join(
+            str(len(followers)) for followers in self._replicas
+        )
+        return (
+            f"Cluster(shards={self.shard_count}, replicas=[{sets}], "
+            f"txn={self.transaction_number})"
+        )

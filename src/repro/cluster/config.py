@@ -1,0 +1,111 @@
+"""Declarative cluster topology configuration.
+
+A :class:`ClusterConfig` names the *shape* of a cluster — how many
+sharded primaries, how many WAL-shipped replicas behind each, and the
+read-freshness contract replica reads honor — separately from the
+machinery that realizes it (:class:`~repro.cluster.cluster.Cluster`).
+The split keeps the user-facing surface (``Session(cluster=...)``, the
+server's ``ServerConfig``) declarative: a config is validated eagerly,
+carries no live resources, and can be reused to open many clusters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import ClusterError
+from repro.durability.durable import DurableDatabase
+from repro.replication.retry import RetryPolicy
+from repro.replication.stream import ReplicationStream
+from repro.sharding.partition import Partitioner
+
+__all__ = ["ClusterConfig"]
+
+#: Read-freshness contracts for replica-served fan-out reads.
+#:
+#: * ``"fresh"`` — catch the chosen replica up to the primary's
+#:   published tail before serving (linearizable-at-the-read; the
+#:   differential harness's setting).
+#: * ``"bounded"`` — serve from the replica as-is under its
+#:   ``max_lag``/``on_stale`` bounded-staleness contract.
+FRESHNESS_MODES = ("fresh", "bounded")
+
+
+class ClusterConfig:
+    """The shape of a :class:`~repro.cluster.cluster.Cluster`.
+
+    ``stream_factory`` is the chaos seam: it turns a shard primary into
+    the :class:`~repro.replication.stream.ReplicationStream` its
+    replicas tail (default
+    :class:`~repro.replication.stream.PrimaryStream`), so fault plans
+    wrap every stream in the topology uniformly.
+    """
+
+    __slots__ = (
+        "shards",
+        "replicas_per_shard",
+        "freshness",
+        "max_lag",
+        "on_stale",
+        "partitioner",
+        "retry",
+        "stream_factory",
+        "fsync",
+        "checkpoint_every",
+    )
+
+    def __init__(
+        self,
+        shards: int = 2,
+        replicas_per_shard: int = 1,
+        *,
+        freshness: str = "fresh",
+        max_lag: Optional[int] = None,
+        on_stale: str = "reject",
+        partitioner: Optional[Partitioner] = None,
+        retry: Optional[RetryPolicy] = None,
+        stream_factory: Optional[
+            Callable[[DurableDatabase], ReplicationStream]
+        ] = None,
+        fsync: str = "batch(64, 100)",
+        checkpoint_every: int = 256,
+    ) -> None:
+        if shards < 1:
+            raise ClusterError(
+                f"cluster needs at least 1 shard, got {shards}"
+            )
+        if replicas_per_shard < 0:
+            raise ClusterError(
+                "replicas_per_shard must be ≥ 0, got "
+                f"{replicas_per_shard}"
+            )
+        if freshness not in FRESHNESS_MODES:
+            raise ClusterError(
+                f"freshness must be one of {FRESHNESS_MODES}, got "
+                f"{freshness!r}"
+            )
+        if on_stale not in ("reject", "serve"):
+            raise ClusterError(
+                f"on_stale must be 'reject' or 'serve', got {on_stale!r}"
+            )
+        if max_lag is not None and max_lag < 0:
+            raise ClusterError(
+                f"max_lag must be ≥ 0 records, got {max_lag}"
+            )
+        self.shards = shards
+        self.replicas_per_shard = replicas_per_shard
+        self.freshness = freshness
+        self.max_lag = max_lag
+        self.on_stale = on_stale
+        self.partitioner = partitioner
+        self.retry = retry
+        self.stream_factory = stream_factory
+        self.fsync = fsync
+        self.checkpoint_every = checkpoint_every
+
+    def __repr__(self) -> str:
+        return (
+            f"ClusterConfig(shards={self.shards}, "
+            f"replicas_per_shard={self.replicas_per_shard}, "
+            f"freshness={self.freshness!r})"
+        )

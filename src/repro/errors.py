@@ -26,6 +26,7 @@ __all__ = [
     "TranslationError",
     "StorageError",
     "ShardingError",
+    "ClusterError",
     "WalError",
     "CheckpointError",
     "ReplicationError",
@@ -125,6 +126,12 @@ class ShardingError(StorageError):
     over non-empty stores without coordinator metadata, a moved
     identifier whose replayed history disagrees with the source, or a
     partitioner that maps outside the shard set."""
+
+
+class ClusterError(StorageError):
+    """The cluster topology rejected an operation: failing over a shard
+    with no (live) replicas, a promotion candidate that cannot reach the
+    primary's tail, or a configuration that names an invalid topology."""
 
 
 class WalError(StorageError):

@@ -94,6 +94,7 @@ class Session:
         retry=None,
         shards: "int | None" = None,
         partitioner=None,
+        cluster=None,
     ) -> None:
         if history_limit is not None and history_limit < 1:
             raise ValueError(
@@ -106,6 +107,26 @@ class Session:
                 f"plan_cache_capacity must be ≥ 0, got "
                 f"{plan_cache_capacity}"
             )
+        if cluster is not None:
+            if shards is not None:
+                raise ValueError(
+                    "cluster=ClusterConfig(...) already names the shard "
+                    "count (ClusterConfig(shards=N)); drop the legacy "
+                    "shards= kwarg"
+                )
+            if replica_of is not None:
+                raise ValueError(
+                    "cluster=ClusterConfig(...) manages its own replica "
+                    "sets (ClusterConfig(replicas_per_shard=K)); drop "
+                    "the legacy replica_of= kwarg"
+                )
+            if durable_dir is not None:
+                raise ValueError(
+                    "cluster sessions place each shard primary under "
+                    "the cluster's own directory; pass "
+                    "Cluster(config, directory=...) and hand the "
+                    "Cluster to cluster= instead of durable_dir="
+                )
         if durable_dir is not None and replica_of is not None:
             raise ValueError(
                 "a session is a primary (durable_dir=...) or a replica "
@@ -114,13 +135,29 @@ class Session:
         if shards is not None and replica_of is not None:
             raise ValueError(
                 "a session is sharded (shards=N) or a replica "
-                "(replica_of=...), not both; replicas attach to "
-                "individual shard DurableDatabases instead"
+                "(replica_of=...), not both; to stack the two, compose "
+                "them with cluster=ClusterConfig(shards=N, "
+                "replicas_per_shard=K)"
             )
         self._durable = None
         self._replica = None
         self._sharded = None
-        if shards is not None:
+        self._cluster = None
+        if cluster is not None:
+            from repro.cluster import Cluster, ClusterConfig
+
+            if isinstance(cluster, Cluster):
+                self._cluster = cluster
+            elif isinstance(cluster, ClusterConfig):
+                self._cluster = Cluster(cluster)
+            else:
+                raise ValueError(
+                    "cluster= must be a ClusterConfig (the usual form) "
+                    f"or a prebuilt Cluster, got "
+                    f"{type(cluster).__name__}"
+                )
+            self._database: Database = EMPTY_DATABASE
+        elif shards is not None:
             from repro.sharding import ShardedDatabase
 
             self._sharded = ShardedDatabase(
@@ -189,14 +226,23 @@ class Session:
         return Replica(source, **kwargs)
 
     @property
+    def _coordinator(self):
+        """The sharded or cluster coordinator, when this session has
+        one — the two expose the same execute/evaluate/as_database
+        surface, so dispatch treats them uniformly."""
+        return self._cluster if self._cluster is not None else self._sharded
+
+    @property
     def database(self) -> Database:
         """The current database value.
 
-        Sharded sessions reassemble the global value from the shard set
-        on each access (an O(identifiers) walk, not a hot-path cost);
-        reads and writes themselves never materialize it."""
-        if self._sharded is not None:
-            self._database = self._sharded.as_database()
+        Sharded and cluster sessions reassemble the global value from
+        the shard set on each access (an O(identifiers) walk, not a
+        hot-path cost); reads and writes themselves never materialize
+        it."""
+        coordinator = self._coordinator
+        if coordinator is not None:
+            self._database = coordinator.as_database()
         elif self._replica is not None:
             self._database = self._replica.database
         return self._database
@@ -207,10 +253,10 @@ class Session:
         oldest first.  Sessions start the trail at the empty database;
         once more than ``history_limit`` values have accumulated, the
         oldest are dropped (pass ``history_limit=None`` to retain every
-        value, the pre-bound behaviour).  Sharded sessions do not retain
-        a trail (the global value is assembled on demand): the tuple
-        holds just the current database."""
-        if self._sharded is not None:
+        value, the pre-bound behaviour).  Sharded and cluster sessions
+        do not retain a trail (the global value is assembled on
+        demand): the tuple holds just the current database."""
+        if self._coordinator is not None:
             return (self.database,)
         return tuple(self._history)
 
@@ -222,8 +268,9 @@ class Session:
     @property
     def transaction_number(self) -> int:
         """The current database's transaction number."""
-        if self._sharded is not None:
-            return self._sharded.transaction_number
+        coordinator = self._coordinator
+        if coordinator is not None:
+            return coordinator.transaction_number
         return self.database.transaction_number
 
     # -- execution -----------------------------------------------------------
@@ -264,8 +311,8 @@ class Session:
                 self._apply(item)
         if self._durable is not None:
             self._durable.sync()
-        if self._sharded is not None:
-            self._sharded.sync()
+        if self._coordinator is not None:
+            self._coordinator.sync()
         return self.database
 
     def _apply(self, command: Command) -> "Database | None":
@@ -279,10 +326,10 @@ class Session:
             )
         if _obsv.enabled():
             _obsv.get().counter("lang.statements_executed").inc()
-        if self._sharded is not None:
+        if self._coordinator is not None:
             # the coordinator owns the authoritative state; the global
             # Database value is assembled on demand, never per command
-            self._sharded.execute(command)
+            self._coordinator.execute(command)
             return None
         if self._durable is not None:
             self._record_history(self._durable.execute(command))
@@ -299,12 +346,12 @@ class Session:
         return self._durable
 
     def checkpoint(self) -> None:
-        """Force a checkpoint + log compaction (durable and sharded
-        sessions; sharded sessions checkpoint every shard)."""
+        """Force a checkpoint + log compaction (durable, sharded and
+        cluster sessions checkpoint every shard)."""
         if self._durable is not None:
             self._durable.checkpoint()
-        if self._sharded is not None:
-            self._sharded.checkpoint()
+        if self._coordinator is not None:
+            self._coordinator.checkpoint()
 
     def close(self) -> None:
         """Flush the command log and release file handles.  In-memory
@@ -313,8 +360,14 @@ class Session:
             self._replica.close()
         if self._durable is not None:
             self._durable.close()
-        if self._sharded is not None:
-            self._sharded.close()
+        if self._coordinator is not None:
+            self._coordinator.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- sharding ------------------------------------------------------------
 
@@ -325,26 +378,62 @@ class Session:
         return self._sharded
 
     def rebalance(self, partitioner=None):
-        """Sharded sessions: move identifiers to their partitioner-
-        preferred shards; returns the
+        """Sharded/cluster sessions: move identifiers to their
+        partitioner-preferred shards; returns the
         :class:`~repro.sharding.RebalanceReport`."""
-        if self._sharded is None:
+        if self._coordinator is None:
             from repro.errors import ShardingError
 
             raise ShardingError(
-                "rebalance(): this session is not sharded (shards=N)"
+                "rebalance(): this session is not sharded (shards=N "
+                "or cluster=ClusterConfig(...))"
             )
-        return self._sharded.rebalance(partitioner)
+        return self._coordinator.rebalance(partitioner)
 
     def add_shard(self) -> int:
-        """Sharded sessions: open one more shard and return its index."""
-        if self._sharded is None:
+        """Sharded/cluster sessions: open one more shard and return its
+        index."""
+        if self._coordinator is None:
             from repro.errors import ShardingError
 
             raise ShardingError(
-                "add_shard(): this session is not sharded (shards=N)"
+                "add_shard(): this session is not sharded (shards=N "
+                "or cluster=ClusterConfig(...))"
             )
-        return self._sharded.add_shard()
+        return self._coordinator.add_shard()
+
+    # -- clustering ----------------------------------------------------------
+
+    @property
+    def cluster(self):
+        """The session's :class:`~repro.cluster.Cluster`, or None for
+        non-cluster sessions."""
+        return self._cluster
+
+    def failover(self, shard: int, replica_index=None) -> None:
+        """Cluster sessions: promote one of shard ``shard``'s replicas
+        to be that shard's primary (see
+        :meth:`repro.cluster.Cluster.failover`)."""
+        if self._cluster is None:
+            from repro.errors import ClusterError
+
+            raise ClusterError(
+                "failover(): this session is not clustered "
+                "(cluster=ClusterConfig(...))"
+            )
+        self._cluster.failover(shard, replica_index)
+
+    def add_replica(self, shard: int):
+        """Cluster sessions: attach one more replica to shard
+        ``shard``'s stream and return it."""
+        if self._cluster is None:
+            from repro.errors import ClusterError
+
+            raise ClusterError(
+                "add_replica(): this session is not clustered "
+                "(cluster=ClusterConfig(...))"
+            )
+        return self._cluster.add_replica(shard)
 
     # -- replication ---------------------------------------------------------
 
@@ -356,8 +445,11 @@ class Session:
 
     def catch_up(self) -> int:
         """Replica sessions: apply shipped records up to the primary's
-        published tail, returning how many were applied.  Primary and
-        in-memory sessions: a no-op returning 0."""
+        published tail, returning how many were applied.  Cluster
+        sessions: drive every replica in the topology to its primary's
+        tail.  Primary and in-memory sessions: a no-op returning 0."""
+        if self._cluster is not None:
+            return self._cluster.catch_up()
         if self._replica is None:
             return 0
         applied = self._replica.catch_up()
@@ -416,9 +508,11 @@ class Session:
     def _evaluate(self, expression: Expression) -> State:
         """Evaluate a side-effect-free expression; replica sessions
         route through the replica so its staleness bound applies,
-        sharded sessions through the scatter-gather router."""
-        if self._sharded is not None:
-            return self._sharded.evaluate(expression)
+        sharded/cluster sessions through their scatter-gather routers
+        (cluster reads land on replicas)."""
+        coordinator = self._coordinator
+        if coordinator is not None:
+            return coordinator.evaluate(expression)
         if self._replica is not None:
             return self._replica.evaluate(expression)
         return expression.evaluate(self._database)
@@ -427,7 +521,7 @@ class Session:
         """Evaluate a cached plan, (re)optimizing and (re)compiling if
         the database has moved since it was last planned."""
         expression = self._planned_expression(plan)
-        if self._sharded is not None or self._replica is not None:
+        if self._coordinator is not None or self._replica is not None:
             # these modes evaluate through their own routers (scatter-
             # gather, staleness bounds); they reuse the optimized tree
             # but not the compiled single-database plan

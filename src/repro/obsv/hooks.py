@@ -29,6 +29,7 @@ from typing import Optional
 from repro.obsv.registry import MetricsRegistry
 
 __all__ = [
+    "ClusterObserver",
     "EngineObserver",
     "ExpressionObserver",
     "OptimizerObserver",
@@ -37,6 +38,7 @@ __all__ = [
     "WalObserver",
     "install",
     "uninstall",
+    "cluster_observer",
     "repl_observer",
     "shard_observer",
     "wal_observer",
@@ -348,7 +350,7 @@ class ShardObserver:
         "_rebalances",
         "_moves_wal",
         "_moves_copy",
-        "_moves_skipped",
+        "_moves_repaired",
         "_rebalance_seconds",
     )
 
@@ -365,7 +367,9 @@ class ShardObserver:
         self._rebalances = registry.counter("shard.rebalances")
         self._moves_wal = registry.counter("shard.moves_wal_replayed")
         self._moves_copy = registry.counter("shard.moves_state_copied")
-        self._moves_skipped = registry.counter("shard.moves_skipped_stale")
+        self._moves_repaired = registry.counter(
+            "shard.moves_stale_repaired"
+        )
         self._rebalance_seconds = registry.histogram(
             "shard.rebalance_seconds"
         )
@@ -406,21 +410,85 @@ class ShardObserver:
         self,
         wal_replayed: int,
         state_copied: int,
-        skipped: int,
+        repaired: int,
         seconds: float,
     ) -> None:
         """A rebalance pass finished, having moved identifiers by WAL
-        replay or state copy and skipped stale-copy conflicts."""
+        replay or state copy, repairing stale target copies in place."""
         self._rebalances.inc()
         self._moves_wal.inc(wal_replayed)
         self._moves_copy.inc(state_copied)
-        self._moves_skipped.inc(skipped)
+        self._moves_repaired.inc(repaired)
         self._rebalance_seconds.observe(seconds)
+
+
+class ClusterObserver:
+    """Per-event callbacks for the cluster layer (``cluster.*``
+    metrics).  Instruments are resolved once, at installation."""
+
+    __slots__ = (
+        "_failovers",
+        "_reads_replica",
+        "_reads_primary",
+        "_stale_rejections",
+        "_replicas_added",
+        "_shards_added",
+        "_catchup_records",
+        "_lag",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._failovers = registry.counter("cluster.failovers")
+        self._reads_replica = registry.counter("cluster.reads_replica")
+        self._reads_primary = registry.counter("cluster.reads_primary")
+        self._stale_rejections = registry.counter(
+            "cluster.stale_rejections"
+        )
+        self._replicas_added = registry.counter("cluster.replicas_added")
+        self._shards_added = registry.counter("cluster.shards_added")
+        self._catchup_records = registry.counter(
+            "cluster.catchup_records"
+        )
+        self._lag = registry.histogram("cluster.shard_lag_records")
+
+    def failed_over(self) -> None:
+        """A shard's primary was replaced by a promoted replica."""
+        self._failovers.inc()
+
+    def read(self, from_replica: bool) -> None:
+        """A fan-out read was served — from a replica or, when a shard
+        has none attached, from its primary."""
+        if from_replica:
+            self._reads_replica.inc()
+        else:
+            self._reads_primary.inc()
+
+    def stale_rejected(self) -> None:
+        """A bounded-staleness read was refused (``on_stale='reject'``
+        and the chosen replica sat beyond ``max_lag``)."""
+        self._stale_rejections.inc()
+
+    def replica_added(self) -> None:
+        """A replica was attached to a shard's primary stream."""
+        self._replicas_added.inc()
+
+    def shard_added(self) -> None:
+        """A primary (plus replica set) joined the topology."""
+        self._shards_added.inc()
+
+    def caught_up(self, records: int) -> None:
+        """A catch-up pass applied ``records`` shipped records."""
+        self._catchup_records.inc(records)
+
+    def lag(self, records: int) -> None:
+        """An observed per-shard replica lag sample (LSN distance)."""
+        self._lag.observe(records)
 
 
 _WAL_OBSERVER: Optional[WalObserver] = None
 _REPL_OBSERVER: Optional[ReplicationObserver] = None
 _SHARD_OBSERVER: Optional[ShardObserver] = None
+_CLUSTER_OBSERVER: Optional[ClusterObserver] = None
 
 
 def wal_observer() -> Optional[WalObserver]:
@@ -441,11 +509,18 @@ def shard_observer() -> Optional[ShardObserver]:
     return _SHARD_OBSERVER
 
 
+def cluster_observer() -> Optional[ClusterObserver]:
+    """The installed :class:`ClusterObserver`, or None while metrics
+    are disabled (the cluster layer's zero-cost guard)."""
+    return _CLUSTER_OBSERVER
+
+
 def install(registry: MetricsRegistry) -> None:
     """Point the expression evaluator's, durability layer's,
-    replication layer's and sharding layer's observer slots at
-    ``registry``."""
+    replication layer's, sharding layer's and cluster layer's observer
+    slots at ``registry``."""
     global _WAL_OBSERVER, _REPL_OBSERVER, _SHARD_OBSERVER
+    global _CLUSTER_OBSERVER
     from repro.core import compile as engine
     from repro.core import expressions
     from repro.optimizer import rewriter
@@ -456,11 +531,13 @@ def install(registry: MetricsRegistry) -> None:
     _WAL_OBSERVER = WalObserver(registry)
     _REPL_OBSERVER = ReplicationObserver(registry)
     _SHARD_OBSERVER = ShardObserver(registry)
+    _CLUSTER_OBSERVER = ClusterObserver(registry)
 
 
 def uninstall() -> None:
     """Clear the observer slots (the disabled, zero-cost state)."""
     global _WAL_OBSERVER, _REPL_OBSERVER, _SHARD_OBSERVER
+    global _CLUSTER_OBSERVER
     from repro.core import compile as engine
     from repro.core import expressions
     from repro.optimizer import rewriter
@@ -471,3 +548,4 @@ def uninstall() -> None:
     _WAL_OBSERVER = None
     _REPL_OBSERVER = None
     _SHARD_OBSERVER = None
+    _CLUSTER_OBSERVER = None

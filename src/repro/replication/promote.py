@@ -32,6 +32,13 @@ def promote(replica, *, checkpoint: bool = True) -> DurableDatabase:
     default) a checkpoint is written at the promotion LSN, so the new
     primary's identity survives even an immediate crash under a lazy
     fsync policy.
+
+    Promotion is atomic with respect to the checkpoint: the checkpoint
+    is written *before* the replica detaches, so a failing checkpoint
+    (a dying store, an injected fault) leaves the replica attached and
+    still following — the caller sees the error, retries or gives up,
+    and no half-promoted orphan that refuses both applies and commands
+    is ever created.
     """
     if replica.diverged:
         raise DivergenceError(
@@ -40,9 +47,10 @@ def promote(replica, *, checkpoint: bool = True) -> DurableDatabase:
         )
     if replica.promoted:
         raise ReplicationError("replica is already promoted")
-    durable = replica._detach()
     if checkpoint:
-        durable.checkpoint()
+        # raises -> the replica is still a follower, nothing changed
+        replica.durable.checkpoint()
+    durable = replica._detach()
     observer = _hooks.repl_observer()
     if observer is not None:
         observer.promoted()

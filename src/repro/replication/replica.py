@@ -341,6 +341,25 @@ class Replica:
         self._promoted = True
         return self._durable
 
+    def refollow(self, stream: ReplicationStream) -> None:
+        """Point this replica at a replacement stream publishing the
+        *same* LSN space — the post-failover re-homing step.  A promoted
+        primary continues its predecessor's LSN sequence (no LSN is ever
+        reused), so a sibling replica keeps its durable prefix and
+        simply resumes fetching from the new stream; gap and divergence
+        detection guard the seam exactly as they guard any delivery."""
+        if self._promoted:
+            raise ReplicationError(
+                "cannot refollow: this replica was promoted and no "
+                "longer applies shipped records"
+            )
+        if self._diverged:
+            raise DivergenceError(
+                "cannot refollow: this replica has diverged and must "
+                "be rebuilt"
+            )
+        self._stream = stream
+
     def close(self) -> None:
         self._durable.close()
 

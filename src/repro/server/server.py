@@ -66,12 +66,15 @@ class ServerConfig:
     debug_ops: bool = False
     #: Seconds stop() waits for admitted requests before cancelling.
     drain_timeout: float = 5.0
-    # -- backing (all four Session modes compose here) ----------------
+    # -- backing (all five Session modes compose here) ----------------
     durable_dir: Optional[str] = None
     fsync: str = "batch(64, 100)"
     checkpoint_every: int = 256
     shards: Optional[int] = None
     replica_of: Optional[str] = field(default=None, repr=False)
+    #: A :class:`~repro.cluster.ClusterConfig` (sharded primaries ×
+    #: replica sets); mutually exclusive with the three legacy backings.
+    cluster: Optional[object] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -114,6 +117,7 @@ class ReproServer:
             checkpoint_every=config.checkpoint_every,
             shards=config.shards,
             replica_of=config.replica_of,
+            cluster=config.cluster,
         )
         self.admission = AdmissionController(
             queue_high=config.queue_high,

@@ -1,11 +1,12 @@
 """The server's shared backing database and per-connection views.
 
 One process serves one database.  The :class:`ServerStore` owns it, in
-any of the four composable backings the in-process :class:`Session`
+any of the five composable backings the in-process :class:`Session`
 already supports — plain in-memory, ``durable_dir`` (WAL + checkpoints),
-``shards=N`` (coordinator over N durable shard stores), or
-``replica_of`` (read-only follower) — so the network front-end adds a
-wire, not a fifth storage engine.
+``shards=N`` (coordinator over N durable shard stores), ``replica_of``
+(read-only follower), or ``cluster=ClusterConfig(...)`` (sharded
+primaries × replica sets with per-shard failover) — so the network
+front-end adds a wire, not a sixth storage engine.
 
 **Writes** are serialized.  On the plain backing they run through the
 existing :class:`~repro.concurrency.manager.TransactionManager` path
@@ -62,6 +63,7 @@ class ServerStore:
         checkpoint_every: int = 256,
         shards: Optional[int] = None,
         replica_of=None,
+        cluster=None,
     ) -> None:
         self._session = Session(
             durable_dir,
@@ -69,14 +71,20 @@ class ServerStore:
             checkpoint_every=checkpoint_every,
             shards=shards,
             replica_of=replica_of,
+            cluster=cluster,
         )
-        self._shared_reads = shards is not None or replica_of is not None
+        self._shared_reads = (
+            shards is not None
+            or replica_of is not None
+            or cluster is not None
+        )
         self._replica = replica_of is not None
         self._manager = None
         if (
             durable_dir is None
             and shards is None
             and replica_of is None
+            and cluster is None
         ):
             from repro.concurrency.manager import TransactionManager
 

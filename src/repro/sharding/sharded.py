@@ -74,20 +74,28 @@ __all__ = ["ShardedDatabase", "RebalanceReport"]
 class RebalanceReport:
     """What one :meth:`ShardedDatabase.rebalance` did."""
 
-    __slots__ = ("moved", "wal_replayed", "state_copied", "skipped_stale")
+    __slots__ = (
+        "moved",
+        "wal_replayed",
+        "state_copied",
+        "stale_repaired",
+    )
 
     def __init__(self) -> None:
         self.moved = 0
         self.wal_replayed = 0
         self.state_copied = 0
-        self.skipped_stale = 0
+        #: moves whose target held a stale copy from an earlier move;
+        #: the missing suffix was replayed onto it before ownership
+        #: flipped (the copy is validated as a strict prefix first)
+        self.stale_repaired = 0
 
     def __repr__(self) -> str:
         return (
             f"RebalanceReport(moved={self.moved}, "
             f"wal_replayed={self.wal_replayed}, "
             f"state_copied={self.state_copied}, "
-            f"skipped_stale={self.skipped_stale})"
+            f"stale_repaired={self.stale_repaired})"
         )
 
 
@@ -264,6 +272,13 @@ class ShardedDatabase:
             # local numeral 0 makes the shard's FINDSTATE return ∅ too
             return 0
         return relation.transaction_numbers[position - 1]
+
+    def localize_numeral(
+        self, identifier: str, numeral: Numeral
+    ) -> Numeral:
+        """Public access to the global→shard-local numeral translation
+        (the cluster layer routes replica reads through it)."""
+        return self._localize_numeral(identifier, numeral)
 
     # -- command execution ------------------------------------------------
 
@@ -475,6 +490,37 @@ class ShardedDatabase:
         self._shards.append(self._open_shard(index, store))
         return index
 
+    def replace_shard(
+        self, index: int, replacement: DurableDatabase
+    ) -> DurableDatabase:
+        """Swap shard ``index``'s durable database for an equivalent one
+        and return the old one (not closed — the caller decides its
+        fate).  This is the failover seam: a promoted replica whose
+        replay reached the primary's exact state takes the primary's
+        place, and the coordinator's metadata (owner map, ``_mods``, the
+        global counter) — which never mentioned the old object — keeps
+        answering ``ρ(I, N)`` unchanged.
+
+        The replacement must hold the *identical* database value
+        (transaction number and all bound relations); anything else
+        would silently fork history and is refused."""
+        if not 0 <= index < len(self._shards):
+            raise ShardingError(
+                f"replace_shard: no shard {index} "
+                f"(have {len(self._shards)})"
+            )
+        current = self._shards[index]
+        if replacement.database != current.database:
+            raise ShardingError(
+                f"replace_shard({index}): the replacement's database "
+                f"diverges from the shard's (replacement txn "
+                f"{replacement.transaction_number}, shard txn "
+                f"{current.transaction_number}); refusing to fork "
+                "history"
+            )
+        self._shards[index] = replacement
+        return current
+
     def rebalance(
         self, partitioner: Optional[Partitioner] = None
     ) -> RebalanceReport:
@@ -505,7 +551,7 @@ class ShardedDatabase:
             observer.rebalanced(
                 wal_replayed=report.wal_replayed,
                 state_copied=report.state_copied,
-                skipped=report.skipped_stale,
+                repaired=report.stale_repaired,
                 seconds=time.monotonic() - started,
             )
         return report
@@ -527,22 +573,36 @@ class ShardedDatabase:
             report.moved += 1
             return
         if target.database.state.is_bound(identifier):
-            # a stale copy from an earlier move already occupies the
-            # target; there is no unbind command, so leave ownership put
-            report.skipped_stale += 1
-            return
-        commands = self._replayable_commands(source, identifier, relation)
-        if commands is not None:
-            for command in commands:
-                target.execute(command)
-            report.wal_replayed += 1
-        else:
-            target.execute(
-                DefineRelation(identifier, relation.rtype)
+            # a stale copy from an earlier move occupies the target
+            # (there is no unbind command).  Skipping here would leave
+            # ownership at the source, and every later rebalance under
+            # the same partitioner would re-pick this target and re-skip
+            # — a permanent livelock.  Instead the copy is validated
+            # against the source: a copy that stopped receiving modifies
+            # when ownership moved away is a prefix of the owner's state
+            # sequence, so replaying only the missing suffix reconverges
+            # it; anything else has diverged and is refused loudly.
+            self._repair_stale_copy(
+                identifier, target_index, relation, target
             )
-            for state, _ in relation.rstate:
-                target.execute(ModifyState(identifier, Const(state)))
-            report.state_copied += 1
+            report.stale_repaired += 1
+        else:
+            commands = self._replayable_commands(
+                source, identifier, relation
+            )
+            if commands is not None:
+                for command in commands:
+                    target.execute(command)
+                report.wal_replayed += 1
+            else:
+                target.execute(
+                    DefineRelation(identifier, relation.rtype)
+                )
+                for state, _ in relation.rstate:
+                    target.execute(
+                        ModifyState(identifier, Const(state))
+                    )
+                report.state_copied += 1
         moved = target.database.require(identifier)
         if moved.rtype != relation.rtype or [
             entry[0] for entry in moved.rstate
@@ -553,6 +613,43 @@ class ShardedDatabase:
             )
         self._owner[identifier] = target_index
         report.moved += 1
+
+    def _repair_stale_copy(
+        self,
+        identifier: str,
+        target_index: int,
+        relation: Relation,
+        target: DurableDatabase,
+    ) -> None:
+        """Reconverge a stale copy on the move target with the owner's
+        authoritative state sequence (see :meth:`_move`).  Raises
+        :class:`ShardingError` when the copy is not a strict prefix —
+        a diverged copy must never be silently overwritten."""
+        stale = target.database.require(identifier)
+        if stale.rtype != relation.rtype:
+            raise ShardingError(
+                f"stale copy of {identifier!r} on shard {target_index} "
+                f"has type {stale.rtype!r} but the owner holds "
+                f"{relation.rtype!r}; refusing to repair a diverged copy"
+            )
+        source_states = [entry[0] for entry in relation.rstate]
+        stale_states = [entry[0] for entry in stale.rstate]
+        if relation.rtype.keeps_history:
+            if stale_states != source_states[: len(stale_states)]:
+                raise ShardingError(
+                    f"stale copy of {identifier!r} on shard "
+                    f"{target_index} is not a prefix of the owner's "
+                    f"state sequence; refusing to repair a diverged copy"
+                )
+            suffix = source_states[len(stale_states) :]
+        elif stale_states != source_states:
+            # replace types keep only the latest state: shipping the
+            # owner's current state always reconverges the copy
+            suffix = source_states
+        else:
+            suffix = []
+        for state in suffix:
+            target.execute(ModifyState(identifier, Const(state)))
 
     def _replayable_commands(
         self,

@@ -1,0 +1,51 @@
+"""Shared machinery for the cluster suite.
+
+Reuses the sharding suite's differential oracle verbatim — a
+:class:`~repro.cluster.Cluster` exposes the same
+evaluate/state_at/as_database surface a :class:`ShardedDatabase` does,
+so ``assert_differential`` applies unchanged: byte-identical ``ρ(I, N)``
+at every historical transaction number versus the unsharded,
+unreplicated in-memory oracle.  Chaos seeds follow the replication
+suite's ``REPRO_CHAOS_SEED`` discipline.
+"""
+
+from __future__ import annotations
+
+from repro.durability.faults import FaultPlan
+from repro.replication import FaultyStream, PrimaryStream, RetryPolicy
+
+from tests.replication.conftest import case_seed  # noqa: F401
+from tests.sharding.conftest import (  # noqa: F401
+    assert_differential,
+    canonical,
+    oracle_history,
+    sharded_workload,
+)
+
+
+def fast_retry(attempts: int = 200) -> RetryPolicy:
+    """A generous attempt budget with zero sleeping, so chaos tests
+    retry through injected faults without slowing the suite down."""
+    return RetryPolicy(
+        max_attempts=attempts, base_delay=0.0, max_delay=0.0
+    )
+
+
+def faulty_stream_factory(rng, *, max_rate: float = 0.3):
+    """A ``ClusterConfig.stream_factory`` wrapping every primary stream
+    in the topology (including post-failover replacements) in its own
+    seeded :class:`FaultPlan`.  All randomness comes from ``rng``, so a
+    schedule replays exactly from its seed."""
+
+    def factory(primary):
+        plan = FaultPlan(
+            seed=rng.randrange(1 << 30),
+            stream_drop_rate=rng.uniform(0.0, max_rate),
+            stream_duplicate_rate=rng.uniform(0.0, max_rate),
+            stream_reorder_rate=rng.uniform(0.0, max_rate),
+            stream_truncate_rate=rng.uniform(0.0, max_rate),
+            stream_error_rate=rng.uniform(0.0, max_rate * 0.6),
+        )
+        return FaultyStream(PrimaryStream(primary), plan)
+
+    return factory

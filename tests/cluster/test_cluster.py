@@ -1,0 +1,200 @@
+"""Cluster topology mechanics: configuration validation, replica-served
+reads, bounded staleness, per-shard failover, and topology changes."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.txn import NOW
+from repro.errors import ClusterError, StaleReadError
+from repro.workloads.generators import StateGenerator
+
+GEN = StateGenerator(seed=11, key_space=20)
+S1 = GEN.snapshot_state(2)
+S2 = GEN.snapshot_state(3)
+
+
+def seed_cluster(cluster):
+    cluster.execute(DefineRelation("r", "rollback"))
+    cluster.execute(ModifyState("r", Const(S1)))
+    cluster.execute(DefineRelation("s", "rollback"))
+    cluster.execute(ModifyState("s", Const(S2)))
+    return cluster
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ClusterConfig()
+        assert config.shards == 2
+        assert config.replicas_per_shard == 1
+        assert config.freshness == "fresh"
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"shards": 0}, "at least 1 shard"),
+            ({"replicas_per_shard": -1}, "replicas_per_shard"),
+            ({"freshness": "eventual"}, "freshness"),
+            ({"on_stale": "explode"}, "on_stale"),
+            ({"max_lag": -3}, "max_lag"),
+        ],
+    )
+    def test_invalid_topologies_are_rejected(self, kwargs, match):
+        with pytest.raises(ClusterError, match=match):
+            ClusterConfig(**kwargs)
+
+
+class TestReads:
+    def test_replica_serves_fresh_reads(self):
+        with Cluster(ClusterConfig(shards=2, replicas_per_shard=1)) as c:
+            seed_cluster(c)
+            assert c.evaluate(Rollback("r", NOW)) == S1
+            assert c.evaluate(Rollback("r", 2)) == S1
+            # the fan-out read merged replica-served operands
+            merged = c.evaluate(
+                Union(Rollback("r", NOW), Rollback("s", NOW))
+            )
+            assert merged == c.evaluate_primary(
+                Union(Rollback("r", NOW), Rollback("s", NOW))
+            )
+
+    def test_zero_replicas_falls_back_to_primaries(self):
+        with Cluster(ClusterConfig(shards=2, replicas_per_shard=0)) as c:
+            seed_cluster(c)
+            assert c.replicas(0) == ()
+            assert c.evaluate(Rollback("r", NOW)) == S1
+
+    def test_round_robin_rotates_over_the_replica_set(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=3)) as c:
+            seed_cluster(c)
+            picked = [c._pick_replica(0) for _ in range(6)]
+            assert picked[:3] == picked[3:]
+            assert len(set(map(id, picked[:3]))) == 3
+
+    def test_bounded_mode_rejects_a_lagging_replica(self):
+        config = ClusterConfig(
+            shards=1,
+            replicas_per_shard=1,
+            freshness="bounded",
+            max_lag=0,
+            on_stale="reject",
+        )
+        with Cluster(config) as c:
+            seed_cluster(c)
+            with pytest.raises(StaleReadError):
+                c.evaluate(Rollback("r", NOW))
+            # once caught up, the same read succeeds
+            c.catch_up()
+            assert c.evaluate(Rollback("r", NOW)) == S1
+
+    def test_bounded_mode_can_serve_stale(self):
+        config = ClusterConfig(
+            shards=1,
+            replicas_per_shard=1,
+            freshness="bounded",
+            max_lag=0,
+            on_stale="serve",
+        )
+        with Cluster(config) as c:
+            c.execute(DefineRelation("r", "rollback"))
+            c.execute(ModifyState("r", Const(S1)))
+            c.catch_up()
+            c.execute(ModifyState("r", Const(S2)))
+            # knowingly stale: the replica still holds the prior state
+            assert c.evaluate(Rollback("r", NOW)) == S1
+            c.catch_up()
+            assert c.evaluate(Rollback("r", NOW)) == S2
+
+    def test_lags_reports_per_shard_distances(self):
+        with Cluster(ClusterConfig(shards=2, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            lags = c.lags()
+            assert set(lags) == {0, 1}
+            assert all(len(v) == 2 for v in lags.values())
+            c.catch_up()
+            assert all(
+                lag == 0 for v in c.lags().values() for lag in v
+            )
+
+
+class TestFailover:
+    def test_failover_swaps_the_primary_without_disturbing_others(self):
+        with Cluster(ClusterConfig(shards=2, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            before = {i: c.primaries[i] for i in range(2)}
+            shard = c.sharded.shard_of("r")
+            other = 1 - shard
+            c.failover(shard)
+            assert c.primaries[shard] is not before[shard]
+            assert c.primaries[other] is before[other]
+            assert before[shard].closed
+            assert len(c.replicas(shard)) == 1
+            # reads and writes continue across the seam
+            assert c.evaluate(Rollback("r", 2)) == S1
+            c.execute(ModifyState("r", Const(S2)))
+            assert c.evaluate(Rollback("r", NOW)) == S2
+
+    def test_failover_without_replicas_is_refused(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=0)) as c:
+            seed_cluster(c)
+            with pytest.raises(ClusterError, match="no live replicas"):
+                c.failover(0)
+
+    def test_failover_of_unknown_shard_is_refused(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=1)) as c:
+            with pytest.raises(ClusterError, match="no shard 7"):
+                c.failover(7)
+
+    def test_siblings_refollow_the_promoted_primary(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            c.catch_up()
+            c.failover(0)
+            (sibling,) = c.replicas(0)
+            c.execute(ModifyState("r", Const(S2)))
+            sibling.catch_up()
+            assert sibling.evaluate(Rollback("r", NOW)) == S2
+
+    def test_repeated_failover_drains_the_replica_set(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            c.failover(0)
+            c.failover(0)
+            with pytest.raises(ClusterError, match="no live replicas"):
+                c.failover(0)
+            # primaries still answer
+            assert c.evaluate(Rollback("r", NOW)) == S1
+
+
+class TestTopologyChanges:
+    def test_add_shard_spawns_a_replica_set(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            index = c.add_shard()
+            assert index == 1
+            assert len(c.replicas(1)) == 2
+            c.rebalance()
+            c.catch_up()
+            assert c.evaluate(Rollback("r", 2)) == S1
+
+    def test_add_replica_bootstraps_from_the_stream(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=0)) as c:
+            seed_cluster(c)
+            replica = c.add_replica(0)
+            replica.catch_up()
+            assert replica.transaction_number == (
+                c.primaries[0].transaction_number
+            )
+            # and it is now a promotion candidate
+            c.failover(0)
+
+    def test_add_replica_bootstraps_across_compaction(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=0)) as c:
+            seed_cluster(c)
+            c.checkpoint()  # compacts the primary's WAL
+            replica = c.add_replica(0)
+            replica.catch_up()
+            assert replica.transaction_number == (
+                c.primaries[0].transaction_number
+            )

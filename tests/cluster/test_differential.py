@@ -1,0 +1,130 @@
+"""The cluster differential oracle: ``ρ(I, N)`` byte-identical to the
+unsharded, unreplicated oracle at every historical transaction number —
+across the topology matrix {shards 1,2,3} × {replicas 0,1,2}, with
+mid-run per-shard failover and mid-run rebalance, under randomized
+delivery-fault schedules on every replication stream.
+
+This is the snapshot-equivalence bar of Dignös et al. applied to the
+composed topology: every fan-out read below runs through the
+replica-serving router, so agreement with the oracle proves the whole
+stack — coordinator numbering, WAL shipping, numeral localization,
+promotion — preserves the paper's append-only version-sequence
+semantics.
+"""
+
+import random
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+
+from tests.cluster.conftest import (
+    assert_differential,
+    case_seed,
+    fast_retry,
+    faulty_stream_factory,
+    oracle_history,
+    sharded_workload,
+)
+
+MATRIX = [
+    (shards, replicas)
+    for shards in (1, 2, 3)
+    for replicas in (0, 1, 2)
+]
+
+
+def build_cluster(shards, replicas, rng, *, chaos=True):
+    return Cluster(
+        ClusterConfig(
+            shards=shards,
+            replicas_per_shard=replicas,
+            retry=fast_retry(),
+            stream_factory=(
+                faulty_stream_factory(rng) if chaos and replicas else None
+            ),
+        )
+    )
+
+
+@pytest.mark.parametrize("shards, replicas", MATRIX)
+def test_topology_matrix_matches_the_oracle(shards, replicas, test_seed):
+    """Quiet streams, full matrix: the composed topology answers every
+    historical read byte-identically to the single-node oracle."""
+    seed = case_seed(test_seed, shards * 10 + replicas)
+    rng = random.Random(seed)
+    commands = sharded_workload(length=90, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(commands)
+    with build_cluster(shards, replicas, rng, chaos=False) as cluster:
+        for command in commands:
+            cluster.execute(command)
+        assert_differential(cluster, oracle[-1])
+
+
+@pytest.mark.parametrize("shards, replicas", MATRIX)
+def test_matrix_under_chaos_with_failover_and_rebalance(
+    shards, replicas, test_seed
+):
+    """The tentpole invariant: randomized fault schedules interleaving
+    replica lag (implicit — replication is pull-based), at least one
+    mid-run per-shard failover (when the topology has replicas), an
+    ``add_shard()``, and at least one mid-run ``rebalance()``."""
+    seed = case_seed(test_seed, 100 + shards * 10 + replicas)
+    rng = random.Random(seed)
+    commands = sharded_workload(length=110, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(commands)
+    indices = rng.sample(range(20, len(commands) - 5), 4)
+    failover_at = indices[0] if replicas else None
+    add_shard_at = indices[1]
+    rebalance_at = sorted(indices[2:])
+    grew = False
+    with build_cluster(shards, replicas, rng) as cluster:
+        for position, command in enumerate(commands):
+            cluster.execute(command)
+            if position == failover_at:
+                shard = rng.randrange(cluster.shard_count)
+                cluster.failover(shard)
+                cluster.add_replica(shard)  # restore the set's size
+            if position == add_shard_at:
+                cluster.add_shard()
+                grew = True
+            if position in rebalance_at:
+                cluster.rebalance()
+            if position % 37 == 0:
+                # interleaved partial catch-up keeps replica lag varied
+                cluster.catch_up()
+        assert grew and cluster.shard_count == shards + 1
+        assert_differential(cluster, oracle[-1])
+
+
+@pytest.mark.parametrize("case", range(3))
+def test_every_shard_fails_over_mid_run(case, test_seed):
+    """Serial failovers on *every* shard mid-sentence, under chaotic
+    streams, still converge to the oracle."""
+    seed = case_seed(test_seed, 200 + case)
+    rng = random.Random(seed)
+    commands = sharded_workload(length=80, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(commands)
+    with build_cluster(3, 2, rng) as cluster:
+        third = len(commands) // 3
+        for position, command in enumerate(commands):
+            cluster.execute(command)
+            if position and position % third == 0:
+                cluster.failover((position // third) - 1)
+        assert_differential(cluster, oracle[-1])
+
+
+def test_prefix_equivalence_at_every_step(test_seed):
+    """The stronger sequenced check on a small run: after *each*
+    command the cluster's reassembled database equals the oracle's
+    prefix database."""
+    seed = case_seed(test_seed, 300)
+    rng = random.Random(seed)
+    commands = sharded_workload(length=40, seed=rng.randrange(1 << 16))
+    oracle = oracle_history(commands)
+    with build_cluster(2, 1, rng) as cluster:
+        for position, command in enumerate(commands, start=1):
+            cluster.execute(command)
+            assert cluster.as_database() == oracle[position], (
+                f"prefix {position}, seed={seed}"
+            )

@@ -1,0 +1,83 @@
+"""The cluster backing behind the wire-protocol server: a
+``ServerConfig(cluster=ClusterConfig(...))`` serves reads from replicas
+and stays byte-identical to the in-process session."""
+
+import pytest
+
+from repro.cluster import ClusterConfig
+from repro.lang.session import Session
+from repro.server import ReproClient, ServerConfig, ThreadedServer
+from repro.server.store import ServerStore, render_state
+
+STATE = "state (k: integer, v: integer) { (1, 10), (2, 20) }"
+STATE2 = "state (k: integer, v: integer) { (3, 30) }"
+
+
+@pytest.fixture
+def server():
+    config = ServerConfig(
+        port=0,
+        workers=2,
+        cluster=ClusterConfig(shards=2, replicas_per_shard=1),
+    )
+    with ThreadedServer(config) as handle:
+        yield handle
+
+
+@pytest.fixture
+def client(server):
+    with ReproClient(server.host, server.port) as c:
+        yield c
+
+
+class TestClusterBacking:
+    def test_round_trip_matches_in_process_session(self, client):
+        assert client.execute("define_relation(r, rollback)") == 1
+        assert client.execute(f"modify_state(r, {STATE})") == 2
+        assert client.execute(f"modify_state(r, {STATE2})") == 3
+        oracle = Session()
+        oracle.execute("define_relation(r, rollback)")
+        oracle.execute(f"modify_state(r, {STATE})")
+        oracle.execute(f"modify_state(r, {STATE2})")
+        for query in (
+            "rollback(r, now)",
+            "rollback(r, 2)",
+            "rollback(r, 3)",
+        ):
+            assert client.query(query) == render_state(
+                oracle.query(query)
+            )
+
+    def test_ping_reports_the_global_transaction_number(self, client):
+        client.execute("define_relation(r, rollback)")
+        client.execute(f"modify_state(r, {STATE})")
+        assert client.ping() == 2
+
+
+class TestClusterStore:
+    def test_store_routes_reads_through_the_cluster(self):
+        store = ServerStore(
+            cluster=ClusterConfig(shards=2, replicas_per_shard=1)
+        )
+        try:
+            assert store.session.cluster is not None
+            assert store.manager is None  # shared-read backing
+            store.execute("define_relation(r, rollback)")
+            store.execute(f"modify_state(r, {STATE})")
+            view = store.view()
+            assert "10" in view.query("rollback(r, now)")
+        finally:
+            store.close()
+
+    def test_failover_under_a_live_store(self):
+        store = ServerStore(
+            cluster=ClusterConfig(shards=1, replicas_per_shard=1)
+        )
+        try:
+            store.execute("define_relation(r, rollback)")
+            store.execute(f"modify_state(r, {STATE})")
+            store.session.failover(0)
+            store.execute(f"modify_state(r, {STATE2})")
+            assert "30" in store.view().query("rollback(r, now)")
+        finally:
+            store.close()

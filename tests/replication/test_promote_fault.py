@@ -1,0 +1,94 @@
+"""Regression: promotion is atomic with respect to its checkpoint.
+
+The old ordering detached the replica *before* writing the promotion
+checkpoint, so a checkpoint failure (dying disk, injected fault) left a
+half-promoted orphan: no longer following the stream, not yet a durable
+primary, and refusing both applies and retries.  The fix checkpoints
+first — a failing checkpoint leaves the replica attached and still
+following, and the caller can simply retry."""
+
+import pytest
+
+from repro.durability import MemoryStore
+from repro.replication import promote
+
+from tests.replication.conftest import make_replica
+
+
+class CheckpointFaultStore(MemoryStore):
+    """A store whose checkpoint publishes fail on demand.  Checkpoints
+    land via ``replace`` on a ``checkpoint-*`` name; everything else
+    (WAL appends, reads) stays healthy, mimicking a disk that is full
+    for large atomic writes but still absorbing log appends."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail_checkpoints = False
+        self.attempts = 0
+
+    def replace(self, name, data):
+        if name.startswith("checkpoint-"):
+            self.attempts += 1
+            if self.fail_checkpoints:
+                raise OSError("injected checkpoint fault")
+        super().replace(name, data)
+
+
+def _ship(primary, replica, commands):
+    for command in commands:
+        primary.execute(command)
+    replica.catch_up()
+
+
+def test_failing_checkpoint_leaves_the_replica_following(
+    primary, stream, workload
+):
+    store = CheckpointFaultStore()
+    replica = make_replica(stream, store=store)
+    _ship(primary, replica, workload[:12])
+
+    store.fail_checkpoints = True
+    with pytest.raises(OSError, match="injected checkpoint fault"):
+        promote(replica)
+
+    # the failed promotion changed nothing: still a follower, never
+    # promoted, and new primary writes keep replicating
+    assert not replica.promoted
+    assert store.attempts == 1
+    for command in workload[12:17]:
+        primary.execute(command)
+    assert replica.catch_up() > 0
+    assert replica.applied_lsn == primary.wal.last_lsn
+    assert replica.database == primary.database
+
+
+def test_retrying_the_promotion_succeeds_after_the_fault_clears(
+    primary, stream, workload
+):
+    store = CheckpointFaultStore()
+    replica = make_replica(stream, store=store)
+    _ship(primary, replica, workload[:12])
+
+    store.fail_checkpoints = True
+    with pytest.raises(OSError):
+        promote(replica)
+    store.fail_checkpoints = False
+
+    durable = promote(replica)
+    assert replica.promoted
+    assert durable.database == primary.database
+    # the promotion checkpoint landed on the retry
+    assert any(n.startswith("checkpoint-") for n in store.list())
+
+
+def test_checkpoint_false_skips_the_faulty_path_entirely(
+    primary, stream, workload
+):
+    store = CheckpointFaultStore()
+    replica = make_replica(stream, store=store)
+    _ship(primary, replica, workload[:8])
+
+    store.fail_checkpoints = True
+    durable = promote(replica, checkpoint=False)
+    assert replica.promoted
+    assert durable.database == primary.database

@@ -1,4 +1,4 @@
-"""Rebalance mechanics: WAL replay vs state copy, stale-copy skips,
+"""Rebalance mechanics: WAL replay vs state copy, stale-copy repair,
 compaction fallback, and post-move validation."""
 
 import pytest
@@ -132,7 +132,7 @@ class TestMoveStrategies:
 
 
 class TestStaleCopies:
-    def test_moving_back_onto_a_stale_copy_is_skipped(self):
+    def test_moving_back_onto_a_stale_copy_repairs_it(self):
         with ShardedDatabase(
             2, partitioner=MapPartitioner({"r": 0})
         ) as sharded:
@@ -140,15 +140,63 @@ class TestStaleCopies:
             sharded.execute(ModifyState("r", Const(S1)))
             sharded.rebalance(MapPartitioner({"r": 1}))
             # shard 0 still holds the pre-move copy (there is no unbind
-            # command); trying to move back must not clobber ownership
+            # command); moving back must top it up, not clobber history
             sharded.execute(ModifyState("r", Const(S2)))
             report = sharded.rebalance(MapPartitioner({"r": 0}))
-            assert report.skipped_stale == 1
-            assert report.moved == 0
-            assert sharded.shard_of("r") == 1  # authoritative owner kept
+            assert report.stale_repaired == 1
+            assert report.moved == 1
+            assert sharded.shard_of("r") == 0  # ownership flipped back
             checked(sharded, {"r": S2})
-            # the stale copy on shard 0 never sees later modifies
+            # the repaired copy carries the full history, not just the tip
+            assert sharded.state_at("r", 2) == S1
             assert sharded.state_at("r", 3) == S2
+
+    def test_rebalance_move_back_rebalance_converges(self):
+        # Regression: the old skip left ownership at the source, and
+        # every later rebalance re-picked the same stale target forever.
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(ModifyState("r", Const(S1)))
+            sharded.rebalance(MapPartitioner({"r": 1}))
+            sharded.execute(ModifyState("r", Const(S2)))
+            back = MapPartitioner({"r": 0})
+            first = sharded.rebalance(back)
+            assert first.moved == 1
+            # placement now satisfied: the pass converged, no livelock
+            second = sharded.rebalance(back)
+            assert second.moved == 0
+            assert second.stale_repaired == 0
+            assert sharded.shard_of("r") == 0
+            checked(sharded, {"r": S2})
+
+    def test_stale_replace_type_copy_reships_the_latest_state(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"s": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("s", "snapshot"))
+            sharded.execute(ModifyState("s", Const(S1)))
+            sharded.rebalance(MapPartitioner({"s": 1}))
+            sharded.execute(ModifyState("s", Const(S2)))
+            report = sharded.rebalance(MapPartitioner({"s": 0}))
+            assert report.stale_repaired == 1
+            assert sharded.shard_of("s") == 0
+            checked(sharded, {"s": S2})
+
+    def test_diverged_copy_refuses_repair(self):
+        with ShardedDatabase(
+            2, partitioner=MapPartitioner({"r": 0})
+        ) as sharded:
+            sharded.execute(DefineRelation("r", "rollback"))
+            sharded.execute(ModifyState("r", Const(S1)))
+            sharded.rebalance(MapPartitioner({"r": 1}))
+            # corrupt the leftover copy so it is no longer a prefix of
+            # the owner's history
+            sharded.shards[0].execute(ModifyState("r", Const(S3)))
+            sharded.execute(ModifyState("r", Const(S2)))
+            with pytest.raises(ShardingError, match="not a prefix"):
+                sharded.rebalance(MapPartitioner({"r": 0}))
 
 
 class TestRebalanceSurface:
@@ -161,7 +209,7 @@ class TestRebalanceSurface:
             assert report.moved == 0
             assert repr(report) == (
                 "RebalanceReport(moved=0, wal_replayed=0, "
-                "state_copied=0, skipped_stale=0)"
+                "state_copied=0, stale_repaired=0)"
             )
 
     def test_rebalance_swaps_the_partitioner_for_future_placements(self):
