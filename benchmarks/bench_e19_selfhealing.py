@@ -1,0 +1,292 @@
+"""E19 — self-healing: dedup replay, failover MTTR, retries under chaos.
+
+Three sections, one per seam the self-healing stack added:
+
+* **dedup replay** — the headline: a retransmitted ``(session, seq)``
+  answers from the server's dedup table instead of re-running the
+  sentence, so the replay path must be decisively cheaper than a fresh
+  execute.  The committed acceptance bar is a ≥1.5× median speedup —
+  in practice the gap is much wider (a dict lookup vs parse + execute
+  + journal), but the floor only commits to what eviction-window
+  bookkeeping can never eat.
+* **self-heal MTTR** — wall time from killing a primary's write path
+  to the first write landing again, with the supervisor ticking the
+  whole way (auto-failover, then resync + backfill of the replica
+  set).  Informational: it measures this machine's failover cost, not
+  a ratio, so it is not gated.
+* **retries under failover** — a :class:`RetryingClient` keeps writing
+  while the backing cluster loses a primary mid-run under a supervised
+  server; reports writes landed and client-visible errors (the
+  acceptance bar in EXPERIMENTS.md is zero).
+
+``--smoke`` shrinks the workload for CI; with ``REPRO_METRICS_JSON``
+set the run also exports the ``cluster.health.*`` counters the
+supervisor-chaos CI job asserts on.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+import time
+
+from repro.cluster import Cluster, ClusterConfig, ClusterSupervisor
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const
+from repro.errors import ClusterDegradedError, ReproError
+from repro.replication.retry import RetryPolicy
+from repro.server.client import ReproClient, RetryingClient
+from repro.server.server import ServerConfig, ThreadedServer
+from repro.workloads.generators import StateGenerator
+
+FULL = {
+    "dedup_rounds": 60,
+    "state_tuples": 24,
+    "mttr_runs": 3,
+    "chaos_writes": 40,
+}
+SMOKE = {
+    "dedup_rounds": 12,
+    "state_tuples": 24,
+    "mttr_runs": 1,
+    "chaos_writes": 10,
+}
+
+
+def _state_literal(tuples: int) -> str:
+    rows = ", ".join(f"({i}, {i * 10})" for i in range(tuples))
+    return f"state (k: integer, v: integer) {{ {rows} }}"
+
+
+def dedup_replay(config: dict) -> "tuple[float, float]":
+    """Median latency (seconds) of (fresh execute, cached replay) for
+    the same stamped sentences over a real server."""
+    statement = f"modify_state(r, {_state_literal(config['state_tuples'])})"
+    fresh: "list[float]" = []
+    replay: "list[float]" = []
+    with ThreadedServer(ServerConfig(port=0, workers=2)) as handle:
+        with ReproClient(handle.host, handle.port) as client:
+            client.execute("define_relation(r, rollback)")
+            for seq in range(1, config["dedup_rounds"] + 1):
+                started = time.perf_counter()
+                client.execute(statement, session="bench", seq=seq)
+                fresh.append(time.perf_counter() - started)
+                started = time.perf_counter()
+                client.execute(statement, session="bench", seq=seq)
+                replay.append(time.perf_counter() - started)
+    return statistics.median(fresh), statistics.median(replay)
+
+
+def selfheal_mttr(config: dict) -> "tuple[float, int, int]":
+    """(median MTTR seconds, failovers, resyncs) across ``mttr_runs``
+    kill-and-heal rounds on an in-process cluster.  Each round also
+    condemns a replica so the tending pass exercises resync."""
+    generator = StateGenerator(seed=19, key_space=40)
+    durations: "list[float]" = []
+    failovers = 0
+    resyncs = 0
+    for _ in range(config["mttr_runs"]):
+        with Cluster(
+            ClusterConfig(
+                shards=1,
+                replicas_per_shard=2,
+                retry=RetryPolicy(
+                    max_attempts=5, base_delay=0.0, max_delay=0.0
+                ),
+            )
+        ) as cluster:
+            supervisor = ClusterSupervisor(
+                cluster, failure_threshold=1, sleep=lambda _s: None
+            )
+            cluster.execute(DefineRelation("r", "rollback"))
+            cluster.execute(
+                ModifyState("r", Const(generator.snapshot_state(3)))
+            )
+            cluster.catch_up()
+            # condemn one replica: the post-failover tending pass must
+            # rebuild it from the promoted primary's stream
+            victim = cluster.replicas(0)[0]
+            victim._diverged = True
+            cluster.primaries[0].store.fail_writes()
+            command = ModifyState(
+                "r", Const(generator.snapshot_state(3))
+            )
+            started = time.perf_counter()
+            for _attempt in range(50):
+                try:
+                    cluster.execute(command)
+                    break
+                except ClusterDegradedError:
+                    report = supervisor.tick()
+                    failovers += report.failovers
+                    resyncs += report.resyncs
+            else:
+                raise AssertionError("supervisor never healed the shard")
+            durations.append(time.perf_counter() - started)
+            # settle: tend until the live set is whole again
+            for _tick in range(20):
+                report = supervisor.tick()
+                failovers += report.failovers
+                resyncs += report.resyncs
+                live = [
+                    r
+                    for r in cluster.replicas(0)
+                    if not r.diverged and not r.promoted
+                ]
+                if len(live) >= 2 and not cluster.degraded_shards:
+                    break
+    return statistics.median(durations), failovers, resyncs
+
+
+def retries_under_failover(config: dict) -> "tuple[int, int, float]":
+    """(writes landed, client-visible errors, wall seconds) for a
+    retrying client writing through a supervised server while the
+    backing primary dies mid-run."""
+    errors = 0
+    landed = 0
+    with ThreadedServer(
+        ServerConfig(
+            port=0,
+            workers=2,
+            cluster=ClusterConfig(
+                shards=1,
+                replicas_per_shard=2,
+                retry=RetryPolicy(
+                    max_attempts=5, base_delay=0.0, max_delay=0.0
+                ),
+            ),
+            supervise=True,
+            supervise_interval=0.02,
+            supervise_failures=1,
+        )
+    ) as handle:
+        cluster = handle.server.store.cluster
+        statement = f"modify_state(r, {_state_literal(4)})"
+        started = time.perf_counter()
+        with RetryingClient(
+            handle.host,
+            handle.port,
+            retry=RetryPolicy(
+                max_attempts=400, base_delay=0.01, max_delay=0.05
+            ),
+            timeout=10.0,
+        ) as client:
+            client.execute("define_relation(r, rollback)")
+            kill_at = config["chaos_writes"] // 2
+            for index in range(config["chaos_writes"]):
+                if index == kill_at:
+                    cluster.primaries[0].store.fail_writes()
+                try:
+                    client.execute(statement)
+                    landed += 1
+                except ReproError:
+                    errors += 1
+        wall = time.perf_counter() - started
+    return landed, errors, wall
+
+
+# -- reporting ---------------------------------------------------------------
+
+
+def report(smoke: bool = False) -> str:
+    config = SMOKE if smoke else FULL
+    lines = [
+        "E19 — self-healing: dedup replay, failover MTTR, retries "
+        f"under chaos ({'smoke' if smoke else 'full'} run)"
+    ]
+
+    fresh, replay = dedup_replay(config)
+    lines.append(
+        f"  dedup replay ({config['dedup_rounds']} stamped sentences, "
+        f"{config['state_tuples']}-tuple states): fresh "
+        f"{fresh * 1e6:.0f}us vs replay {replay * 1e6:.0f}us median "
+        f"-> {fresh / replay:.1f}x"
+    )
+
+    mttr, failovers, resyncs = selfheal_mttr(config)
+    lines.append(
+        f"  self-heal MTTR: {mttr * 1e3:.1f} ms median over "
+        f"{config['mttr_runs']} kill-and-heal rounds "
+        f"({failovers} auto-failovers, {resyncs} resyncs)"
+    )
+
+    landed, errors, wall = retries_under_failover(config)
+    lines.append(
+        f"  retries under failover: {landed}/{landed + errors} writes "
+        f"landed through a mid-run primary kill in {wall:.2f}s, "
+        f"{errors} client-visible errors"
+    )
+    return "\n".join(lines)
+
+
+def bench_payload() -> dict:
+    """Perf-trajectory record for the committed ``BENCH_e19.json``."""
+    config = FULL
+    fresh, replay = dedup_replay(config)
+    mttr, failovers, resyncs = selfheal_mttr(config)
+    landed, errors, _wall = retries_under_failover(config)
+    return {
+        "experiment": "e19",
+        "description": (
+            "self-healing: dedup-table replay vs fresh execute over "
+            "the wire, supervisor failover MTTR, and exactly-once "
+            "retries through a mid-run primary kill"
+        ),
+        "measurements": {
+            "dedup_replay_speedup": {
+                "kind": "speedup",
+                "value": round(fresh / replay, 2),
+                "floor": 1.5,
+                "detail": (
+                    f"median fresh execute {fresh * 1e6:.0f}us vs "
+                    f"cached replay {replay * 1e6:.0f}us for the same "
+                    "(session, seq) over the wire"
+                ),
+            },
+            "selfheal_mttr_ms": {
+                "kind": "latency_ms",
+                "value": round(mttr * 1e3, 2),
+                "detail": (
+                    f"median over {config['mttr_runs']} kill-and-heal "
+                    f"rounds; {failovers} auto-failovers, "
+                    f"{resyncs} resyncs"
+                ),
+            },
+            "client_errors_during_failover": {
+                "kind": "count",
+                "value": errors,
+                "detail": (
+                    f"{landed} writes landed through a mid-run primary "
+                    "kill under a supervised server; the acceptance "
+                    "bar is zero client-visible errors"
+                ),
+            },
+        },
+    }
+
+
+# -- pytest-benchmark entry points -------------------------------------------
+
+
+def bench_dedup_replay(benchmark):
+    with ThreadedServer(ServerConfig(port=0, workers=2)) as handle:
+        with ReproClient(handle.host, handle.port) as client:
+            client.execute("define_relation(r, rollback)")
+            client.execute(
+                f"modify_state(r, {_state_literal(8)})",
+                session="bench",
+                seq=1,
+            )
+            benchmark(
+                client.execute,
+                f"modify_state(r, {_state_literal(8)})",
+                session="bench",
+                seq=1,
+            )
+
+
+if __name__ == "__main__":
+    from benchmarks.metrics_io import capture_metrics
+
+    with capture_metrics("bench_e19_selfhealing"):
+        print(report(smoke="--smoke" in sys.argv[1:]))

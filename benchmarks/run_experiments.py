@@ -40,6 +40,7 @@ from benchmarks import (
     bench_e16_compiled_engine,
     bench_e17_server,
     bench_e18_cluster,
+    bench_e19_selfhealing,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -65,6 +66,7 @@ EXPERIMENTS = {
     "e16": bench_e16_compiled_engine,
     "e17": bench_e17_server,
     "e18": bench_e18_cluster,
+    "e19": bench_e19_selfhealing,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

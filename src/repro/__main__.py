@@ -107,6 +107,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="replicas behind each cluster primary (default 1)",
     )
     serve.add_argument(
+        "--cluster-dir",
+        default=None,
+        help="directory backing the cluster's primaries, replicas and "
+        "coordinator journal (enables --reopen)",
+    )
+    serve.add_argument(
+        "--reopen",
+        action="store_true",
+        help="reopen a killed cluster from --cluster-dir instead of "
+        "demanding empty stores",
+    )
+    serve.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run the cluster health supervisor (probe primaries, "
+        "auto-failover, resync/backfill replicas)",
+    )
+    serve.add_argument(
+        "--supervise-interval",
+        type=float,
+        default=0.25,
+        help="seconds between supervisor probe ticks (default 0.25)",
+    )
+    serve.add_argument(
         "--debug-ops",
         action="store_true",
         help="honour debug requests (stall_ms) from load drivers",
@@ -152,7 +176,16 @@ def _run_serve(args: argparse.Namespace) -> int:
         cluster = ClusterConfig(
             shards=args.cluster_shards,
             replicas_per_shard=args.cluster_replicas,
+            directory=args.cluster_dir,
+            reopen=args.reopen,
         )
+    elif args.cluster_dir is not None or args.reopen or args.supervise:
+        print(
+            "error: --cluster-dir/--reopen/--supervise need "
+            "--cluster-shards",
+            file=sys.stderr,
+        )
+        return 2
     config = ServerConfig(
         host=args.host,
         port=args.port,
@@ -166,6 +199,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         fsync=args.fsync,
         shards=args.shards,
         cluster=cluster,
+        supervise=args.supervise,
+        supervise_interval=args.supervise_interval,
         debug_ops=args.debug_ops,
     )
 

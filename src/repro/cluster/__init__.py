@@ -3,11 +3,25 @@
 Composes :mod:`repro.sharding` (the global-transaction-number
 coordinator) with :mod:`repro.replication` (per-primary streams,
 bounded-staleness replicas, promotion) into one servable topology with
-per-shard failover.  See :mod:`repro.cluster.cluster` for the design
-notes.
+per-shard failover, degraded-mode write shedding, whole-cluster
+restart recovery (``reopen=True``) and a health supervisor that turns
+failover and replica repair automatic.  See
+:mod:`repro.cluster.cluster` and :mod:`repro.cluster.supervisor` for
+the design notes.
 """
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.cluster import Cluster
+from repro.cluster.supervisor import (
+    ClusterSupervisor,
+    ShardHealth,
+    TickReport,
+)
 
-__all__ = ["Cluster", "ClusterConfig"]
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "ClusterSupervisor",
+    "ShardHealth",
+    "TickReport",
+]

@@ -52,6 +52,8 @@ class ClusterConfig:
         "stream_factory",
         "fsync",
         "checkpoint_every",
+        "directory",
+        "reopen",
     )
 
     def __init__(
@@ -69,6 +71,8 @@ class ClusterConfig:
         ] = None,
         fsync: str = "batch(64, 100)",
         checkpoint_every: int = 256,
+        directory: Optional[str] = None,
+        reopen: bool = False,
     ) -> None:
         if shards < 1:
             raise ClusterError(
@@ -100,8 +104,14 @@ class ClusterConfig:
         self.partitioner = partitioner
         self.retry = retry
         self.stream_factory = stream_factory
+        if reopen and directory is None:
+            raise ClusterError(
+                "reopen=True needs a directory to reopen from"
+            )
         self.fsync = fsync
         self.checkpoint_every = checkpoint_every
+        self.directory = directory
+        self.reopen = reopen
 
     def __repr__(self) -> str:
         return (

@@ -218,6 +218,17 @@ class DurableDatabase:
         self._wal.sync()
         self._store.close()
 
+    def kill(self) -> None:
+        """Simulate abrupt process death for crash testing: no final
+        sync, no checkpoint — cached store handles are dropped with
+        their buffers discarded, leaving the backing exactly as a
+        SIGKILL would.  The object is closed afterwards; recover with a
+        fresh :class:`DurableDatabase` over the same store."""
+        if self._closed:
+            return
+        self._closed = True
+        self._store.crash()
+
     def __enter__(self) -> "DurableDatabase":
         return self
 

@@ -181,10 +181,29 @@ class MemoryStore(FileStore):
         self._plan = plan
         self.ops = 0
         self.crashes = 0
+        self._write_error: Optional[str] = None
 
     # -- fault machinery --------------------------------------------------
 
+    def fail_writes(
+        self, message: str = "injected write failure"
+    ) -> None:
+        """Make every mutating operation raise
+        :class:`~repro.errors.StorageError` while reads keep serving —
+        the write-dead/read-alive failure a supervisor must detect
+        (WAL streaming, validation and snapshots all go through
+        :meth:`read`, so a dying primary can still be failed over)."""
+        self._write_error = message
+
+    def heal_writes(self) -> None:
+        """Clear :meth:`fail_writes`."""
+        self._write_error = None
+
     def _op(self) -> None:
+        if self._write_error is not None:
+            from repro.errors import StorageError
+
+            raise StorageError(self._write_error)
         self.ops += 1
         plan = self._plan
         if plan is not None and plan.crash_at_op == self.ops:

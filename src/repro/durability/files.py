@@ -68,6 +68,12 @@ class FileStore:
     def close(self) -> None:
         """Release any cached handles (optional)."""
 
+    def crash(self) -> None:
+        """Simulate abrupt process death for crash testing: drop any
+        user-space buffers without flushing.  What a later store over
+        the same backing sees is exactly what a SIGKILL would have
+        left.  Default: nothing buffered, nothing to do."""
+
     @staticmethod
     def _check_name(name: str) -> str:
         if not name or "/" in name or "\\" in name or name.startswith("."):
@@ -162,6 +168,19 @@ class DirectoryStore(FileStore):
     def close(self) -> None:
         for name in list(self._handles):
             self._evict(name)
+
+    def crash(self) -> None:
+        # redirect each cached handle at the null device before closing
+        # so its buffered tail flushes into the void instead of the
+        # file — a dead process cannot write after its last syscall
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        try:
+            for name in list(self._handles):
+                handle = self._handles.pop(name)
+                os.dup2(devnull, handle.fileno())
+                handle.close()
+        finally:
+            os.close(devnull)
 
     # -- internal ---------------------------------------------------------
 

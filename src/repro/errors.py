@@ -27,6 +27,7 @@ __all__ = [
     "StorageError",
     "ShardingError",
     "ClusterError",
+    "ClusterDegradedError",
     "WalError",
     "CheckpointError",
     "ReplicationError",
@@ -132,6 +133,15 @@ class ClusterError(StorageError):
     """The cluster topology rejected an operation: failing over a shard
     with no (live) replicas, a promotion candidate that cannot reach the
     primary's tail, or a configuration that names an invalid topology."""
+
+
+class ClusterDegradedError(ClusterError):
+    """A shard has no live primary, so the cluster shed the write rather
+    than hang or half-apply it.  Reads keep serving from the shard's
+    replicas; the health supervisor (or an operator failover) clears the
+    condition, after which a retry of the same sentence succeeds.
+    Transient by construction — retrying clients treat it like
+    :class:`QueueFullError`."""
 
 
 class WalError(StorageError):

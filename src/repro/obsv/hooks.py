@@ -435,6 +435,16 @@ class ClusterObserver:
         "_shards_added",
         "_catchup_records",
         "_lag",
+        "_probes",
+        "_probe_failures",
+        "_auto_failovers",
+        "_failover_failures",
+        "_resyncs",
+        "_backfills",
+        "_degraded_marked",
+        "_degraded_cleared",
+        "_writes_shed",
+        "_mttr",
     )
 
     def __init__(self, registry: MetricsRegistry) -> None:
@@ -450,6 +460,28 @@ class ClusterObserver:
             "cluster.catchup_records"
         )
         self._lag = registry.histogram("cluster.shard_lag_records")
+        self._probes = registry.counter("cluster.health.probes")
+        self._probe_failures = registry.counter(
+            "cluster.health.probe_failures"
+        )
+        self._auto_failovers = registry.counter(
+            "cluster.health.auto_failovers"
+        )
+        self._failover_failures = registry.counter(
+            "cluster.health.failover_failures"
+        )
+        self._resyncs = registry.counter("cluster.health.resyncs")
+        self._backfills = registry.counter("cluster.health.backfills")
+        self._degraded_marked = registry.counter(
+            "cluster.health.degraded_marked"
+        )
+        self._degraded_cleared = registry.counter(
+            "cluster.health.degraded_cleared"
+        )
+        self._writes_shed = registry.counter(
+            "cluster.health.writes_shed"
+        )
+        self._mttr = registry.histogram("cluster.health.mttr_seconds")
 
     def failed_over(self) -> None:
         """A shard's primary was replaced by a promoted replica."""
@@ -483,6 +515,44 @@ class ClusterObserver:
     def lag(self, records: int) -> None:
         """An observed per-shard replica lag sample (LSN distance)."""
         self._lag.observe(records)
+
+    def probed(self, ok: bool) -> None:
+        """The supervisor probed one shard primary."""
+        self._probes.inc()
+        if not ok:
+            self._probe_failures.inc()
+
+    def auto_failed_over(self, seconds: float) -> None:
+        """The supervisor promoted a replica over a dead primary;
+        ``seconds`` is the detection-to-recovery time (MTTR)."""
+        self._auto_failovers.inc()
+        self._mttr.observe(seconds)
+
+    def auto_failover_failed(self) -> None:
+        """A supervisor-initiated failover was refused (no candidate,
+        or validation failed); the shard stays degraded."""
+        self._failover_failures.inc()
+
+    def resynced(self) -> None:
+        """A condemned replica was rebuilt from its primary's
+        checkpoint and returned to service."""
+        self._resyncs.inc()
+
+    def backfilled(self) -> None:
+        """The supervisor attached a replacement replica to bring a
+        shard's live set back to the configured size."""
+        self._backfills.inc()
+
+    def degraded(self, marked: bool) -> None:
+        """A shard entered (``marked=True``) or left degraded mode."""
+        if marked:
+            self._degraded_marked.inc()
+        else:
+            self._degraded_cleared.inc()
+
+    def write_shed(self) -> None:
+        """A write was refused because its target shard is degraded."""
+        self._writes_shed.inc()
 
 
 _WAL_OBSERVER: Optional[WalObserver] = None

@@ -313,6 +313,31 @@ class Replica:
         if observer is not None:
             observer.resnapshotted()
 
+    def resync(
+        self, stream: Optional[ReplicationStream] = None
+    ) -> None:
+        """Rebuild a *condemned* (diverged) replica from the primary's
+        newest checkpoint and put it back in service — the health
+        supervisor's quarantine-and-repair path.  Divergence means the
+        replica's replayed history contradicts the primary's, so no
+        suffix replay can ever rejoin it; the only honest repair is the
+        same full re-snapshot an authoritative gap triggers.  Pass
+        ``stream`` to re-home onto a replacement stream in the same
+        step: a replica condemned *before* a failover still points at
+        the dead primary's stream (``refollow`` refuses diverged
+        replicas), so its repair must snapshot from the promoted
+        successor instead.  Promoted replicas are refused: they *are*
+        a primary now."""
+        if self._promoted:
+            raise ReplicationError(
+                "cannot resync a promoted replica; it no longer "
+                "follows the stream"
+            )
+        if stream is not None:
+            self._stream = stream
+        self._resnapshot()
+        self._diverged = False
+
     # -- read path ---------------------------------------------------------
 
     def evaluate(self, expression: Expression):
@@ -362,6 +387,11 @@ class Replica:
 
     def close(self) -> None:
         self._durable.close()
+
+    def kill(self) -> None:
+        """Crash-test hook: drop handles without flushing (see
+        :meth:`DurableDatabase.kill`)."""
+        self._durable.kill()
 
     def __enter__(self) -> "Replica":
         return self

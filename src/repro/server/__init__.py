@@ -23,7 +23,15 @@ Quick start::
 """
 
 from repro.server.admission import AdmissionController, percentile
-from repro.server.client import AsyncReproClient, ReproClient, connect
+from repro.server.client import (
+    RETRYABLE_ERRORS,
+    AsyncReproClient,
+    AsyncRetryingClient,
+    ReproClient,
+    RetryingClient,
+    connect,
+)
+from repro.server.dedup import DedupTable
 from repro.server.loadgen import (
     DriverConfig,
     DriverReport,
@@ -46,11 +54,15 @@ from repro.server.store import ServerStore, SessionView
 __all__ = [
     "AdmissionController",
     "AsyncReproClient",
+    "AsyncRetryingClient",
+    "DedupTable",
     "DriverConfig",
     "DriverReport",
     "FrameDecoder",
+    "RETRYABLE_ERRORS",
     "ReproClient",
     "ReproServer",
+    "RetryingClient",
     "ServerConfig",
     "ServerStore",
     "SessionView",

@@ -95,6 +95,8 @@ class AdmissionController:
         self.completed = 0
         self.errors = 0
         self.orphaned = 0
+        self.degraded = 0
+        self.degraded_shed = 0
         self._latencies: list[float] = []
         self._latency_cursor = 0
 
@@ -150,8 +152,8 @@ class AdmissionController:
         """An admitted request left the system.
 
         ``outcome`` is one of ``completed`` / ``error`` / ``killed`` /
-        ``expired`` / ``orphaned``; ``executed`` says whether a worker
-        slot was occupied (and must be released).
+        ``expired`` / ``orphaned`` / ``degraded``; ``executed`` says
+        whether a worker slot was occupied (and must be released).
         """
         self.depth -= 1
         remaining = self._per_conn.get(connection_id, 0) - 1
@@ -173,6 +175,8 @@ class AdmissionController:
             self.expired_in_queue += 1
         elif outcome == "orphaned":
             self.orphaned += 1
+        elif outcome == "degraded":
+            self.degraded += 1
         if self._shedding and self.depth <= self.queue_low:
             self._shedding = False
         if _obsv.enabled():
@@ -194,6 +198,13 @@ class AdmissionController:
                 seconds
             )
 
+    def shed_degraded(self) -> None:
+        """A write was refused at admission because every shard is
+        degraded — no queue slot was taken."""
+        self.degraded_shed += 1
+        if _obsv.enabled():
+            _obsv.get().counter("server.degraded_shed").inc()
+
     # -- inspection -----------------------------------------------------------
 
     @property
@@ -213,6 +224,8 @@ class AdmissionController:
             "server.completed": self.completed,
             "server.errors": self.errors,
             "server.orphaned": self.orphaned,
+            "server.degraded": self.degraded,
+            "server.degraded_shed": self.degraded_shed,
             "server.queue_depth": self.depth,
             "server.inflight": self.inflight,
             "server.shedding": int(self._shedding),

@@ -1,0 +1,167 @@
+"""Bounded server-side dedup: exactly-once executes across retries.
+
+A client that loses its connection mid-write cannot tell whether the
+sentence landed — the paper's transaction-time model makes the *store*
+append-only, but the *wire* still loses acks.  The fix is the classic
+one: the client stamps every execute with a session token and a
+monotonically increasing sequence number, and the server remembers the
+reply it sent for each ``(session, seq)``.  A retransmission replays
+the cached reply instead of applying the sentence a second time.
+
+Both bounds are hard:
+
+* at most ``max_sessions`` sessions, evicted least-recently-used;
+* at most ``max_replies`` cached replies per session, evicted lowest
+  sequence number first (the seq a well-behaved client is least likely
+  to retransmit).
+
+Eviction never risks a double-apply.  The table tracks each session's
+highest recorded seq, so a retransmitted seq whose cached reply was
+already evicted is classified ``stale`` — the server answers it with a
+typed error and does **not** re-execute.  The window bound therefore
+trades *retry lifetime* for memory, never correctness.  (An evicted
+*session* forgets its ``last_seq`` too; that is safe for the intended
+client, which never reuses a seq it saw any reply for, and is the
+standard memory/at-most-once trade every bounded dedup table makes.)
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from repro.obsv import registry as _obsv
+
+__all__ = ["DedupTable"]
+
+#: lookup() verdicts.
+HIT = "hit"
+MISS = "miss"
+STALE = "stale"
+
+
+class _SessionWindow:
+    __slots__ = ("replies", "last_seq")
+
+    def __init__(self) -> None:
+        self.replies: "OrderedDict[int, dict]" = OrderedDict()
+        self.last_seq = 0
+
+
+class DedupTable:
+    """The bounded ``(session, seq) -> cached reply`` map."""
+
+    __slots__ = (
+        "_sessions",
+        "_max_sessions",
+        "_max_replies",
+        "hits",
+        "misses",
+        "stale_refused",
+        "sessions_evicted",
+        "replies_evicted",
+    )
+
+    def __init__(
+        self, max_sessions: int = 1024, max_replies: int = 32
+    ) -> None:
+        if max_sessions < 1 or max_replies < 1:
+            raise ValueError(
+                "dedup bounds must be >= 1, got "
+                f"max_sessions={max_sessions}, max_replies={max_replies}"
+            )
+        self._sessions: "OrderedDict[str, _SessionWindow]" = OrderedDict()
+        self._max_sessions = max_sessions
+        self._max_replies = max_replies
+        self.hits = 0
+        self.misses = 0
+        self.stale_refused = 0
+        self.sessions_evicted = 0
+        self.replies_evicted = 0
+
+    # -- the protocol ---------------------------------------------------------
+
+    def lookup(
+        self, token: str, seq: int, *, count_miss: bool = True
+    ) -> Tuple[str, Optional[dict]]:
+        """Classify a ``(session, seq)``: ``("hit", reply)`` for a
+        cached retransmission, ``("stale", None)`` for a seq that was
+        recorded but whose reply left the window, ``("miss", None)``
+        for a first sighting.
+
+        ``count_miss=False`` suppresses the miss counter — the server
+        checks twice per request (admission fast path, then again just
+        before executing) and only the first check should count.
+        """
+        window = self._sessions.get(token)
+        if window is None:
+            if count_miss:
+                self.misses += 1
+            return MISS, None
+        self._sessions.move_to_end(token)
+        reply = window.replies.get(seq)
+        if reply is not None:
+            self.hits += 1
+            if _obsv.enabled():
+                _obsv.get().counter("server.dedup.hits").inc()
+            return HIT, reply
+        if seq <= window.last_seq:
+            self.stale_refused += 1
+            if _obsv.enabled():
+                _obsv.get().counter("server.dedup.stale").inc()
+            return STALE, None
+        if count_miss:
+            self.misses += 1
+        return MISS, None
+
+    def record(self, token: str, seq: int, reply: dict) -> None:
+        """Cache the definitive reply for ``(token, seq)``.  Idempotent
+        per seq: a concurrent duplicate that raced past the lookup
+        keeps the first recorded reply."""
+        window = self._sessions.get(token)
+        if window is None:
+            while len(self._sessions) >= self._max_sessions:
+                self._sessions.popitem(last=False)
+                self.sessions_evicted += 1
+            window = self._sessions[token] = _SessionWindow()
+        else:
+            self._sessions.move_to_end(token)
+        if seq in window.replies:
+            return
+        window.replies[seq] = dict(reply)
+        if seq > window.last_seq:
+            window.last_seq = seq
+        while len(window.replies) > self._max_replies:
+            window.replies.popitem(last=False)
+            self.replies_evicted += 1
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def sessions(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def replies(self) -> int:
+        return sum(
+            len(window.replies) for window in self._sessions.values()
+        )
+
+    def snapshot(self) -> dict:
+        """The ``server.dedup.*`` rows for ``metrics_snapshot()``."""
+        return {
+            "server.dedup.sessions": self.sessions,
+            "server.dedup.replies": self.replies,
+            "server.dedup.hits": self.hits,
+            "server.dedup.misses": self.misses,
+            "server.dedup.stale_refused": self.stale_refused,
+            "server.dedup.sessions_evicted": self.sessions_evicted,
+            "server.dedup.replies_evicted": self.replies_evicted,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"DedupTable(sessions={self.sessions}/{self._max_sessions}, "
+            f"replies={self.replies}, hits={self.hits}, "
+            f"stale_refused={self.stale_refused})"
+        )

@@ -33,7 +33,21 @@ queries deterministically).  Responses echo the request ``id`` with a
   ``error_type`` (the server-side exception class name);
 * ``queue_full`` — shed by admission control; retry with backoff;
 * ``deadline`` — the deadline expired in queue or mid-execution;
-* ``shutting_down`` — the server is draining.
+* ``shutting_down`` — the server is draining;
+* ``degraded`` — a shard backing the write has no live primary, so the
+  write was shed with a typed error instead of hanging; reads keep
+  serving and a retry succeeds once the supervisor repairs the shard.
+
+Execute requests may additionally carry a ``session`` token (an opaque
+client-chosen string) and a ``seq`` number (monotonically increasing
+per session, starting at 1).  Together they make retries *exactly
+once*: the server remembers the reply it sent for each ``(session,
+seq)`` in a bounded dedup window and replays the cached reply — marked
+``"replayed": true`` — for a retransmission instead of applying the
+sentence a second time.  A retransmitted seq whose cached reply has
+already been evicted from the window is answered with ``error`` and is
+**never** re-executed, so the window bound trades retry lifetime for
+memory without ever risking a double-apply.
 
 Responses are matched to requests by ``id``; the protocol permits
 pipelining, but a worker pool may complete two in-flight requests from
@@ -73,6 +87,7 @@ __all__ = [
     "STATUS_QUEUE_FULL",
     "STATUS_DEADLINE",
     "STATUS_SHUTDOWN",
+    "STATUS_DEGRADED",
 ]
 
 _HEADER = struct.Struct("<II")
@@ -98,6 +113,7 @@ STATUS_ERROR = "error"
 STATUS_QUEUE_FULL = "queue_full"
 STATUS_DEADLINE = "deadline"
 STATUS_SHUTDOWN = "shutting_down"
+STATUS_DEGRADED = "degraded"
 
 
 # -- framing ----------------------------------------------------------------
@@ -206,10 +222,16 @@ def request(
     *,
     deadline_ms: Optional[float] = None,
     stall_ms: Optional[float] = None,
+    session: Optional[str] = None,
+    seq: Optional[int] = None,
 ) -> dict:
     """A well-formed request message."""
     if op not in OPS:
         raise ProtocolError(f"unknown op {op!r}; expected one of {sorted(OPS)}")
+    if (session is None) != (seq is None):
+        raise ProtocolError(
+            "session and seq travel together: both or neither"
+        )
     message: dict[str, Any] = {"id": request_id, "op": op}
     if source is not None:
         message["source"] = source
@@ -217,6 +239,9 @@ def request(
         message["deadline_ms"] = deadline_ms
     if stall_ms is not None:
         message["stall_ms"] = stall_ms
+    if session is not None:
+        message["session"] = session
+        message["seq"] = seq
     return message
 
 
@@ -239,4 +264,15 @@ def validate_request(message: dict) -> dict:
             raise ProtocolError(f"op {op!r} requires a string 'source'")
     if "id" not in message:
         raise ProtocolError("request is missing its 'id'")
+    session = message.get("session")
+    seq = message.get("seq")
+    if (session is None) != (seq is None):
+        raise ProtocolError(
+            "session and seq travel together: both or neither"
+        )
+    if session is not None:
+        if not isinstance(session, str) or not session:
+            raise ProtocolError("session must be a non-empty string")
+        if not isinstance(seq, int) or isinstance(seq, bool) or seq < 1:
+            raise ProtocolError("seq must be an integer >= 1")
     return message

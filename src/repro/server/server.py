@@ -36,10 +36,16 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import ProtocolError, ReproError, ServerError
+from repro.errors import (
+    ClusterDegradedError,
+    ProtocolError,
+    ReproError,
+    ServerError,
+)
 from repro.obsv import registry as _obsv
 from repro.server import protocol
 from repro.server.admission import AdmissionController
+from repro.server.dedup import DedupTable
 from repro.server.store import ServerStore, SessionView
 
 __all__ = ["ServerConfig", "ReproServer", "ThreadedServer", "serve_in_thread"]
@@ -75,10 +81,24 @@ class ServerConfig:
     #: A :class:`~repro.cluster.ClusterConfig` (sharded primaries ×
     #: replica sets); mutually exclusive with the three legacy backings.
     cluster: Optional[object] = field(default=None, repr=False)
+    #: Exactly-once dedup window bounds (see repro.server.dedup).
+    dedup_sessions: int = 1024
+    dedup_replies: int = 32
+    #: Run a ClusterSupervisor on the event loop (cluster backing only):
+    #: probe/heal every ``supervise_interval`` seconds, declaring a
+    #: primary dead after ``supervise_failures`` consecutive failures.
+    supervise: bool = False
+    supervise_interval: float = 0.25
+    supervise_failures: int = 3
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ServerError(f"workers must be ≥ 1, got {self.workers}")
+        if self.supervise and self.cluster is None:
+            raise ServerError(
+                "supervise=True needs a cluster backing "
+                "(cluster=ClusterConfig(...))"
+            )
 
 
 class _Connection:
@@ -124,6 +144,13 @@ class ReproServer:
             queue_low=config.queue_low,
             per_connection=config.per_connection,
         )
+        self.dedup = DedupTable(
+            max_sessions=config.dedup_sessions,
+            max_replies=config.dedup_replies,
+        )
+        self.supervisor = None
+        self.supervisor_ticks = 0
+        self._supervisor_task: Optional[asyncio.Task] = None
         self._queue: "asyncio.Queue[_Request]" = asyncio.Queue()
         self._server: Optional[asyncio.base_events.Server] = None
         self._workers: list[asyncio.Task] = []
@@ -156,11 +183,40 @@ class ReproServer:
             asyncio.ensure_future(self._worker())
             for _ in range(self.config.workers)
         ]
+        if self.config.supervise and self.store.cluster is not None:
+            from repro.cluster.supervisor import ClusterSupervisor
+
+            self.supervisor = ClusterSupervisor(
+                self.store.cluster,
+                probe_interval=self.config.supervise_interval,
+                failure_threshold=self.config.supervise_failures,
+            )
+            self._supervisor_task = asyncio.ensure_future(
+                self._supervise()
+            )
+
+    async def _supervise(self) -> None:
+        """Tick the supervisor on the event loop: probes and repairs
+        serialize with writes, so a failover never races an execute."""
+        assert self.supervisor is not None
+        while True:
+            await asyncio.sleep(self.config.supervise_interval)
+            try:
+                self.supervisor.tick()
+            except Exception:  # pragma: no cover - defensive
+                pass
+            self.supervisor_ticks += 1
 
     async def stop(self, drain: bool = True) -> None:
         """Graceful shutdown: close the listener, drain admitted
         requests, cancel workers, close connections and the store."""
         self._draining = True
+        if self._supervisor_task is not None:
+            self._supervisor_task.cancel()
+            await asyncio.gather(
+                self._supervisor_task, return_exceptions=True
+            )
+            self._supervisor_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -267,6 +323,55 @@ class ReproServer:
                 ),
             )
             return
+        if op == protocol.OP_EXECUTE:
+            token = message.get("session")
+            if token is not None:
+                # exactly-once fast path: a retransmission of a request
+                # we already answered replays the cached reply without
+                # taking a queue slot
+                verdict, cached = self.dedup.lookup(
+                    token, message["seq"]
+                )
+                if verdict == "hit":
+                    assert cached is not None
+                    await self._send(
+                        connection,
+                        dict(cached, id=request_id, replayed=True),
+                    )
+                    return
+                if verdict == "stale":
+                    await self._send(
+                        connection,
+                        protocol.response(
+                            request_id,
+                            protocol.STATUS_ERROR,
+                            error=(
+                                f"seq {message['seq']} already executed "
+                                "but its cached reply left the dedup "
+                                "window; refusing to re-apply"
+                            ),
+                            error_type="ServerError",
+                        ),
+                    )
+                    return
+            if self.store.fully_degraded:
+                # every shard is shedding writes: answer here instead
+                # of queueing work guaranteed to fail
+                self.admission.shed_degraded()
+                await self._send(
+                    connection,
+                    protocol.response(
+                        request_id,
+                        protocol.STATUS_DEGRADED,
+                        error=(
+                            "every shard is degraded (no live "
+                            "primaries); writes are shed until the "
+                            "supervisor repairs the cluster"
+                        ),
+                        error_type="ClusterDegradedError",
+                    ),
+                )
+                return
         reason = self.admission.try_admit(connection.id)
         if reason is not None:
             await self._send(
@@ -354,6 +459,16 @@ class ReproServer:
                 protocol.STATUS_DEADLINE,
                 error="deadline expired mid-execution; query killed",
             )
+        except ClusterDegradedError as error:
+            # before the ReproError arm: a shard with no live primary
+            # shed the write — transient, retryable, never cached
+            outcome = "degraded"
+            reply = protocol.response(
+                request_id,
+                protocol.STATUS_DEGRADED,
+                error=str(error),
+                error_type=type(error).__name__,
+            )
         except ReproError as error:
             outcome = "error"
             reply = protocol.response(
@@ -396,10 +511,51 @@ class ReproServer:
                 result=request.connection.view.query(source),
             )
         if op == protocol.OP_EXECUTE:
-            txn = self.store.execute(source)
-            return protocol.response(
+            token = message.get("session")
+            seq = message.get("seq")
+            if token is not None:
+                # check again at the last moment: the original may have
+                # been queued behind this retransmission.  No await
+                # separates this lookup from execute-and-record, so the
+                # pair is atomic under the event loop.
+                verdict, cached = self.dedup.lookup(
+                    token, seq, count_miss=False
+                )
+                if verdict == "hit":
+                    assert cached is not None
+                    return dict(cached, id=request_id, replayed=True)
+                if verdict == "stale":
+                    raise ServerError(
+                        f"seq {seq} already executed but its cached "
+                        "reply left the dedup window; refusing to "
+                        "re-apply"
+                    )
+            try:
+                txn = self.store.execute(source)
+            except ClusterDegradedError:
+                raise  # transient: retryable, never recorded
+            except ReproError as error:
+                if token is not None:
+                    # the sentence executed and failed deterministically:
+                    # that verdict is definitive, so retransmissions
+                    # must replay it rather than run the sentence again
+                    self.dedup.record(
+                        token,
+                        seq,
+                        protocol.response(
+                            request_id,
+                            protocol.STATUS_ERROR,
+                            error=str(error),
+                            error_type=type(error).__name__,
+                        ),
+                    )
+                raise
+            reply = protocol.response(
                 request_id, protocol.STATUS_OK, txn=txn
             )
+            if token is not None:
+                self.dedup.record(token, seq, reply)
+            return reply
         if op == protocol.OP_EXPLAIN:
             return protocol.response(
                 request_id,
@@ -447,6 +603,11 @@ class ReproServer:
         )
         snapshot["server.workers"] = self.config.workers
         snapshot["server.draining"] = int(self._draining)
+        snapshot.update(self.dedup.snapshot())
+        snapshot["server.degraded_shards"] = len(
+            self.store.degraded_shards
+        )
+        snapshot["server.supervisor_ticks"] = self.supervisor_ticks
         return snapshot
 
 

@@ -108,6 +108,32 @@ class ServerStore:
     def transaction_number(self) -> int:
         return self._session.transaction_number
 
+    @property
+    def cluster(self):
+        """The backing :class:`~repro.cluster.Cluster`, or None."""
+        return self._session.cluster
+
+    @property
+    def degraded_shards(self) -> "tuple[int, ...]":
+        """Shards currently refusing writes (cluster backing only)."""
+        cluster = self.cluster
+        if cluster is None:
+            return ()
+        return cluster.degraded_shards
+
+    @property
+    def fully_degraded(self) -> bool:
+        """True when *every* shard of a cluster backing is degraded —
+        the server then sheds writes at admission instead of queueing
+        work that is guaranteed to fail."""
+        cluster = self.cluster
+        if cluster is None:
+            return False
+        return (
+            cluster.shard_count > 0
+            and len(cluster.degraded_shards) == cluster.shard_count
+        )
+
     def current_database(self) -> Database:
         """The immutable database value reads anchor to."""
         return self._session.database

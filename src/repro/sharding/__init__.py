@@ -8,6 +8,7 @@ initial placement.  See ``docs/architecture.md`` (Sharding) and
 ``docs/testing.md`` (the differential shard oracle).
 """
 
+from repro.sharding.journal import CoordinatorJournal
 from repro.sharding.partition import (
     HashPartitioner,
     Partitioner,
@@ -17,6 +18,7 @@ from repro.sharding.router import ScatterGatherRouter
 from repro.sharding.sharded import RebalanceReport, ShardedDatabase
 
 __all__ = [
+    "CoordinatorJournal",
     "HashPartitioner",
     "Partitioner",
     "RangePartitioner",

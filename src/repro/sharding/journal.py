@@ -1,0 +1,197 @@
+"""The coordinator journal: durable shard-routing metadata.
+
+A :class:`~repro.sharding.sharded.ShardedDatabase` keeps three pieces
+of metadata the shards themselves cannot reconstruct: the global
+transaction counter, the identifier→shard owner map, and the per-
+identifier list of global transaction numbers at which each history
+was modified (what localizes a global ρ(I, N) numeral onto a shard's
+local history).  Before this journal existed that metadata lived only
+in memory, so a process kill lost the cluster even though every shard
+store was durable.
+
+The journal applies the WAL discipline one level up.  Per *effective*
+command the coordinator appends one JSON record — global txn, target
+shard, kind, identifier, and the **shipped** command (already
+localized, so replay is exact) — *before* executing on the shard, and
+only then updates its in-memory maps.  Periodically (and at every
+topology change) it writes a ``meta-checkpoint.json`` snapshot of the
+maps and drops the covered journal segments.  Reopening a cluster is
+then: load the checkpoint, recover each shard, and replay the journal
+tail — redoing onto any shard whose own (batch-fsynced) WAL lost the
+corresponding records, which is why the checkpoint writer fsyncs every
+shard first and the journal itself runs ``policy="always"``: the
+journal is never allowed to be *behind* a shard.
+
+Failed commands leave **dead records**: the journal entry was written
+but the shard refused the command (or the paper's no-op semantics made
+it ineffective).  Each one is immediately followed by an ``abort``
+marker carrying the same predicted txn — writes are serialized, so the
+pair is adjacent — and :meth:`CoordinatorJournal.pending` cancels the
+pairs out before replay.  A trailing dead record with *no* marker
+(crash in the window between the two appends) is harmless: replay
+re-executes it, and either it fails again deterministically (skipped)
+or the crash interrupted a commit that now completes — standard WAL
+recovery semantics.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.durability.codec import command_to_dict
+from repro.durability.files import FileStore
+from repro.durability.wal import WriteAheadLog
+from repro.errors import ShardingError
+
+__all__ = ["CoordinatorJournal", "CHECKPOINT_NAME"]
+
+#: The atomic metadata snapshot next to the journal segments.
+CHECKPOINT_NAME = "meta-checkpoint.json"
+
+_VERSION = 1
+
+
+def _encode(entry: dict) -> bytes:
+    return json.dumps(
+        entry, sort_keys=True, separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+
+
+class CoordinatorJournal:
+    """One write-ahead journal + checkpoint pair over a FileStore."""
+
+    def __init__(
+        self, store: FileStore, *, checkpoint_every: int = 512
+    ) -> None:
+        if checkpoint_every < 1:
+            raise ShardingError(
+                f"checkpoint_every must be ≥ 1, got {checkpoint_every}"
+            )
+        self._store = store
+        # "always": a journal record must never be volatile while the
+        # shard effect it predicts is durable (see module docstring)
+        self._wal = WriteAheadLog(store, policy="always")
+        self._checkpoint_every = checkpoint_every
+        self._since_checkpoint = 0
+        self._extra: dict = {}
+
+    @property
+    def store(self) -> FileStore:
+        return self._store
+
+    @property
+    def last_lsn(self) -> int:
+        return self._wal.last_lsn
+
+    # -- cluster-level payload ------------------------------------------------
+
+    @property
+    def extra(self) -> dict:
+        """An opaque payload the owner (e.g. the cluster topology)
+        persists alongside the coordinator maps; survives checkpoints
+        and reopen."""
+        return self._extra
+
+    def set_extra(self, extra: dict) -> None:
+        self._extra = dict(extra)
+
+    # -- the write path -------------------------------------------------------
+
+    def record(
+        self,
+        shard: int,
+        kind: str,
+        identifier: str,
+        command,
+        txn: int,
+    ) -> None:
+        """Journal an intended command *before* the shard executes it.
+        ``txn`` is the global transaction number the command will
+        commit as if it proves effective; ``command`` is the shipped
+        (already-localized) form."""
+        self._wal.append(
+            _encode(
+                {
+                    "t": txn,
+                    "s": shard,
+                    "k": kind,
+                    "i": identifier,
+                    "c": command_to_dict(command),
+                }
+            )
+        )
+        self._since_checkpoint += 1
+
+    def abort(self, txn: int) -> None:
+        """Cancel the immediately preceding record: the shard refused
+        the command or the paper's semantics made it a no-op."""
+        self._wal.append(_encode({"k": "abort", "t": txn}))
+
+    def due(self) -> bool:
+        """Time for a checkpoint?  Consulted between commands only —
+        a checkpoint must never interleave with a record/abort pair."""
+        return self._since_checkpoint >= self._checkpoint_every
+
+    # -- checkpoints ----------------------------------------------------------
+
+    def checkpoint(self, snapshot: dict) -> None:
+        """Atomically publish the metadata ``snapshot`` and drop the
+        journal segments it covers.  The caller has already fsynced
+        every shard (see ShardedDatabase.meta_checkpoint)."""
+        body = dict(snapshot)
+        body["version"] = _VERSION
+        body["journal_lsn"] = self._wal.last_lsn
+        body["extra"] = self._extra
+        self._store.replace(
+            CHECKPOINT_NAME,
+            json.dumps(body, sort_keys=True).encode("utf-8"),
+        )
+        self._wal.drop_segments_through(body["journal_lsn"])
+        self._since_checkpoint = 0
+
+    @staticmethod
+    def load(store: FileStore) -> Optional[dict]:
+        """The latest checkpoint's body, or None when the store has
+        never checkpointed (a fresh or non-journaled directory)."""
+        if not store.exists(CHECKPOINT_NAME):
+            return None
+        try:
+            meta = json.loads(store.read(CHECKPOINT_NAME).decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            raise ShardingError(
+                f"unreadable coordinator checkpoint: {error}"
+            ) from error
+        if not isinstance(meta, dict) or meta.get("version") != _VERSION:
+            raise ShardingError(
+                "coordinator checkpoint has unsupported version "
+                f"{meta.get('version') if isinstance(meta, dict) else meta!r}"
+            )
+        return meta
+
+    # -- replay ---------------------------------------------------------------
+
+    def pending(self, after_lsn: int) -> "list[dict]":
+        """Journal entries past ``after_lsn`` with aborted record/marker
+        pairs cancelled out — exactly the commands replay must account
+        for, in coordinator commit order."""
+        entries: list[dict] = []
+        for _lsn, payload in self._wal.records(after_lsn=after_lsn):
+            try:
+                entry = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                raise ShardingError(
+                    f"undecodable coordinator journal record: {error}"
+                ) from error
+            if entry.get("k") == "abort":
+                if entries and entries[-1]["t"] == entry["t"]:
+                    entries.pop()
+                continue
+            entries.append(entry)
+        return entries
+
+    def __repr__(self) -> str:
+        return (
+            f"CoordinatorJournal(last_lsn={self._wal.last_lsn}, "
+            f"since_checkpoint={self._since_checkpoint})"
+        )

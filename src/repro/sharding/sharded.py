@@ -30,10 +30,17 @@ mirror:
   :func:`repro.core.expressions.apply_node`.
 
 Coordinator metadata (owner map, per-identifier global transaction
-numbers, the global counter) is in-memory: a ``ShardedDatabase`` must
-open over *empty* shard stores and raises :class:`ShardingError`
-otherwise.  Durability of the shards themselves is unchanged — each
-shard store is a complete, recoverable ``DurableDatabase``.
+numbers, the global counter) lives in memory and — when the database
+has a ``directory`` (or an explicit ``meta_store``) — is made durable
+by a :class:`~repro.sharding.journal.CoordinatorJournal`: a write-ahead
+record per effective command plus periodic atomic checkpoints of the
+maps.  :meth:`ShardedDatabase.reopen` restores the checkpoint, recovers
+every shard, and replays the journal tail (re-executing onto shards
+whose batch-fsynced WALs lost the corresponding records), so a whole
+cluster survives a process kill.  A *fresh* ``ShardedDatabase`` still
+must open over empty shard stores and raises :class:`ShardingError`
+otherwise — reopening is explicit, never guessed.  Purely in-memory
+instances journal nothing and behave exactly as before.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ import time
 from bisect import bisect_right
 from typing import Callable, Iterable, Optional, Sequence, Union as TypingUnion
 
-from repro.errors import CommandError, ShardingError
+from repro.errors import CommandError, ReproError, ShardingError, StorageError
 from repro.core.commands import (
     Command,
     DefineRelation,
@@ -60,10 +67,11 @@ from repro.core.expressions import (
 from repro.core.relation import EMPTY_STATE, Relation
 from repro.core.txn import NOW, Numeral, TransactionNumber, is_now
 from repro.durability import DurableDatabase, MemoryStore
-from repro.durability.codec import decode_record
-from repro.durability.files import FileStore
+from repro.durability.codec import command_from_dict, decode_record
+from repro.durability.files import DirectoryStore, FileStore
 from repro.historical.state import HistoricalState
 from repro.obsv import hooks as _hooks
+from repro.sharding.journal import CoordinatorJournal
 from repro.sharding.partition import HashPartitioner, Partitioner
 from repro.sharding.router import ScatterGatherRouter
 from repro.snapshot.state import SnapshotState
@@ -139,6 +147,8 @@ class ShardedDatabase:
         checkpoint_every: int = 256,
         keep_checkpoints: int = 2,
         segment_bytes: int = 1 << 20,
+        meta_store: Optional[FileStore] = None,
+        meta_checkpoint_every: int = 512,
     ) -> None:
         if stores is not None:
             stores = list(stores)
@@ -178,6 +188,21 @@ class ShardedDatabase:
                 index
             ].evaluate(expr),
         )
+        if meta_store is None and self._directory is not None:
+            meta_store = DirectoryStore(
+                os.path.join(self._directory, "coordinator")
+            )
+        self._journal = (
+            CoordinatorJournal(
+                meta_store, checkpoint_every=meta_checkpoint_every
+            )
+            if meta_store is not None
+            else None
+        )
+        self._meta_checkpoint_every = meta_checkpoint_every
+        # an opening checkpoint makes a brand-new directory reopenable
+        # even before the first command
+        self.meta_checkpoint()
 
     def _open_shard(
         self, index: int, store: Optional[FileStore]
@@ -203,6 +228,152 @@ class ShardedDatabase:
             )
         return shard
 
+    @classmethod
+    def reopen(
+        cls,
+        *,
+        meta_store: Optional[FileStore] = None,
+        directory: "TypingUnion[str, os.PathLike[str], None]" = None,
+        stores: Optional[Sequence[FileStore]] = None,
+        partitioner: Optional[Partitioner] = None,
+        backend_factory: Optional[Callable[[], object]] = None,
+        fsync: str = "batch(64, 100)",
+        checkpoint_every: int = 256,
+        keep_checkpoints: int = 2,
+        segment_bytes: int = 1 << 20,
+        meta_checkpoint_every: int = 512,
+    ) -> "ShardedDatabase":
+        """Reopen a killed sharded database from its durable stores.
+
+        Restores the coordinator maps from the latest meta-checkpoint,
+        recovers every shard from its own WAL, and replays the journal
+        tail: entries whose effect the shard already recovered are
+        re-counted into the metadata; entries the shard *lost* (its
+        batch-fsynced WAL was behind the always-fsynced journal at the
+        kill) are re-executed; dead records — the shard refused the
+        command before the kill — fail or no-op identically on replay
+        and are skipped.  Raises :class:`ShardingError` when a shard
+        holds *fewer* transactions than the checkpoint promised (that
+        would mean fsynced history vanished — a lost or swapped store,
+        never a crash)."""
+        self = cls.__new__(cls)
+        self._directory = (
+            os.fspath(directory) if directory is not None else None
+        )
+        if meta_store is None:
+            if self._directory is None:
+                raise ShardingError(
+                    "reopen needs a meta_store or a directory"
+                )
+            meta_store = DirectoryStore(
+                os.path.join(self._directory, "coordinator")
+            )
+        meta = CoordinatorJournal.load(meta_store)
+        if meta is None:
+            raise ShardingError(
+                "no coordinator checkpoint to reopen from; this store "
+                "never held a journaled ShardedDatabase"
+            )
+        shard_count = int(meta["shards"])
+        if stores is not None:
+            stores = list(stores)
+            if len(stores) != shard_count:
+                raise ShardingError(
+                    f"reopen: checkpoint names {shard_count} shard(s) "
+                    f"but {len(stores)} store(s) were supplied"
+                )
+        elif self._directory is None:
+            raise ShardingError(
+                "reopen needs shard stores or a directory"
+            )
+        self._backend_factory = backend_factory
+        self._durable_options = dict(
+            fsync=fsync,
+            checkpoint_every=checkpoint_every,
+            keep_checkpoints=keep_checkpoints,
+            segment_bytes=segment_bytes,
+        )
+        self._shards = []
+        for index in range(shard_count):
+            store = (
+                stores[index]
+                if stores is not None
+                else os.path.join(self._directory, f"shard-{index}")
+            )
+            backend = backend_factory() if backend_factory else None
+            self._shards.append(
+                DurableDatabase(
+                    store, backend=backend, **self._durable_options
+                )
+            )
+        self._partitioner = partitioner or HashPartitioner()
+        self._txn = int(meta["txn"])
+        self._owner = {
+            identifier: int(shard)
+            for identifier, shard in meta["owner"].items()
+        }
+        self._mods = {
+            identifier: [int(txn) for txn in txns]
+            for identifier, txns in meta["mods"].items()
+        }
+        self._closed = False
+        self._router = ScatterGatherRouter(
+            owner_of=self._owner_for_read,
+            localize_numeral=self._localize_numeral,
+            evaluate_on_shard=lambda index, expr: self._shards[
+                index
+            ].evaluate(expr),
+        )
+        self._journal = CoordinatorJournal(
+            meta_store, checkpoint_every=meta_checkpoint_every
+        )
+        self._meta_checkpoint_every = meta_checkpoint_every
+        self._journal.set_extra(meta.get("extra", {}))
+        # -- replay the journal tail --------------------------------------
+        #: shard transactions the metadata has accounted for so far
+        counters = [int(txn) for txn in meta["shard_txns"]]
+        for index, shard in enumerate(self._shards):
+            if shard.transaction_number < counters[index]:
+                raise ShardingError(
+                    f"shard {index} recovered "
+                    f"{shard.transaction_number} transaction(s) but the "
+                    f"coordinator checkpoint promises {counters[index]}; "
+                    "fsynced history is missing — refusing to reopen"
+                )
+        for entry in self._journal.pending(
+            after_lsn=int(meta["journal_lsn"])
+        ):
+            index = int(entry["s"])
+            if not 0 <= index < shard_count:
+                raise ShardingError(
+                    f"journal entry names shard {index} but the "
+                    f"checkpoint has {shard_count}"
+                )
+            shard = self._shards[index]
+            if shard.transaction_number < counters[index] + 1:
+                # the shard's batch-fsynced WAL lost this record (or a
+                # dead/crash-interrupted trailing record): re-execute.
+                # A deterministic refusal or no-op means it was dead —
+                # skip it, exactly what the abort marker would have done.
+                before = shard.transaction_number
+                try:
+                    shard.execute(command_from_dict(entry["c"]))
+                except ReproError:
+                    continue
+                if shard.transaction_number == before:
+                    continue
+            counters[index] += 1
+            self._txn = int(entry["t"])
+            if entry["k"] == "define":
+                self._owner[entry["i"]] = index
+            else:
+                self._mods.setdefault(entry["i"], []).append(
+                    int(entry["t"])
+                )
+        # a fresh checkpoint compacts the replayed tail away
+        self.meta_checkpoint()
+        return self
+
     # -- properties -------------------------------------------------------
 
     @property
@@ -222,6 +393,12 @@ class ShardedDatabase:
     @property
     def partitioner(self) -> Partitioner:
         return self._partitioner
+
+    @property
+    def journal(self) -> Optional[CoordinatorJournal]:
+        """The coordinator's metadata journal (None when the instance is
+        purely in-memory with no explicit ``meta_store``)."""
+        return self._journal
 
     @property
     def identifiers(self) -> tuple[str, ...]:
@@ -293,6 +470,10 @@ class ShardedDatabase:
             raise ShardingError(
                 "cannot execute a command on a closed ShardedDatabase"
             )
+        if self._journal is not None and self._journal.due():
+            # only ever between commands — a checkpoint must not split a
+            # journal record from its shard effect
+            self.meta_checkpoint()
         for flat in self._flatten(command):
             self._execute_one(flat)
         return self._txn
@@ -325,18 +506,66 @@ class ShardedDatabase:
                 f"cannot route command {command!r} to a shard"
             )
 
-    def _execute_define(self, command: DefineRelation) -> None:
-        owner = self._owner.get(command.identifier)
-        if owner is None:
-            owner = self._partitioner.shard_for(
-                command.identifier, len(self._shards)
-            )
-        shard = self._shards[owner]
+    def _journal_execute(
+        self,
+        shard_index: int,
+        kind: str,
+        identifier: str,
+        shipped: Command,
+    ) -> bool:
+        """Run ``shipped`` on a shard under the journal's write-ahead
+        discipline: record first, execute second, and cancel the record
+        with an abort marker when the shard refuses the command or the
+        paper's semantics made it a no-op.  Returns True when the shard
+        advanced — the command was effective and the coordinator may
+        commit its metadata."""
+        shard = self._shards[shard_index]
+        journal = self._journal
+        txn = self._txn + 1
         before = shard.transaction_number
-        shard.execute(command)  # raises in strict mode on a rebind
-        observer = _hooks.shard_observer()
+        if journal is not None:
+            journal.record(shard_index, kind, identifier, shipped, txn)
+        try:
+            shard.execute(shipped)
+        except BaseException as error:
+            if isinstance(error, StorageError) and not hasattr(
+                error, "shard_index"
+            ):
+                # name the dying shard for the cluster layer's
+                # degraded-mode handler (a journal-store failure
+                # deliberately carries no index)
+                error.shard_index = shard_index
+            if journal is not None:
+                journal.abort(txn)
+            raise
         if shard.transaction_number == before:
-            # the paper's no-op: already bound, database unchanged
+            if journal is not None:
+                journal.abort(txn)
+            return False
+        return True
+
+    def _execute_define(self, command: DefineRelation) -> None:
+        observer = _hooks.shard_observer()
+        owner = self._owner.get(command.identifier)
+        if owner is not None:
+            # already bound: the paper's no-op (or a strict-mode raise)
+            # — either way the database is unchanged, so don't journal
+            try:
+                self._shards[owner].execute(command)
+            except StorageError as error:
+                if not hasattr(error, "shard_index"):
+                    error.shard_index = owner
+                raise
+            if observer is not None:
+                observer.noop()
+            return
+        owner = self._partitioner.shard_for(
+            command.identifier, len(self._shards)
+        )
+        applied = self._journal_execute(
+            owner, "define", command.identifier, command
+        )
+        if not applied:
             if observer is not None:
                 observer.noop()
             return
@@ -375,7 +604,9 @@ class ShardedDatabase:
                 strict=command.strict,
                 memoize=command.memoize,
             )
-            self._shards[owner].execute(shipped)
+            applied = self._journal_execute(
+                owner, "modify", command.identifier, shipped
+            )
             if observer is not None:
                 observer.routed()
         else:
@@ -383,15 +614,20 @@ class ShardedDatabase:
             # coordinator, then ship it as a constant state
             state = self._router.evaluate(command.expression)
             state = self._resolve_empty_set(command.identifier, state)
-            self._shards[owner].execute(
+            applied = self._journal_execute(
+                owner,
+                "modify",
+                command.identifier,
                 ModifyState(
                     command.identifier,
                     Const(state),
                     strict=command.strict,
-                )
+                ),
             )
             if observer is not None:
                 observer.coordinated()
+        if not applied:
+            return
         self._txn += 1
         self._mods.setdefault(command.identifier, []).append(self._txn)
 
@@ -488,6 +724,7 @@ class ShardedDatabase:
         spread over the enlarged shard set immediately."""
         index = len(self._shards)
         self._shards.append(self._open_shard(index, store))
+        self.meta_checkpoint()
         return index
 
     def replace_shard(
@@ -519,6 +756,7 @@ class ShardedDatabase:
                 "history"
             )
         self._shards[index] = replacement
+        self.meta_checkpoint()
         return current
 
     def rebalance(
@@ -536,6 +774,10 @@ class ShardedDatabase:
         sequence."""
         if partitioner is not None:
             self._partitioner = partitioner
+        # bracket the moves with checkpoints: the surplus copies a move
+        # writes onto shards are not journaled, so an empty journal on
+        # both sides keeps replay from ever re-counting them
+        self.meta_checkpoint()
         report = RebalanceReport()
         started = time.monotonic()
         for identifier in self.identifiers:
@@ -554,6 +796,7 @@ class ShardedDatabase:
                 repaired=report.stale_repaired,
                 seconds=time.monotonic() - started,
             )
+        self.meta_checkpoint()
         return report
 
     def _move(
@@ -715,6 +958,36 @@ class ShardedDatabase:
         for shard in self._shards:
             shard.checkpoint()
 
+    def _meta_snapshot(self) -> dict:
+        return {
+            "txn": self._txn,
+            "owner": dict(self._owner),
+            "mods": {
+                identifier: list(txns)
+                for identifier, txns in self._mods.items()
+            },
+            "shards": len(self._shards),
+            "shard_txns": [
+                shard.transaction_number for shard in self._shards
+            ],
+        }
+
+    def meta_checkpoint(self) -> None:
+        """Publish the coordinator maps atomically and drop the covered
+        journal segments.  Every shard is fsynced *first* so the
+        checkpoint's ``shard_txns`` never claim durability the shards
+        don't have — the invariant replay depends on.  If a shard's
+        store is failing the checkpoint is skipped (the journal stays,
+        which is always safe)."""
+        if self._journal is None:
+            return
+        try:
+            for shard in self._shards:
+                shard.sync()
+        except StorageError:
+            return
+        self._journal.checkpoint(self._meta_snapshot())
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -722,9 +995,29 @@ class ShardedDatabase:
     def close(self) -> None:
         if self._closed:
             return
+        try:
+            self.meta_checkpoint()
+        except ReproError:
+            pass  # a failing meta store must not block shard shutdown
         self._closed = True
         for shard in self._shards:
-            shard.close()
+            try:
+                shard.close()
+            except StorageError:
+                pass  # a write-dead store can't flush; don't block the rest
+
+    def kill(self) -> None:
+        """Simulate abrupt process death for crash testing: every shard
+        and the coordinator journal drop their handles with buffers
+        discarded — no checkpoint, no final sync.  Recover with
+        :meth:`reopen` over the same stores."""
+        if self._closed:
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.kill()
+        if self._journal is not None:
+            self._journal.store.crash()
 
     def __enter__(self) -> "ShardedDatabase":
         return self

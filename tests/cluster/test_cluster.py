@@ -156,6 +156,33 @@ class TestFailover:
             sibling.catch_up()
             assert sibling.evaluate(Rollback("r", NOW)) == S2
 
+    def test_explicit_index_refuses_an_already_promoted_replica(self):
+        """An operator pointing at a replica promoted out-of-band gets
+        the promoted-specific message, not the condemned one."""
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            c.catch_up()
+            c.replicas(0)[0].promote()
+            with pytest.raises(ClusterError, match="already promoted"):
+                c.failover(0, replica_index=0)
+
+    def test_explicit_index_refuses_a_condemned_replica(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=2)) as c:
+            seed_cluster(c)
+            c.catch_up()
+            c.replicas(0)[1]._diverged = True
+            with pytest.raises(ClusterError, match="condemned"):
+                c.failover(0, replica_index=1)
+            # auto-selection skips the condemned replica and succeeds
+            c.failover(0)
+            assert c.evaluate(Rollback("r", NOW)) == S1
+
+    def test_explicit_index_out_of_range_is_refused(self):
+        with Cluster(ClusterConfig(shards=1, replicas_per_shard=1)) as c:
+            seed_cluster(c)
+            with pytest.raises(ClusterError, match="no replica 5"):
+                c.failover(0, replica_index=5)
+
     def test_repeated_failover_drains_the_replica_set(self):
         with Cluster(ClusterConfig(shards=1, replicas_per_shard=2)) as c:
             seed_cluster(c)

@@ -1,0 +1,219 @@
+"""Whole-cluster restart recovery: kill-and-reopen differential tests.
+
+The contract is the coordinator journal's: after a process kill — no
+``close()``, no final ``sync()``, batch-fsynced shard WALs caught
+mid-batch — ``ShardedDatabase.reopen`` / ``Cluster(reopen=True)``
+must restore a database observationally identical to the unsharded
+oracle that executed the same sentence, including after failovers
+moved primaries into former replica directories.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig
+from repro.core.commands import DefineRelation, ModifyState
+from repro.core.expressions import Const, Rollback, Union
+from repro.core.txn import NOW
+from repro.durability.faults import MemoryStore
+from repro.errors import ClusterError, ReproError, ShardingError
+from repro.sharding import ShardedDatabase
+from repro.workloads.generators import StateGenerator
+
+from tests.cluster.conftest import fast_retry
+from tests.sharding.conftest import (
+    assert_differential,
+    oracle_history,
+    sharded_workload,
+)
+
+GEN = StateGenerator(seed=47, key_space=20)
+S1 = GEN.snapshot_state(2)
+S2 = GEN.snapshot_state(3)
+
+
+class TestShardedReopen:
+    def test_kill_and_reopen_matches_oracle(self, tmp_path, test_seed):
+        commands = sharded_workload(length=120, seed=test_seed)
+        db = ShardedDatabase(3, directory=tmp_path)
+        for command in commands:
+            db.execute(command)
+        oracle = oracle_history(commands)[-1]
+        db.kill()  # no close, no sync — buffers die with the process
+        reopened = ShardedDatabase.reopen(directory=tmp_path)
+        try:
+            assert_differential(reopened, oracle)
+        finally:
+            reopened.close()
+
+    def test_reopen_is_idempotent(self, tmp_path, test_seed):
+        commands = sharded_workload(length=60, seed=test_seed + 1)
+        db = ShardedDatabase(2, directory=tmp_path)
+        for command in commands:
+            db.execute(command)
+        oracle = oracle_history(commands)[-1]
+        db.kill()
+        for _ in range(3):
+            reopened = ShardedDatabase.reopen(directory=tmp_path)
+            assert_differential(reopened, oracle)
+            reopened.kill()
+
+    def test_reopen_continues_the_sentence(self, tmp_path):
+        db = ShardedDatabase(2, directory=tmp_path)
+        db.execute(DefineRelation("r", "rollback"))
+        db.execute(ModifyState("r", Const(S1)))
+        db.kill()
+        reopened = ShardedDatabase.reopen(directory=tmp_path)
+        with reopened:
+            reopened.execute(ModifyState("r", Const(S2)))
+            assert reopened.transaction_number == 3
+            state = reopened.evaluate(Rollback("r", 2))
+            assert state == S1
+
+    def test_redo_replays_what_the_shard_wal_lost(self):
+        """The journal (policy=always) is never behind the shards; a
+        crash that loses a shard's batch-fsynced tail is repaired by
+        re-executing the journaled commands."""
+        stores = [MemoryStore(), MemoryStore()]
+        meta = MemoryStore()
+        db = ShardedDatabase(
+            stores=stores, meta_store=meta, fsync="never"
+        )
+        db.execute(DefineRelation("r", "rollback"))
+        db.execute(ModifyState("r", Const(S1)))
+        db.execute(DefineRelation("s", "rollback"))
+        db.execute(ModifyState("s", Const(S2)))
+        db.execute(
+            ModifyState(
+                "r", Union(Rollback("r", NOW), Rollback("s", NOW))
+            )
+        )
+        expected = db.as_database()
+        for store in stores:
+            store.crash()  # every un-synced shard record is gone
+        reopened = ShardedDatabase.reopen(
+            meta_store=meta, stores=stores, fsync="never"
+        )
+        assert reopened.as_database() == expected
+        assert reopened.transaction_number == 5
+
+    def test_dead_record_is_skipped_on_replay(self):
+        """A journaled command the shard *refused* replays to the same
+        refusal — it must not consume a transaction number."""
+        stores = [MemoryStore()]
+        meta = MemoryStore()
+        db = ShardedDatabase(
+            stores=stores, meta_store=meta, fsync="never"
+        )
+        db.execute(DefineRelation("r", "rollback"))
+        db.execute(ModifyState("r", Const(S1)))
+        bad = GEN.historical_state(2)  # wrong state kind for r
+        with pytest.raises(ReproError):
+            db.execute(ModifyState("r", Const(bad), strict=True))
+        db.execute(ModifyState("r", Const(S2)))
+        expected = db.as_database()
+        for store in stores:
+            store.crash()
+        reopened = ShardedDatabase.reopen(
+            meta_store=meta, stores=stores, fsync="never"
+        )
+        assert reopened.as_database() == expected
+        assert reopened.transaction_number == 3
+
+    def test_reopen_refuses_a_fresh_directory(self, tmp_path):
+        with pytest.raises(ShardingError, match="checkpoint"):
+            ShardedDatabase.reopen(directory=tmp_path)
+
+    def test_reopen_refuses_lost_shard_history(self, tmp_path):
+        import shutil
+
+        db = ShardedDatabase(2, directory=tmp_path)
+        db.execute(DefineRelation("r", "rollback"))
+        db.execute(ModifyState("r", Const(S1)))
+        db.close()  # checkpointed: the journal now promises durability
+        owner = None
+        reopened = ShardedDatabase.reopen(directory=tmp_path)
+        owner = reopened.shard_of("r")
+        reopened.close()
+        shutil.rmtree(os.path.join(tmp_path, f"shard-{owner}"))
+        with pytest.raises(ShardingError, match="missing"):
+            ShardedDatabase.reopen(directory=tmp_path)
+
+    def test_fresh_database_still_refuses_nonempty_stores(self, tmp_path):
+        db = ShardedDatabase(2, directory=tmp_path)
+        db.execute(DefineRelation("r", "rollback"))
+        db.execute(ModifyState("r", Const(S1)))
+        db.close()
+        with pytest.raises(ShardingError, match="empty"):
+            ShardedDatabase(2, directory=tmp_path)
+
+
+class TestClusterReopen:
+    def config(self, directory=None, reopen=False) -> ClusterConfig:
+        return ClusterConfig(
+            shards=2,
+            replicas_per_shard=1,
+            retry=fast_retry(),
+            directory=(
+                os.fspath(directory) if directory is not None else None
+            ),
+            reopen=reopen,
+        )
+
+    def test_kill_and_reopen_matches_oracle(self, tmp_path, test_seed):
+        commands = sharded_workload(length=100, seed=test_seed + 2)
+        cluster = Cluster(self.config(tmp_path))
+        for command in commands:
+            cluster.execute(command)
+        cluster.catch_up()
+        oracle = oracle_history(commands)[-1]
+        cluster.kill()
+        reopened = Cluster(self.config(tmp_path, reopen=True))
+        try:
+            assert_differential(reopened, oracle)
+            # fresh replica sets serve reads again
+            reopened.catch_up()
+            for shard in range(reopened.shard_count):
+                assert len(reopened.replicas(shard)) == 1
+        finally:
+            reopened.close()
+
+    def test_reopen_after_failover_finds_the_promoted_primary(
+        self, tmp_path
+    ):
+        cluster = Cluster(self.config(tmp_path))
+        cluster.execute(DefineRelation("r", "rollback"))
+        cluster.execute(ModifyState("r", Const(S1)))
+        cluster.catch_up()
+        owner = cluster.sharded.shard_of("r")
+        cluster.failover(owner)
+        cluster.execute(ModifyState("r", Const(S2)))
+        expected = cluster.as_database()
+        cluster.kill()  # after the topology changed
+        reopened = Cluster(self.config(tmp_path, reopen=True))
+        try:
+            assert reopened.as_database() == expected
+            # the promoted primary's directory is the shard's now; the
+            # abandoned original (and stale replica dirs) were cleaned
+            names = sorted(os.listdir(tmp_path))
+            assert f"shard-{owner}" not in names
+            reopened.execute(ModifyState("r", Const(S1)))
+            reopened.catch_up()
+        finally:
+            reopened.close()
+
+    def test_reopen_requires_a_directory(self):
+        with pytest.raises(ClusterError):
+            Cluster(
+                ClusterConfig(shards=1, replicas_per_shard=0),
+                reopen=True,
+            )
+        with pytest.raises(ClusterError):
+            ClusterConfig(shards=1, reopen=True)
+
+    def test_reopen_refuses_an_empty_directory(self, tmp_path):
+        with pytest.raises(ClusterError, match="reopen"):
+            Cluster(self.config(tmp_path, reopen=True))

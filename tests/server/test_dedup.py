@@ -1,0 +1,170 @@
+"""The bounded dedup table: exactly-once classification and eviction.
+
+The table's contract is strict: a cached ``(session, seq)`` replays its
+reply (*hit*), a recorded seq whose reply was evicted refuses re-execution
+(*stale*), and only a genuinely new seq reaches the database (*miss*).
+Both bounds evict, neither bound can cause a double-apply.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RemoteError
+from repro.server.client import ReproClient
+from repro.server.dedup import DedupTable
+from repro.server.server import ServerConfig, ThreadedServer
+
+REPLY = {"status": "ok", "txn": 7}
+
+
+class TestClassification:
+    def test_first_sighting_is_a_miss(self):
+        table = DedupTable()
+        verdict, cached = table.lookup("s", 1)
+        assert (verdict, cached) == ("miss", None)
+        assert table.misses == 1
+
+    def test_recorded_seq_replays_as_hit(self):
+        table = DedupTable()
+        table.record("s", 1, REPLY)
+        verdict, cached = table.lookup("s", 1)
+        assert verdict == "hit"
+        assert cached == REPLY
+        assert table.hits == 1
+
+    def test_cached_reply_is_a_copy(self):
+        table = DedupTable()
+        reply = dict(REPLY)
+        table.record("s", 1, reply)
+        reply["txn"] = 999
+        _, cached = table.lookup("s", 1)
+        assert cached["txn"] == 7
+
+    def test_evicted_seq_is_stale_not_miss(self):
+        """The double-apply guard: once seq 1's reply leaves the
+        window, a retransmission of seq 1 must NOT look like new work."""
+        table = DedupTable(max_replies=2)
+        for seq in (1, 2, 3):
+            table.record("s", seq, {"status": "ok", "txn": seq})
+        verdict, cached = table.lookup("s", 1)
+        assert (verdict, cached) == ("stale", None)
+        assert table.stale_refused == 1
+        assert table.replies_evicted == 1
+
+    def test_count_miss_flag_suppresses_double_counting(self):
+        table = DedupTable()
+        table.lookup("s", 1)
+        table.lookup("s", 1, count_miss=False)
+        assert table.misses == 1
+
+    def test_sessions_are_independent(self):
+        table = DedupTable()
+        table.record("a", 1, REPLY)
+        assert table.lookup("b", 1)[0] == "miss"
+        assert table.lookup("a", 1)[0] == "hit"
+
+
+class TestEviction:
+    def test_reply_window_is_bounded_per_session(self):
+        table = DedupTable(max_replies=4)
+        for seq in range(1, 11):
+            table.record("s", seq, {"status": "ok", "txn": seq})
+        assert table.replies == 4
+        # the newest four replay; everything older is stale
+        for seq in (7, 8, 9, 10):
+            assert table.lookup("s", seq)[0] == "hit"
+        for seq in (1, 6):
+            assert table.lookup("s", seq)[0] == "stale"
+
+    def test_sessions_evict_least_recently_used(self):
+        table = DedupTable(max_sessions=2)
+        table.record("a", 1, REPLY)
+        table.record("b", 1, REPLY)
+        table.lookup("a", 1)  # touch a: b is now the LRU session
+        table.record("c", 1, REPLY)
+        assert table.sessions == 2
+        assert table.sessions_evicted == 1
+        assert table.lookup("a", 1)[0] == "hit"
+        assert table.lookup("b", 1)[0] == "miss"  # forgotten entirely
+
+    def test_record_is_idempotent_per_seq(self):
+        """A concurrent duplicate that raced past the lookup must not
+        clobber the first definitive reply."""
+        table = DedupTable()
+        table.record("s", 1, {"status": "ok", "txn": 1})
+        table.record("s", 1, {"status": "ok", "txn": 999})
+        assert table.lookup("s", 1)[1] == {"status": "ok", "txn": 1}
+
+    def test_bounds_are_validated(self):
+        with pytest.raises(ValueError):
+            DedupTable(max_sessions=0)
+        with pytest.raises(ValueError):
+            DedupTable(max_replies=0)
+
+    def test_snapshot_has_the_catalogued_keys(self):
+        table = DedupTable()
+        table.record("s", 1, REPLY)
+        table.lookup("s", 1)
+        snapshot = table.snapshot()
+        for key in (
+            "server.dedup.sessions",
+            "server.dedup.replies",
+            "server.dedup.hits",
+            "server.dedup.misses",
+            "server.dedup.stale_refused",
+            "server.dedup.sessions_evicted",
+            "server.dedup.replies_evicted",
+        ):
+            assert key in snapshot
+        assert snapshot["server.dedup.hits"] == 1
+
+
+class TestServerReplay:
+    """The wire-level contract over a real server."""
+
+    @pytest.fixture
+    def server(self):
+        with ThreadedServer(
+            ServerConfig(port=0, workers=2, dedup_replies=4)
+        ) as handle:
+            yield handle
+
+    def test_retransmission_replays_the_same_txn(self, server):
+        with ReproClient(server.host, server.port) as client:
+            txn = client.execute(
+                "define_relation(r, rollback)", session="sess", seq=1
+            )
+            again = client.execute(
+                "define_relation(r, rollback)", session="sess", seq=1
+            )
+            assert again == txn
+            # the sentence applied once: the server is still at txn
+            assert client.ping() == txn
+            assert server.metrics()["server.dedup.hits"] >= 1
+
+    def test_stale_seq_is_refused_with_a_typed_error(self, server):
+        with ReproClient(server.host, server.port) as client:
+            client.execute(
+                "define_relation(r0, rollback)", session="sess", seq=1
+            )
+            for seq in range(2, 7):  # push seq 1 out of the window of 4
+                client.execute(
+                    f"define_relation(r{seq}, rollback)",
+                    session="sess",
+                    seq=seq,
+                )
+            before = client.ping()
+            with pytest.raises(RemoteError):
+                client.execute(
+                    "define_relation(r0, rollback)",
+                    session="sess",
+                    seq=1,
+                )
+            assert client.ping() == before  # and nothing re-executed
+
+    def test_unstamped_requests_bypass_the_table(self, server):
+        with ReproClient(server.host, server.port) as client:
+            client.execute("define_relation(r, rollback)")
+            metrics = server.metrics()
+            assert metrics["server.dedup.sessions"] == 0

@@ -1,0 +1,125 @@
+"""Degraded mode over the wire: shed writes, live reads, self-healing.
+
+A shard whose primary lost its write path sheds writes with the typed
+``degraded`` status while reads keep serving; once *every* shard is
+degraded the server answers at admission instead of queueing doomed
+work; and with ``supervise=True`` the event-loop supervisor fails the
+shard over so a retrying client's write eventually lands without the
+caller ever seeing an error.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ClusterDegradedError
+from repro.cluster import ClusterConfig
+from repro.replication.retry import RetryPolicy
+from repro.server.client import ReproClient, RetryingClient
+from repro.server.server import ServerConfig, ThreadedServer
+
+
+def cluster_config(**overrides) -> ClusterConfig:
+    settings = dict(
+        shards=1,
+        replicas_per_shard=1,
+        retry=RetryPolicy(max_attempts=5, base_delay=0.0, max_delay=0.0),
+    )
+    settings.update(overrides)
+    return ClusterConfig(**settings)
+
+
+class TestShedding:
+    def test_write_shed_with_typed_error_while_reads_serve(self):
+        with ThreadedServer(
+            ServerConfig(port=0, workers=2, cluster=cluster_config())
+        ) as handle:
+            with ReproClient(handle.host, handle.port) as client:
+                client.execute("define_relation(r, rollback)")
+                client.execute(
+                    "modify_state(r, state (k: integer) { (1) })"
+                )
+                baseline = client.query("rollback(r, now)")
+                cluster = handle.server.store.cluster
+                cluster.primaries[0].store.fail_writes()
+                with pytest.raises(ClusterDegradedError):
+                    client.execute(
+                        "modify_state(r, state (k: integer) { (2) })"
+                    )
+                # the shard is quarantined for writes, not for reads
+                assert cluster.degraded_shards == (0,)
+                assert client.query("rollback(r, now)") == baseline
+                assert handle.metrics()["server.degraded_shards"] == 1
+
+    def test_fully_degraded_cluster_sheds_at_admission(self):
+        with ThreadedServer(
+            ServerConfig(
+                port=0,
+                workers=2,
+                cluster=cluster_config(shards=2),
+            )
+        ) as handle:
+            cluster = handle.server.store.cluster
+            for primary in cluster.primaries:
+                primary.store.fail_writes()
+            with ReproClient(handle.host, handle.port) as client:
+                # enough distinct names to hash onto both shards; each
+                # failing write marks the shard it actually hit
+                for i in range(16):
+                    if len(cluster.degraded_shards) == cluster.shard_count:
+                        break
+                    with pytest.raises(ClusterDegradedError):
+                        client.execute(f"define_relation(d{i}, rollback)")
+                assert (
+                    len(cluster.degraded_shards) == cluster.shard_count
+                )
+                # now the admission gate answers without queueing
+                before = handle.metrics()["server.degraded_shed"]
+                with pytest.raises(ClusterDegradedError):
+                    client.execute("define_relation(last, rollback)")
+                assert (
+                    handle.metrics()["server.degraded_shed"] == before + 1
+                )
+
+
+class TestSupervisedHealing:
+    def test_supervisor_fails_over_and_retrying_write_lands(self):
+        with ThreadedServer(
+            ServerConfig(
+                port=0,
+                workers=2,
+                cluster=cluster_config(),
+                supervise=True,
+                supervise_interval=0.02,
+                supervise_failures=1,
+            )
+        ) as handle:
+            cluster = handle.server.store.cluster
+            with RetryingClient(
+                handle.host,
+                handle.port,
+                retry=RetryPolicy(
+                    max_attempts=400, base_delay=0.01, max_delay=0.05
+                ),
+                timeout=10.0,
+            ) as client:
+                client.execute("define_relation(r, rollback)")
+                cluster.primaries[0].store.fail_writes()
+                # the retrying client sees only transient degraded
+                # errors until the supervisor promotes the replica —
+                # then this lands exactly once
+                txn = client.execute(
+                    "modify_state(r, state (k: integer) { (1) })"
+                )
+                assert client.ping() == txn
+            deadline = time.monotonic() + 5.0
+            while (
+                cluster.degraded_shards
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            assert cluster.degraded_shards == ()
+            assert handle.server.supervisor is not None
+            assert handle.server.supervisor.ticks > 0

@@ -1,0 +1,267 @@
+"""Exactly-once executes through a hostile network.
+
+A frame-aware proxy sits between a :class:`RetryingClient` and a real
+server and mangles requests per a scripted (or hypothesis-generated)
+schedule: drop before delivery, drop *after* delivery (the critical
+ack-loss case — the sentence landed but the client cannot know), or
+duplicate the frame outright.  The acceptance bar is the paper's
+append-only history made network-proof: after every schedule the
+server's transaction sequence is byte-identical to an in-process
+:class:`~repro.lang.session.Session` oracle that executed each sentence
+exactly once.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConnectionClosedError
+from repro.lang.session import Session
+from repro.replication.retry import RetryPolicy
+from repro.server import protocol
+from repro.server.client import (
+    AsyncReproClient,
+    ReproClient,
+    RetryingClient,
+)
+from repro.server.server import ServerConfig, ThreadedServer
+from repro.server.store import render_state
+
+#: Per-request fates the proxy applies, in order; 'ok' once exhausted.
+OK = "ok"
+DROP_BEFORE = "drop_before"  # never reaches the server
+DROP_AFTER = "drop_after"  # reaches the server; the ack is lost
+DUP = "dup"  # delivered twice
+
+FATES = (OK, DROP_BEFORE, DROP_AFTER, DUP)
+
+
+class FlakyProxy:
+    """A frame-aware TCP proxy that applies one fate per request frame.
+
+    Fates apply to *request frames*, not connections, so one schedule
+    entry maps to exactly one client-visible attempt.  Both drop fates
+    sever the client connection afterwards — exactly what a lost packet
+    looks like from the blocking client's side."""
+
+    def __init__(self, upstream_host: str, upstream_port: int) -> None:
+        self._upstream = (upstream_host, upstream_port)
+        self._fates: list[str] = []
+        self._lock = threading.Lock()
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self.host = "127.0.0.1"
+        self._closing = False
+        self._threads: list[threading.Thread] = []
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True
+        )
+        self._accept_thread.start()
+
+    def script(self, fates: "list[str]") -> None:
+        with self._lock:
+            self._fates.extend(fates)
+
+    def _next_fate(self) -> str:
+        with self._lock:
+            return self._fates.pop(0) if self._fates else OK
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                client, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            thread = threading.Thread(
+                target=self._serve, args=(client,), daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _serve(self, client: socket.socket) -> None:
+        try:
+            server = socket.create_connection(self._upstream, 10)
+        except OSError:
+            client.close()
+            return
+        decoder = protocol.FrameDecoder()
+        reply_decoder = protocol.FrameDecoder()
+        replies: list[bytes] = []
+        try:
+            while True:
+                try:
+                    chunk = client.recv(65536)
+                except OSError:
+                    return
+                if not chunk:
+                    return
+                for payload in decoder.feed(chunk):
+                    fate = self._next_fate()
+                    frame = protocol.encode_frame(payload)
+                    if fate == DROP_BEFORE:
+                        return  # sever; the server never saw it
+                    copies = 2 if fate == DUP else 1
+                    for _ in range(copies):
+                        server.sendall(frame)
+                    for _ in range(copies):
+                        while not replies:
+                            data = server.recv(65536)
+                            if not data:
+                                return
+                            replies.extend(reply_decoder.feed(data))
+                        reply = replies.pop(0)
+                        if fate == DROP_AFTER:
+                            return  # applied server-side; ack lost
+                        client.sendall(protocol.encode_frame(reply))
+        finally:
+            server.close()
+            client.close()
+
+    def close(self) -> None:
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ThreadedServer(ServerConfig(port=0, workers=2)) as handle:
+        yield handle
+
+
+@pytest.fixture
+def proxy(server):
+    proxy = FlakyProxy(server.host, server.port)
+    yield proxy
+    proxy.close()
+
+
+def fast_policy() -> RetryPolicy:
+    return RetryPolicy(max_attempts=60, base_delay=0.0, max_delay=0.0)
+
+
+def run_statements(proxy, server, tag, *, session_token):
+    """Execute a tagged statement batch through the proxy with retries;
+    assert each lands exactly once against a lockstep oracle.  The
+    server is shared across tests, so the oracle tracks transaction
+    *deltas* from a baseline read directly (not through the proxy, which
+    would consume a scripted fate)."""
+    oracle = Session()
+    with ReproClient(server.host, server.port) as direct:
+        base = direct.ping()
+    statements = statements_for(tag)
+    with RetryingClient(
+        proxy.host,
+        proxy.port,
+        retry=fast_policy(),
+        timeout=10.0,
+        session_token=session_token,
+    ) as client:
+        for statement in statements:
+            txn = client.execute(statement)
+            oracle.execute(statement)
+            assert txn == base + oracle.database.transaction_number
+        final = client.query(f"rollback({tag}r, now)")
+    assert final == render_state(oracle.query(f"rollback({tag}r, now)"))
+
+
+STATE = "state (k: integer, v: integer) {{ ({i}, {i}0) }}"
+
+
+def statements_for(tag: str, count: int = 6) -> "list[str]":
+    out = [f"define_relation({tag}r, rollback)"]
+    for i in range(1, count):
+        out.append(f"modify_state({tag}r, {STATE.format(i=i)})")
+    return out
+
+
+class TestScriptedSchedules:
+    def test_ack_loss_does_not_double_apply(self, proxy, server):
+        """The critical case: the sentence landed, the ack vanished.
+        The retry retransmits the same (session, seq); the dedup table
+        replays the cached txn instead of appending twice."""
+        before = server.metrics()["server.dedup.hits"]
+        proxy.script([OK, DROP_AFTER])
+        run_statements(proxy, server, "a", session_token="ack-loss")
+        assert server.metrics()["server.dedup.hits"] >= before + 1
+
+    def test_lost_request_is_simply_retried(self, proxy, server):
+        proxy.script([DROP_BEFORE, OK, DROP_BEFORE])
+        run_statements(proxy, server, "b", session_token="req-loss")
+
+    def test_duplicated_frame_is_absorbed(self, proxy, server):
+        """The network delivers the frame twice: the server dedups the
+        second copy and the client discards the extra reply by id."""
+        proxy.script([DUP, OK, DUP])
+        run_statements(proxy, server, "c", session_token="dup-frames")
+
+    def test_every_fate_interleaved(self, proxy, server):
+        proxy.script([DROP_AFTER, DUP, DROP_BEFORE, OK, DROP_AFTER, DUP])
+        run_statements(proxy, server, "d", session_token="interleaved")
+
+
+_EXAMPLE = iter(range(10**6))
+
+
+class TestRandomSchedules:
+    @given(schedule=st.lists(st.sampled_from(FATES), max_size=24))
+    @settings(max_examples=8, deadline=None)
+    def test_random_fault_schedule_matches_oracle(self, server, schedule):
+        tag = f"h{next(_EXAMPLE)}x"  # unique names on the shared server
+        proxy = FlakyProxy(server.host, server.port)
+        try:
+            proxy.script(schedule)
+            run_statements(
+                proxy, server, tag, session_token=f"hyp-{tag}"
+            )
+        finally:
+            proxy.close()
+
+
+class TestSendallRegression:
+    """A broken pipe while *sending* must surface as the typed, retryable
+    :class:`ConnectionClosedError` — not a raw OSError (the bug: only
+    the receive path was wrapped)."""
+
+    def test_blocking_client_wraps_sendall_oserror(self, server):
+        client = ReproClient(server.host, server.port)
+        real = client._socket
+
+        class DeadSocket:
+            def sendall(self, _data):
+                raise OSError("broken pipe")
+
+            def __getattr__(self, name):
+                return getattr(real, name)
+
+        client._socket = DeadSocket()
+        with pytest.raises(ConnectionClosedError):
+            client.ping()
+        real.close()
+
+    def test_async_client_wraps_send_oserror(self, server):
+        import asyncio
+
+        async def scenario():
+            client = AsyncReproClient(server.host, server.port)
+            await client.connect()
+
+            def boom(_data):
+                raise OSError("broken pipe")
+
+            client._writer.write = boom
+            with pytest.raises(ConnectionClosedError):
+                await client.ping()
+            await client.close()
+
+        asyncio.run(scenario())
