@@ -41,6 +41,7 @@ from benchmarks import (
     bench_e17_server,
     bench_e18_cluster,
     bench_e19_selfhealing,
+    bench_e20_mvcc,
     bench_a1_findstate,
     bench_a2_checkpoint_sweep,
     bench_a3_coalescing,
@@ -67,6 +68,7 @@ EXPERIMENTS = {
     "e17": bench_e17_server,
     "e18": bench_e18_cluster,
     "e19": bench_e19_selfhealing,
+    "e20": bench_e20_mvcc,
     "a1": bench_a1_findstate,
     "a2": bench_a2_checkpoint_sweep,
     "a3": bench_a3_coalescing,

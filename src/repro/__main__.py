@@ -135,6 +135,14 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="honour debug requests (stall_ms) from load drivers",
     )
+    serve.add_argument(
+        "--isolation",
+        choices=("serial", "si", "ssi"),
+        default="serial",
+        help="write-path isolation on the plain backing: serial "
+        "(single-writer), si (snapshot isolation, first-committer-"
+        "wins) or ssi (serializable snapshot isolation)",
+    )
     return parser
 
 
@@ -202,6 +210,7 @@ def _run_serve(args: argparse.Namespace) -> int:
         supervise=args.supervise,
         supervise_interval=args.supervise_interval,
         debug_ops=args.debug_ops,
+        isolation=args.isolation,
     )
 
     async def _main() -> None:
@@ -219,6 +228,8 @@ def _run_serve(args: argparse.Namespace) -> int:
             if config.cluster
             else "in-memory"
         )
+        if config.isolation != "serial":
+            backing += f", {config.isolation}"
         print(
             f"repro server listening on {server.host}:{server.port} "
             f"({backing}, {config.workers} workers, "

@@ -18,11 +18,18 @@ This package provides that implementation layer:
 * :class:`InterleavedScheduler` — a deterministic simulator that interleaves
   many clients' transactions and checks the fundamental property: the
   committed database equals the serial execution of the committed
-  transactions in commit order (experiment E10).
+  transactions in commit order (experiment E10);
+* :class:`MVCCManager` — true multi-writer MVCC over the paper's version
+  chains: lock-free snapshot reads at the begin transaction number,
+  first-committer-wins write-conflict detection (snapshot isolation), and
+  an optional SSI mode that aborts rw-antidependency dangerous structures
+  (experiment E20, verified by the DSG isolation checker in
+  :mod:`repro.workloads.histories`).
 """
 
 from repro.concurrency.transactions import Transaction, TransactionStatus
 from repro.concurrency.manager import TransactionManager
+from repro.concurrency.mvcc import ISOLATION_LEVELS, MVCCManager
 from repro.concurrency.serializer import (
     ClientScript,
     InterleavedScheduler,
@@ -33,6 +40,8 @@ __all__ = [
     "Transaction",
     "TransactionStatus",
     "TransactionManager",
+    "MVCCManager",
+    "ISOLATION_LEVELS",
     "ClientScript",
     "InterleavedScheduler",
     "serial_execution",

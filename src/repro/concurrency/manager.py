@@ -126,9 +126,19 @@ class TransactionManager:
             except BaseException:
                 self.abort(transaction)
                 raise
-        self._commit_log.append(
-            (self._database.transaction_number, transaction.write_set)
-        )
+        if (
+            transaction.write_set
+            and new_database.transaction_number
+            > self._database.transaction_number
+        ):
+            # only materialized writes can invalidate anyone's reads: an
+            # empty write set never intersects, and a no-op apply (every
+            # command skipped) leaves committed_at == the current txn
+            # number, which the `< horizon` prune could never drop — the
+            # entry would pin the validation log forever
+            self._commit_log.append(
+                (self._database.transaction_number, transaction.write_set)
+            )
         self._database = new_database
         transaction.status = TransactionStatus.COMMITTED
         transaction.commit_txn = new_database.transaction_number

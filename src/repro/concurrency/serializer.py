@@ -56,12 +56,16 @@ class InterleavedScheduler:
         seed: int = 0,
         overlap: float = 0.5,
         max_retries: int = 5,
+        manager=None,
     ) -> None:
         self._clients = list(clients)
         self._rng = random.Random(seed)
         self._overlap = overlap
         self._max_retries = max_retries
-        self.manager = TransactionManager()
+        #: Any manager with the begin/commit/abort surface works — the
+        #: serial TransactionManager by default, an MVCCManager when
+        #: comparing isolation levels (bench_e20).
+        self.manager = manager if manager is not None else TransactionManager()
         #: Commands of each committed transaction, in commit order.
         self.committed_scripts: list[list[Command]] = []
 
@@ -79,34 +83,42 @@ class InterleavedScheduler:
         done: dict[int, int] = {ci: 0 for ci in range(len(self._clients))}
         in_flight: list[tuple[Transaction, int, int, int]] = []
 
-        while pending or in_flight:
-            # Decide whether to start a new transaction or commit one.
-            can_start = [
-                item for item in pending if item[1] == done[item[0]]
-            ]
-            start_new = can_start and (
-                not in_flight or self._rng.random() < self._overlap
-            )
-            if start_new:
-                item = self._rng.choice(can_start)
-                pending.remove(item)
-                ci, bi, retries = item
-                transaction = self.manager.begin()
-                self._clients[ci].bodies[bi](transaction)
-                in_flight.append((transaction, ci, bi, retries))
-                continue
-            # Commit a random in-flight transaction.
-            index = self._rng.randrange(len(in_flight))
-            transaction, ci, bi, retries = in_flight.pop(index)
-            try:
-                self.manager.commit(transaction)
-            except ConcurrencyError:
-                if retries <= 0:
-                    raise
-                pending.append((ci, bi, retries - 1))
-                continue
-            self.committed_scripts.append(list(transaction.commands))
-            done[ci] = bi + 1
+        try:
+            while pending or in_flight:
+                # Decide whether to start a new transaction or commit one.
+                can_start = [
+                    item for item in pending if item[1] == done[item[0]]
+                ]
+                start_new = can_start and (
+                    not in_flight or self._rng.random() < self._overlap
+                )
+                if start_new:
+                    item = self._rng.choice(can_start)
+                    pending.remove(item)
+                    ci, bi, retries = item
+                    transaction = self.manager.begin()
+                    self._clients[ci].bodies[bi](transaction)
+                    in_flight.append((transaction, ci, bi, retries))
+                    continue
+                # Commit a random in-flight transaction.
+                index = self._rng.randrange(len(in_flight))
+                transaction, ci, bi, retries = in_flight.pop(index)
+                try:
+                    self.manager.commit(transaction)
+                except ConcurrencyError:
+                    if retries <= 0:
+                        raise
+                    pending.append((ci, bi, retries - 1))
+                    continue
+                self.committed_scripts.append(list(transaction.commands))
+                done[ci] = bi + 1
+        finally:
+            # A raising run (retries exhausted, or a failing body) must
+            # not leave the other in-flight transactions ACTIVE: they
+            # would pin the manager's validation horizon forever, so the
+            # commit log could never be pruned again.
+            for transaction, _, _, _ in in_flight:
+                self.manager.abort(transaction)
         return self.manager.database
 
 

@@ -95,7 +95,25 @@ class Session:
         shards: "int | None" = None,
         partitioner=None,
         cluster=None,
+        isolation: str = "serial",
     ) -> None:
+        if isolation not in ("serial", "si", "ssi"):
+            raise ValueError(
+                f"isolation must be 'serial', 'si' or 'ssi', got "
+                f"{isolation!r}"
+            )
+        if isolation != "serial" and (
+            durable_dir is not None
+            or replica_of is not None
+            or shards is not None
+            or cluster is not None
+        ):
+            raise ValueError(
+                "isolation='si'/'ssi' (multi-writer MVCC) applies to "
+                "plain in-memory sessions; durable, replica, sharded "
+                "and cluster sessions serialize writes through their "
+                "WAL/coordinator commit path (isolation='serial')"
+            )
         if history_limit is not None and history_limit < 1:
             raise ValueError(
                 f"history_limit must be ≥ 1 (the current database is "
@@ -185,6 +203,12 @@ class Session:
             self._database = self._durable.database
         else:
             self._database = EMPTY_DATABASE
+        self._isolation = isolation
+        self._manager = None
+        if isolation != "serial":
+            from repro.concurrency.mvcc import MVCCManager
+
+            self._manager = MVCCManager(self._database, isolation)
         self._history: list[Database] = [self._database]
         self._history_limit = history_limit
         self._plan_cache: "OrderedDict[str, _CachedPlan]" = OrderedDict()
@@ -333,9 +357,82 @@ class Session:
             return None
         if self._durable is not None:
             self._record_history(self._durable.execute(command))
+        elif self._manager is not None:
+            # once the session has a transaction manager (always, for
+            # si/ssi; after the first begin()/run(), for serial), direct
+            # executes autocommit through it so scripted and
+            # transactional writes share one commit path and one
+            # authoritative database value
+            self._record_history(
+                self._manager.run(lambda txn: txn.stage(command))
+            )
         else:
             self._record_history(command.execute(self._database))
         return self._database
+
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def isolation(self) -> str:
+        """This session's isolation level: ``serial`` (the default
+        single-writer manager), ``si`` (multi-writer snapshot isolation
+        with first-committer-wins) or ``ssi`` (serializable snapshot
+        isolation)."""
+        return self._isolation
+
+    @property
+    def transaction_manager(self):
+        """The session's transaction manager — an
+        :class:`~repro.concurrency.mvcc.MVCCManager` for ``si``/``ssi``
+        sessions, a lazily created serial
+        :class:`~repro.concurrency.manager.TransactionManager` for plain
+        ``serial`` sessions.  Durable/replica/sharded/cluster sessions
+        have no client-visible manager (their execute path *is* the
+        serialized commit path): raises :class:`ConcurrencyError`.
+        """
+        if self._manager is None:
+            if (
+                self._durable is not None
+                or self._replica is not None
+                or self._coordinator is not None
+            ):
+                from repro.errors import ConcurrencyError
+
+                raise ConcurrencyError(
+                    "this session's backing serializes writes through "
+                    "its WAL/coordinator commit path and has no "
+                    "client-visible transaction manager; use a plain "
+                    "Session(isolation=...) for explicit transactions"
+                )
+            from repro.concurrency.manager import TransactionManager
+
+            self._manager = TransactionManager(self._database)
+        return self._manager
+
+    def begin(self):
+        """Start an explicit transaction against the session's manager
+        (snapshot reads at the current transaction number)."""
+        return self.transaction_manager.begin()
+
+    def commit(self, transaction) -> Database:
+        """Commit an explicit transaction; the session's database moves
+        to the committed value.  Raises
+        :class:`~repro.errors.ConcurrencyError` (and aborts the
+        transaction) when conflict detection rejects it."""
+        database = self.transaction_manager.commit(transaction)
+        self._record_history(database)
+        return database
+
+    def abort(self, transaction) -> None:
+        """Abort an explicit transaction; the database is unchanged."""
+        self.transaction_manager.abort(transaction)
+
+    def run(self, body, retries: int = 3) -> Database:
+        """Run ``body(transaction)`` under the session's isolation
+        level, retrying on conflict up to ``retries`` times."""
+        database = self.transaction_manager.run(body, retries)
+        self._record_history(database)
+        return database
 
     # -- durability ----------------------------------------------------------
 

@@ -81,6 +81,10 @@ class ServerConfig:
     #: A :class:`~repro.cluster.ClusterConfig` (sharded primaries ×
     #: replica sets); mutually exclusive with the three legacy backings.
     cluster: Optional[object] = field(default=None, repr=False)
+    #: Write-path isolation on the plain backing: "serial" (the
+    #: single-writer TransactionManager), "si" or "ssi" (multi-writer
+    #: MVCC, see repro.concurrency.mvcc).
+    isolation: str = "serial"
     #: Exactly-once dedup window bounds (see repro.server.dedup).
     dedup_sessions: int = 1024
     dedup_replies: int = 32
@@ -138,6 +142,7 @@ class ReproServer:
             shards=config.shards,
             replica_of=config.replica_of,
             cluster=config.cluster,
+            isolation=config.isolation,
         )
         self.admission = AdmissionController(
             queue_high=config.queue_high,
@@ -602,6 +607,7 @@ class ReproServer:
             self.store.transaction_number
         )
         snapshot["server.workers"] = self.config.workers
+        snapshot["server.isolation"] = self.store.isolation
         snapshot["server.draining"] = int(self._draining)
         snapshot.update(self.dedup.snapshot())
         snapshot["server.degraded_shards"] = len(

@@ -64,7 +64,25 @@ class ServerStore:
         shards: Optional[int] = None,
         replica_of=None,
         cluster=None,
+        isolation: str = "serial",
     ) -> None:
+        plain = (
+            durable_dir is None
+            and shards is None
+            and replica_of is None
+            and cluster is None
+        )
+        if isolation not in ("serial", "si", "ssi"):
+            raise ValueError(
+                f"isolation must be 'serial', 'si' or 'ssi', got "
+                f"{isolation!r}"
+            )
+        if isolation != "serial" and not plain:
+            raise ValueError(
+                "isolation='si'/'ssi' applies to the plain in-memory "
+                "backing; durable/sharded/replica/cluster backings "
+                "serialize writes through their own commit path"
+            )
         self._session = Session(
             durable_dir,
             fsync=fsync,
@@ -79,16 +97,19 @@ class ServerStore:
             or cluster is not None
         )
         self._replica = replica_of is not None
+        self._isolation = isolation
         self._manager = None
-        if (
-            durable_dir is None
-            and shards is None
-            and replica_of is None
-            and cluster is None
-        ):
-            from repro.concurrency.manager import TransactionManager
+        if plain:
+            if isolation == "serial":
+                from repro.concurrency.manager import TransactionManager
 
-            self._manager = TransactionManager(self._session.database)
+                self._manager = TransactionManager(self._session.database)
+            else:
+                from repro.concurrency.mvcc import MVCCManager
+
+                self._manager = MVCCManager(
+                    self._session.database, isolation
+                )
 
     # -- state ---------------------------------------------------------------
 
@@ -99,10 +120,17 @@ class ServerStore:
 
     @property
     def manager(self):
-        """The plain backing's :class:`TransactionManager` (None for
+        """The plain backing's transaction manager — a serial
+        :class:`TransactionManager` or, under ``isolation='si'/'ssi'``,
+        an :class:`~repro.concurrency.mvcc.MVCCManager` (None for
         durable/sharded/replica backings, whose own execute path is the
         serialized commit path)."""
         return self._manager
+
+    @property
+    def isolation(self) -> str:
+        """The write path's isolation level."""
+        return self._isolation
 
     @property
     def transaction_number(self) -> int:

@@ -1,0 +1,45 @@
+"""Shared fixtures for the concurrency suite.
+
+``REPRO_CHAOS_SEED`` reseeds the randomized isolation-checker schedules
+from the environment so CI can roll a fresh batch per run while any
+failure stays reproducible by exporting the printed seed; when unset,
+the run-seed discipline of ``tests/conftest.py`` applies.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.snapshot.schema import Schema
+from repro.snapshot.state import SnapshotState
+
+
+def chaos_seed(default: int = 0) -> int:
+    """The base seed for randomized schedule batches; CI varies it via
+    the REPRO_CHAOS_SEED environment variable.  When that is unset the
+    run seed stands in for ``default``, so every schedule batch stays
+    reproducible from the printed header seed."""
+    explicit = os.environ.get("REPRO_CHAOS_SEED")
+    if explicit:
+        return int(explicit)
+    from tests.conftest import RUN_SEED, derive_seed
+
+    return derive_seed(RUN_SEED, f"isolation-chaos-{default}")
+
+
+@pytest.fixture
+def value_schema() -> Schema:
+    """The single-attribute schema the schedule runner writes."""
+    return Schema(["v"])
+
+
+@pytest.fixture
+def make_state(value_schema):
+    """``make_state('a', 'b')`` — a one-column snapshot state."""
+
+    def make(*values: str) -> SnapshotState:
+        return SnapshotState(value_schema, [(v,) for v in values])
+
+    return make

@@ -299,3 +299,68 @@ class TestValidationLogPruning:
             manager.commit(b)  # b read r, a wrote it: backward validation
         assert manager.outstanding_count == 0
         assert manager.validation_log_size == 0
+
+
+class TestNoOpCommitPruning:
+    """Regression: a commit whose every command no-ops (paper semantics:
+    modify_state on an unbound relation) used to append a validation
+    entry stamped with the *current* transaction number, which the
+    ``< horizon`` prune could never drop — one stuck entry per no-op
+    commit, forever."""
+
+    def test_noop_commit_leaves_no_log_entry(self, manager):
+        t = manager.begin()
+        t.stage(ModifyState("unbound", Const(kv(1))))  # silent no-op
+        before = manager.database.transaction_number
+        manager.commit(t)
+        assert t.status is TransactionStatus.COMMITTED
+        assert manager.database.transaction_number == before
+        assert manager.validation_log_size == 0
+
+    def test_noop_commits_never_accumulate(self, manager):
+        # the original leak: N no-op commits retained N entries
+        for _ in range(10):
+            t = manager.begin()
+            t.stage(ModifyState("unbound", Const(kv(1))))
+            manager.commit(t)
+        assert manager.validation_log_size == 0
+        assert manager.outstanding_count == 0
+
+    def test_empty_write_set_commit_leaves_no_log_entry(self, manager):
+        t = manager.begin()
+        t.read(Rollback("r"))
+        manager.commit(t)
+        assert manager.validation_log_size == 0
+
+    def test_noop_write_does_not_invalidate_readers(self, manager):
+        # the dropped entry must be safe to drop: a no-op writer cannot
+        # have changed anything a concurrent reader observed
+        reader = manager.begin()
+        reader.read(Rollback("r"))
+        noop = manager.begin()
+        noop.stage(ModifyState("unbound", Const(kv(1))))
+        manager.commit(noop)
+        reader.stage(append("r", 7))
+        manager.commit(reader)  # must not abort
+        assert manager.abort_count == 0
+
+
+class TestAbortDuringApplyPruning:
+    """Regression: a transaction that aborts at *apply* time (strict
+    command failure) must release its hold on the validation horizon so
+    entries pinned on its behalf are pruned immediately."""
+
+    def test_apply_abort_prunes_pinned_entries(self, manager):
+        from repro.errors import CommandError
+
+        pinner = manager.begin()  # outstanding begin pins the horizon
+        writer = manager.begin()
+        writer.stage(append("r", 1))
+        manager.commit(writer)
+        assert manager.validation_log_size == 1  # pinned by pinner
+        pinner.stage(ModifyState("missing", Const(kv(1)), strict=True))
+        with pytest.raises(CommandError):
+            manager.commit(pinner)
+        assert pinner.status is TransactionStatus.ABORTED
+        assert manager.outstanding_count == 0
+        assert manager.validation_log_size == 0

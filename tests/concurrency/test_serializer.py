@@ -118,3 +118,54 @@ class TestSerializability:
         # with heavy contention some aborts are expected (not required,
         # but the machinery must cope either way)
         assert scheduler.manager.commit_count == 16
+
+
+class TestSchedulerCleanup:
+    """Regression: a raising ``run`` (retries exhausted) used to leave
+    the other in-flight transactions ACTIVE, pinning the manager's
+    validation horizon so the commit log could never be pruned again."""
+
+    def test_raising_run_aborts_in_flight_transactions(self):
+        from repro.errors import ConcurrencyError
+
+        clients = [
+            ClientScript(
+                f"c{ci}", [appender("hot", ci * 10 + bi) for bi in range(3)]
+            )
+            for ci in range(4)
+        ]
+        scheduler = InterleavedScheduler(
+            clients, seed=11, overlap=0.95, max_retries=0
+        )
+        with pytest.raises(ConcurrencyError):
+            scheduler.run()
+        assert scheduler.manager.outstanding_count == 0
+        # with nothing outstanding, the next commit prunes everything
+        t = scheduler.manager.begin()
+        t.stage(appender_command("cleanup", 1))
+        scheduler.manager.commit(t)
+        assert scheduler.manager.validation_log_size == 0
+
+    def test_injected_mvcc_manager_is_used(self):
+        from repro.concurrency import MVCCManager
+
+        manager = MVCCManager()
+        clients = make_clients(3, 2, shared_fraction=0)
+        scheduler = InterleavedScheduler(clients, seed=5, manager=manager)
+        final = scheduler.run()
+        assert scheduler.manager is manager
+        assert manager.commit_count == 6
+        assert final == serial_execution(scheduler.committed_scripts)
+
+
+def appender_command(identifier, key):
+    from repro.core.commands import sequence
+
+    return sequence(
+        [
+            DefineRelation(identifier, "rollback"),
+            ModifyState(
+                identifier, Union(Rollback(identifier), Const(kv(key)))
+            ),
+        ]
+    )
